@@ -1,0 +1,43 @@
+//! End-to-end simulation benchmark: one full grid run per strategy on a
+//! small Coadd workload (the unit the experiment harness repeats hundreds
+//! of times). Useful for tracking simulator-throughput regressions.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gridsched_core::StrategyKind;
+use gridsched_sim::{GridSim, SimConfig};
+use gridsched_workload::coadd::CoaddConfig;
+
+fn bench_full_run(c: &mut Criterion) {
+    let mut cfg = CoaddConfig::paper_6000();
+    cfg.tasks = 400;
+    let workload = Arc::new(cfg.generate());
+
+    let mut group = c.benchmark_group("end_to_end_400tasks");
+    group.sample_size(10);
+    for strategy in [
+        StrategyKind::Rest2,
+        StrategyKind::Overlap,
+        StrategyKind::StorageAffinity,
+        StrategyKind::Workqueue,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| {
+                    let config = SimConfig::paper(workload.clone(), strategy).with_sites(5);
+                    let report = GridSim::new(config).run();
+                    assert_eq!(report.tasks_completed, 400);
+                    std::hint::black_box(report)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_run);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Max–min fair-share solver benchmark.
+//!
+//! The fluid network recomputes the allocation on every flow arrival and
+//! departure, so the progressive-filling solver sits on the simulator's
+//! hot path. Measured over link/flow counts bracketing the paper's setups
+//! (90-site topologies ≈ 100 links; ≤ ~30 concurrent flows).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use gridsched_net::fair::max_min_rates;
+
+fn random_case(links: usize, flows: usize, seed: u64) -> (Vec<f64>, Vec<Vec<usize>>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let caps: Vec<f64> = (0..links).map(|_| rng.gen_range(1.0..100.0)).collect();
+    let routes: Vec<Vec<usize>> = (0..flows)
+        .map(|_| {
+            let hops = rng.gen_range(2..6);
+            let mut route: Vec<usize> =
+                (0..hops).map(|_| rng.gen_range(0..links)).collect();
+            route.sort_unstable();
+            route.dedup();
+            route
+        })
+        .collect();
+    (caps, routes)
+}
+
+fn bench_maxmin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("max_min_rates");
+    for &(links, flows) in &[(20usize, 10usize), (100, 30), (100, 100), (400, 200)] {
+        let (caps, routes) = random_case(links, flows, 42);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{links}links_{flows}flows")),
+            &(links, flows),
+            |b, _| b.iter(|| std::hint::black_box(max_min_rates(&caps, &routes))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_maxmin);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Workload- and topology-generation benchmarks (the per-replicate setup
+//! cost of every experiment).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gridsched_topology::{generate, TiersConfig};
+use gridsched_workload::coadd::CoaddConfig;
+
+fn bench_coadd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coadd_generate");
+    group.sample_size(10);
+    for &tasks in &[1500u32, 6000] {
+        group.bench_with_input(BenchmarkId::from_parameter(tasks), &tasks, |b, &tasks| {
+            let mut cfg = CoaddConfig::paper_6000();
+            cfg.tasks = tasks;
+            b.iter(|| std::hint::black_box(cfg.generate()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_topology(c: &mut Criterion) {
+    c.bench_function("tiers_generate_90sites", |b| {
+        b.iter(|| std::hint::black_box(generate(&TiersConfig::paper(0))))
+    });
+}
+
+criterion_group!(benches, bench_coadd, bench_topology);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Ablation — extra baselines beyond the paper's six algorithms.
+//!
+//! Adds the classic **workqueue** (FIFO pull, no locality — the paper's
+//! §2.3 example of worker-centric scheduling) and a data-aware
+//! **XSufferage**-style heuristic (the comparator storage affinity was
+//! originally evaluated against, §6/[5]) to the default-configuration
+//! comparison. Expected ordering: transfer-aware worker-centric metrics ≤
+//! xsufferage ≤ storage-affinity/overlap ≪ workqueue on transfers.
+
+use gridsched_bench::{check, fmt, run, Cli, Table};
+use gridsched_core::StrategyKind;
+use gridsched_sim::SimConfig;
+
+fn main() {
+    let cli = Cli::parse();
+    let workload = cli.workload();
+
+    let strategies = [
+        StrategyKind::Rest2,
+        StrategyKind::Combined2,
+        StrategyKind::Sufferage,
+        StrategyKind::StorageAffinity,
+        StrategyKind::Overlap,
+        StrategyKind::Workqueue,
+    ];
+    let mut table = Table::new(
+        "Ablation: baseline face-off (Table 1 defaults)",
+        &["algorithm", "makespan_min", "file_transfers", "bytes_GB"],
+    );
+    let mut measured = Vec::new();
+    for strategy in strategies {
+        let config = SimConfig::paper(workload.clone(), strategy);
+        let r = run(&cli, &config);
+        table.push_row(vec![
+            strategy.to_string(),
+            fmt(r.makespan_minutes, 0),
+            r.file_transfers.to_string(),
+            fmt(r.bytes_transferred / 1e9, 1),
+        ]);
+        measured.push((strategy, r.makespan_minutes, r.file_transfers));
+    }
+    table.emit(&cli, "ablation_baselines");
+
+    let get = |k: StrategyKind| {
+        measured
+            .iter()
+            .find(|(s, _, _)| *s == k)
+            .expect("measured")
+    };
+    check(
+        &cli,
+        "workqueue (no locality) is the worst on transfers",
+        measured
+            .iter()
+            .all(|(s, _, t)| *s == StrategyKind::Workqueue || *t < get(StrategyKind::Workqueue).2),
+    );
+    check(
+        &cli,
+        "transfer-aware worker-centric beats xsufferage on makespan",
+        get(StrategyKind::Rest2).1 < get(StrategyKind::Sufferage).1,
+    );
+    check(
+        &cli,
+        "xsufferage (demand-driven, data-aware) beats workqueue",
+        get(StrategyKind::Sufferage).1 < get(StrategyKind::Workqueue).1,
+    );
+}

@@ -1,0 +1,59 @@
+//! Ablation — `ChooseTask(n)` for n ∈ {1, 2, 4, 8}.
+//!
+//! §4.3/§5.3: the paper tried several n and found only 1 and 2 give good
+//! results. This ablation regenerates that finding: a little randomization
+//! (n = 2) avoids sub-optimal greedy matches, but larger n dilutes the
+//! metric until the scheduler approaches random dispatch.
+
+use gridsched_bench::{check, fmt, run, Cli, Table};
+use gridsched_core::StrategyKind;
+use gridsched_sim::SimConfig;
+
+fn main() {
+    let cli = Cli::parse();
+    let workload = cli.workload();
+    let ns: &[usize] = if cli.quick { &[1, 4] } else { &[1, 2, 4, 8, 16] };
+
+    let mut table = Table::new(
+        "Ablation: ChooseTask(n) sweep",
+        &["n", "metric", "makespan_min", "file_transfers"],
+    );
+    let mut rest_series = Vec::new();
+    for &n in ns {
+        for strategy in [StrategyKind::Rest, StrategyKind::Combined] {
+            let config = SimConfig::paper(workload.clone(), strategy).with_choose_n(n);
+            let r = run(&cli, &config);
+            table.push_row(vec![
+                n.to_string(),
+                strategy.to_string(),
+                fmt(r.makespan_minutes, 0),
+                r.file_transfers.to_string(),
+            ]);
+            if strategy == StrategyKind::Rest {
+                rest_series.push((n, r.makespan_minutes, r.file_transfers));
+            }
+        }
+    }
+    table.emit(&cli, "ablation_choose_n");
+
+    let small_n_best = rest_series
+        .iter()
+        .filter(|(n, _, _)| *n <= 2)
+        .map(|&(_, m, _)| m)
+        .fold(f64::MAX, f64::min);
+    let large_n_worst = rest_series
+        .iter()
+        .filter(|(n, _, _)| *n >= 4)
+        .map(|&(_, m, _)| m)
+        .fold(f64::MIN, f64::max);
+    check(
+        &cli,
+        "small n (1-2) beats large n (>=4) — 'only 1 and 2 give good results'",
+        small_n_best < large_n_worst,
+    );
+    check(
+        &cli,
+        "transfers grow as n grows (metric dilution)",
+        rest_series.first().map(|r| r.2) <= rest_series.last().map(|r| r.2),
+    );
+}

@@ -1,0 +1,69 @@
+//! Ablation — proactive data replication (Ranganathan & Foster [13]).
+//!
+//! §3.2 of the paper claims data replication is **orthogonal** to
+//! worker-centric scheduling: task-centric schedulers need it to fix
+//! unbalanced assignments; worker-centric schedulers do not. We run `rest`
+//! and `storage-affinity` with the popularity-threshold replication
+//! extension on and off: the worker-centric makespan should barely move
+//! (it may pay for the extra pushes), while storage affinity benefits
+//! more, and the ranking does not change.
+
+use gridsched_bench::{check, fmt, run, Cli, Table};
+use gridsched_core::StrategyKind;
+use gridsched_sim::{ReplicationConfig, SimConfig};
+
+fn main() {
+    let cli = Cli::parse();
+    let workload = cli.workload();
+
+    let mut table = Table::new(
+        "Ablation: proactive data replication",
+        &["algorithm", "replication", "makespan_min", "pushes", "bytes_GB"],
+    );
+    let mut measured = Vec::new();
+    for strategy in [StrategyKind::Rest, StrategyKind::StorageAffinity] {
+        for threshold in [None, Some(4), Some(8)] {
+            let mut config = SimConfig::paper(workload.clone(), strategy);
+            if let Some(t) = threshold {
+                config = config.with_replication(ReplicationConfig {
+                    popularity_threshold: t,
+                    max_replicas_per_file: 1,
+                });
+            }
+            let r = run(&cli, &config);
+            table.push_row(vec![
+                strategy.to_string(),
+                threshold.map_or("off".into(), |t| format!("threshold={t}")),
+                fmt(r.makespan_minutes, 0),
+                r.replication_pushes.to_string(),
+                fmt(r.bytes_transferred / 1e9, 1),
+            ]);
+            measured.push((strategy, threshold, r.makespan_minutes));
+        }
+    }
+    table.emit(&cli, "ablation_replication");
+
+    let get = |s: StrategyKind, t: Option<u32>| {
+        measured
+            .iter()
+            .find(|(ms, mt, _)| *ms == s && *mt == t)
+            .expect("measured")
+            .2
+    };
+    let rest_off = get(StrategyKind::Rest, None);
+    let rest_on = get(StrategyKind::Rest, Some(4)).min(get(StrategyKind::Rest, Some(8)));
+    check(
+        &cli,
+        "replication changes worker-centric makespan by <10% (orthogonal)",
+        (rest_on - rest_off).abs() / rest_off < 0.10,
+    );
+    let sa_off = get(StrategyKind::StorageAffinity, None);
+    check(
+        &cli,
+        "worker-centric without replication still beats storage affinity with it",
+        rest_off
+            < get(StrategyKind::StorageAffinity, Some(4))
+                .min(get(StrategyKind::StorageAffinity, Some(8)))
+                .min(sa_off),
+    );
+}

@@ -1,0 +1,62 @@
+//! Figures 1 and 3 — Coadd file-access CDF.
+//!
+//! Figure 1: full Coadd (44,000 tasks); Figure 3: the scaled 6,000-task
+//! workload. The y value at `x = k` is the percentage of files referenced
+//! by **at least** `k` tasks (decreasing x-axis in the paper). The paper's
+//! headline readings: Fig. 1 — "roughly 90% of files are accessed by 6 or
+//! more tasks"; Fig. 3 — "roughly 85%".
+
+use gridsched_bench::{check, fmt, Cli, Table};
+use gridsched_workload::coadd::CoaddConfig;
+
+fn cdf_table(cli: &Cli, name: &str, title: &str, cfg: &CoaddConfig) -> f64 {
+    let wl = cfg.generate();
+    let stats = wl.stats();
+    let mut table = Table::new(title, &["min_references", "pct_files"]);
+    for (k, pct) in stats.reference_cdf() {
+        table.push_row(vec![k.to_string(), fmt(pct, 2)]);
+    }
+    table.emit(cli, name);
+    stats.pct_files_with_at_least(6)
+}
+
+fn main() {
+    let cli = Cli::parse();
+
+    let mut full = CoaddConfig::paper_full();
+    if cli.quick {
+        // Scale the full workload down proportionally under --quick.
+        full.tasks = 11_000;
+    }
+    let pct6_full = cdf_table(
+        &cli,
+        "fig1_file_cdf_full",
+        "Figure 1: file access CDF, full Coadd",
+        &full,
+    );
+
+    let mut scaled = CoaddConfig::paper_6000();
+    if cli.quick {
+        scaled.tasks = 1500;
+    }
+    let pct6_scaled = cdf_table(
+        &cli,
+        "fig3_file_cdf_6000",
+        "Figure 3: file access CDF, scaled Coadd",
+        &scaled,
+    );
+
+    println!();
+    println!("paper Fig.1: ~90% of files accessed by >=6 tasks; measured {pct6_full:.1}%");
+    println!("paper Fig.3: ~85% of files accessed by >=6 tasks; measured {pct6_scaled:.1}%");
+    check(
+        &cli,
+        "Fig.1: most files (75-97%) referenced by >=6 tasks",
+        (75.0..=97.0).contains(&pct6_full),
+    );
+    check(
+        &cli,
+        "Fig.3: most files (75-97%) referenced by >=6 tasks",
+        (75.0..=97.0).contains(&pct6_scaled),
+    );
+}

@@ -1,0 +1,122 @@
+//! Figures 4 and 5 — makespan and file transfers vs data-server capacity.
+//!
+//! Sweeps capacities {3,000, 6,000, 15,000, 30,000} files for the six
+//! algorithms of §5.3 (5 topology replicates, averaged). The paper's
+//! qualitative claims, asserted under `--check`:
+//!
+//! * storage affinity suffers at small capacities (premature scheduling
+//!   decisions) and becomes comparable as capacity grows;
+//! * worker-centric metrics are nearly flat in capacity (a Coadd task's
+//!   working set is small);
+//! * `overlap` incurs clearly more file transfers than `rest`/`combined`
+//!   (it does not consider the number of transfers).
+
+use gridsched_bench::{check, fmt, paper_strategies, run, Cli, Table};
+use gridsched_core::StrategyKind;
+use gridsched_sim::SimConfig;
+
+fn main() {
+    let cli = Cli::parse();
+    let workload = cli.workload();
+    // The quick workload (1,500 tasks) touches ~13.5k files, so quick
+    // capacities scale down to keep the same storage pressure.
+    let capacities: &[usize] = if cli.quick {
+        &[700, 7500]
+    } else {
+        &[3000, 6000, 15_000, 30_000]
+    };
+    let strategies = paper_strategies();
+
+    let mut makespan = Table::new(
+        "Figure 4: makespan (minutes) vs capacity",
+        &["capacity", "algorithm", "makespan_min"],
+    );
+    let mut transfers = Table::new(
+        "Figure 5: number of file transfers vs capacity",
+        &["capacity", "algorithm", "file_transfers", "transfers_per_site"],
+    );
+
+    // results[strategy][capacity] = (makespan, transfers)
+    let mut results = vec![Vec::new(); strategies.len()];
+    for &cap in capacities {
+        for (i, &strategy) in strategies.iter().enumerate() {
+            let config = SimConfig::paper(workload.clone(), strategy).with_capacity(cap);
+            let r = run(&cli, &config);
+            makespan.push_row(vec![
+                cap.to_string(),
+                strategy.to_string(),
+                fmt(r.makespan_minutes, 0),
+            ]);
+            transfers.push_row(vec![
+                cap.to_string(),
+                strategy.to_string(),
+                r.file_transfers.to_string(),
+                fmt(r.avg_transfers_per_site(), 0),
+            ]);
+            results[i].push((r.makespan_minutes, r.file_transfers as f64));
+        }
+    }
+    makespan.emit(&cli, "fig4_makespan_vs_capacity");
+    transfers.emit(&cli, "fig5_transfers_vs_capacity");
+
+    let idx = |k: StrategyKind| {
+        strategies
+            .iter()
+            .position(|&s| s == k)
+            .expect("strategy in set")
+    };
+    let sa = idx(StrategyKind::StorageAffinity);
+    let ov = idx(StrategyKind::Overlap);
+    let rest = idx(StrategyKind::Rest);
+    let last = capacities.len() - 1;
+
+    // The premature-decision penalty needs many spatial regions per site
+    // queue (full scale); the 1,500-task quick workload has too few blocks
+    // per site to thrash, so these two checks are full-mode only.
+    if !cli.quick {
+        check(
+            &cli,
+            "storage affinity improves from smallest to largest capacity",
+            results[sa][0].0 > results[sa][last].0,
+        );
+        check(
+            &cli,
+            "storage affinity is hurt more at small capacity than rest is",
+            results[sa][0].0 / results[sa][last].0
+                > results[rest][0].0 / results[rest][last].0,
+        );
+    }
+    check(
+        &cli,
+        "overlap transfers exceed rest transfers at every capacity (Fig. 5)",
+        (0..capacities.len()).all(|c| results[ov][c].1 > results[rest][c].1),
+    );
+    check(
+        &cli,
+        "overlap makespan is worse than rest at every capacity",
+        (0..capacities.len()).all(|c| results[ov][c].0 > results[rest][c].0),
+    );
+    let flat = |i: usize| {
+        let series: Vec<f64> = results[i].iter().map(|p| p.0).collect();
+        let max = series.iter().cloned().fold(f64::MIN, f64::max);
+        let min = series.iter().cloned().fold(f64::MAX, f64::min);
+        (max - min) / min
+    };
+    check(
+        &cli,
+        "rest is nearly flat across capacities (<10% spread)",
+        flat(rest) < 0.10,
+    );
+    check(
+        &cli,
+        "a worker-centric strategy wins at the default capacity",
+        {
+            let c = capacities.iter().position(|&c| c >= 6000).unwrap_or(0);
+            let best_wc = [StrategyKind::Rest, StrategyKind::Combined, StrategyKind::Rest2, StrategyKind::Combined2]
+                .iter()
+                .map(|&k| results[idx(k)][c].0)
+                .fold(f64::MAX, f64::min);
+            best_wc < results[sa][c].0
+        },
+    );
+}

@@ -1,0 +1,69 @@
+//! Figure 6 — makespan vs number of workers per site.
+//!
+//! Sweeps 2–10 workers per site (Table 1 defaults otherwise). The paper's
+//! observations, asserted under `--check`:
+//!
+//! * makespan broadly decreases with more workers but **flattens** — the
+//!   data server serialises batch requests, so its contention grows with
+//!   the worker count and eats the extra parallelism;
+//! * per-request waiting time rises with the number of workers per site
+//!   (the contention factor of Table 3).
+
+use gridsched_bench::{check, fmt, paper_strategies, run, Cli, Table};
+use gridsched_core::StrategyKind;
+use gridsched_sim::SimConfig;
+
+fn main() {
+    let cli = Cli::parse();
+    let workload = cli.workload();
+    let worker_counts: &[usize] = if cli.quick { &[2, 6] } else { &[2, 4, 6, 8, 10] };
+    let strategies = paper_strategies();
+
+    let mut table = Table::new(
+        "Figure 6: makespan (minutes) vs workers per site",
+        &["workers", "algorithm", "makespan_min", "avg_wait_h"],
+    );
+    let mut results = vec![Vec::new(); strategies.len()];
+    for &w in worker_counts {
+        for (i, &strategy) in strategies.iter().enumerate() {
+            let config = SimConfig::paper(workload.clone(), strategy).with_workers_per_site(w);
+            let r = run(&cli, &config);
+            table.push_row(vec![
+                w.to_string(),
+                strategy.to_string(),
+                fmt(r.makespan_minutes, 0),
+                fmt(r.avg_waiting_hours(), 3),
+            ]);
+            results[i].push((r.makespan_minutes, r.avg_waiting_hours()));
+        }
+    }
+    table.emit(&cli, "fig6_makespan_vs_workers");
+
+    let rest = strategies
+        .iter()
+        .position(|&s| s == StrategyKind::Rest)
+        .expect("rest in set");
+    let last = worker_counts.len() - 1;
+    check(
+        &cli,
+        "makespan decreases from fewest to most workers (rest)",
+        results[rest][0].0 > results[rest][last].0,
+    );
+    check(
+        &cli,
+        "per-request waiting time rises with workers per site (rest)",
+        results[rest][last].1 > results[rest][0].1,
+    );
+    if !cli.quick {
+        // Flattening: the last doubling of workers (4→8 equivalent; here
+        // 8→10) buys much less than proportional speed-up.
+        let second_last = worker_counts.len() - 2;
+        let gain = results[rest][second_last].0 / results[rest][last].0;
+        let ideal = worker_counts[last] as f64 / worker_counts[second_last] as f64;
+        check(
+            &cli,
+            "makespan flattens at high worker counts (rest)",
+            gain < ideal,
+        );
+    }
+}

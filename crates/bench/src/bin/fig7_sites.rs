@@ -1,0 +1,60 @@
+//! Figure 7 — makespan vs number of sites.
+//!
+//! Sweeps 10–26 sites (Table 1 defaults otherwise). Paper: "makespan of
+//! each algorithm reduces as the number of sites increases, as expected";
+//! `combined.2` performs best; randomized beats deterministic.
+
+use gridsched_bench::{check, fmt, paper_strategies, run, Cli, Table};
+use gridsched_core::StrategyKind;
+use gridsched_sim::SimConfig;
+
+fn main() {
+    let cli = Cli::parse();
+    let workload = cli.workload();
+    let site_counts: &[usize] = if cli.quick { &[10, 18] } else { &[10, 14, 18, 22, 26] };
+    let strategies = paper_strategies();
+
+    let mut table = Table::new(
+        "Figure 7: makespan (minutes) vs number of sites",
+        &["sites", "algorithm", "makespan_min", "file_transfers"],
+    );
+    let mut results = vec![Vec::new(); strategies.len()];
+    for &s in site_counts {
+        for (i, &strategy) in strategies.iter().enumerate() {
+            let config = SimConfig::paper(workload.clone(), strategy).with_sites(s);
+            let r = run(&cli, &config);
+            table.push_row(vec![
+                s.to_string(),
+                strategy.to_string(),
+                fmt(r.makespan_minutes, 0),
+                r.file_transfers.to_string(),
+            ]);
+            results[i].push(r.makespan_minutes);
+        }
+    }
+    table.emit(&cli, "fig7_makespan_vs_sites");
+
+    let idx = |k: StrategyKind| strategies.iter().position(|&s| s == k).expect("in set");
+    for (label, i) in [
+        ("rest", idx(StrategyKind::Rest)),
+        ("combined.2", idx(StrategyKind::Combined2)),
+        ("storage-affinity", idx(StrategyKind::StorageAffinity)),
+    ] {
+        let series = &results[i];
+        check(
+            &cli,
+            &format!("{label}: makespan decreases as sites increase"),
+            series.first() > series.last(),
+        );
+    }
+    let last = site_counts.len() - 1;
+    check(
+        &cli,
+        "a worker-centric metric beats storage affinity at the largest site count",
+        [StrategyKind::Rest, StrategyKind::Combined, StrategyKind::Rest2, StrategyKind::Combined2]
+            .iter()
+            .map(|&k| results[idx(k)][last])
+            .fold(f64::MAX, f64::min)
+            < results[idx(StrategyKind::StorageAffinity)][last],
+    );
+}

@@ -1,0 +1,67 @@
+//! Figure 8 — makespan vs file size.
+//!
+//! Sweeps file sizes {5, 25, 50} MB (communication cost). Paper: "the
+//! makespan grows almost linearly as the file size grows" and no algorithm
+//! changes behaviour dramatically; `combined.2` stays best.
+
+use gridsched_bench::{check, fmt, paper_strategies, run, Cli, Table};
+use gridsched_core::StrategyKind;
+use gridsched_sim::SimConfig;
+use std::sync::Arc;
+
+fn main() {
+    let cli = Cli::parse();
+    let sizes_mb: &[f64] = if cli.quick { &[5.0, 50.0] } else { &[5.0, 25.0, 50.0] };
+    let strategies = paper_strategies();
+
+    let mut table = Table::new(
+        "Figure 8: makespan (minutes) vs file size (MB)",
+        &["file_size_mb", "algorithm", "makespan_min"],
+    );
+    let mut results = vec![Vec::new(); strategies.len()];
+    for &mb in sizes_mb {
+        // The file size lives on the workload; regenerate per point (same
+        // seed → identical task structure, only the byte size changes).
+        let workload = Arc::new(cli.coadd_config().with_file_size_mb(mb).generate());
+        for (i, &strategy) in strategies.iter().enumerate() {
+            let config = SimConfig::paper(workload.clone(), strategy);
+            let r = run(&cli, &config);
+            table.push_row(vec![
+                fmt(mb, 0),
+                strategy.to_string(),
+                fmt(r.makespan_minutes, 0),
+            ]);
+            results[i].push(r.makespan_minutes);
+        }
+    }
+    table.emit(&cli, "fig8_makespan_vs_filesize");
+
+    let idx = |k: StrategyKind| strategies.iter().position(|&s| s == k).expect("in set");
+    let rest = idx(StrategyKind::Rest);
+    check(
+        &cli,
+        "makespan grows with file size (rest)",
+        results[rest].windows(2).all(|w| w[1] > w[0]),
+    );
+    if !cli.quick {
+        // Near-linear growth: the incremental cost per MB from 5→25 and
+        // 25→50 should be within 2.5x of each other (transfer component
+        // scales linearly; the compute floor is constant).
+        let slope_a = (results[rest][1] - results[rest][0]) / 20.0;
+        let slope_b = (results[rest][2] - results[rest][1]) / 25.0;
+        check(
+            &cli,
+            "growth is roughly linear in file size (rest)",
+            slope_a > 0.0 && slope_b > 0.0 && slope_b / slope_a < 2.5 && slope_a / slope_b < 2.5,
+        );
+    }
+    check(
+        &cli,
+        "overlap suffers more from larger files than rest",
+        {
+            let ov = idx(StrategyKind::Overlap);
+            let growth = |series: &Vec<f64>| series.last().unwrap() - series.first().unwrap();
+            growth(&results[ov]) > growth(&results[rest])
+        },
+    );
+}

@@ -1,0 +1,59 @@
+//! Table 2 — characteristics of Coadd with 6,000 tasks.
+//!
+//! Paper values: 53,390 total files; max 101 / min 36 / mean 78.4327 files
+//! per task. Our synthetic generator is calibrated to land within a few
+//! percent (see `gridsched-workload`'s calibration tests).
+
+use gridsched_bench::{check, fmt, Cli, Table};
+
+fn main() {
+    let cli = Cli::parse();
+    let wl = cli.workload();
+    let s = wl.stats();
+
+    let mut table = Table::new(
+        "Table 2: characteristics of Coadd",
+        &["metric", "paper", "measured"],
+    );
+    let paper_total = if cli.quick { f64::NAN } else { 53_390.0 };
+    table.push_row(vec![
+        "total number of files".into(),
+        if cli.quick { "n/a (quick)".into() } else { "53390".into() },
+        s.total_files.to_string(),
+    ]);
+    table.push_row(vec![
+        "max files needed by a task".into(),
+        "101".into(),
+        s.max_files_per_task.to_string(),
+    ]);
+    table.push_row(vec![
+        "min files needed by a task".into(),
+        "36".into(),
+        s.min_files_per_task.to_string(),
+    ]);
+    table.push_row(vec![
+        "avg files needed by a task".into(),
+        "78.4327".into(),
+        fmt(s.mean_files_per_task, 4),
+    ]);
+    table.emit(&cli, "table2_workload");
+
+    if !cli.quick {
+        check(
+            &cli,
+            "total files within 5% of 53,390",
+            (s.total_files as f64 - paper_total).abs() < paper_total * 0.05,
+        );
+        check(
+            &cli,
+            "mean files/task within 3 of 78.4327",
+            (s.mean_files_per_task - 78.4327).abs() < 3.0,
+        );
+    }
+    check(&cli, "min files/task in [30, 45]", (30..=45).contains(&s.min_files_per_task));
+    check(
+        &cli,
+        "max files/task in [95, 130]",
+        (95..=130).contains(&s.max_files_per_task),
+    );
+}

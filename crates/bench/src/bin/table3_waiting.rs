@@ -1,0 +1,70 @@
+//! Table 3 — per-request waiting/transfer time of `rest` vs workers/site.
+//!
+//! The paper reports, for one site, the average waiting time a batch
+//! request spends in the data server's queue, the average time to transfer
+//! the missing files, and the number of file transfers — for 2, 4, 6 and 8
+//! workers per site. The load-bearing observation is the **tension**
+//! between two factors: more workers → more contention at the serialising
+//! data server (waiting up), but also more sharing (transfers and
+//! per-batch transfer time down). We report the average over all sites
+//! plus the single worst site (closest to the paper's hand-picked site).
+
+use gridsched_bench::{check, fmt, run, Cli, Table};
+use gridsched_core::StrategyKind;
+use gridsched_sim::SimConfig;
+
+fn main() {
+    let cli = Cli::parse();
+    let workload = cli.workload();
+    let worker_counts: &[usize] = if cli.quick { &[2, 6] } else { &[2, 4, 6, 8] };
+
+    let mut table = Table::new(
+        "Table 3: rest metric, per-request averages vs workers per site",
+        &[
+            "workers",
+            "wait_h(all sites)",
+            "xfer_h(all sites)",
+            "transfers/site",
+            "wait_h(worst site)",
+            "xfer_h(worst site)",
+        ],
+    );
+    let mut rows = Vec::new();
+    for &w in worker_counts {
+        let config =
+            SimConfig::paper(workload.clone(), StrategyKind::Rest).with_workers_per_site(w);
+        let r = run(&cli, &config);
+        let worst = r
+            .per_site
+            .iter()
+            .max_by(|a, b| {
+                a.avg_waiting_hours()
+                    .partial_cmp(&b.avg_waiting_hours())
+                    .expect("finite")
+            })
+            .expect("at least one site");
+        table.push_row(vec![
+            w.to_string(),
+            fmt(r.avg_waiting_hours(), 3),
+            fmt(r.avg_transfer_hours(), 3),
+            fmt(r.avg_transfers_per_site(), 1),
+            fmt(worst.avg_waiting_hours(), 3),
+            fmt(worst.avg_transfer_hours(), 3),
+        ]);
+        rows.push((w, r.avg_waiting_hours(), r.avg_transfer_hours()));
+    }
+    table.emit(&cli, "table3_waiting_vs_workers");
+
+    let first = rows.first().expect("non-empty sweep");
+    let last = rows.last().expect("non-empty sweep");
+    check(
+        &cli,
+        "waiting time grows with contention (more workers per site)",
+        last.1 > first.1,
+    );
+    check(
+        &cli,
+        "per-request transfer time does not grow with more workers (sharing)",
+        last.2 <= first.2 * 1.25,
+    );
+}

@@ -1,0 +1,285 @@
+//! # gridsched-bench — the experiment harness
+//!
+//! One binary per figure/table of the paper (see `src/bin/`), plus
+//! criterion micro-benchmarks (see `benches/`). This library holds the
+//! shared plumbing: CLI parsing, the paper's default experiment setup,
+//! aligned-table printing and CSV emission.
+//!
+//! Every binary supports:
+//!
+//! * `--quick` — 2 topology replicates and a 1,500-task workload instead
+//!   of 5 × 6,000 (for CI and smoke runs);
+//! * `--out <dir>` — also write the series as CSV (default `results/`);
+//! * `--check` — assert the paper's qualitative claims and exit non-zero
+//!   if the reproduction lost the shape;
+//! * `--seeds a,b,c` — override the topology seed list.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use gridsched_core::StrategyKind;
+use gridsched_sim::{run_averaged, MetricsReport, SimConfig};
+use gridsched_workload::coadd::CoaddConfig;
+use gridsched_workload::Workload;
+
+/// Parsed command-line options shared by all experiment binaries.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Reduced workload and replicate count.
+    pub quick: bool,
+    /// Where to write CSV output (`None` disables).
+    pub out_dir: Option<PathBuf>,
+    /// Assert the paper's qualitative claims.
+    pub check: bool,
+    /// Topology seeds to average over.
+    pub seeds: Vec<u64>,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli {
+            quick: false,
+            out_dir: Some(PathBuf::from("results")),
+            check: false,
+            seeds: vec![0, 1, 2, 3, 4],
+        }
+    }
+}
+
+impl Cli {
+    /// Parses `std::env::args`. Unknown flags abort with a usage message.
+    #[must_use]
+    pub fn parse() -> Self {
+        let mut cli = Cli::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => {
+                    cli.quick = true;
+                    cli.seeds = vec![0, 1];
+                }
+                "--check" => cli.check = true,
+                "--no-out" => cli.out_dir = None,
+                "--out" => {
+                    let dir = args.next().unwrap_or_else(|| usage("--out needs a directory"));
+                    cli.out_dir = Some(PathBuf::from(dir));
+                }
+                "--seeds" => {
+                    let list = args.next().unwrap_or_else(|| usage("--seeds needs a list"));
+                    cli.seeds = list
+                        .split(',')
+                        .map(|s| s.trim().parse().unwrap_or_else(|_| usage("bad seed list")))
+                        .collect();
+                    if cli.seeds.is_empty() {
+                        usage("empty seed list");
+                    }
+                }
+                "--help" | "-h" => {
+                    eprintln!("{USAGE}");
+                    std::process::exit(0);
+                }
+                other => usage(&format!("unknown flag `{other}`")),
+            }
+        }
+        cli
+    }
+
+    /// The Coadd workload for this run (scaled down under `--quick`).
+    #[must_use]
+    pub fn workload(&self) -> Arc<Workload> {
+        let mut cfg = CoaddConfig::paper_6000();
+        if self.quick {
+            cfg.tasks = 1500;
+        }
+        Arc::new(cfg.generate())
+    }
+
+    /// The Coadd generator config for this run (for binaries that sweep
+    /// workload parameters, e.g. file size).
+    #[must_use]
+    pub fn coadd_config(&self) -> CoaddConfig {
+        let mut cfg = CoaddConfig::paper_6000();
+        if self.quick {
+            cfg.tasks = 1500;
+        }
+        cfg
+    }
+}
+
+const USAGE: &str = "usage: <experiment> [--quick] [--check] [--out DIR | --no-out] [--seeds a,b,c]";
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+/// The paper's six algorithms (§5.3), in figure-legend order.
+#[must_use]
+pub fn paper_strategies() -> Vec<StrategyKind> {
+    StrategyKind::PAPER_SET.to_vec()
+}
+
+/// Runs `config` averaged over the CLI's topology seeds.
+#[must_use]
+pub fn run(cli: &Cli, config: &SimConfig) -> MetricsReport {
+    run_averaged(config, &cli.seeds)
+}
+
+/// A printable/serialisable results table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders an aligned text table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        let _ = writeln!(
+            out,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Renders RFC-4180-ish CSV (no quoting needed for our cells).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+
+    /// Prints the table and, if `out_dir` is set, writes `<name>.csv`.
+    pub fn emit(&self, cli: &Cli, name: &str) {
+        print!("{}", self.render());
+        if let Some(dir) = &cli.out_dir {
+            if let Err(e) = write_csv(dir, name, &self.to_csv()) {
+                eprintln!("warning: could not write CSV {name}: {e}");
+            }
+        }
+    }
+}
+
+/// Writes `contents` to `<dir>/<name>.csv`, creating the directory.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_csv(dir: &Path, name: &str, contents: &str) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    std::fs::write(&path, contents)?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+/// Check helper: asserts `cond` (with a message) when `--check` is on,
+/// otherwise prints a PASS/FAIL line.
+pub fn check(cli: &Cli, label: &str, cond: bool) {
+    if cond {
+        println!("CHECK PASS: {label}");
+    } else if cli.check {
+        eprintln!("CHECK FAIL: {label}");
+        std::process::exit(1);
+    } else {
+        println!("CHECK FAIL (informational): {label}");
+    }
+}
+
+/// Formats a float with `digits` decimals.
+#[must_use]
+pub fn fmt(value: f64, digits: usize) -> String {
+    format!("{value:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_render_and_csv() {
+        let mut t = Table::new("demo", &["x", "makespan"]);
+        t.push_row(vec!["3000".into(), "26887".into()]);
+        t.push_row(vec!["6000".into(), "26974".into()]);
+        let rendered = t.render();
+        assert!(rendered.contains("== demo =="));
+        assert!(rendered.contains("26887"));
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("x,makespan"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_enforced() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn default_cli() {
+        let cli = Cli::default();
+        assert_eq!(cli.seeds.len(), 5);
+        assert!(!cli.quick);
+    }
+
+    #[test]
+    fn quick_workload_is_smaller() {
+        let quick = Cli {
+            quick: true,
+            ..Cli::default()
+        };
+        assert_eq!(quick.workload().task_count(), 1500);
+    }
+}

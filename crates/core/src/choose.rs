@@ -1,0 +1,280 @@
+//! `ChooseTask(n)` — deterministic or randomized final selection (§4.3).
+//!
+//! The scheduler greedily weighing tasks for whichever worker asks *first*
+//! can make sub-optimal matches (the worker that asked a moment later might
+//! have been the better host). To soften this, the paper keeps the best `n`
+//! tasks by weight and samples one **with probability proportional to its
+//! weight**:
+//!
+//! > `P_t = CalculateWeight(t) / Σ_{k∈T_n} CalculateWeight(k)`
+//!
+//! `n = 1` is the deterministic argmax (`rest`, `combined`); `n = 2` gives
+//! the paper's randomized variants (`rest.2`, `combined.2`).
+
+use rand::Rng;
+
+use gridsched_workload::TaskId;
+
+/// Final task selection among weighted candidates.
+///
+/// # Example
+///
+/// ```
+/// use gridsched_core::ChooseTask;
+/// use gridsched_workload::TaskId;
+/// use rand::SeedableRng;
+///
+/// let chooser = ChooseTask::new(2);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let weights = vec![(TaskId(0), 1.0), (TaskId(1), 3.0), (TaskId(2), 0.5)];
+/// let picked = chooser.pick(&weights, &mut rng).unwrap();
+/// assert!(picked == TaskId(0) || picked == TaskId(1)); // top-2 only
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChooseTask {
+    n: usize,
+}
+
+impl ChooseTask {
+    /// Creates a `ChooseTask(n)` selector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "ChooseTask(n) needs n >= 1");
+        ChooseTask { n }
+    }
+
+    /// The `n` parameter.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Whether this selector is deterministic (`n == 1`).
+    #[must_use]
+    pub fn is_deterministic(&self) -> bool {
+        self.n == 1
+    }
+
+    /// Picks a task among `weights`. Returns `None` if the slice is empty.
+    ///
+    /// Selection rules:
+    /// 1. Keep the `n` tasks with the largest weights (ties broken by lower
+    ///    task id, matching the deterministic iteration order of the basic
+    ///    algorithm).
+    /// 2. If any kept weight is `+∞` (zero-transfer tasks under the `rest`
+    ///    and `combined` metrics), sample uniformly among the infinite ones.
+    /// 3. Otherwise sample proportionally to weight. If all kept weights
+    ///    are zero (e.g. a cold cache under `overlap`), sample uniformly
+    ///    among the kept tasks.
+    pub fn pick<R: Rng + ?Sized>(&self, weights: &[(TaskId, f64)], rng: &mut R) -> Option<TaskId> {
+        if weights.is_empty() {
+            return None;
+        }
+        // Top-n selection. n is 1 or 2 in the paper; a linear scan keeping a
+        // small sorted buffer is O(T·n).
+        let mut top: Vec<(TaskId, f64)> = Vec::with_capacity(self.n + 1);
+        for &(t, w) in weights {
+            debug_assert!(!w.is_nan(), "NaN weight for task {t}");
+            let pos = top
+                .iter()
+                .position(|&(bt, bw)| w > bw || (w == bw && t < bt))
+                .unwrap_or(top.len());
+            top.insert(pos, (t, w));
+            top.truncate(self.n);
+        }
+        if top.len() == 1 {
+            return Some(top[0].0);
+        }
+        let infinite: Vec<TaskId> = top
+            .iter()
+            .filter(|(_, w)| w.is_infinite())
+            .map(|&(t, _)| t)
+            .collect();
+        if !infinite.is_empty() {
+            return Some(infinite[rng.gen_range(0..infinite.len())]);
+        }
+        let total: f64 = top.iter().map(|&(_, w)| w).sum();
+        if total <= 0.0 {
+            return Some(top[rng.gen_range(0..top.len())].0);
+        }
+        let mut x: f64 = rng.gen_range(0.0..total);
+        for &(t, w) in &top {
+            if x < w {
+                return Some(t);
+            }
+            x -= w;
+        }
+        Some(top.last().expect("non-empty top").0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn t(i: u32) -> TaskId {
+        TaskId(i)
+    }
+
+    #[test]
+    fn n1_is_argmax() {
+        let c = ChooseTask::new(1);
+        let mut rng = StdRng::seed_from_u64(0);
+        let w = vec![(t(0), 1.0), (t(1), 5.0), (t(2), 3.0)];
+        for _ in 0..10 {
+            assert_eq!(c.pick(&w, &mut rng), Some(t(1)));
+        }
+        assert!(c.is_deterministic());
+    }
+
+    #[test]
+    fn argmax_ties_break_by_id() {
+        let c = ChooseTask::new(1);
+        let mut rng = StdRng::seed_from_u64(0);
+        let w = vec![(t(2), 5.0), (t(1), 5.0), (t(0), 1.0)];
+        assert_eq!(c.pick(&w, &mut rng), Some(t(1)));
+    }
+
+    #[test]
+    fn empty_is_none() {
+        let c = ChooseTask::new(2);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(c.pick(&[], &mut rng), None);
+    }
+
+    #[test]
+    fn n2_samples_proportionally() {
+        let c = ChooseTask::new(2);
+        let mut rng = StdRng::seed_from_u64(42);
+        let w = vec![(t(0), 9.0), (t(1), 1.0), (t(2), 0.0)];
+        let mut counts = [0u32; 3];
+        for _ in 0..10_000 {
+            let picked = c.pick(&w, &mut rng).unwrap();
+            counts[picked.index()] += 1;
+        }
+        assert_eq!(counts[2], 0, "task 2 is not in the top 2");
+        let frac0 = counts[0] as f64 / 10_000.0;
+        assert!(
+            (frac0 - 0.9).abs() < 0.02,
+            "P(task 0) ≈ 0.9, got {frac0}"
+        );
+    }
+
+    #[test]
+    fn infinite_weights_win() {
+        let c = ChooseTask::new(2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = vec![(t(0), f64::INFINITY), (t(1), 100.0)];
+        for _ in 0..20 {
+            assert_eq!(c.pick(&w, &mut rng), Some(t(0)));
+        }
+    }
+
+    #[test]
+    fn two_infinite_weights_split_uniformly() {
+        let c = ChooseTask::new(2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = vec![(t(0), f64::INFINITY), (t(1), f64::INFINITY), (t(2), 5.0)];
+        let mut counts = [0u32; 3];
+        for _ in 0..10_000 {
+            counts[c.pick(&w, &mut rng).unwrap().index()] += 1;
+        }
+        assert_eq!(counts[2], 0);
+        let frac0 = counts[0] as f64 / 10_000.0;
+        assert!((frac0 - 0.5).abs() < 0.03, "uniform split, got {frac0}");
+    }
+
+    #[test]
+    fn all_zero_weights_uniform_among_top_n() {
+        let c = ChooseTask::new(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = vec![(t(0), 0.0), (t(1), 0.0), (t(2), 0.0)];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(c.pick(&w, &mut rng).unwrap());
+        }
+        // Top-2 by tie-break are tasks 0 and 1.
+        assert_eq!(
+            seen,
+            [t(0), t(1)].into_iter().collect(),
+            "uniform among the kept two"
+        );
+    }
+
+    #[test]
+    fn n_larger_than_candidates() {
+        let c = ChooseTask::new(8);
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = vec![(t(0), 1.0), (t(1), 2.0)];
+        let picked = c.pick(&w, &mut rng).unwrap();
+        assert!(picked == t(0) || picked == t(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 1")]
+    fn zero_n_panics() {
+        let _ = ChooseTask::new(0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn arb_weights() -> impl Strategy<Value = Vec<(TaskId, f64)>> {
+        proptest::collection::vec(0.0f64..100.0, 1..40).prop_map(|ws| {
+            ws.into_iter()
+                .enumerate()
+                .map(|(i, w)| (TaskId(i as u32), w))
+                .collect()
+        })
+    }
+
+    proptest! {
+        /// The pick is always one of the candidates.
+        #[test]
+        fn pick_is_a_candidate(weights in arb_weights(), n in 1usize..6, seed in 0u64..16) {
+            let chooser = ChooseTask::new(n);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let picked = chooser.pick(&weights, &mut rng).expect("non-empty");
+            prop_assert!(weights.iter().any(|&(t, _)| t == picked));
+        }
+
+        /// n = 1 always picks the max weight (lowest id on ties).
+        #[test]
+        fn deterministic_pick_is_argmax(weights in arb_weights(), seed in 0u64..16) {
+            let chooser = ChooseTask::new(1);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let picked = chooser.pick(&weights, &mut rng).expect("non-empty");
+            let best = weights
+                .iter()
+                .cloned()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(b.0.cmp(&a.0)))
+                .expect("non-empty");
+            prop_assert_eq!(picked, best.0);
+        }
+
+        /// The pick always lies inside the top-n by weight: its weight is at
+        /// least the n-th largest.
+        #[test]
+        fn pick_within_top_n(weights in arb_weights(), n in 1usize..6, seed in 0u64..16) {
+            let chooser = ChooseTask::new(n);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let picked = chooser.pick(&weights, &mut rng).expect("non-empty");
+            let picked_w = weights.iter().find(|&&(t, _)| t == picked).unwrap().1;
+            let mut sorted: Vec<f64> = weights.iter().map(|&(_, w)| w).collect();
+            sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            let threshold = sorted[n.min(sorted.len()) - 1];
+            prop_assert!(picked_w >= threshold);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Identifiers shared between the schedulers and the grid simulator.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dense identifier of a grid site (cluster).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SiteId(pub u32);
+
+impl SiteId {
+    /// The id as a `usize` index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Identifier of a worker: its site plus its index within the site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct WorkerId {
+    /// The site the worker lives at.
+    pub site: SiteId,
+    /// The worker's index within its site (`0..workers_per_site`).
+    pub index: u32,
+}
+
+impl WorkerId {
+    /// Creates a worker id.
+    #[must_use]
+    pub fn new(site: SiteId, index: u32) -> Self {
+        WorkerId { site, index }
+    }
+
+    /// Flattens to a dense global index given the per-site worker count.
+    #[must_use]
+    pub fn flat_index(self, workers_per_site: usize) -> usize {
+        self.site.index() * workers_per_site + self.index as usize
+    }
+}
+
+impl fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}w{}", self.site, self.index)
+    }
+}
+
+/// Static facts about the simulated grid that schedulers may use at
+/// initialisation: the model explicitly allows the global scheduler to know
+/// how many sites and workers exist (it receives their requests), but *not*
+/// dynamic state like CPU loads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GridEnv {
+    /// Number of active sites.
+    pub sites: usize,
+    /// Workers per site (uniform across sites, as in the paper's setup).
+    pub workers_per_site: usize,
+    /// Per-site storage capacity in files (Table 1).
+    pub capacity_files: usize,
+}
+
+impl GridEnv {
+    /// Total number of workers.
+    #[must_use]
+    pub fn total_workers(&self) -> usize {
+        self.sites * self.workers_per_site
+    }
+
+    /// Iterates over every worker id.
+    pub fn workers(&self) -> impl Iterator<Item = WorkerId> + '_ {
+        let wps = self.workers_per_site as u32;
+        (0..self.sites as u32)
+            .flat_map(move |s| (0..wps).map(move |w| WorkerId::new(SiteId(s), w)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_index_is_dense() {
+        let env = GridEnv {
+            sites: 3,
+            workers_per_site: 4,
+            capacity_files: 100,
+        };
+        let all: Vec<usize> = env.workers().map(|w| w.flat_index(4)).collect();
+        assert_eq!(all, (0..12).collect::<Vec<_>>());
+        assert_eq!(env.total_workers(), 12);
+    }
+
+    #[test]
+    fn display_formats() {
+        let w = WorkerId::new(SiteId(2), 5);
+        assert_eq!(w.to_string(), "s2w5");
+    }
+}

@@ -1,0 +1,426 @@
+//! Inverted file→task index and incrementally-maintained per-site views.
+//!
+//! The paper's basic algorithm re-derives `|F_t|` (and `ref_t`) for every
+//! pending task by probing the requesting site's storage — `O(T·I)` per
+//! scheduling decision (§4.4). Because storage contents change only when a
+//! file arrives, is evicted, or is referenced, the same quantities can be
+//! maintained **incrementally**: an inverted index maps each file to the
+//! tasks that read it, and every storage change updates the per-task
+//! overlap counters of the affected tasks. A scheduling decision then
+//! degenerates to an `O(T)` scan over cached counters.
+//!
+//! This does not change any scheduling decision — [`weigh_all_indexed`] is
+//! property-tested to agree exactly with
+//! [`crate::weight::weigh_all_naive`] — it only changes the constant; the
+//! `sched_decision` criterion bench quantifies the gap.
+
+use gridsched_storage::SiteStore;
+use gridsched_workload::{FileId, TaskId, Workload};
+
+use crate::pool::TaskPool;
+use crate::weight::{combined_weight, rest_weight, WeightMetric};
+
+/// Compressed-sparse-row inverted index: for each file, the tasks reading
+/// it; plus per-task input-set sizes (`|t|`).
+///
+/// Immutable after construction; shared by all sites' views.
+#[derive(Debug, Clone)]
+pub struct FileIndex {
+    offsets: Vec<u32>,
+    task_lists: Vec<u32>,
+    task_sizes: Vec<u32>,
+}
+
+impl FileIndex {
+    /// Builds the index from a workload.
+    #[must_use]
+    pub fn build(workload: &Workload) -> Self {
+        let num_files = workload.file_count();
+        let mut counts = vec![0u32; num_files];
+        for t in workload.tasks() {
+            for f in t.files() {
+                counts[f.index()] += 1;
+            }
+        }
+        let mut offsets = Vec::with_capacity(num_files + 1);
+        let mut acc = 0u32;
+        for &c in &counts {
+            offsets.push(acc);
+            acc += c;
+        }
+        offsets.push(acc);
+        let mut task_lists = vec![0u32; acc as usize];
+        let mut cursor = offsets.clone();
+        for t in workload.tasks() {
+            for f in t.files() {
+                let slot = &mut cursor[f.index()];
+                task_lists[*slot as usize] = t.id.0;
+                *slot += 1;
+            }
+        }
+        let task_sizes = workload
+            .tasks()
+            .iter()
+            .map(|t| t.file_count() as u32)
+            .collect();
+        FileIndex {
+            offsets,
+            task_lists,
+            task_sizes,
+        }
+    }
+
+    /// The tasks reading `file`, in ascending id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file is out of range.
+    #[must_use]
+    pub fn tasks_of(&self, file: FileId) -> &[u32] {
+        let lo = self.offsets[file.index()] as usize;
+        let hi = self.offsets[file.index() + 1] as usize;
+        &self.task_lists[lo..hi]
+    }
+
+    /// `|t|` — the input-set size of `task`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task is out of range.
+    #[must_use]
+    pub fn task_size(&self, task: TaskId) -> u32 {
+        self.task_sizes[task.index()]
+    }
+
+    /// Number of tasks covered.
+    #[must_use]
+    pub fn task_count(&self) -> usize {
+        self.task_sizes.len()
+    }
+
+    /// Number of files covered.
+    #[must_use]
+    pub fn file_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+}
+
+/// Incrementally-maintained per-site overlap state.
+///
+/// For every task `t`, caches:
+/// * `overlap[t]` — `|F_t|` against this site's *current* storage,
+/// * `refsum[t]` — `Σ_{i ∈ F_t} r_i` over the resident overlap.
+///
+/// The owner must forward every storage change:
+/// [`SiteView::on_file_added`] after an insert,
+/// [`SiteView::on_file_evicted`] for each eviction, and
+/// [`SiteView::on_task_reference`] after each `r_i` increment.
+#[derive(Debug, Clone)]
+pub struct SiteView {
+    overlap: Vec<u32>,
+    refsum: Vec<u64>,
+}
+
+impl SiteView {
+    /// A view for an initially-empty site storage.
+    #[must_use]
+    pub fn new(num_tasks: usize) -> Self {
+        SiteView {
+            overlap: vec![0; num_tasks],
+            refsum: vec![0; num_tasks],
+        }
+    }
+
+    /// Records that `file` became resident with current reference count
+    /// `ref_count`.
+    pub fn on_file_added(&mut self, index: &FileIndex, file: FileId, ref_count: u32) {
+        for &t in index.tasks_of(file) {
+            self.overlap[t as usize] += 1;
+            self.refsum[t as usize] += u64::from(ref_count);
+        }
+    }
+
+    /// Records that `file` was evicted while holding reference count
+    /// `ref_count`.
+    pub fn on_file_evicted(&mut self, index: &FileIndex, file: FileId, ref_count: u32) {
+        for &t in index.tasks_of(file) {
+            self.overlap[t as usize] -= 1;
+            self.refsum[t as usize] -= u64::from(ref_count);
+        }
+    }
+
+    /// Records that a task referenced resident `file` (`r_i += 1`).
+    pub fn on_task_reference(&mut self, index: &FileIndex, file: FileId) {
+        for &t in index.tasks_of(file) {
+            self.refsum[t as usize] += 1;
+        }
+    }
+
+    /// Cached `|F_t|`.
+    #[must_use]
+    pub fn overlap(&self, task: TaskId) -> u32 {
+        self.overlap[task.index()]
+    }
+
+    /// Cached `Σ r_i` over the resident overlap of `task`.
+    #[must_use]
+    pub fn refsum(&self, task: TaskId) -> u64 {
+        self.refsum[task.index()]
+    }
+
+    /// Debug helper: checks this view against ground truth from the store.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in any build) if a cached counter disagrees with the store.
+    pub fn assert_consistent(&self, index: &FileIndex, workload: &Workload, store: &SiteStore) {
+        for t in workload.tasks() {
+            let files = t.files();
+            let overlap = store.overlap(files) as u32;
+            let refsum = store.overlap_ref_sum(files);
+            assert_eq!(
+                self.overlap(t.id),
+                overlap,
+                "overlap mismatch for task {}",
+                t.id
+            );
+            assert_eq!(self.refsum(t.id), refsum, "refsum mismatch for task {}", t.id);
+        }
+        let _ = index;
+    }
+}
+
+/// Indexed equivalent of [`weigh_all_naive`]: `O(T)` per decision.
+///
+/// [`weigh_all_naive`]: crate::weight::weigh_all_naive
+#[must_use]
+pub fn weigh_all_indexed(
+    metric: WeightMetric,
+    index: &FileIndex,
+    pool: &TaskPool,
+    view: &SiteView,
+) -> Vec<(TaskId, f64)> {
+    match metric {
+        WeightMetric::Overlap => pool
+            .iter()
+            .map(|t| (t, f64::from(view.overlap(t))))
+            .collect(),
+        WeightMetric::Rest => pool
+            .iter()
+            .map(|t| {
+                let missing = (index.task_size(t) - view.overlap(t)) as usize;
+                (t, rest_weight(missing))
+            })
+            .collect(),
+        WeightMetric::Combined => {
+            let mut per_task: Vec<(TaskId, u64, f64)> = Vec::with_capacity(pool.len());
+            let mut total_ref: u64 = 0;
+            let mut total_rest: f64 = 0.0;
+            for t in pool.iter() {
+                let missing = (index.task_size(t) - view.overlap(t)) as usize;
+                let ref_t = view.refsum(t);
+                let rest_t = rest_weight(missing);
+                total_ref += ref_t;
+                total_rest += rest_t;
+                per_task.push((t, ref_t, rest_t));
+            }
+            per_task
+                .into_iter()
+                .map(|(t, ref_t, rest_t)| {
+                    (t, combined_weight(ref_t, rest_t, total_ref, total_rest))
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridsched_storage::EvictionPolicy;
+    use gridsched_workload::TaskSpec;
+
+    fn wl() -> Workload {
+        Workload::new(
+            vec![
+                TaskSpec::new(TaskId(0), vec![FileId(0), FileId(1)], 0.0),
+                TaskSpec::new(TaskId(1), vec![FileId(1), FileId(2)], 0.0),
+                TaskSpec::new(TaskId(2), vec![FileId(2), FileId(3)], 0.0),
+            ],
+            4,
+            1.0,
+            "w",
+        )
+    }
+
+    #[test]
+    fn index_layout() {
+        let idx = FileIndex::build(&wl());
+        assert_eq!(idx.file_count(), 4);
+        assert_eq!(idx.task_count(), 3);
+        assert_eq!(idx.tasks_of(FileId(1)), &[0, 1]);
+        assert_eq!(idx.tasks_of(FileId(3)), &[2]);
+        assert_eq!(idx.task_size(TaskId(0)), 2);
+    }
+
+    #[test]
+    fn view_tracks_store() {
+        let workload = wl();
+        let idx = FileIndex::build(&workload);
+        let mut store = SiteStore::new(10, EvictionPolicy::Lru);
+        let mut view = SiteView::new(3);
+
+        store.insert(FileId(1));
+        view.on_file_added(&idx, FileId(1), store.ref_count(FileId(1)));
+        assert_eq!(view.overlap(TaskId(0)), 1);
+        assert_eq!(view.overlap(TaskId(1)), 1);
+        assert_eq!(view.overlap(TaskId(2)), 0);
+
+        store.record_task_reference(FileId(1));
+        view.on_task_reference(&idx, FileId(1));
+        assert_eq!(view.refsum(TaskId(0)), 1);
+
+        view.assert_consistent(&idx, &workload, &store);
+    }
+
+    #[test]
+    fn eviction_rolls_back_counters() {
+        let workload = wl();
+        let idx = FileIndex::build(&workload);
+        let mut store = SiteStore::new(1, EvictionPolicy::Lru);
+        let mut view = SiteView::new(3);
+
+        store.insert(FileId(1));
+        view.on_file_added(&idx, FileId(1), store.ref_count(FileId(1)));
+        store.record_task_reference(FileId(1));
+        view.on_task_reference(&idx, FileId(1));
+
+        // Inserting file 2 evicts file 1 (capacity 1).
+        let ref_before = store.ref_count(FileId(1));
+        let evicted = store.insert(FileId(2));
+        assert_eq!(evicted, vec![FileId(1)]);
+        view.on_file_evicted(&idx, FileId(1), ref_before);
+        view.on_file_added(&idx, FileId(2), store.ref_count(FileId(2)));
+
+        view.assert_consistent(&idx, &workload, &store);
+        assert_eq!(view.overlap(TaskId(0)), 0);
+        assert_eq!(view.refsum(TaskId(0)), 0);
+    }
+
+    #[test]
+    fn indexed_matches_naive_on_example() {
+        let workload = wl();
+        let idx = FileIndex::build(&workload);
+        let mut store = SiteStore::new(10, EvictionPolicy::Lru);
+        let mut view = SiteView::new(3);
+        for f in [0u32, 2] {
+            store.insert(FileId(f));
+            view.on_file_added(&idx, FileId(f), store.ref_count(FileId(f)));
+        }
+        store.record_task_reference(FileId(2));
+        view.on_task_reference(&idx, FileId(2));
+        let pool = TaskPool::full(3);
+        for metric in [WeightMetric::Overlap, WeightMetric::Rest, WeightMetric::Combined] {
+            let naive = crate::weight::weigh_all_naive(metric, &workload, &pool, &store);
+            let indexed = weigh_all_indexed(metric, &idx, &pool, &view);
+            assert_eq!(naive, indexed, "metric {metric}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use gridsched_storage::EvictionPolicy;
+    use gridsched_workload::TaskSpec;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Insert(u32),
+        Reference(u32),
+        RemoveTask(u32),
+    }
+
+    fn arb_workload() -> impl Strategy<Value = Workload> {
+        // 3..10 tasks over 12 files, 1..6 files each.
+        proptest::collection::vec(
+            proptest::collection::btree_set(0u32..12, 1..6),
+            3..10,
+        )
+        .prop_map(|task_files| {
+            let tasks: Vec<TaskSpec> = task_files
+                .into_iter()
+                .enumerate()
+                .map(|(i, fs)| {
+                    TaskSpec::new(
+                        TaskId(i as u32),
+                        fs.into_iter().map(FileId).collect(),
+                        0.0,
+                    )
+                })
+                .collect();
+            Workload::new(tasks, 12, 1.0, "prop")
+        })
+    }
+
+    fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+        let op = prop_oneof![
+            (0u32..12).prop_map(Op::Insert),
+            (0u32..12).prop_map(Op::Reference),
+            (0u32..10).prop_map(Op::RemoveTask),
+        ];
+        proptest::collection::vec(op, 0..60)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn indexed_always_matches_naive(
+            workload in arb_workload(),
+            ops in arb_ops(),
+            cap in 1usize..8,
+        ) {
+            let idx = FileIndex::build(&workload);
+            let mut store = SiteStore::new(cap, EvictionPolicy::Lru);
+            let mut view = SiteView::new(workload.task_count());
+            let mut pool = TaskPool::full(workload.task_count());
+            for op in ops {
+                match op {
+                    Op::Insert(f) => {
+                        let f = FileId(f);
+                        if !store.contains(f) {
+                            let evicted = {
+                                // capture ref counts before eviction
+                                let ev = store.insert(f);
+                                ev
+                            };
+                            for e in evicted {
+                                view.on_file_evicted(&idx, e, store.ref_count(e));
+                            }
+                            view.on_file_added(&idx, f, store.ref_count(f));
+                        }
+                    }
+                    Op::Reference(f) => {
+                        let f = FileId(f);
+                        if store.contains(f) {
+                            store.record_task_reference(f);
+                            view.on_task_reference(&idx, f);
+                        }
+                    }
+                    Op::RemoveTask(t) => {
+                        if (t as usize) < workload.task_count() {
+                            pool.remove(TaskId(t));
+                        }
+                    }
+                }
+                for metric in [WeightMetric::Overlap, WeightMetric::Rest, WeightMetric::Combined] {
+                    let naive = crate::weight::weigh_all_naive(metric, &workload, &pool, &store);
+                    let indexed = weigh_all_indexed(metric, &idx, &pool, &view);
+                    prop_assert_eq!(naive, indexed, "metric {}", metric);
+                }
+            }
+        }
+    }
+}

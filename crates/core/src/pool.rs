@@ -1,0 +1,151 @@
+//! The global scheduler's pending-task pool.
+//!
+//! Supports O(1) membership tests, O(1) removal, and iteration in a stable
+//! deterministic order (ascending task id) — the order the paper's
+//! pseudo-code ("for each task t in taskQueue") is assumed to visit tasks
+//! in.
+
+use gridsched_workload::TaskId;
+
+/// A set of pending task ids with O(1) removal and ordered iteration.
+///
+/// # Example
+///
+/// ```
+/// use gridsched_core::TaskPool;
+/// use gridsched_workload::TaskId;
+///
+/// let mut pool = TaskPool::full(3);
+/// assert_eq!(pool.len(), 3);
+/// assert!(pool.remove(TaskId(1)));
+/// let left: Vec<_> = pool.iter().collect();
+/// assert_eq!(left, vec![TaskId(0), TaskId(2)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TaskPool {
+    /// pending[t] — whether task t is still pending.
+    pending: Vec<bool>,
+    len: usize,
+}
+
+impl TaskPool {
+    /// A pool containing every task `0..n`.
+    #[must_use]
+    pub fn full(n: usize) -> Self {
+        TaskPool {
+            pending: vec![true; n],
+            len: n,
+        }
+    }
+
+    /// An empty pool sized for `n` tasks.
+    #[must_use]
+    pub fn empty(n: usize) -> Self {
+        TaskPool {
+            pending: vec![false; n],
+            len: 0,
+        }
+    }
+
+    /// Number of pending tasks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no tasks are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `task` is pending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn contains(&self, task: TaskId) -> bool {
+        self.pending[task.index()]
+    }
+
+    /// Removes `task`. Returns whether it was pending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn remove(&mut self, task: TaskId) -> bool {
+        let slot = &mut self.pending[task.index()];
+        let was = *slot;
+        if was {
+            *slot = false;
+            self.len -= 1;
+        }
+        was
+    }
+
+    /// Re-adds `task` (used when a failed assignment is rolled back).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn insert(&mut self, task: TaskId) -> bool {
+        let slot = &mut self.pending[task.index()];
+        let was = *slot;
+        if !was {
+            *slot = true;
+            self.len += 1;
+        }
+        !was
+    }
+
+    /// Iterates over pending tasks in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.pending
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p)
+            .map(|(i, _)| TaskId(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_and_remove() {
+        let mut p = TaskPool::full(5);
+        assert_eq!(p.len(), 5);
+        assert!(p.contains(TaskId(3)));
+        assert!(p.remove(TaskId(3)));
+        assert!(!p.remove(TaskId(3)), "double remove");
+        assert!(!p.contains(TaskId(3)));
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn insert_restores() {
+        let mut p = TaskPool::full(2);
+        p.remove(TaskId(0));
+        assert!(p.insert(TaskId(0)));
+        assert!(!p.insert(TaskId(0)), "double insert");
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn iteration_is_ordered() {
+        let mut p = TaskPool::full(6);
+        p.remove(TaskId(0));
+        p.remove(TaskId(4));
+        let ids: Vec<u32> = p.iter().map(|t| t.0).collect();
+        assert_eq!(ids, vec![1, 2, 3, 5]);
+    }
+
+    #[test]
+    fn empty_pool() {
+        let p = TaskPool::empty(4);
+        assert!(p.is_empty());
+        assert_eq!(p.iter().count(), 0);
+    }
+}

@@ -1,0 +1,224 @@
+//! The scheduler interface the grid simulator drives.
+//!
+//! One trait covers both families:
+//!
+//! * **worker-centric** schedulers decide lazily, one request at a time
+//!   ([`Scheduler::on_worker_idle`] returns [`Assignment::Run`]);
+//! * the **task-centric** baseline pre-assigns every task at
+//!   [`Scheduler::initialize`] time and serves queue pops, issuing
+//!   [`Assignment::Replicate`] once its queues drain.
+//!
+//! Storage-change notifications ([`Scheduler::on_file_added`] etc.) let
+//! implementations keep incremental indexes; they carry no information a
+//! real global scheduler could not obtain (data location is "relatively
+//! static and easy to obtain", §2.4).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use gridsched_storage::SiteStore;
+use gridsched_workload::{FileId, TaskId};
+
+use crate::ids::{GridEnv, SiteId, WorkerId};
+use crate::weight::WeightMetric;
+
+/// What an idle worker should do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Assignment {
+    /// Execute this pending task (it leaves the pending pool).
+    Run(TaskId),
+    /// Execute a *replica* of a task already running elsewhere
+    /// (task-centric storage affinity's idle-worker mitigation).
+    Replicate(TaskId),
+    /// Nothing to do right now, but more work may appear (e.g. replicas
+    /// only make sense once transfers finish) — ask again after the next
+    /// completion.
+    Wait,
+    /// The job is finished from this worker's perspective; it will never
+    /// receive work again.
+    Finished,
+}
+
+/// The scheduler's reaction to a task completing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompletionOutcome {
+    /// Workers whose replica of the completed task must be aborted
+    /// (storage affinity: "If one of the workers finishes the task, the
+    /// other cancels the task").
+    pub cancel_replicas: Vec<WorkerId>,
+}
+
+/// A grid scheduler under test.
+///
+/// Lifecycle, as driven by `gridsched-sim`:
+/// 1. [`initialize`](Scheduler::initialize) once, with the grid shape;
+/// 2. [`on_worker_idle`](Scheduler::on_worker_idle) whenever a worker has
+///    nothing to do (including at start-up);
+/// 3. [`on_task_complete`](Scheduler::on_task_complete) /
+///    [`on_replica_aborted`](Scheduler::on_replica_aborted) as executions
+///    finish;
+/// 4. storage-change notifications interleaved throughout.
+pub trait Scheduler {
+    /// Short machine-readable name (used in experiment output; matches the
+    /// paper's algorithm labels, e.g. `rest.2`).
+    fn name(&self) -> String;
+
+    /// Called once before the simulation starts.
+    fn initialize(&mut self, env: &GridEnv, stores: &[SiteStore]) {
+        let _ = (env, stores);
+    }
+
+    /// A worker is idle and requests work. `store` is the current storage
+    /// of the worker's site.
+    fn on_worker_idle(&mut self, worker: WorkerId, store: &SiteStore) -> Assignment;
+
+    /// `task` finished at `worker`.
+    fn on_task_complete(&mut self, worker: WorkerId, task: TaskId) -> CompletionOutcome;
+
+    /// The engine aborted `task`'s replica at `worker` (follow-up to a
+    /// [`CompletionOutcome::cancel_replicas`] entry).
+    fn on_replica_aborted(&mut self, worker: WorkerId, task: TaskId) {
+        let _ = (worker, task);
+    }
+
+    /// A file became resident at a site (with its current `r_i`).
+    fn on_file_added(&mut self, site: SiteId, file: FileId, ref_count: u32) {
+        let _ = (site, file, ref_count);
+    }
+
+    /// A file was evicted at a site (with the `r_i` it held).
+    fn on_file_evicted(&mut self, site: SiteId, file: FileId, ref_count: u32) {
+        let _ = (site, file, ref_count);
+    }
+
+    /// A task at `site` referenced `file` (`r_i` incremented by one).
+    fn on_task_reference(&mut self, site: SiteId, file: FileId) {
+        let _ = (site, file);
+    }
+
+    /// Number of tasks that have not yet completed anywhere.
+    fn unfinished(&self) -> usize;
+}
+
+/// The six algorithms of the paper's evaluation (§5.3) plus the classic
+/// workqueue baseline, as a parseable configuration enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StrategyKind {
+    /// Task-centric storage affinity (data reuse + task replication) [14].
+    StorageAffinity,
+    /// Worker-centric, `overlap` metric, deterministic.
+    Overlap,
+    /// Worker-centric, `rest` metric, `ChooseTask(1)`.
+    Rest,
+    /// Worker-centric, `combined` metric, `ChooseTask(1)`.
+    Combined,
+    /// Worker-centric, `rest` metric, randomized `ChooseTask(2)`.
+    Rest2,
+    /// Worker-centric, `combined` metric, randomized `ChooseTask(2)`.
+    Combined2,
+    /// FIFO workqueue (no locality) [6].
+    Workqueue,
+    /// Data-aware XSufferage-style baseline (Casanova et al. [5]).
+    Sufferage,
+}
+
+impl StrategyKind {
+    /// The paper's six compared algorithms, in Figure legend order.
+    pub const PAPER_SET: [StrategyKind; 6] = [
+        StrategyKind::StorageAffinity,
+        StrategyKind::Overlap,
+        StrategyKind::Rest,
+        StrategyKind::Combined,
+        StrategyKind::Rest2,
+        StrategyKind::Combined2,
+    ];
+
+    /// The worker-centric weight metric, if this is a worker-centric
+    /// strategy.
+    #[must_use]
+    pub fn metric(self) -> Option<WeightMetric> {
+        match self {
+            StrategyKind::Overlap => Some(WeightMetric::Overlap),
+            StrategyKind::Rest | StrategyKind::Rest2 => Some(WeightMetric::Rest),
+            StrategyKind::Combined | StrategyKind::Combined2 => Some(WeightMetric::Combined),
+            StrategyKind::StorageAffinity
+            | StrategyKind::Workqueue
+            | StrategyKind::Sufferage => None,
+        }
+    }
+
+    /// The `ChooseTask(n)` parameter for worker-centric strategies.
+    #[must_use]
+    pub fn choose_n(self) -> usize {
+        match self {
+            StrategyKind::Rest2 | StrategyKind::Combined2 => 2,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StrategyKind::StorageAffinity => "storage-affinity",
+            StrategyKind::Overlap => "overlap",
+            StrategyKind::Rest => "rest",
+            StrategyKind::Combined => "combined",
+            StrategyKind::Rest2 => "rest.2",
+            StrategyKind::Combined2 => "combined.2",
+            StrategyKind::Workqueue => "workqueue",
+            StrategyKind::Sufferage => "xsufferage",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::str::FromStr for StrategyKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "storage-affinity" | "storage_affinity" | "sa" => Ok(StrategyKind::StorageAffinity),
+            "overlap" => Ok(StrategyKind::Overlap),
+            "rest" => Ok(StrategyKind::Rest),
+            "combined" => Ok(StrategyKind::Combined),
+            "rest.2" | "rest2" => Ok(StrategyKind::Rest2),
+            "combined.2" | "combined2" => Ok(StrategyKind::Combined2),
+            "workqueue" | "wq" => Ok(StrategyKind::Workqueue),
+            "xsufferage" | "sufferage" => Ok(StrategyKind::Sufferage),
+            other => Err(format!("unknown strategy `{other}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_labels() {
+        assert_eq!(StrategyKind::StorageAffinity.to_string(), "storage-affinity");
+        assert_eq!(StrategyKind::Rest2.to_string(), "rest.2");
+        assert_eq!(StrategyKind::Combined2.to_string(), "combined.2");
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for k in StrategyKind::PAPER_SET {
+            assert_eq!(k.to_string().parse::<StrategyKind>().unwrap(), k);
+        }
+        assert_eq!(
+            "workqueue".parse::<StrategyKind>().unwrap(),
+            StrategyKind::Workqueue
+        );
+    }
+
+    #[test]
+    fn metric_mapping() {
+        assert_eq!(StrategyKind::Rest2.metric(), Some(WeightMetric::Rest));
+        assert_eq!(StrategyKind::Rest2.choose_n(), 2);
+        assert_eq!(StrategyKind::Combined.choose_n(), 1);
+        assert_eq!(StrategyKind::StorageAffinity.metric(), None);
+    }
+}

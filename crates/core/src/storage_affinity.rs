@@ -1,0 +1,543 @@
+//! Task-centric **storage affinity** baseline (Santos-Neto et al. [14]).
+//!
+//! As described in §3.1 of the paper:
+//!
+//! > "With task replication, the scheduler first distributes its tasks
+//! > according to the overlap cardinality. Once the initial assigning is
+//! > done, it waits until at least one worker becomes idle. Then the
+//! > scheduler picks a task already assigned to a worker and replicates it
+//! > to the idle worker. If one of the workers finishes the task, the other
+//! > cancels the task. The process is repeated whenever there is an idle
+//! > worker."
+//!
+//! Concretely:
+//!
+//! * **Initial assignment** (task-centric, up-front): tasks are visited in
+//!   id order; each goes to the site with the largest *predicted* overlap —
+//!   the site's storage contents as the scheduler expects them to be, i.e.
+//!   current contents plus the inputs of tasks already queued there,
+//!   FIFO-truncated at the storage capacity. This prediction is exactly the
+//!   **premature scheduling decision** of §3.1: by execution time the real
+//!   storage may long have evicted those files. Per-site assignment budgets
+//!   keep queue *lengths* balanced (ties go to the least-loaded site), but
+//!   queue *durations* stay unbalanced because worker speeds differ — the
+//!   residual imbalance that task replication then mitigates.
+//! * **Execution**: each worker drains its own queue (skipping tasks a
+//!   replica already finished).
+//! * **Replication**: an idle worker with an empty queue receives a replica
+//!   of a *task already assigned to another worker* — queued or running —
+//!   choosing the one with the largest overlap against the idle worker's
+//!   **actual** current site storage; the first completion cancels the
+//!   other copies (the owner simply skips a queued task a replica already
+//!   finished). Replication is what mitigates both the unbalanced
+//!   assignment and the premature decisions, exactly as §3.1 describes.
+//!
+//! The assignment phase costs `O(T·I·S)` — the complexity the paper quotes
+//! for task-centric strategies in §4.4.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+use gridsched_storage::SiteStore;
+use gridsched_workload::{FileId, TaskId, Workload};
+
+use crate::ids::{GridEnv, SiteId, WorkerId};
+use crate::index::{FileIndex, SiteView};
+use crate::pool::TaskPool;
+use crate::scheduler::{Assignment, CompletionOutcome, Scheduler};
+
+/// FIFO-truncated prediction of a site's future storage contents.
+#[derive(Debug, Clone)]
+struct VirtualStore {
+    capacity: usize,
+    resident: HashSet<FileId>,
+    order: VecDeque<FileId>,
+}
+
+impl VirtualStore {
+    fn new(capacity: usize) -> Self {
+        VirtualStore {
+            capacity,
+            resident: HashSet::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    fn overlap(&self, files: &[FileId]) -> usize {
+        files.iter().filter(|f| self.resident.contains(f)).count()
+    }
+
+    fn admit(&mut self, files: &[FileId]) {
+        for &f in files {
+            if self.resident.insert(f) {
+                self.order.push_back(f);
+                while self.order.len() > self.capacity {
+                    let victim = self.order.pop_front().expect("non-empty");
+                    self.resident.remove(&victim);
+                }
+            }
+        }
+    }
+}
+
+/// Task-centric storage-affinity scheduler with task replication.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use gridsched_core::{Scheduler, StorageAffinity};
+/// use gridsched_workload::coadd::CoaddConfig;
+///
+/// let wl = Arc::new(CoaddConfig::small(0).generate());
+/// let sched = StorageAffinity::new(wl);
+/// assert_eq!(sched.name(), "storage-affinity");
+/// ```
+pub struct StorageAffinity {
+    workload: Arc<Workload>,
+    /// Budget slack: a site may receive up to `slack × T/S` tasks. The
+    /// original heuristic has no balance constraint at all (unbalanced
+    /// assignment is its documented weakness); the cap only prevents the
+    /// fully-degenerate everything-on-one-site outcome of a cold start.
+    budget_slack: f64,
+    workers_per_site: usize,
+    /// Per-worker (flat index) task queues, fixed at initialization.
+    queues: Vec<VecDeque<TaskId>>,
+    /// Tasks whose execution completed (possibly via a replica).
+    done: Vec<bool>,
+    /// Tasks not yet completed anywhere (replication candidates).
+    pending: TaskPool,
+    /// task → workers currently executing it (primary first).
+    running: HashMap<TaskId, Vec<WorkerId>>,
+    /// Inverted index + per-site overlap caches for O(pending) replica
+    /// selection against *actual* storage contents.
+    index: Arc<FileIndex>,
+    views: Vec<SiteView>,
+    completed: usize,
+    initialized: bool,
+}
+
+impl StorageAffinity {
+    /// Creates the scheduler; assignment happens at
+    /// [`Scheduler::initialize`].
+    #[must_use]
+    pub fn new(workload: Arc<Workload>) -> Self {
+        let tasks = workload.task_count();
+        let index = Arc::new(FileIndex::build(&workload));
+        StorageAffinity {
+            workload,
+            budget_slack: 2.0,
+            workers_per_site: 0,
+            queues: Vec::new(),
+            done: vec![false; tasks],
+            pending: TaskPool::full(tasks),
+            running: HashMap::new(),
+            index,
+            views: Vec::new(),
+            completed: 0,
+            initialized: false,
+        }
+    }
+
+    /// Overrides the assignment budget slack (see the field docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slack < 1.0` (a slack below 1 cannot fit all tasks).
+    #[must_use]
+    pub fn with_budget_slack(mut self, slack: f64) -> Self {
+        assert!(slack >= 1.0, "budget slack must be >= 1.0");
+        self.budget_slack = slack;
+        self
+    }
+
+    /// The queue assigned to `worker` (test/diagnostic accessor).
+    #[must_use]
+    pub fn queue_of(&self, worker: WorkerId) -> &VecDeque<TaskId> {
+        &self.queues[worker.flat_index(self.workers_per_site)]
+    }
+
+    fn pop_own_queue(&mut self, worker: WorkerId) -> Option<TaskId> {
+        let q = &mut self.queues[worker.flat_index(self.workers_per_site)];
+        while let Some(t) = q.pop_front() {
+            if !self.done[t.index()] {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Picks the unfinished task (queued or running, assigned to some other
+    /// worker) with the largest overlap against the idle worker's current
+    /// site storage. `O(pending)` thanks to the incremental per-site views.
+    fn pick_replica(&self, worker: WorkerId) -> Option<TaskId> {
+        let view = &self.views[worker.site.index()];
+        self.pending
+            .iter()
+            .filter(|t| {
+                !self
+                    .running
+                    .get(t)
+                    .is_some_and(|workers| workers.contains(&worker))
+            })
+            .map(|t| (view.overlap(t), std::cmp::Reverse(t)))
+            .max()
+            .map(|(_, std::cmp::Reverse(t))| t)
+    }
+}
+
+impl Scheduler for StorageAffinity {
+    fn name(&self) -> String {
+        "storage-affinity".to_string()
+    }
+
+    fn initialize(&mut self, env: &GridEnv, stores: &[SiteStore]) {
+        assert_eq!(env.sites, stores.len(), "one store per site");
+        self.workers_per_site = env.workers_per_site;
+        self.queues = vec![VecDeque::new(); env.total_workers()];
+        self.views = (0..env.sites)
+            .map(|_| SiteView::new(self.workload.task_count()))
+            .collect();
+        for (site, store) in stores.iter().enumerate() {
+            for f in store.resident() {
+                self.views[site].on_file_added(&self.index, f, store.ref_count(f));
+            }
+        }
+
+        // Predicted storage per site, seeded from actual contents.
+        let mut virtuals: Vec<VirtualStore> = stores
+            .iter()
+            .map(|s| {
+                let mut v = VirtualStore::new(env.capacity_files);
+                let mut resident: Vec<FileId> = s.resident().collect();
+                resident.sort_unstable();
+                v.admit(&resident);
+                v
+            })
+            .collect();
+
+        let total = self.workload.task_count();
+        let budget = ((total as f64 / env.sites as f64) * self.budget_slack).ceil() as usize;
+        let mut assigned = vec![0usize; env.sites];
+
+        for task in self.workload.tasks() {
+            // Site with max predicted overlap among sites with budget left;
+            // ties → least loaded, then lowest id.
+            let mut best: Option<(usize, usize, usize)> = None; // (overlap, -load via cmp, site)
+            for site in 0..env.sites {
+                if assigned[site] >= budget {
+                    continue;
+                }
+                let ov = virtuals[site].overlap(task.files());
+                let better = match best {
+                    None => true,
+                    Some((bov, bload, _)) => {
+                        ov > bov || (ov == bov && assigned[site] < bload)
+                    }
+                };
+                if better {
+                    best = Some((ov, assigned[site], site));
+                }
+            }
+            let (_, _, site) =
+                best.expect("budget covers all tasks: sites*budget >= total");
+            // Round-robin among the site's workers.
+            let worker_idx = assigned[site] % env.workers_per_site;
+            let flat = site * env.workers_per_site + worker_idx;
+            self.queues[flat].push_back(task.id);
+            assigned[site] += 1;
+            virtuals[site].admit(task.files());
+        }
+        self.initialized = true;
+    }
+
+    fn on_worker_idle(&mut self, worker: WorkerId, store: &SiteStore) -> Assignment {
+        assert!(self.initialized, "initialize() must run first");
+        let _ = store; // overlap comes from the incremental views
+        if let Some(t) = self.pop_own_queue(worker) {
+            self.running.entry(t).or_default().push(worker);
+            return Assignment::Run(t);
+        }
+        if self.completed == self.workload.task_count() {
+            return Assignment::Finished;
+        }
+        match self.pick_replica(worker) {
+            Some(t) => {
+                self.running.entry(t).or_default().push(worker);
+                Assignment::Replicate(t)
+            }
+            // Every unfinished task is already executing at this very
+            // worker (only possible in degenerate single-worker setups) —
+            // try again after the next event.
+            None => Assignment::Wait,
+        }
+    }
+
+    fn on_task_complete(&mut self, worker: WorkerId, task: TaskId) -> CompletionOutcome {
+        if self.done[task.index()] {
+            // A replica finished after the first copy; nothing to do (the
+            // engine should have cancelled it, but be tolerant).
+            return CompletionOutcome::default();
+        }
+        self.done[task.index()] = true;
+        self.pending.remove(task);
+        self.completed += 1;
+        let mut others = self.running.remove(&task).unwrap_or_default();
+        others.retain(|w| *w != worker);
+        CompletionOutcome {
+            cancel_replicas: others,
+        }
+    }
+
+    fn on_replica_aborted(&mut self, worker: WorkerId, task: TaskId) {
+        if let Some(workers) = self.running.get_mut(&task) {
+            workers.retain(|w| *w != worker);
+        }
+    }
+
+    fn on_file_added(&mut self, site: SiteId, file: FileId, ref_count: u32) {
+        if let Some(view) = self.views.get_mut(site.index()) {
+            view.on_file_added(&self.index, file, ref_count);
+        }
+    }
+
+    fn on_file_evicted(&mut self, site: SiteId, file: FileId, ref_count: u32) {
+        if let Some(view) = self.views.get_mut(site.index()) {
+            view.on_file_evicted(&self.index, file, ref_count);
+        }
+    }
+
+    fn on_task_reference(&mut self, site: SiteId, file: FileId) {
+        if let Some(view) = self.views.get_mut(site.index()) {
+            view.on_task_reference(&self.index, file);
+        }
+    }
+
+    fn unfinished(&self) -> usize {
+        self.workload.task_count() - self.completed
+    }
+}
+
+impl std::fmt::Debug for StorageAffinity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StorageAffinity")
+            .field("completed", &self.completed)
+            .field("running", &self.running.len())
+            .field("initialized", &self.initialized)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::SiteId;
+    use gridsched_storage::EvictionPolicy;
+    use gridsched_workload::coadd::CoaddConfig;
+
+    fn setup(sites: usize, wps: usize) -> (StorageAffinity, Vec<SiteStore>, GridEnv) {
+        // Unshuffled so id-adjacent tasks are spatial neighbours (the
+        // clustering assertion below relies on it); slack 1.0 so every
+        // site is guaranteed a share of the queue in these tiny setups.
+        let mut cfg = CoaddConfig::small(0);
+        cfg.shuffle_tasks = false;
+        let wl = Arc::new(cfg.generate());
+        let env = GridEnv {
+            sites,
+            workers_per_site: wps,
+            capacity_files: 500,
+        };
+        let stores: Vec<SiteStore> = (0..sites)
+            .map(|_| SiteStore::new(500, EvictionPolicy::Lru))
+            .collect();
+        let mut sched = StorageAffinity::new(wl).with_budget_slack(1.0);
+        sched.initialize(&env, &stores);
+        (sched, stores, env)
+    }
+
+    #[test]
+    fn initial_assignment_is_balanced() {
+        let (sched, _, env) = setup(4, 2);
+        let total: usize = env
+            .workers()
+            .map(|w| sched.queue_of(w).len())
+            .sum();
+        assert_eq!(total, 200, "every task queued exactly once");
+        // Slack 1.0 → at most ⌈T/S⌉ tasks per site, split over the site's
+        // workers.
+        for w in env.workers() {
+            let len = sched.queue_of(w).len();
+            assert!(len <= 200 / 4 / 2 + 1, "queue at {w} too long: {len}");
+        }
+    }
+
+    #[test]
+    fn assignment_clusters_adjacent_tasks() {
+        // Coadd neighbours share files; the virtual-storage prediction
+        // should keep runs of adjacent tasks on the same site.
+        let (sched, _, env) = setup(4, 1);
+        let mut site_of = vec![usize::MAX; 200];
+        for w in env.workers() {
+            for &t in sched.queue_of(w) {
+                site_of[t.index()] = w.site.index();
+            }
+        }
+        let switches = site_of.windows(2).filter(|p| p[0] != p[1]).count();
+        assert!(
+            switches <= 12,
+            "expected long same-site runs, got {switches} switches"
+        );
+    }
+
+    #[test]
+    fn workers_drain_own_queue_then_replicate() {
+        let (mut sched, stores, _env) = setup(2, 1);
+        let w0 = WorkerId::new(SiteId(0), 0);
+        let w1 = WorkerId::new(SiteId(1), 0);
+        // Exhaust w0's queue, completing each task.
+        let own_queue: Vec<TaskId> = sched.queue_of(w0).iter().copied().collect();
+        loop {
+            match sched.on_worker_idle(w0, &stores[0]) {
+                Assignment::Run(t) => {
+                    assert!(own_queue.contains(&t), "w0 runs only its own queue");
+                    sched.on_task_complete(w0, t);
+                }
+                // Once its queue drains, w0 replicates a task assigned to
+                // w1 (queued tasks are valid replication targets).
+                Assignment::Replicate(t) => {
+                    assert!(!own_queue.contains(&t));
+                    assert!(sched.queue_of(w1).contains(&t));
+                    break;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // w1, idle with a non-empty queue, still runs its own queue first.
+        match sched.on_worker_idle(w1, &stores[1]) {
+            Assignment::Run(_) => {}
+            other => panic!("w1 should run its own queue first: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replica_completion_cancels_peers() {
+        let (mut sched, stores, _env) = setup(2, 1);
+        let w0 = WorkerId::new(SiteId(0), 0);
+        let w1 = WorkerId::new(SiteId(1), 0);
+        let t0 = match sched.on_worker_idle(w0, &stores[0]) {
+            Assignment::Run(t) => t,
+            other => panic!("unexpected {other:?}"),
+        };
+        // Drain w1's queue completely so it replicates.
+        let mut last = None;
+        let replicated = loop {
+            match sched.on_worker_idle(w1, &stores[1]) {
+                Assignment::Run(t) => {
+                    if let Some(prev) = last {
+                        sched.on_task_complete(w1, prev);
+                    }
+                    last = Some(t);
+                }
+                Assignment::Replicate(t) => break t,
+                other => panic!("unexpected {other:?}"),
+            }
+        };
+        if let Some(prev) = last {
+            sched.on_task_complete(w1, prev);
+        }
+        assert_eq!(replicated, t0, "only t0 is running");
+        // w0 finishes first → cancel the replica at w1.
+        let outcome = sched.on_task_complete(w0, t0);
+        assert_eq!(outcome.cancel_replicas, vec![w1]);
+        sched.on_replica_aborted(w1, t0);
+        // Completing the same task again is tolerated and a no-op.
+        let again = sched.on_task_complete(w1, t0);
+        assert!(again.cancel_replicas.is_empty());
+    }
+
+    #[test]
+    fn all_tasks_complete_exactly_once() {
+        let (mut sched, stores, env) = setup(3, 2);
+        let mut completions = 0;
+        // Round-robin all workers until everyone is Finished.
+        let workers: Vec<WorkerId> = env.workers().collect();
+        let mut slots: Vec<Option<TaskId>> = vec![None; workers.len()];
+        let mut finished = std::collections::HashSet::new();
+        while finished.len() < workers.len() {
+            for i in 0..workers.len() {
+                let w = workers[i];
+                if finished.contains(&w) {
+                    continue;
+                }
+                if let Some(t) = slots[i].take() {
+                    let out = sched.on_task_complete(w, t);
+                    assert!(sched.done[t.index()], "completion not recorded");
+                    completions += 1;
+                    for cw in out.cancel_replicas {
+                        sched.on_replica_aborted(cw, t);
+                        // the cancelled worker becomes idle again
+                        let j = workers.iter().position(|x| *x == cw).unwrap();
+                        slots[j] = None;
+                    }
+                    continue;
+                }
+                match sched.on_worker_idle(w, &stores[w.site.index()]) {
+                    Assignment::Run(t) | Assignment::Replicate(t) => slots[i] = Some(t),
+                    Assignment::Wait => {}
+                    Assignment::Finished => {
+                        finished.insert(w);
+                    }
+                }
+            }
+        }
+        assert_eq!(sched.unfinished(), 0);
+        assert_eq!(completions, 200, "each task completes exactly once");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use gridsched_storage::EvictionPolicy;
+    use gridsched_workload::coadd::CoaddConfig;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Initialization queues every task exactly once, respecting the
+        /// per-site budget, for any grid shape.
+        #[test]
+        fn assignment_partitions_tasks(
+            sites in 1usize..8,
+            wps in 1usize..5,
+            capacity in 50usize..2000,
+            tasks in 50u32..300,
+            seed in 0u64..4,
+        ) {
+            let mut cfg = CoaddConfig::small(seed);
+            cfg.tasks = tasks;
+            let wl = Arc::new(cfg.generate());
+            let env = GridEnv { sites, workers_per_site: wps, capacity_files: capacity };
+            let stores: Vec<SiteStore> = (0..sites)
+                .map(|_| SiteStore::new(capacity, EvictionPolicy::Lru))
+                .collect();
+            let mut sched = StorageAffinity::new(Arc::clone(&wl));
+            sched.initialize(&env, &stores);
+
+            let mut seen = vec![0u32; wl.task_count()];
+            let mut per_site = vec![0usize; sites];
+            for w in env.workers() {
+                for &t in sched.queue_of(w) {
+                    seen[t.index()] += 1;
+                    per_site[w.site.index()] += 1;
+                }
+            }
+            prop_assert!(seen.iter().all(|&c| c == 1), "each task queued exactly once");
+            let budget = ((wl.task_count() as f64 / sites as f64) * 2.0).ceil() as usize;
+            for (s, &count) in per_site.iter().enumerate() {
+                prop_assert!(count <= budget, "site {s} over budget: {count} > {budget}");
+            }
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! The paper's basic worker-centric scheduling algorithm (Figure 2).
+//!
+//! ```text
+//! while(forever):
+//!     req = GetNextRequest()
+//!     if taskQueue is empty: wait for a task
+//!     for each task t in taskQueue: CalculateWeight(t)
+//!     t = ChooseTask(n)
+//!     ReturnRequest(t)
+//! ```
+//!
+//! Each idle worker's request triggers one full weighing of the pending
+//! queue against that worker's site storage, then a `ChooseTask(n)`
+//! selection. With `n = 1` this yields the deterministic `overlap`, `rest`
+//! and `combined` algorithms of §5.3; with `n = 2` the randomized `rest.2`
+//! and `combined.2`.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use gridsched_des::rng::{derive_seed, Stream};
+use gridsched_storage::SiteStore;
+use gridsched_workload::{FileId, TaskId, Workload};
+
+use crate::choose::ChooseTask;
+use crate::ids::{GridEnv, SiteId, WorkerId};
+use crate::index::{weigh_all_indexed, FileIndex, SiteView};
+use crate::pool::TaskPool;
+use crate::scheduler::{Assignment, CompletionOutcome, Scheduler};
+use crate::weight::{weigh_all_naive, WeightMetric};
+
+/// How the scheduler evaluates `CalculateWeight` over the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalMode {
+    /// Incremental inverted-index path, `O(T)` per decision (default).
+    #[default]
+    Indexed,
+    /// Direct file probing, `O(T·I)` per decision — the paper's stated
+    /// complexity; kept for validation and the complexity benchmark.
+    Naive,
+}
+
+/// Worker-centric scheduler: weight metric + `ChooseTask(n)`.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use gridsched_core::{Scheduler, WeightMetric, WorkerCentric};
+/// use gridsched_workload::coadd::CoaddConfig;
+///
+/// let wl = Arc::new(CoaddConfig::small(0).generate());
+/// let sched = WorkerCentric::new(wl, WeightMetric::Rest, 2, 42);
+/// assert_eq!(sched.name(), "rest.2");
+/// assert_eq!(sched.unfinished(), 200);
+/// ```
+pub struct WorkerCentric {
+    workload: Arc<Workload>,
+    metric: WeightMetric,
+    chooser: ChooseTask,
+    mode: EvalMode,
+    pool: TaskPool,
+    index: Arc<FileIndex>,
+    views: Vec<SiteView>,
+    rng: StdRng,
+    running: usize,
+    completed: usize,
+}
+
+impl WorkerCentric {
+    /// Creates a worker-centric scheduler over `workload` with the given
+    /// metric and `ChooseTask(n)` parameter, seeding its randomization from
+    /// `seed`.
+    #[must_use]
+    pub fn new(workload: Arc<Workload>, metric: WeightMetric, n: usize, seed: u64) -> Self {
+        let index = Arc::new(FileIndex::build(&workload));
+        let tasks = workload.task_count();
+        WorkerCentric {
+            workload,
+            metric,
+            chooser: ChooseTask::new(n),
+            mode: EvalMode::Indexed,
+            pool: TaskPool::full(tasks),
+            index,
+            views: Vec::new(),
+            rng: StdRng::seed_from_u64(derive_seed(seed, Stream::Scheduler)),
+            running: 0,
+            completed: 0,
+        }
+    }
+
+    /// Creates a scheduler sharing a pre-built [`FileIndex`] (avoids
+    /// rebuilding the index when sweeping strategies over one workload).
+    #[must_use]
+    pub fn with_index(
+        workload: Arc<Workload>,
+        index: Arc<FileIndex>,
+        metric: WeightMetric,
+        n: usize,
+        seed: u64,
+    ) -> Self {
+        let tasks = workload.task_count();
+        WorkerCentric {
+            workload,
+            metric,
+            chooser: ChooseTask::new(n),
+            mode: EvalMode::Indexed,
+            pool: TaskPool::full(tasks),
+            index,
+            views: Vec::new(),
+            rng: StdRng::seed_from_u64(derive_seed(seed, Stream::Scheduler)),
+            running: 0,
+            completed: 0,
+        }
+    }
+
+    /// Switches the weight-evaluation path (see [`EvalMode`]).
+    #[must_use]
+    pub fn with_eval_mode(mut self, mode: EvalMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The metric in use.
+    #[must_use]
+    pub fn metric(&self) -> WeightMetric {
+        self.metric
+    }
+
+    /// The `ChooseTask(n)` parameter.
+    #[must_use]
+    pub fn choose_n(&self) -> usize {
+        self.chooser.n()
+    }
+
+    /// Number of pending (unassigned) tasks.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.pool.len()
+    }
+
+    fn weigh(&self, site: SiteId, store: &SiteStore) -> Vec<(TaskId, f64)> {
+        match self.mode {
+            EvalMode::Indexed => {
+                let view = &self.views[site.index()];
+                weigh_all_indexed(self.metric, &self.index, &self.pool, view)
+            }
+            EvalMode::Naive => weigh_all_naive(self.metric, &self.workload, &self.pool, store),
+        }
+    }
+}
+
+impl Scheduler for WorkerCentric {
+    fn name(&self) -> String {
+        if self.chooser.is_deterministic() {
+            self.metric.to_string()
+        } else {
+            format!("{}.{}", self.metric, self.chooser.n())
+        }
+    }
+
+    fn initialize(&mut self, env: &GridEnv, stores: &[SiteStore]) {
+        assert_eq!(env.sites, stores.len(), "one store per site");
+        self.views = (0..env.sites)
+            .map(|_| SiteView::new(self.workload.task_count()))
+            .collect();
+        // Seed views from any pre-populated storage (normally empty).
+        for (s, store) in stores.iter().enumerate() {
+            for f in store.resident() {
+                self.views[s].on_file_added(&self.index, f, store.ref_count(f));
+            }
+        }
+    }
+
+    fn on_worker_idle(&mut self, worker: WorkerId, store: &SiteStore) -> Assignment {
+        if self.pool.is_empty() {
+            // Worker-centric scheduling never replicates; once the queue is
+            // drained this worker is done.
+            return Assignment::Finished;
+        }
+        let weights = self.weigh(worker.site, store);
+        let task = self
+            .chooser
+            .pick(&weights, &mut self.rng)
+            .expect("pool is non-empty");
+        self.pool.remove(task);
+        self.running += 1;
+        Assignment::Run(task)
+    }
+
+    fn on_task_complete(&mut self, _worker: WorkerId, _task: TaskId) -> CompletionOutcome {
+        self.running -= 1;
+        self.completed += 1;
+        CompletionOutcome::default()
+    }
+
+    fn on_file_added(&mut self, site: SiteId, file: FileId, ref_count: u32) {
+        if let Some(view) = self.views.get_mut(site.index()) {
+            view.on_file_added(&self.index, file, ref_count);
+        }
+    }
+
+    fn on_file_evicted(&mut self, site: SiteId, file: FileId, ref_count: u32) {
+        if let Some(view) = self.views.get_mut(site.index()) {
+            view.on_file_evicted(&self.index, file, ref_count);
+        }
+    }
+
+    fn on_task_reference(&mut self, site: SiteId, file: FileId) {
+        if let Some(view) = self.views.get_mut(site.index()) {
+            view.on_task_reference(&self.index, file);
+        }
+    }
+
+    fn unfinished(&self) -> usize {
+        self.workload.task_count() - self.completed
+    }
+}
+
+impl std::fmt::Debug for WorkerCentric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerCentric")
+            .field("metric", &self.metric)
+            .field("n", &self.chooser.n())
+            .field("pending", &self.pool.len())
+            .field("running", &self.running)
+            .field("completed", &self.completed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridsched_storage::EvictionPolicy;
+    use gridsched_workload::TaskSpec;
+
+    fn wl() -> Arc<Workload> {
+        Arc::new(Workload::new(
+            vec![
+                TaskSpec::new(TaskId(0), vec![FileId(0), FileId(1)], 1.0),
+                TaskSpec::new(TaskId(1), vec![FileId(2)], 1.0),
+                TaskSpec::new(TaskId(2), vec![FileId(0), FileId(2)], 1.0),
+            ],
+            3,
+            1.0,
+            "w",
+        ))
+    }
+
+    fn env(sites: usize) -> GridEnv {
+        GridEnv {
+            sites,
+            workers_per_site: 1,
+            capacity_files: 10,
+        }
+    }
+
+    fn stores(n: usize) -> Vec<SiteStore> {
+        (0..n).map(|_| SiteStore::new(10, EvictionPolicy::Lru)).collect()
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(
+            WorkerCentric::new(wl(), WeightMetric::Overlap, 1, 0).name(),
+            "overlap"
+        );
+        assert_eq!(
+            WorkerCentric::new(wl(), WeightMetric::Rest, 2, 0).name(),
+            "rest.2"
+        );
+        assert_eq!(
+            WorkerCentric::new(wl(), WeightMetric::Combined, 2, 0).name(),
+            "combined.2"
+        );
+    }
+
+    #[test]
+    fn prefers_local_overlap() {
+        let mut sched = WorkerCentric::new(wl(), WeightMetric::Overlap, 1, 0);
+        let mut st = stores(1);
+        // Site 0 holds files {0,1} → task 0 has overlap 2, task 2 overlap 1.
+        st[0].insert(FileId(0));
+        st[0].insert(FileId(1));
+        sched.initialize(&env(1), &st);
+        let w = WorkerId::new(SiteId(0), 0);
+        match sched.on_worker_idle(w, &st[0]) {
+            Assignment::Run(t) => assert_eq!(t, TaskId(0)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rest_prefers_fewest_missing() {
+        let mut sched = WorkerCentric::new(wl(), WeightMetric::Rest, 1, 0);
+        let mut st = stores(1);
+        // Files {0}: task0 misses 1, task1 misses 1, task2 misses 1... make
+        // task1 fully resident instead.
+        st[0].insert(FileId(2));
+        sched.initialize(&env(1), &st);
+        let w = WorkerId::new(SiteId(0), 0);
+        match sched.on_worker_idle(w, &st[0]) {
+            Assignment::Run(t) => assert_eq!(t, TaskId(1), "task 1 needs zero transfers"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drains_pool_then_finishes() {
+        let mut sched = WorkerCentric::new(wl(), WeightMetric::Rest, 1, 0);
+        let st = stores(1);
+        sched.initialize(&env(1), &st);
+        let w = WorkerId::new(SiteId(0), 0);
+        let mut got = Vec::new();
+        for _ in 0..3 {
+            match sched.on_worker_idle(w, &st[0]) {
+                Assignment::Run(t) => {
+                    got.push(t);
+                    sched.on_task_complete(w, t);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        got.sort();
+        assert_eq!(got, vec![TaskId(0), TaskId(1), TaskId(2)]);
+        assert_eq!(sched.on_worker_idle(w, &st[0]), Assignment::Finished);
+        assert_eq!(sched.unfinished(), 0);
+    }
+
+    #[test]
+    fn naive_and_indexed_agree_end_to_end() {
+        for metric in [WeightMetric::Overlap, WeightMetric::Rest, WeightMetric::Combined] {
+            let mut a = WorkerCentric::new(wl(), metric, 1, 7);
+            let mut b =
+                WorkerCentric::new(wl(), metric, 1, 7).with_eval_mode(EvalMode::Naive);
+            let mut st = stores(2);
+            st[1].insert(FileId(0));
+            a.initialize(&env(2), &st);
+            b.initialize(&env(2), &st);
+            let w = WorkerId::new(SiteId(1), 0);
+            for _ in 0..3 {
+                let ra = a.on_worker_idle(w, &st[1]);
+                let rb = b.on_worker_idle(w, &st[1]);
+                assert_eq!(ra, rb, "metric {metric}");
+                if let Assignment::Run(t) = ra {
+                    a.on_task_complete(w, t);
+                    b.on_task_complete(w, t);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut sched = WorkerCentric::new(wl(), WeightMetric::Rest, 2, seed);
+            let st = stores(1);
+            sched.initialize(&env(1), &st);
+            let w = WorkerId::new(SiteId(0), 0);
+            let mut order = Vec::new();
+            while let Assignment::Run(t) = sched.on_worker_idle(w, &st[0]) {
+                order.push(t);
+                sched.on_task_complete(w, t);
+            }
+            order
+        };
+        assert_eq!(run(5), run(5));
+    }
+}

@@ -1,0 +1,327 @@
+//! Cancellable, FIFO-stable event priority queue.
+//!
+//! [`EventQueue`] orders events primarily by [`SimTime`] and secondarily by
+//! insertion order, so two events scheduled for the same instant pop in the
+//! order they were pushed — this keeps simulations deterministic. Events can
+//! be cancelled in O(1) via the [`EventHandle`] returned at push time;
+//! cancelled entries are lazily discarded on pop (the standard
+//! tombstone technique for binary-heap event queues).
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::SimTime;
+
+/// A handle identifying a scheduled event, used to cancel it later.
+///
+/// Handles are unique over the lifetime of one [`EventQueue`]; cancelling a
+/// handle twice, or after its event fired, is a no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventHandle(u64);
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+// Reverse ordering: BinaryHeap is a max-heap, we want earliest-first, and for
+// equal times, smallest sequence number first (FIFO).
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A priority queue of timestamped events with stable ordering and O(1)
+/// cancellation.
+///
+/// # Example
+///
+/// ```
+/// use gridsched_des::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_secs(1.0), 'a');
+/// q.push(SimTime::from_secs(1.0), 'b');
+/// assert_eq!(q.pop().map(|(_, e)| e), Some('a')); // FIFO at equal times
+/// assert_eq!(q.pop().map(|(_, e)| e), Some('b'));
+/// assert!(q.is_empty());
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    /// Sequence numbers currently scheduled (pushed, not yet popped or
+    /// cancelled).
+    pending: HashSet<u64>,
+    /// Sequence numbers cancelled while still in the heap (tombstones).
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            pending: HashSet::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` at absolute time `at`, returning a handle that can
+    /// cancel it.
+    pub fn push(&mut self, at: SimTime, event: E) -> EventHandle {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+        self.pending.insert(seq);
+        EventHandle(seq)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event was still pending, `false` if it already
+    /// fired or was already cancelled.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        if self.pending.remove(&handle.0) {
+            self.cancelled.insert(handle.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes and returns the earliest live event, skipping cancelled ones.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.pending.remove(&entry.seq);
+            return Some((entry.at, entry.event));
+        }
+        None
+    }
+
+    /// The timestamp of the earliest live event, if any.
+    ///
+    /// Takes `&mut self` because it opportunistically drains cancelled
+    /// tombstones off the top of the heap.
+    #[must_use]
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+            } else {
+                return Some(entry.at);
+            }
+        }
+        None
+    }
+
+    /// Number of live (non-cancelled) events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether the queue holds no live events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("live", &self.pending.len())
+            .field("heap_len", &self.heap.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(3.0), 3);
+        q.push(t(1.0), 1);
+        q.push(t(2.0), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_for_equal_times() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(t(5.0), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut q = EventQueue::new();
+        let _a = q.push(t(1.0), "a");
+        let b = q.push(t(2.0), "b");
+        let c = q.push(t(3.0), "c");
+        assert!(q.cancel(b));
+        assert!(!q.cancel(b), "double cancel is a no-op");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().map(|(_, e)| e), Some("a"));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("c"));
+        assert!(q.pop().is_none());
+        assert!(!q.cancel(c), "cancel after fire is a no-op");
+    }
+
+    #[test]
+    fn cancel_after_fire_does_not_corrupt_len() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1.0), "a");
+        q.push(t(2.0), "b");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("a"));
+        assert!(!q.cancel(a));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_unknown_handle_is_noop() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventHandle(42)));
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1.0), "a");
+        q.push(t(2.0), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(2.0)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.peek_time(), None);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn interleaved_push_pop_cancel() {
+        let mut q = EventQueue::new();
+        let h1 = q.push(t(10.0), 1);
+        q.push(t(5.0), 2);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(2));
+        q.cancel(h1);
+        q.push(t(1.0), 3);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(3));
+        assert!(q.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Push a batch, cancel a subset, pop everything: the pops are
+        /// exactly the non-cancelled entries, ordered by (time, insertion).
+        #[test]
+        fn pops_are_sorted_stable_and_exclude_cancelled(
+            times in proptest::collection::vec(0u32..1000, 1..60),
+            cancel_mask in proptest::collection::vec(any::<bool>(), 60),
+        ) {
+            let mut q = EventQueue::new();
+            let mut handles = Vec::new();
+            for (i, &t) in times.iter().enumerate() {
+                handles.push((i, q.push(SimTime::from_secs(f64::from(t)), i)));
+            }
+            let mut expected: Vec<(u32, usize)> = Vec::new();
+            for (i, &t) in times.iter().enumerate() {
+                if cancel_mask.get(i).copied().unwrap_or(false) {
+                    prop_assert!(q.cancel(handles[i].1));
+                } else {
+                    expected.push((t, i));
+                }
+            }
+            expected.sort_by_key(|&(t, i)| (t, i));
+            let mut got = Vec::new();
+            while let Some((at, ev)) = q.pop() {
+                got.push((at.as_secs() as u32, ev));
+            }
+            prop_assert_eq!(got, expected);
+            prop_assert!(q.is_empty());
+        }
+
+        /// len() always equals pushes − pops − successful cancels.
+        #[test]
+        fn len_is_consistent(ops in proptest::collection::vec(0u8..3, 1..120)) {
+            let mut q = EventQueue::new();
+            let mut handles: Vec<EventHandle> = Vec::new();
+            let mut live: i64 = 0;
+            let mut tick = 0.0;
+            for op in ops {
+                match op {
+                    0 => {
+                        tick += 1.0;
+                        handles.push(q.push(SimTime::from_secs(tick), ()));
+                        live += 1;
+                    }
+                    1 => {
+                        if let Some(h) = handles.pop() {
+                            if q.cancel(h) {
+                                live -= 1;
+                            }
+                        }
+                    }
+                    _ => {
+                        if q.pop().is_some() {
+                            live -= 1;
+                        }
+                    }
+                }
+                prop_assert_eq!(q.len() as i64, live);
+            }
+        }
+    }
+}

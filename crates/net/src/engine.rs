@@ -1,0 +1,484 @@
+//! Stateful fluid network engine.
+//!
+//! [`NetSim`] tracks the set of active flows and their max–min fair rates.
+//! The owner drives it with wall-clock-style calls:
+//!
+//! 1. [`NetSim::start_flow`] / [`NetSim::cancel_flow`] / [`NetSim::finish_flow`]
+//!    mutate the flow set (each call first advances fluid state to `now`,
+//!    then recomputes rates),
+//! 2. [`NetSim::next_completion`] reports when the earliest active flow will
+//!    finish if nothing else changes — the owner schedules exactly one DES
+//!    event for that instant and re-queries after every mutation.
+//!
+//! A flow's lifetime is `latency + bytes / rate(t)`: the latency phase
+//! elapses first (propagation), then bytes drain at the flow's current
+//! max–min rate.
+
+use std::collections::HashMap;
+
+use gridsched_des::{SimDuration, SimTime};
+use gridsched_topology::EdgeId;
+
+use crate::fair::max_min_rates;
+
+/// Identifier of an active (or completed) flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(u64);
+
+#[derive(Debug, Clone)]
+struct FlowState {
+    route: Vec<usize>,
+    remaining_latency_s: f64,
+    remaining_bytes: f64,
+    rate_bps: f64,
+}
+
+impl FlowState {
+    /// Absolute completion time if the rate never changes again.
+    fn eta(&self, now: SimTime) -> SimTime {
+        if self.rate_bps.is_infinite() {
+            return now + SimDuration::from_secs(self.remaining_latency_s);
+        }
+        if self.rate_bps <= 0.0 {
+            return SimTime::FAR_FUTURE;
+        }
+        now + SimDuration::from_secs(
+            self.remaining_latency_s + self.remaining_bytes / self.rate_bps,
+        )
+    }
+}
+
+/// Fluid network simulator with max–min fair bandwidth sharing.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct NetSim {
+    capacities: Vec<f64>,
+    flows: HashMap<u64, FlowState>,
+    next_id: u64,
+    last_update: SimTime,
+    /// Total bytes fully delivered by finished flows (stats).
+    bytes_delivered: f64,
+    /// Number of flows finished (stats).
+    flows_finished: u64,
+}
+
+impl NetSim {
+    /// Creates an engine over links with the given capacities
+    /// (bytes/second), indexed by [`EdgeId::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any capacity is non-positive or non-finite.
+    #[must_use]
+    pub fn new(capacities: Vec<f64>) -> Self {
+        for &c in &capacities {
+            assert!(c.is_finite() && c > 0.0, "capacity must be positive: {c}");
+        }
+        NetSim {
+            capacities,
+            flows: HashMap::new(),
+            next_id: 0,
+            last_update: SimTime::ZERO,
+            bytes_delivered: 0.0,
+            flows_finished: 0,
+        }
+    }
+
+    /// Starts a flow of `bytes` bytes across `route` with propagation
+    /// latency `latency_s`, at time `now`. Returns its id.
+    ///
+    /// An empty route means both endpoints are co-located: the flow
+    /// completes after `latency_s` alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` is before the engine's last update (time must be
+    /// driven monotonically), `bytes` is negative/NaN, or the route
+    /// references unknown links.
+    pub fn start_flow(
+        &mut self,
+        now: SimTime,
+        route: &[EdgeId],
+        bytes: f64,
+        latency_s: f64,
+    ) -> FlowId {
+        assert!(bytes >= 0.0 && bytes.is_finite(), "bad flow size: {bytes}");
+        assert!(
+            latency_s >= 0.0 && latency_s.is_finite(),
+            "bad latency: {latency_s}"
+        );
+        self.advance_to(now);
+        let id = self.next_id;
+        self.next_id += 1;
+        let route_idx: Vec<usize> = route.iter().map(|e| e.index()).collect();
+        for &l in &route_idx {
+            assert!(l < self.capacities.len(), "route references unknown link");
+        }
+        self.flows.insert(
+            id,
+            FlowState {
+                route: route_idx,
+                remaining_latency_s: latency_s,
+                remaining_bytes: bytes,
+                rate_bps: 0.0,
+            },
+        );
+        self.recompute_rates();
+        FlowId(id)
+    }
+
+    /// Cancels an active flow (e.g. a replicated task got cancelled while
+    /// its input transfer was in flight). Returns the bytes that had *not*
+    /// yet been delivered, or `None` if the flow was unknown/already done.
+    pub fn cancel_flow(&mut self, now: SimTime, id: FlowId) -> Option<f64> {
+        self.advance_to(now);
+        let state = self.flows.remove(&id.0)?;
+        self.recompute_rates();
+        Some(state.remaining_bytes)
+    }
+
+    /// Marks the flow finished at `now`. The engine checks that the flow is
+    /// indeed (numerically) drained — the owner must call this exactly at
+    /// the instant reported by [`NetSim::next_completion`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow is unknown or demonstrably unfinished (more than
+    /// a relative `1e-6` of its bytes left).
+    pub fn finish_flow(&mut self, now: SimTime, id: FlowId) {
+        self.advance_to(now);
+        let state = self
+            .flows
+            .remove(&id.0)
+            .unwrap_or_else(|| panic!("finish_flow: unknown flow {id:?}"));
+        let slack = state.remaining_bytes.max(0.0);
+        assert!(
+            state.remaining_latency_s <= 1e-9 && slack <= 1e-3,
+            "finish_flow called on unfinished flow {id:?}: {slack} bytes / {}s latency left",
+            state.remaining_latency_s
+        );
+        self.bytes_delivered += slack; // account the numerically-lost tail
+        self.flows_finished += 1;
+        self.recompute_rates();
+    }
+
+    /// The earliest `(time, flow)` completion among active flows, assuming
+    /// no further changes. `None` when no flows are active.
+    #[must_use]
+    pub fn next_completion(&self) -> Option<(SimTime, FlowId)> {
+        self.flows
+            .iter()
+            .map(|(&id, f)| (f.eta(self.last_update), FlowId(id)))
+            // Deterministic tie-break on flow id.
+            .min_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)))
+    }
+
+    /// Current max–min rate of a flow in bytes/second, if active.
+    #[must_use]
+    pub fn rate_of(&self, id: FlowId) -> Option<f64> {
+        self.flows.get(&id.0).map(|f| f.rate_bps)
+    }
+
+    /// Number of active flows.
+    #[must_use]
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Total bytes delivered by finished flows.
+    #[must_use]
+    pub fn bytes_delivered(&self) -> f64 {
+        self.bytes_delivered
+    }
+
+    /// Number of finished flows.
+    #[must_use]
+    pub fn flows_finished(&self) -> u64 {
+        self.flows_finished
+    }
+
+    /// Advances fluid state (latency count-down, byte drain) to `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` is in the past relative to the engine clock.
+    fn advance_to(&mut self, now: SimTime) {
+        assert!(
+            now >= self.last_update,
+            "NetSim driven backwards: now={now:?} last={:?}",
+            self.last_update
+        );
+        let mut dt = (now - self.last_update).as_secs();
+        self.last_update = now;
+        if dt == 0.0 || self.flows.is_empty() {
+            return;
+        }
+        for f in self.flows.values_mut() {
+            let mut local_dt = dt;
+            if f.remaining_latency_s > 0.0 {
+                let consumed = f.remaining_latency_s.min(local_dt);
+                f.remaining_latency_s -= consumed;
+                local_dt -= consumed;
+            }
+            if f.remaining_latency_s <= 0.0 && f.rate_bps.is_infinite() {
+                // Co-located endpoints: the payload arrives with the
+                // latency edge itself.
+                self.bytes_delivered += f.remaining_bytes;
+                f.remaining_bytes = 0.0;
+            } else if local_dt > 0.0 {
+                let drained = (f.rate_bps * local_dt).min(f.remaining_bytes);
+                f.remaining_bytes -= drained;
+                self.bytes_delivered += drained;
+            }
+        }
+        // `dt` consumed entirely; silence unused warning on the var reuse.
+        dt = 0.0;
+        let _ = dt;
+    }
+
+    /// Recomputes the max–min fair allocation for the current flow set.
+    fn recompute_rates(&mut self) {
+        if self.flows.is_empty() {
+            return;
+        }
+        // Stable order for determinism.
+        let mut ids: Vec<u64> = self.flows.keys().copied().collect();
+        ids.sort_unstable();
+        let routes: Vec<Vec<usize>> = ids.iter().map(|id| self.flows[id].route.clone()).collect();
+        let rates = max_min_rates(&self.capacities, &routes);
+        for (id, rate) in ids.into_iter().zip(rates) {
+            self.flows.get_mut(&id).expect("id from keys").rate_bps = rate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn e(i: u32) -> EdgeId {
+        EdgeId(i)
+    }
+
+    #[test]
+    fn single_flow_latency_plus_transfer() {
+        let mut net = NetSim::new(vec![10.0]);
+        let f = net.start_flow(SimTime::ZERO, &[e(0)], 100.0, 2.0);
+        let (eta, id) = net.next_completion().unwrap();
+        assert_eq!(id, f);
+        assert!((eta.as_secs() - 12.0).abs() < 1e-9);
+        net.finish_flow(eta, f);
+        assert_eq!(net.active_flows(), 0);
+        assert_eq!(net.flows_finished(), 1);
+        assert!((net.bytes_delivered() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_byte_flow_is_pure_latency() {
+        let mut net = NetSim::new(vec![10.0]);
+        let f = net.start_flow(SimTime::ZERO, &[e(0)], 0.0, 1.5);
+        let (eta, _) = net.next_completion().unwrap();
+        assert!((eta.as_secs() - 1.5).abs() < 1e-12);
+        net.finish_flow(eta, f);
+    }
+
+    #[test]
+    fn empty_route_completes_after_latency() {
+        let mut net = NetSim::new(vec![10.0]);
+        let f = net.start_flow(SimTime::ZERO, &[], 1e9, 0.5);
+        let (eta, _) = net.next_completion().unwrap();
+        assert!((eta.as_secs() - 0.5).abs() < 1e-12);
+        net.finish_flow(eta, f);
+    }
+
+    #[test]
+    fn two_flows_slow_each_other() {
+        // Link 10 B/s. Flow A: 100 bytes at t=0. Flow B: 100 bytes at t=0.
+        // Both get 5 B/s → finish at t=20 (no latency).
+        let mut net = NetSim::new(vec![10.0]);
+        let _a = net.start_flow(SimTime::ZERO, &[e(0)], 100.0, 0.0);
+        let _b = net.start_flow(SimTime::ZERO, &[e(0)], 100.0, 0.0);
+        let (eta, first) = net.next_completion().unwrap();
+        assert!((eta.as_secs() - 20.0).abs() < 1e-9);
+        net.finish_flow(eta, first);
+        // The survivor now gets the full link and finishes at the same time
+        // (both had identical progress).
+        let (eta2, second) = net.next_completion().unwrap();
+        assert!((eta2.as_secs() - 20.0).abs() < 1e-9);
+        assert_ne!(first, second);
+        net.finish_flow(eta2, second);
+    }
+
+    #[test]
+    fn late_arrival_shares_bandwidth() {
+        // Link 10 B/s. A starts at t=0 with 100 bytes (eta 10). B arrives at
+        // t=5 with 100 bytes; from then on both run at 5 B/s.
+        // A has 50 bytes left → finishes at t=15. B finishes at 5 + latency
+        // 0 + (50/5 then 50/10) — after A leaves, B speeds back up:
+        // at t=15 B has 100-50=50 left, full rate 10 → t=20.
+        let mut net = NetSim::new(vec![10.0]);
+        let a = net.start_flow(SimTime::ZERO, &[e(0)], 100.0, 0.0);
+        let b = net.start_flow(t(5.0), &[e(0)], 100.0, 0.0);
+        let (eta_a, id) = net.next_completion().unwrap();
+        assert_eq!(id, a);
+        assert!((eta_a.as_secs() - 15.0).abs() < 1e-9, "eta_a={eta_a}");
+        net.finish_flow(eta_a, a);
+        let (eta_b, id) = net.next_completion().unwrap();
+        assert_eq!(id, b);
+        assert!((eta_b.as_secs() - 20.0).abs() < 1e-9, "eta_b={eta_b}");
+        net.finish_flow(eta_b, b);
+        assert!((net.bytes_delivered() - 200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cancel_frees_bandwidth() {
+        let mut net = NetSim::new(vec![10.0]);
+        let a = net.start_flow(SimTime::ZERO, &[e(0)], 100.0, 0.0);
+        let b = net.start_flow(SimTime::ZERO, &[e(0)], 100.0, 0.0);
+        // At t=4 cancel B (it delivered 20 of its bytes).
+        let left = net.cancel_flow(t(4.0), b).unwrap();
+        assert!((left - 80.0).abs() < 1e-9);
+        // A has 80 left at rate 10 → eta t=12.
+        let (eta, id) = net.next_completion().unwrap();
+        assert_eq!(id, a);
+        assert!((eta.as_secs() - 12.0).abs() < 1e-9);
+        assert_eq!(net.cancel_flow(t(12.0), b), None, "double cancel");
+    }
+
+    #[test]
+    fn multi_link_route_bottleneck() {
+        // Route over links of 10 and 4 → rate 4.
+        let mut net = NetSim::new(vec![10.0, 4.0]);
+        let f = net.start_flow(SimTime::ZERO, &[e(0), e(1)], 40.0, 0.0);
+        let (eta, _) = net.next_completion().unwrap();
+        assert!((eta.as_secs() - 10.0).abs() < 1e-9);
+        net.finish_flow(eta, f);
+    }
+
+    #[test]
+    fn latency_phase_does_not_drain_bytes() {
+        let mut net = NetSim::new(vec![10.0]);
+        let f = net.start_flow(SimTime::ZERO, &[e(0)], 100.0, 5.0);
+        // Probe state mid-latency by starting/cancelling another flow.
+        let probe = net.start_flow(t(3.0), &[e(0)], 1.0, 0.0);
+        net.cancel_flow(t(3.5), probe);
+        let (eta, _) = net.next_completion().unwrap();
+        // 5s latency, plus bytes drained at 5 B/s between 3.0 and 3.5 is
+        // *not* true — latency phase: bytes untouched until t=5.
+        // After t=5 the flow is alone at 10 B/s → eta = 15.
+        assert!((eta.as_secs() - 15.0).abs() < 1e-9, "eta={eta}");
+        net.finish_flow(eta, f);
+    }
+
+    #[test]
+    #[should_panic(expected = "unfinished flow")]
+    fn finish_early_panics() {
+        let mut net = NetSim::new(vec![10.0]);
+        let f = net.start_flow(SimTime::ZERO, &[e(0)], 100.0, 0.0);
+        net.finish_flow(t(1.0), f);
+    }
+
+    #[test]
+    #[should_panic(expected = "driven backwards")]
+    fn time_backwards_panics() {
+        let mut net = NetSim::new(vec![10.0]);
+        let _ = net.start_flow(t(5.0), &[e(0)], 1.0, 0.0);
+        let _ = net.start_flow(t(4.0), &[e(0)], 1.0, 0.0);
+    }
+
+    #[test]
+    fn deterministic_tie_break_on_simultaneous_completion() {
+        let mut net = NetSim::new(vec![10.0]);
+        let a = net.start_flow(SimTime::ZERO, &[e(0)], 50.0, 0.0);
+        let _b = net.start_flow(SimTime::ZERO, &[e(0)], 50.0, 0.0);
+        let (_, id) = net.next_completion().unwrap();
+        assert_eq!(id, a, "lowest flow id wins ties");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Random schedule of flow starts over a small topology; drive the
+    /// engine to completion and check conservation: delivered bytes equal
+    /// the sum of all flow sizes.
+    fn drive_to_completion(
+        caps: Vec<f64>,
+        starts: Vec<(f64, Vec<usize>, f64, f64)>,
+    ) -> (f64, f64) {
+        let mut net = NetSim::new(caps.clone());
+        let total: f64 = starts.iter().map(|s| s.2).sum();
+        let mut pending = starts;
+        pending.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut now = SimTime::ZERO;
+        let mut idx = 0;
+        loop {
+            let next_start = pending.get(idx).map(|s| SimTime::from_secs(s.0));
+            let next_done = net.next_completion();
+            match (next_start, next_done) {
+                (Some(ts), Some((td, fid))) => {
+                    if ts <= td {
+                        let (at, route, bytes, lat) = pending[idx].clone();
+                        let _ = at;
+                        now = ts;
+                        let route: Vec<EdgeId> =
+                            route.iter().map(|&l| EdgeId(l as u32)).collect();
+                        net.start_flow(now, &route, bytes, lat);
+                        idx += 1;
+                    } else {
+                        now = td;
+                        net.finish_flow(now, fid);
+                    }
+                }
+                (Some(ts), None) => {
+                    let (_, route, bytes, lat) = pending[idx].clone();
+                    now = ts;
+                    let route: Vec<EdgeId> = route.iter().map(|&l| EdgeId(l as u32)).collect();
+                    net.start_flow(now, &route, bytes, lat);
+                    idx += 1;
+                }
+                (None, Some((td, fid))) => {
+                    now = td;
+                    net.finish_flow(now, fid);
+                }
+                (None, None) => break,
+            }
+        }
+        let _ = now;
+        (total, net.bytes_delivered())
+    }
+
+    fn arb_starts() -> impl Strategy<Value = (Vec<f64>, Vec<(f64, Vec<usize>, f64, f64)>)> {
+        (2usize..5).prop_flat_map(|n_links| {
+            let caps = proptest::collection::vec(1.0f64..50.0, n_links);
+            let start = (
+                0.0f64..100.0,
+                proptest::collection::btree_set(0..n_links, 1..=n_links)
+                    .prop_map(|s| s.into_iter().collect::<Vec<_>>()),
+                0.0f64..500.0,
+                0.0f64..2.0,
+            )
+                .prop_map(|(t, r, b, l)| (t, r, b, l));
+            let starts = proptest::collection::vec(start, 1..10);
+            (caps, starts)
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn bytes_are_conserved((caps, starts) in arb_starts()) {
+            let (total, delivered) = drive_to_completion(caps, starts);
+            prop_assert!((total - delivered).abs() <= total * 1e-6 + 1e-3,
+                "total={} delivered={}", total, delivered);
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Max–min fair bandwidth allocation by progressive filling.
+//!
+//! Given link capacities and the set of links each flow crosses, the
+//! progressive-filling algorithm raises all flow rates together until a link
+//! saturates, freezes the flows crossing it, and repeats. The result is the
+//! unique max–min fair allocation: no flow's rate can be increased without
+//! decreasing the rate of a flow that already has an equal or smaller rate.
+//!
+//! This is the allocation model SimGrid's fluid network engine uses (up to
+//! SimGrid's optional RTT weighting, which the paper does not rely on).
+
+/// Computes max–min fair rates.
+///
+/// * `capacities[l]` — capacity of link `l` (must be positive and finite).
+/// * `flow_routes[f]` — the links flow `f` crosses. A flow with an **empty
+///   route** shares no link and gets `f64::INFINITY` (used for co-located
+///   endpoints).
+///
+/// Returns one rate per flow.
+///
+/// # Panics
+///
+/// Panics if a route references a link `>= capacities.len()` or a capacity
+/// is not positive/finite.
+///
+/// # Complexity
+///
+/// `O(R · (F + L))` where `R ≤ L` is the number of filling rounds — at least
+/// one link saturates per round.
+#[must_use]
+pub fn max_min_rates(capacities: &[f64], flow_routes: &[Vec<usize>]) -> Vec<f64> {
+    for &c in capacities {
+        assert!(c.is_finite() && c > 0.0, "capacity must be positive: {c}");
+    }
+    let n_links = capacities.len();
+    let n_flows = flow_routes.len();
+    let mut rates = vec![0.0_f64; n_flows];
+    let mut saturated = vec![false; n_flows];
+    let mut remaining: Vec<f64> = capacities.to_vec();
+    // Active flow count per link.
+    let mut active = vec![0usize; n_links];
+    for route in flow_routes {
+        for &l in route {
+            assert!(l < n_links, "route references unknown link {l}");
+            active[l] += 1;
+        }
+    }
+    for (f, route) in flow_routes.iter().enumerate() {
+        if route.is_empty() {
+            rates[f] = f64::INFINITY;
+            saturated[f] = true;
+        }
+    }
+
+    loop {
+        // Find the tightest link among links carrying unsaturated flows.
+        let mut best: Option<(f64, usize)> = None;
+        for l in 0..n_links {
+            if active[l] == 0 {
+                continue;
+            }
+            let share = remaining[l] / active[l] as f64;
+            match best {
+                Some((s, _)) if share >= s => {}
+                _ => best = Some((share, l)),
+            }
+        }
+        let Some((share, bottleneck)) = best else {
+            break; // no unsaturated flows left
+        };
+        // Freeze every unsaturated flow crossing the bottleneck at
+        // `current + share`... with progressive filling all unsaturated flows
+        // have the same accumulated rate, tracked implicitly: we add `share`
+        // to each unsaturated flow's rate and subtract it on every link they
+        // cross, then freeze the bottleneck's flows.
+        for (f, route) in flow_routes.iter().enumerate() {
+            if saturated[f] || route.is_empty() {
+                continue;
+            }
+            rates[f] += share;
+            for &l in route {
+                remaining[l] -= share;
+            }
+        }
+        for (f, route) in flow_routes.iter().enumerate() {
+            if saturated[f] {
+                continue;
+            }
+            if route.contains(&bottleneck) {
+                saturated[f] = true;
+                for &l in route {
+                    active[l] -= 1;
+                }
+            }
+        }
+        // Numerical hygiene: clamp tiny negatives from float error.
+        remaining[bottleneck] = remaining[bottleneck].max(0.0);
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn single_flow_gets_full_link() {
+        let r = max_min_rates(&[10.0], &[vec![0]]);
+        assert!((r[0] - 10.0).abs() < EPS);
+    }
+
+    #[test]
+    fn two_flows_share_equally() {
+        let r = max_min_rates(&[10.0], &[vec![0], vec![0]]);
+        assert!((r[0] - 5.0).abs() < EPS);
+        assert!((r[1] - 5.0).abs() < EPS);
+    }
+
+    #[test]
+    fn empty_route_is_infinite() {
+        let r = max_min_rates(&[10.0], &[vec![], vec![0]]);
+        assert!(r[0].is_infinite());
+        assert!((r[1] - 10.0).abs() < EPS);
+    }
+
+    #[test]
+    fn classic_three_flow_example() {
+        // Links: A (cap 10), B (cap 10).
+        // f0 crosses A and B, f1 crosses A, f2 crosses B.
+        // Max–min: all rates 5.
+        let r = max_min_rates(&[10.0, 10.0], &[vec![0, 1], vec![0], vec![1]]);
+        for &x in &r {
+            assert!((x - 5.0).abs() < EPS, "rates {r:?}");
+        }
+    }
+
+    #[test]
+    fn asymmetric_bottleneck() {
+        // Link A cap 2 carries f0; link B cap 10 carries f0 and f1.
+        // f0 limited to 2 by A; f1 then gets the rest of B = 8.
+        let r = max_min_rates(&[2.0, 10.0], &[vec![0, 1], vec![1]]);
+        assert!((r[0] - 2.0).abs() < EPS);
+        assert!((r[1] - 8.0).abs() < EPS);
+    }
+
+    #[test]
+    fn no_flows() {
+        let r = max_min_rates(&[1.0, 2.0], &[]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn unused_links_ignored() {
+        let r = max_min_rates(&[1.0, 100.0], &[vec![0]]);
+        assert!((r[0] - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn many_flows_one_link() {
+        let routes: Vec<Vec<usize>> = (0..100).map(|_| vec![0]).collect();
+        let r = max_min_rates(&[50.0], &routes);
+        for &x in &r {
+            assert!((x - 0.5).abs() < EPS);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown link")]
+    fn bad_route_panics() {
+        let _ = max_min_rates(&[1.0], &[vec![3]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn bad_capacity_panics() {
+        let _ = max_min_rates(&[0.0], &[vec![0]]);
+    }
+
+    /// Invariant check used by both unit and property tests: the allocation
+    /// never oversubscribes a link and every finite-rate flow has at least
+    /// one saturated link on its route (Pareto optimality / bottleneck
+    /// property).
+    pub(crate) fn assert_max_min_invariants(
+        capacities: &[f64],
+        routes: &[Vec<usize>],
+        rates: &[f64],
+    ) {
+        let tol = 1e-6;
+        // 1. Feasibility.
+        let mut load = vec![0.0; capacities.len()];
+        for (f, route) in routes.iter().enumerate() {
+            for &l in route {
+                load[l] += rates[f];
+            }
+        }
+        for (l, &cap) in capacities.iter().enumerate() {
+            assert!(
+                load[l] <= cap * (1.0 + tol) + tol,
+                "link {l} oversubscribed: load={} cap={}",
+                load[l],
+                cap
+            );
+        }
+        // 2. Bottleneck property: every flow has a saturated link on its
+        //    route where it has a maximal rate among that link's flows.
+        for (f, route) in routes.iter().enumerate() {
+            if route.is_empty() {
+                assert!(rates[f].is_infinite());
+                continue;
+            }
+            let has_bottleneck = route.iter().any(|&l| {
+                let saturated = load[l] >= capacities[l] * (1.0 - tol) - tol;
+                let maximal = routes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r2)| r2.contains(&l))
+                    .all(|(g, _)| rates[g] <= rates[f] + tol);
+                saturated && maximal
+            });
+            assert!(
+                has_bottleneck,
+                "flow {f} (rate {}) has no bottleneck link",
+                rates[f]
+            );
+        }
+    }
+
+    #[test]
+    fn invariants_on_examples() {
+        let cases: Vec<(Vec<f64>, Vec<Vec<usize>>)> = vec![
+            (vec![10.0], vec![vec![0], vec![0], vec![0]]),
+            (vec![10.0, 10.0], vec![vec![0, 1], vec![0], vec![1]]),
+            (vec![2.0, 10.0], vec![vec![0, 1], vec![1]]),
+            (
+                vec![5.0, 7.0, 3.0],
+                vec![vec![0, 1, 2], vec![0], vec![1], vec![2], vec![0, 2]],
+            ),
+        ];
+        for (caps, routes) in cases {
+            let rates = max_min_rates(&caps, &routes);
+            assert_max_min_invariants(&caps, &routes, &rates);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::tests::assert_max_min_invariants;
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_case() -> impl Strategy<Value = (Vec<f64>, Vec<Vec<usize>>)> {
+        // 1..8 links with capacities 0.5..100, 0..12 flows crossing random
+        // non-empty subsets.
+        (1usize..8).prop_flat_map(|n_links| {
+            let caps = proptest::collection::vec(0.5f64..100.0, n_links);
+            let route = proptest::collection::btree_set(0..n_links, 1..=n_links)
+                .prop_map(|s| s.into_iter().collect::<Vec<_>>());
+            let flows = proptest::collection::vec(route, 0..12);
+            (caps, flows)
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn max_min_invariants_hold((caps, routes) in arb_case()) {
+            let rates = max_min_rates(&caps, &routes);
+            assert_max_min_invariants(&caps, &routes, &rates);
+        }
+
+        #[test]
+        fn rates_positive((caps, routes) in arb_case()) {
+            let rates = max_min_rates(&caps, &routes);
+            for (f, r) in rates.iter().enumerate() {
+                prop_assert!(*r > 0.0, "flow {} got non-positive rate {}", f, r);
+            }
+        }
+
+        #[test]
+        fn deterministic((caps, routes) in arb_case()) {
+            let a = max_min_rates(&caps, &routes);
+            let b = max_min_rates(&caps, &routes);
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # gridsched-net — flow-level network simulation
+//!
+//! Reimplements the network model the paper inherits from SimGrid: a
+//! **fluid, flow-level** model in which every active transfer (flow) crosses
+//! a fixed route of links, and link bandwidth is divided among concurrent
+//! flows by **max–min fairness**. A transfer of `S` bytes over a route with
+//! total propagation latency `L` finishes after `L + S / rate(t)` where the
+//! rate is the (time-varying) max–min share of the flow.
+//!
+//! * [`fair::max_min_rates`] — the pure progressive-filling solver,
+//! * [`NetSim`] — the stateful engine: start/cancel flows, advance fluid
+//!   state, query the next completion instant.
+//!
+//! The engine is deliberately decoupled from the event queue: the caller
+//! (the grid simulator) owns the clock, asks [`NetSim::next_completion`]
+//! after every change, and schedules/cancels a single DES event for it.
+//!
+//! ```
+//! use gridsched_des::SimTime;
+//! use gridsched_net::NetSim;
+//! use gridsched_topology::EdgeId;
+//!
+//! // One link of 10 bytes/s; a 100-byte flow with 2s latency.
+//! let mut net = NetSim::new(vec![10.0]);
+//! let f = net.start_flow(SimTime::ZERO, &[EdgeId(0)], 100.0, 2.0);
+//! let (t, id) = net.next_completion().expect("one active flow");
+//! assert_eq!(id, f);
+//! assert!((t.as_secs() - 12.0).abs() < 1e-9); // 2s latency + 100/10
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod fair;
+
+pub use engine::{FlowId, NetSim};

@@ -1,0 +1,247 @@
+//! Simulation configuration (the paper's Table 1 defaults).
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use gridsched_core::StrategyKind;
+use gridsched_storage::EvictionPolicy;
+use gridsched_topology::TiersConfig;
+use gridsched_workload::Workload;
+
+use crate::replication::ReplicationConfig;
+use crate::speeds::SpeedModel;
+
+/// Everything one simulation run needs.
+///
+/// Construct with [`SimConfig::paper`] (Table 1 defaults: capacity 6,000
+/// files, 1 worker per site, 10 sites, 25 MB files — the file size lives on
+/// the workload) and adjust with the `with_*` methods.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The Bag-of-Tasks job to run.
+    pub workload: Arc<Workload>,
+    /// Which scheduling algorithm drives the run.
+    pub strategy: StrategyKind,
+    /// Number of sites actually used ("Only a subset of 90 sites are used
+    /// in each experiment" — the first `sites` of the topology).
+    pub sites: usize,
+    /// Workers per site.
+    pub workers_per_site: usize,
+    /// Data-server storage capacity, in files.
+    pub capacity_files: usize,
+    /// Replacement policy of the data servers.
+    pub policy: EvictionPolicy,
+    /// Topology generator configuration (the topology seed is
+    /// `topology.seed`, independent of [`SimConfig::seed`]).
+    pub topology: TiersConfig,
+    /// Master seed for worker speeds and scheduler randomization.
+    pub seed: u64,
+    /// Worker speed model.
+    pub speeds: SpeedModel,
+    /// Optional proactive data-replication extension (ablation; off by
+    /// default — the paper treats it as orthogonal).
+    pub replication: Option<ReplicationConfig>,
+    /// Overrides `ChooseTask(n)` for worker-centric strategies (ablation;
+    /// `None` keeps the strategy's own n — 1, or 2 for the `.2` variants).
+    pub choose_n_override: Option<usize>,
+}
+
+/// Serializable summary of a configuration (embedded in reports).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigSummary {
+    /// Algorithm label (paper's naming, e.g. `rest.2`).
+    pub strategy: String,
+    /// Number of sites used.
+    pub sites: usize,
+    /// Workers per site.
+    pub workers_per_site: usize,
+    /// Capacity in files.
+    pub capacity_files: usize,
+    /// Replacement policy.
+    pub policy: String,
+    /// File size in MB.
+    pub file_size_mb: f64,
+    /// Number of tasks.
+    pub tasks: usize,
+    /// Topology seed.
+    pub topology_seed: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// Table 1 defaults: 10 sites, 1 worker/site, 6,000-file capacity, LRU,
+    /// paper topology (seed 0), paper speed model.
+    #[must_use]
+    pub fn paper(workload: Arc<Workload>, strategy: StrategyKind) -> Self {
+        SimConfig {
+            workload,
+            strategy,
+            sites: 10,
+            workers_per_site: 1,
+            capacity_files: 6000,
+            policy: EvictionPolicy::Lru,
+            topology: TiersConfig::paper(0),
+            seed: 0,
+            speeds: SpeedModel::paper(),
+            replication: None,
+            choose_n_override: None,
+        }
+    }
+
+    /// Sets the number of sites used (Figure 7 sweeps 10–26).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sites` is zero or exceeds the topology's site count.
+    #[must_use]
+    pub fn with_sites(mut self, sites: usize) -> Self {
+        assert!(sites >= 1, "need at least one site");
+        assert!(
+            sites <= self.topology.site_count(),
+            "topology only has {} sites",
+            self.topology.site_count()
+        );
+        self.sites = sites;
+        self
+    }
+
+    /// Sets workers per site (Figure 6 sweeps 2–10).
+    ///
+    /// # Panics
+    ///
+    /// Panics if zero.
+    #[must_use]
+    pub fn with_workers_per_site(mut self, workers: usize) -> Self {
+        assert!(workers >= 1, "need at least one worker per site");
+        self.workers_per_site = workers;
+        self
+    }
+
+    /// Sets the data-server capacity (Figure 4 sweeps 3,000–30,000).
+    ///
+    /// # Panics
+    ///
+    /// Panics if zero.
+    #[must_use]
+    pub fn with_capacity(mut self, files: usize) -> Self {
+        assert!(files >= 1, "capacity must be positive");
+        self.capacity_files = files;
+        self
+    }
+
+    /// Sets the replacement policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: EvictionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the topology seed (the paper averages seeds 0–4).
+    #[must_use]
+    pub fn with_topology_seed(mut self, seed: u64) -> Self {
+        self.topology.seed = seed;
+        self
+    }
+
+    /// Sets the master seed (worker speeds, scheduler randomization).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the worker speed model.
+    #[must_use]
+    pub fn with_speeds(mut self, speeds: SpeedModel) -> Self {
+        self.speeds = speeds;
+        self
+    }
+
+    /// Enables the proactive data-replication extension.
+    #[must_use]
+    pub fn with_replication(mut self, replication: ReplicationConfig) -> Self {
+        self.replication = Some(replication);
+        self
+    }
+
+    /// Overrides `ChooseTask(n)` for worker-centric strategies (ablation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn with_choose_n(mut self, n: usize) -> Self {
+        assert!(n >= 1, "ChooseTask(n) needs n >= 1");
+        self.choose_n_override = Some(n);
+        self
+    }
+
+    /// Swaps the scheduling strategy, keeping everything else.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: StrategyKind) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The serializable summary embedded in reports.
+    #[must_use]
+    pub fn summary(&self) -> ConfigSummary {
+        ConfigSummary {
+            strategy: self.strategy.to_string(),
+            sites: self.sites,
+            workers_per_site: self.workers_per_site,
+            capacity_files: self.capacity_files,
+            policy: self.policy.to_string(),
+            file_size_mb: self.workload.file_size_bytes / 1e6,
+            tasks: self.workload.task_count(),
+            topology_seed: self.topology.seed,
+            seed: self.seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridsched_workload::coadd::CoaddConfig;
+
+    fn wl() -> Arc<Workload> {
+        Arc::new(CoaddConfig::small(0).generate())
+    }
+
+    #[test]
+    fn paper_defaults_match_table1() {
+        let c = SimConfig::paper(wl(), StrategyKind::Rest);
+        assert_eq!(c.sites, 10);
+        assert_eq!(c.workers_per_site, 1);
+        assert_eq!(c.capacity_files, 6000);
+        assert_eq!(c.policy, EvictionPolicy::Lru);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = SimConfig::paper(wl(), StrategyKind::Overlap)
+            .with_sites(26)
+            .with_workers_per_site(6)
+            .with_capacity(3000)
+            .with_topology_seed(3)
+            .with_seed(9);
+        assert_eq!(c.sites, 26);
+        assert_eq!(c.workers_per_site, 6);
+        assert_eq!(c.capacity_files, 3000);
+        assert_eq!(c.topology.seed, 3);
+        assert_eq!(c.seed, 9);
+        let s = c.summary();
+        assert_eq!(s.strategy, "overlap");
+        assert_eq!(s.tasks, 200);
+        assert!((s.file_size_mb - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "topology only has")]
+    fn too_many_sites_panics() {
+        let _ = SimConfig::paper(wl(), StrategyKind::Rest).with_sites(91);
+    }
+}

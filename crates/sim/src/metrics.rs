@@ -1,0 +1,146 @@
+//! Run metrics: everything the paper's figures and tables report.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::ConfigSummary;
+
+/// Per-site accounting (Table 3 of the paper reports these per-request
+/// averages for one site).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SiteMetrics {
+    /// Batch requests served by this site's data server.
+    pub requests: u64,
+    /// Σ waiting time (enqueue → service start), seconds.
+    pub waiting_time_s: f64,
+    /// Σ transfer time (service start → last missing file arrived),
+    /// seconds.
+    pub transfer_time_s: f64,
+    /// Files fetched from the external file server.
+    pub file_transfers: u64,
+    /// Bytes fetched from the external file server.
+    pub bytes_transferred: f64,
+    /// Tasks that started executing at this site.
+    pub tasks_started: u64,
+    /// Files evicted by the data server.
+    pub evictions: u64,
+}
+
+impl SiteMetrics {
+    /// Average request waiting time in hours (Table 3 column 1).
+    #[must_use]
+    pub fn avg_waiting_hours(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.waiting_time_s / self.requests as f64 / 3600.0
+        }
+    }
+
+    /// Average batch transfer time in hours (Table 3 column 2).
+    #[must_use]
+    pub fn avg_transfer_hours(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.transfer_time_s / self.requests as f64 / 3600.0
+        }
+    }
+}
+
+/// The result of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsReport {
+    /// The configuration that produced this report.
+    pub config: ConfigSummary,
+    /// Job makespan in minutes (the paper's main metric).
+    pub makespan_minutes: f64,
+    /// Total file transfers from the external file server (Figure 5).
+    pub file_transfers: u64,
+    /// Total bytes moved from the external file server.
+    pub bytes_transferred: f64,
+    /// Bytes of transfers that were cancelled mid-flight (aborted
+    /// replicas) — wasted bandwidth.
+    pub cancelled_bytes: f64,
+    /// Tasks completed (must equal the workload size).
+    pub tasks_completed: u64,
+    /// Replica executions launched (task-centric storage affinity only).
+    pub replicas_launched: u64,
+    /// Replica executions aborted because another copy won.
+    pub replicas_cancelled: u64,
+    /// Per-site breakdown, indexed by site id.
+    pub per_site: Vec<SiteMetrics>,
+    /// Proactive replication pushes issued (ablation extension).
+    pub replication_pushes: u64,
+    /// Bytes moved by proactive replication (included in
+    /// `bytes_transferred`).
+    pub replication_bytes: f64,
+    /// Total DES events dispatched (diagnostic).
+    pub events_dispatched: u64,
+    /// Storage-layer evictions across all sites.
+    pub total_evictions: u64,
+    /// Inserts that overflowed capacity because everything was pinned.
+    pub overflow_inserts: u64,
+}
+
+impl MetricsReport {
+    /// Makespan in hours.
+    #[must_use]
+    pub fn makespan_hours(&self) -> f64 {
+        self.makespan_minutes / 60.0
+    }
+
+    /// Average per-request waiting time across all sites, hours.
+    #[must_use]
+    pub fn avg_waiting_hours(&self) -> f64 {
+        let requests: u64 = self.per_site.iter().map(|s| s.requests).sum();
+        if requests == 0 {
+            return 0.0;
+        }
+        let total: f64 = self.per_site.iter().map(|s| s.waiting_time_s).sum();
+        total / requests as f64 / 3600.0
+    }
+
+    /// Average per-request transfer time across all sites, hours.
+    #[must_use]
+    pub fn avg_transfer_hours(&self) -> f64 {
+        let requests: u64 = self.per_site.iter().map(|s| s.requests).sum();
+        if requests == 0 {
+            return 0.0;
+        }
+        let total: f64 = self.per_site.iter().map(|s| s.transfer_time_s).sum();
+        total / requests as f64 / 3600.0
+    }
+
+    /// Average number of file transfers per site.
+    #[must_use]
+    pub fn avg_transfers_per_site(&self) -> f64 {
+        if self.per_site.is_empty() {
+            return 0.0;
+        }
+        self.file_transfers as f64 / self.per_site.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_averages() {
+        let s = SiteMetrics {
+            requests: 2,
+            waiting_time_s: 7200.0,
+            transfer_time_s: 3600.0,
+            ..SiteMetrics::default()
+        };
+        assert!((s.avg_waiting_hours() - 1.0).abs() < 1e-12);
+        assert!((s.avg_transfer_hours() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_requests_safe() {
+        let s = SiteMetrics::default();
+        assert_eq!(s.avg_waiting_hours(), 0.0);
+        assert_eq!(s.avg_transfer_hours(), 0.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Proactive data replication (Ranganathan & Foster [13]) — ablation.
+//!
+//! The paper argues data replication is **orthogonal** to worker-centric
+//! scheduling (§3.2): task-centric schedulers *need* it to fix unbalanced
+//! assignments, worker-centric ones do not. This module implements the
+//! classic popularity-threshold scheme so the `ablation_replication`
+//! experiment can verify that claim: the engine tracks global per-file
+//! reference counts; when a file's popularity crosses the threshold it is
+//! pushed once to a random site that lacks it.
+
+use serde::{Deserialize, Serialize};
+
+use gridsched_workload::FileId;
+
+/// Configuration of the proactive replication extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicationConfig {
+    /// A file is replicated once its global reference count reaches this
+    /// threshold.
+    pub popularity_threshold: u32,
+    /// Maximum number of proactive pushes per file (1 in [13]'s simplest
+    /// scheme).
+    pub max_replicas_per_file: u32,
+}
+
+impl Default for ReplicationConfig {
+    fn default() -> Self {
+        ReplicationConfig {
+            popularity_threshold: 6,
+            max_replicas_per_file: 1,
+        }
+    }
+}
+
+/// Tracks global popularity and decides when to push.
+#[derive(Debug, Clone)]
+pub struct ReplicationState {
+    config: ReplicationConfig,
+    refs: Vec<u32>,
+    pushed: Vec<u32>,
+}
+
+impl ReplicationState {
+    /// Creates state for `num_files` files.
+    #[must_use]
+    pub fn new(config: ReplicationConfig, num_files: usize) -> Self {
+        ReplicationState {
+            config,
+            refs: vec![0; num_files],
+            pushed: vec![0; num_files],
+        }
+    }
+
+    /// Records one global reference of `file`; returns `true` when this
+    /// reference makes the file eligible for a proactive push.
+    pub fn record_reference(&mut self, file: FileId) -> bool {
+        let r = &mut self.refs[file.index()];
+        *r += 1;
+        *r >= self.config.popularity_threshold
+            && self.pushed[file.index()] < self.config.max_replicas_per_file
+    }
+
+    /// Marks one push of `file` as issued.
+    pub fn mark_pushed(&mut self, file: FileId) {
+        self.pushed[file.index()] += 1;
+    }
+
+    /// Number of proactive pushes issued so far.
+    #[must_use]
+    pub fn pushes_issued(&self) -> u64 {
+        self.pushed.iter().map(|&p| u64::from(p)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_gates_push() {
+        let mut st = ReplicationState::new(
+            ReplicationConfig {
+                popularity_threshold: 3,
+                max_replicas_per_file: 1,
+            },
+            4,
+        );
+        let f = FileId(2);
+        assert!(!st.record_reference(f));
+        assert!(!st.record_reference(f));
+        assert!(st.record_reference(f), "third reference crosses threshold");
+        st.mark_pushed(f);
+        assert!(!st.record_reference(f), "already pushed max replicas");
+        assert_eq!(st.pushes_issued(), 1);
+    }
+
+    #[test]
+    fn max_replicas_respected() {
+        let mut st = ReplicationState::new(
+            ReplicationConfig {
+                popularity_threshold: 1,
+                max_replicas_per_file: 2,
+            },
+            1,
+        );
+        let f = FileId(0);
+        assert!(st.record_reference(f));
+        st.mark_pushed(f);
+        assert!(st.record_reference(f));
+        st.mark_pushed(f);
+        assert!(!st.record_reference(f));
+        assert_eq!(st.pushes_issued(), 2);
+    }
+}

@@ -1,0 +1,156 @@
+//! Experiment runner: replicate runs over topologies and average.
+//!
+//! "Each experiment is performed with 5 different topologies and the
+//! results are averaged over the 5 runs" (§5.2). [`run_averaged`] runs one
+//! simulation per topology seed — in parallel, one thread per seed — and
+//! returns the element-wise average report.
+
+use crossbeam::thread;
+
+use crate::config::SimConfig;
+use crate::engine::GridSim;
+use crate::metrics::{MetricsReport, SiteMetrics};
+
+/// One (x, report) pair of a sweep, e.g. (capacity = 3000, averaged
+/// metrics).
+#[derive(Debug, Clone)]
+pub struct ExperimentPoint {
+    /// Algorithm label (paper naming).
+    pub strategy: String,
+    /// The swept parameter's value at this point.
+    pub x: f64,
+    /// Averaged metrics at this point.
+    pub report: MetricsReport,
+}
+
+/// Runs `base` once per topology seed (in parallel) and averages.
+///
+/// The master seed is varied together with the topology seed so worker
+/// speeds differ per replicate, as they would per Tiers topology in the
+/// paper's setup.
+///
+/// # Panics
+///
+/// Panics if `topology_seeds` is empty or a worker thread panics.
+#[must_use]
+pub fn run_averaged(base: &SimConfig, topology_seeds: &[u64]) -> MetricsReport {
+    assert!(!topology_seeds.is_empty(), "need at least one replicate");
+    let reports: Vec<MetricsReport> = thread::scope(|scope| {
+        let handles: Vec<_> = topology_seeds
+            .iter()
+            .map(|&ts| {
+                let config = base
+                    .clone()
+                    .with_topology_seed(ts)
+                    .with_seed(base.seed.wrapping_add(ts));
+                scope.spawn(move |_| GridSim::new(config).run())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("simulation thread panicked"))
+            .collect()
+    })
+    .expect("scope join");
+    average_reports(&reports)
+}
+
+fn avg_u64(values: impl Iterator<Item = u64>, n: usize) -> u64 {
+    let sum: u64 = values.sum();
+    ((sum as f64) / n as f64).round() as u64
+}
+
+fn avg_f64(values: impl Iterator<Item = f64>, n: usize) -> f64 {
+    values.sum::<f64>() / n as f64
+}
+
+/// Element-wise average of several reports (config taken from the first).
+///
+/// # Panics
+///
+/// Panics if `reports` is empty or their per-site vectors disagree in
+/// length.
+#[must_use]
+pub fn average_reports(reports: &[MetricsReport]) -> MetricsReport {
+    assert!(!reports.is_empty(), "cannot average zero reports");
+    let n = reports.len();
+    let sites = reports[0].per_site.len();
+    for r in reports {
+        assert_eq!(r.per_site.len(), sites, "mismatched site counts");
+    }
+    let per_site: Vec<SiteMetrics> = (0..sites)
+        .map(|s| SiteMetrics {
+            requests: avg_u64(reports.iter().map(|r| r.per_site[s].requests), n),
+            waiting_time_s: avg_f64(reports.iter().map(|r| r.per_site[s].waiting_time_s), n),
+            transfer_time_s: avg_f64(
+                reports.iter().map(|r| r.per_site[s].transfer_time_s),
+                n,
+            ),
+            file_transfers: avg_u64(reports.iter().map(|r| r.per_site[s].file_transfers), n),
+            bytes_transferred: avg_f64(
+                reports.iter().map(|r| r.per_site[s].bytes_transferred),
+                n,
+            ),
+            tasks_started: avg_u64(reports.iter().map(|r| r.per_site[s].tasks_started), n),
+            evictions: avg_u64(reports.iter().map(|r| r.per_site[s].evictions), n),
+        })
+        .collect();
+    MetricsReport {
+        config: reports[0].config.clone(),
+        makespan_minutes: avg_f64(reports.iter().map(|r| r.makespan_minutes), n),
+        file_transfers: avg_u64(reports.iter().map(|r| r.file_transfers), n),
+        bytes_transferred: avg_f64(reports.iter().map(|r| r.bytes_transferred), n),
+        cancelled_bytes: avg_f64(reports.iter().map(|r| r.cancelled_bytes), n),
+        tasks_completed: avg_u64(reports.iter().map(|r| r.tasks_completed), n),
+        replicas_launched: avg_u64(reports.iter().map(|r| r.replicas_launched), n),
+        replicas_cancelled: avg_u64(reports.iter().map(|r| r.replicas_cancelled), n),
+        per_site,
+        replication_pushes: avg_u64(reports.iter().map(|r| r.replication_pushes), n),
+        replication_bytes: avg_f64(reports.iter().map(|r| r.replication_bytes), n),
+        events_dispatched: avg_u64(reports.iter().map(|r| r.events_dispatched), n),
+        total_evictions: avg_u64(reports.iter().map(|r| r.total_evictions), n),
+        overflow_inserts: avg_u64(reports.iter().map(|r| r.overflow_inserts), n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use gridsched_core::StrategyKind;
+    use gridsched_workload::coadd::CoaddConfig;
+
+    #[test]
+    fn averaging_is_elementwise() {
+        let wl = Arc::new(CoaddConfig::small(0).generate());
+        let cfg = SimConfig::paper(wl, StrategyKind::Rest)
+            .with_sites(2)
+            .with_seed(0);
+        let a = GridSim::new(cfg.clone().with_topology_seed(0)).run();
+        let b = GridSim::new(cfg.with_topology_seed(1)).run();
+        let avg = average_reports(&[a.clone(), b.clone()]);
+        assert!(
+            (avg.makespan_minutes - (a.makespan_minutes + b.makespan_minutes) / 2.0).abs()
+                < 1e-9
+        );
+        assert_eq!(avg.tasks_completed, 200);
+    }
+
+    #[test]
+    fn run_averaged_parallel() {
+        let wl = Arc::new(CoaddConfig::small(0).generate());
+        let cfg = SimConfig::paper(wl, StrategyKind::Rest2).with_sites(2);
+        let avg = run_averaged(&cfg, &[0, 1, 2]);
+        assert_eq!(avg.tasks_completed, 200);
+        assert!(avg.makespan_minutes > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replicate")]
+    fn empty_seed_list_panics() {
+        let wl = Arc::new(CoaddConfig::small(0).generate());
+        let cfg = SimConfig::paper(wl, StrategyKind::Rest);
+        let _ = run_averaged(&cfg, &[]);
+    }
+}

@@ -1,0 +1,138 @@
+//! Worker compute-speed models.
+//!
+//! The paper: "Each worker's computation capacity (in MFLOPS) is chosen
+//! randomly from top500 list and is divided by 100, since most of the 500
+//! machines are too powerful." The June-2007 Top500 Rmax column is well
+//! approximated by a power law `Rmax(rank) ≈ 280.6 · rank^{-0.7}` TFLOPS
+//! (#1 BlueGene/L ≈ 280.6 TF, #10 ≈ 56 TF, #100 ≈ 11 TF, #500 ≈ 3.6 TF);
+//! [`SpeedModel::Top500Like`] samples a uniform rank and applies that
+//! curve, divided by 100 — same procedure, synthetic list. Only the
+//! *relative heterogeneity* of workers matters to the schedulers.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How worker speeds (FLOP/s) are assigned.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SpeedModel {
+    /// Synthetic June-2007 Top500 Rmax curve divided by `divisor`
+    /// (paper: 100).
+    Top500Like {
+        /// Rmax of rank 1, in TFLOPS.
+        top_tflops: f64,
+        /// Power-law decay exponent of Rmax versus rank.
+        alpha: f64,
+        /// List length to sample ranks from.
+        entries: u32,
+        /// The paper divides each entry by this factor.
+        divisor: f64,
+    },
+    /// Every worker runs at exactly this many FLOP/s (deterministic tests).
+    Fixed(f64),
+    /// Uniform in `[min, max]` FLOP/s.
+    Uniform {
+        /// Lower bound, FLOP/s.
+        min: f64,
+        /// Upper bound, FLOP/s.
+        max: f64,
+    },
+}
+
+impl Default for SpeedModel {
+    fn default() -> Self {
+        SpeedModel::paper()
+    }
+}
+
+impl SpeedModel {
+    /// The paper's model: Top500(June 2007)-like, divided by 100.
+    #[must_use]
+    pub fn paper() -> Self {
+        SpeedModel::Top500Like {
+            top_tflops: 280.6,
+            alpha: 0.7,
+            entries: 500,
+            divisor: 100.0,
+        }
+    }
+
+    /// Samples one worker speed in FLOP/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is degenerate (non-positive speeds).
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        let speed = match *self {
+            SpeedModel::Top500Like {
+                top_tflops,
+                alpha,
+                entries,
+                divisor,
+            } => {
+                assert!(top_tflops > 0.0 && divisor > 0.0 && entries >= 1);
+                let rank = rng.gen_range(1..=entries) as f64;
+                top_tflops * 1e12 * rank.powf(-alpha) / divisor
+            }
+            SpeedModel::Fixed(s) => s,
+            SpeedModel::Uniform { min, max } => {
+                assert!(min > 0.0 && max >= min, "bad uniform speed range");
+                if min == max {
+                    min
+                } else {
+                    rng.gen_range(min..max)
+                }
+            }
+        };
+        assert!(speed > 0.0 && speed.is_finite(), "bad speed {speed}");
+        speed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_model_range() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = SpeedModel::paper();
+        for _ in 0..1000 {
+            let s = m.sample(&mut rng);
+            // rank 1: 2.806 TFLOPS; rank 500: ≈ 36 GFLOPS.
+            assert!(s <= 2.807e12, "too fast: {s}");
+            assert!(s >= 3.5e10, "too slow: {s}");
+        }
+    }
+
+    #[test]
+    fn paper_model_is_bottom_heavy() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = SpeedModel::paper();
+        let speeds: Vec<f64> = (0..10_000).map(|_| m.sample(&mut rng)).collect();
+        let median = {
+            let mut s = speeds.clone();
+            s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            s[s.len() / 2]
+        };
+        let mean = speeds.iter().sum::<f64>() / speeds.len() as f64;
+        assert!(median < mean, "power law: median {median} < mean {mean}");
+    }
+
+    #[test]
+    fn fixed_is_fixed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(SpeedModel::Fixed(1e9).sample(&mut rng), 1e9);
+    }
+
+    #[test]
+    fn uniform_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = SpeedModel::Uniform { min: 10.0, max: 20.0 };
+        for _ in 0..100 {
+            let s = m.sample(&mut rng);
+            assert!((10.0..20.0).contains(&s));
+        }
+    }
+}

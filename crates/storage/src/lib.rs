@@ -1,0 +1,29 @@
+//! # gridsched-storage — site data-server storage
+//!
+//! Every grid site in the paper's system model has **one data server** with
+//! a capacity-bounded local storage (measured in number of equally-sized
+//! files, Table 1: 6,000 by default). The storage must:
+//!
+//! * answer overlap queries (`|F_t|` — how many of a task's files are
+//!   already local) for the scheduler,
+//! * evict files when full ("since a storage is usually limited in size, it
+//!   has to replace files at some point of time", §3.1) — we provide LRU
+//!   (default), FIFO and LFU policies,
+//! * never evict files *pinned* by an in-flight batch request or an
+//!   executing task (a worker "can start executing a task only when all the
+//!   files necessary for the task are present in the local data storage"),
+//! * track `r_i`, the number of **past task references** of each file at
+//!   this site — the `combined` metric's input. Reference counts survive
+//!   eviction (they are bookkeeping, not cache state).
+//!
+//! [`SiteStore`] implements all of this with O(log n) insert/evict and O(1)
+//! lookup.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod policy;
+pub mod store;
+
+pub use policy::EvictionPolicy;
+pub use store::{SiteStore, StoreStats};

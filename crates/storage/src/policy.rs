@@ -1,0 +1,75 @@
+//! Cache-replacement policies for site storage.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which file to evict when the storage is full.
+///
+/// The paper does not pin down the replacement policy of its simulated data
+/// servers; LRU is the natural default for workloads with sliding spatial
+/// locality like Coadd, and the `ablation_policy` experiment compares all
+/// three.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum EvictionPolicy {
+    /// Evict the least-recently-*used* file (use = task execution touching
+    /// the file, or arrival).
+    #[default]
+    Lru,
+    /// Evict the oldest-inserted file.
+    Fifo,
+    /// Evict the least-frequently-used file (ties by age).
+    Lfu,
+}
+
+impl EvictionPolicy {
+    /// All policies, for sweeps.
+    pub const ALL: [EvictionPolicy; 3] =
+        [EvictionPolicy::Lru, EvictionPolicy::Fifo, EvictionPolicy::Lfu];
+}
+
+impl fmt::Display for EvictionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EvictionPolicy::Lru => "lru",
+            EvictionPolicy::Fifo => "fifo",
+            EvictionPolicy::Lfu => "lfu",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::str::FromStr for EvictionPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "lru" => Ok(EvictionPolicy::Lru),
+            "fifo" => Ok(EvictionPolicy::Fifo),
+            "lfu" => Ok(EvictionPolicy::Lfu),
+            other => Err(format!("unknown eviction policy `{other}` (lru|fifo|lfu)")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trips() {
+        for p in EvictionPolicy::ALL {
+            let s = p.to_string();
+            assert_eq!(s.parse::<EvictionPolicy>().unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("mru".parse::<EvictionPolicy>().is_err());
+    }
+
+    #[test]
+    fn default_is_lru() {
+        assert_eq!(EvictionPolicy::default(), EvictionPolicy::Lru);
+    }
+}

@@ -1,0 +1,543 @@
+//! Capacity-bounded site storage with pinning and reference tracking.
+
+use std::collections::{BTreeSet, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use gridsched_workload::FileId;
+
+use crate::policy::EvictionPolicy;
+
+/// Counters describing a store's lifetime behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// Files inserted (network arrivals or replication pushes).
+    pub insertions: u64,
+    /// Files evicted by the replacement policy.
+    pub evictions: u64,
+    /// Inserts that had to exceed capacity because every resident file was
+    /// pinned.
+    pub overflow_inserts: u64,
+    /// Highest number of resident files ever observed.
+    pub max_resident: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    /// Current position in the eviction order.
+    key: (u64, u64),
+    /// Number of active pins (batch requests / executing tasks).
+    pins: u32,
+    /// Use count while resident (for LFU).
+    freq: u64,
+    /// Insertion tick (for FIFO and LFU tie-breaks).
+    inserted: u64,
+}
+
+/// The local storage of one site's data server.
+///
+/// Holds up to `capacity` equally-sized files; evicts per
+/// [`EvictionPolicy`] when full, never evicting **pinned** files; tracks
+/// `r_i` — the number of past task references of each file at this site —
+/// which survives eviction (it is scheduler bookkeeping, not cache state).
+///
+/// # Example
+///
+/// ```
+/// use gridsched_storage::{EvictionPolicy, SiteStore};
+/// use gridsched_workload::FileId;
+///
+/// let mut store = SiteStore::new(2, EvictionPolicy::Lru);
+/// store.insert(FileId(0));
+/// store.insert(FileId(1));
+/// store.touch(FileId(0));               // 0 is now more recent than 1
+/// let evicted = store.insert(FileId(2)); // evicts 1
+/// assert_eq!(evicted, vec![FileId(1)]);
+/// assert!(store.contains(FileId(0)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SiteStore {
+    capacity: usize,
+    policy: EvictionPolicy,
+    entries: HashMap<FileId, Entry>,
+    order: BTreeSet<((u64, u64), FileId)>,
+    refs: HashMap<FileId, u32>,
+    tick: u64,
+    stats: StoreStats,
+}
+
+impl SiteStore {
+    /// Creates an empty store holding at most `capacity` files.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize, policy: EvictionPolicy) -> Self {
+        assert!(capacity > 0, "storage capacity must be positive");
+        SiteStore {
+            capacity,
+            policy,
+            entries: HashMap::new(),
+            order: BTreeSet::new(),
+            refs: HashMap::new(),
+            tick: 0,
+            stats: StoreStats::default(),
+        }
+    }
+
+    /// The configured capacity in files.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The replacement policy.
+    #[must_use]
+    pub fn policy(&self) -> EvictionPolicy {
+        self.policy
+    }
+
+    /// Number of resident files.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no files are resident.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime counters.
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// Whether `file` is resident.
+    #[must_use]
+    pub fn contains(&self, file: FileId) -> bool {
+        self.entries.contains_key(&file)
+    }
+
+    /// The paper's **overlap cardinality** `|F_t|`: how many of `files` are
+    /// resident.
+    #[must_use]
+    pub fn overlap(&self, files: &[FileId]) -> usize {
+        files.iter().filter(|f| self.contains(**f)).count()
+    }
+
+    /// The files from `files` that are *not* resident (the batch request a
+    /// data server sends to the external file server).
+    #[must_use]
+    pub fn missing(&self, files: &[FileId]) -> Vec<FileId> {
+        files.iter().copied().filter(|f| !self.contains(*f)).collect()
+    }
+
+    /// `r_i` — past task references of `file` at this site (0 if never
+    /// referenced; survives eviction).
+    #[must_use]
+    pub fn ref_count(&self, file: FileId) -> u32 {
+        self.refs.get(&file).copied().unwrap_or(0)
+    }
+
+    /// Sum of `r_i` over the *resident* subset of `files` — `ref_t` in the
+    /// paper's combined metric.
+    #[must_use]
+    pub fn overlap_ref_sum(&self, files: &[FileId]) -> u64 {
+        files
+            .iter()
+            .filter(|f| self.contains(**f))
+            .map(|f| u64::from(self.ref_count(*f)))
+            .sum()
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    fn order_key(&self, policy_tick: u64, freq: u64, inserted: u64) -> (u64, u64) {
+        match self.policy {
+            EvictionPolicy::Lru => (policy_tick, 0),
+            EvictionPolicy::Fifo => (inserted, 0),
+            EvictionPolicy::Lfu => (freq, inserted),
+        }
+    }
+
+    /// Inserts `file`, evicting per policy if the store is full. Returns the
+    /// evicted files (empty if there was room or the file was already
+    /// resident).
+    ///
+    /// If every resident file is pinned, the store *overflows* (the insert
+    /// succeeds beyond capacity and is counted in
+    /// [`StoreStats::overflow_inserts`]); the data server cannot drop files
+    /// an executing task still needs.
+    pub fn insert(&mut self, file: FileId) -> Vec<FileId> {
+        if self.contains(file) {
+            self.touch(file);
+            return Vec::new();
+        }
+        let mut evicted = Vec::new();
+        while self.entries.len() >= self.capacity {
+            match self.evict_one() {
+                Some(f) => evicted.push(f),
+                None => {
+                    self.stats.overflow_inserts += 1;
+                    break;
+                }
+            }
+        }
+        let tick = self.next_tick();
+        let key = self.order_key(tick, 0, tick);
+        self.entries.insert(
+            file,
+            Entry {
+                key,
+                pins: 0,
+                freq: 0,
+                inserted: tick,
+            },
+        );
+        self.order.insert((key, file));
+        self.stats.insertions += 1;
+        self.stats.max_resident = self.stats.max_resident.max(self.entries.len());
+        evicted
+    }
+
+    /// Evicts the policy's best victim among unpinned files. Returns `None`
+    /// if everything is pinned.
+    fn evict_one(&mut self) -> Option<FileId> {
+        let victim = self
+            .order
+            .iter()
+            .find(|(_, f)| self.entries[f].pins == 0)
+            .map(|&(key, f)| (key, f))?;
+        self.order.remove(&victim);
+        self.entries.remove(&victim.1);
+        self.stats.evictions += 1;
+        Some(victim.1)
+    }
+
+    /// Marks `file` as used now (updates LRU recency / LFU frequency). No-op
+    /// for non-resident files.
+    pub fn touch(&mut self, file: FileId) {
+        let tick = self.next_tick();
+        let policy = self.policy;
+        let Some(entry) = self.entries.get_mut(&file) else {
+            return;
+        };
+        entry.freq += 1;
+        let new_key = match policy {
+            EvictionPolicy::Lru => (tick, 0),
+            EvictionPolicy::Fifo => entry.key, // insertion order never changes
+            EvictionPolicy::Lfu => (entry.freq, entry.inserted),
+        };
+        if new_key != entry.key {
+            let old = (entry.key, file);
+            entry.key = new_key;
+            self.order.remove(&old);
+            self.order.insert((new_key, file));
+        }
+    }
+
+    /// Records that a task at this site referenced `file` (increments `r_i`)
+    /// and touches it.
+    pub fn record_task_reference(&mut self, file: FileId) {
+        *self.refs.entry(file).or_insert(0) += 1;
+        self.touch(file);
+    }
+
+    /// Pins `file` against eviction. Pins nest (two batch requests may pin
+    /// the same file).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `file` is not resident — the caller must insert before
+    /// pinning.
+    pub fn pin(&mut self, file: FileId) {
+        let entry = self
+            .entries
+            .get_mut(&file)
+            .unwrap_or_else(|| panic!("pin: file {file} not resident"));
+        entry.pins += 1;
+    }
+
+    /// Releases one pin on `file`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `file` is not resident or not pinned.
+    pub fn unpin(&mut self, file: FileId) {
+        let entry = self
+            .entries
+            .get_mut(&file)
+            .unwrap_or_else(|| panic!("unpin: file {file} not resident"));
+        assert!(entry.pins > 0, "unpin: file {file} not pinned");
+        entry.pins -= 1;
+    }
+
+    /// Number of currently pinned files.
+    #[must_use]
+    pub fn pinned_count(&self) -> usize {
+        self.entries.values().filter(|e| e.pins > 0).count()
+    }
+
+    /// Iterates over resident files in unspecified order.
+    pub fn resident(&self) -> impl Iterator<Item = FileId> + '_ {
+        self.entries.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(i: u32) -> FileId {
+        FileId(i)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut s = SiteStore::new(10, EvictionPolicy::Lru);
+        assert!(s.insert(f(1)).is_empty());
+        assert!(s.contains(f(1)));
+        assert!(!s.contains(f(2)));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.overlap(&[f(1), f(2), f(3)]), 1);
+        assert_eq!(s.missing(&[f(1), f(2)]), vec![f(2)]);
+    }
+
+    #[test]
+    fn reinsert_is_touch_not_duplicate() {
+        let mut s = SiteStore::new(2, EvictionPolicy::Lru);
+        s.insert(f(1));
+        s.insert(f(2));
+        s.insert(f(1)); // refresh 1
+        let ev = s.insert(f(3));
+        assert_eq!(ev, vec![f(2)], "2 is now least recent");
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut s = SiteStore::new(3, EvictionPolicy::Lru);
+        s.insert(f(1));
+        s.insert(f(2));
+        s.insert(f(3));
+        s.touch(f(1));
+        let ev = s.insert(f(4));
+        assert_eq!(ev, vec![f(2)]);
+    }
+
+    #[test]
+    fn fifo_ignores_touches() {
+        let mut s = SiteStore::new(3, EvictionPolicy::Fifo);
+        s.insert(f(1));
+        s.insert(f(2));
+        s.insert(f(3));
+        s.touch(f(1));
+        s.touch(f(1));
+        let ev = s.insert(f(4));
+        assert_eq!(ev, vec![f(1)], "FIFO evicts oldest insert regardless of use");
+    }
+
+    #[test]
+    fn lfu_evicts_least_frequent() {
+        let mut s = SiteStore::new(3, EvictionPolicy::Lfu);
+        s.insert(f(1));
+        s.insert(f(2));
+        s.insert(f(3));
+        s.touch(f(1));
+        s.touch(f(1));
+        s.touch(f(2));
+        let ev = s.insert(f(4));
+        assert_eq!(ev, vec![f(3)], "3 has freq 0");
+    }
+
+    #[test]
+    fn lfu_ties_break_by_age() {
+        let mut s = SiteStore::new(2, EvictionPolicy::Lfu);
+        s.insert(f(1));
+        s.insert(f(2));
+        let ev = s.insert(f(3));
+        assert_eq!(ev, vec![f(1)], "equal freq → oldest goes");
+    }
+
+    #[test]
+    fn pinned_files_survive() {
+        let mut s = SiteStore::new(2, EvictionPolicy::Lru);
+        s.insert(f(1));
+        s.insert(f(2));
+        s.pin(f(1));
+        let ev = s.insert(f(3));
+        assert_eq!(ev, vec![f(2)], "pinned 1 must not be evicted");
+        assert!(s.contains(f(1)));
+    }
+
+    #[test]
+    fn all_pinned_overflows() {
+        let mut s = SiteStore::new(2, EvictionPolicy::Lru);
+        s.insert(f(1));
+        s.insert(f(2));
+        s.pin(f(1));
+        s.pin(f(2));
+        let ev = s.insert(f(3));
+        assert!(ev.is_empty());
+        assert_eq!(s.len(), 3, "overflow beyond capacity");
+        assert_eq!(s.stats().overflow_inserts, 1);
+        // After unpinning, the next insert shrinks back.
+        s.unpin(f(1));
+        s.unpin(f(2));
+        let ev = s.insert(f(4));
+        assert_eq!(ev.len(), 2, "evicts down to capacity");
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn pins_nest() {
+        let mut s = SiteStore::new(1, EvictionPolicy::Lru);
+        s.insert(f(1));
+        s.pin(f(1));
+        s.pin(f(1));
+        s.unpin(f(1));
+        // still pinned once
+        let ev = s.insert(f(2));
+        assert!(ev.is_empty());
+        assert_eq!(s.len(), 2);
+        s.unpin(f(1));
+        assert_eq!(s.pinned_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not resident")]
+    fn pin_missing_panics() {
+        let mut s = SiteStore::new(1, EvictionPolicy::Lru);
+        s.pin(f(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "not pinned")]
+    fn unpin_unpinned_panics() {
+        let mut s = SiteStore::new(1, EvictionPolicy::Lru);
+        s.insert(f(1));
+        s.unpin(f(1));
+    }
+
+    #[test]
+    fn reference_counts_survive_eviction() {
+        let mut s = SiteStore::new(1, EvictionPolicy::Lru);
+        s.insert(f(1));
+        s.record_task_reference(f(1));
+        s.record_task_reference(f(1));
+        assert_eq!(s.ref_count(f(1)), 2);
+        s.insert(f(2)); // evicts 1
+        assert!(!s.contains(f(1)));
+        assert_eq!(s.ref_count(f(1)), 2, "r_i survives eviction");
+    }
+
+    #[test]
+    fn overlap_ref_sum_counts_only_resident() {
+        let mut s = SiteStore::new(2, EvictionPolicy::Lru);
+        s.insert(f(1));
+        s.insert(f(2));
+        s.record_task_reference(f(1));
+        s.record_task_reference(f(2));
+        s.record_task_reference(f(2));
+        s.insert(f(3)); // evicts 1
+        assert_eq!(s.overlap_ref_sum(&[f(1), f(2), f(3)]), 2, "only resident 2 counts");
+    }
+
+    #[test]
+    fn stats_track_behaviour() {
+        let mut s = SiteStore::new(2, EvictionPolicy::Lru);
+        s.insert(f(1));
+        s.insert(f(2));
+        s.insert(f(3));
+        let st = s.stats();
+        assert_eq!(st.insertions, 3);
+        assert_eq!(st.evictions, 1);
+        assert_eq!(st.max_resident, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = SiteStore::new(0, EvictionPolicy::Lru);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Insert(u32),
+        Touch(u32),
+        Reference(u32),
+        PinCycle(u32),
+    }
+
+    fn arb_ops() -> impl Strategy<Value = (usize, EvictionPolicy, Vec<Op>)> {
+        let op = prop_oneof![
+            (0u32..50).prop_map(Op::Insert),
+            (0u32..50).prop_map(Op::Touch),
+            (0u32..50).prop_map(Op::Reference),
+            (0u32..50).prop_map(Op::PinCycle),
+        ];
+        (
+            1usize..20,
+            prop_oneof![
+                Just(EvictionPolicy::Lru),
+                Just(EvictionPolicy::Fifo),
+                Just(EvictionPolicy::Lfu)
+            ],
+            proptest::collection::vec(op, 0..200),
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn capacity_respected_without_pins((cap, policy, ops) in arb_ops()) {
+            let mut s = SiteStore::new(cap, policy);
+            for op in ops {
+                match op {
+                    Op::Insert(x) => { s.insert(FileId(x)); }
+                    Op::Touch(x) => s.touch(FileId(x)),
+                    Op::Reference(x) => s.record_task_reference(FileId(x)),
+                    Op::PinCycle(x) => {
+                        if s.contains(FileId(x)) {
+                            s.pin(FileId(x));
+                            s.unpin(FileId(x));
+                        }
+                    }
+                }
+                // No pins held across ops → never exceeds capacity.
+                prop_assert!(s.len() <= cap, "len {} > cap {}", s.len(), cap);
+                prop_assert_eq!(s.pinned_count(), 0);
+            }
+        }
+
+        #[test]
+        fn order_set_matches_entries((cap, policy, ops) in arb_ops()) {
+            let mut s = SiteStore::new(cap, policy);
+            for op in ops {
+                match op {
+                    Op::Insert(x) => { s.insert(FileId(x)); }
+                    Op::Touch(x) => s.touch(FileId(x)),
+                    Op::Reference(x) => s.record_task_reference(FileId(x)),
+                    Op::PinCycle(_) => {}
+                }
+            }
+            let resident: std::collections::BTreeSet<_> = s.resident().collect();
+            prop_assert_eq!(resident.len(), s.len());
+            for f in resident {
+                prop_assert!(s.contains(f));
+            }
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Graphviz DOT export of grid topologies (debugging / documentation).
+
+use std::fmt::Write as _;
+
+use crate::graph::{Graph, NodeKind};
+use crate::tiers::Topology;
+
+/// Renders `topology` as a Graphviz DOT document.
+///
+/// Node shapes: the WAN core is a double circle, MAN routers circles, site
+/// gateways boxes, the file server and scheduler houses. Edge labels show
+/// `bandwidth MB/s / latency ms`.
+///
+/// # Example
+///
+/// ```
+/// use gridsched_topology::{dot::to_dot, generate, TiersConfig};
+///
+/// let topo = generate(&TiersConfig::small(0));
+/// let dot = to_dot(&topo);
+/// assert!(dot.starts_with("graph grid {"));
+/// assert!(dot.contains("site0"));
+/// ```
+#[must_use]
+pub fn to_dot(topology: &Topology) -> String {
+    let g: &Graph = &topology.graph;
+    let mut out = String::from("graph grid {\n  layout=neato;\n  overlap=false;\n");
+    for n in g.nodes() {
+        let (name, attrs) = match g.kind(n) {
+            NodeKind::WanCore => ("core".to_string(), "shape=doublecircle,color=black"),
+            NodeKind::ManRouter => (format!("man_{}", n.0), "shape=circle,color=gray40"),
+            NodeKind::SiteGateway(i) => (format!("site{i}"), "shape=box,color=blue"),
+            NodeKind::FileServer => ("file_server".to_string(), "shape=house,color=red"),
+            NodeKind::Scheduler => ("scheduler".to_string(), "shape=house,color=green"),
+        };
+        let _ = writeln!(out, "  n{} [label=\"{name}\",{attrs}];", n.0);
+    }
+    for e in g.edges() {
+        let (a, b) = g.endpoints(e);
+        let spec = g.link(e);
+        let _ = writeln!(
+            out,
+            "  n{} -- n{} [label=\"{:.1}MB/s {:.0}ms\"];",
+            a.0,
+            b.0,
+            spec.bandwidth_bps / 1e6,
+            spec.latency_s * 1e3
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tiers::{generate, TiersConfig};
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let topo = generate(&TiersConfig::small(1));
+        let dot = to_dot(&topo);
+        assert!(dot.contains("file_server"));
+        assert!(dot.contains("scheduler"));
+        assert!(dot.contains("core"));
+        for i in 0..6 {
+            assert!(dot.contains(&format!("site{i}")), "missing site{i}");
+        }
+        let edge_lines = dot.lines().filter(|l| l.contains("--")).count();
+        assert_eq!(edge_lines, topo.graph.edge_count());
+    }
+
+    #[test]
+    fn dot_is_valid_ish() {
+        let topo = generate(&TiersConfig::small(2));
+        let dot = to_dot(&topo);
+        assert!(dot.starts_with("graph grid {"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

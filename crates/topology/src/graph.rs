@@ -1,0 +1,301 @@
+//! Weighted undirected multigraph with typed nodes.
+//!
+//! Nodes are routers/gateways/hosts of the grid network; edges are physical
+//! links carrying a bandwidth (bytes/second) and a latency (seconds). The
+//! graph is an arena: nodes and edges are identified by dense integer ids
+//! ([`NodeId`], [`EdgeId`]) so downstream crates (the flow-level network
+//! simulator) can index per-link state with plain vectors.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dense identifier of a graph node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Dense identifier of a graph edge (a network link).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize` index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// The id as a `usize` index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// The role a node plays in the grid network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// WAN backbone router (tier 1).
+    WanCore,
+    /// Metropolitan-area router (tier 2).
+    ManRouter,
+    /// Gateway of one grid site / cluster (tier 3). Carries the site index.
+    SiteGateway(u32),
+    /// The global external file server holding every file.
+    FileServer,
+    /// The global scheduler host.
+    Scheduler,
+}
+
+/// Physical properties of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Capacity in bytes per second (shared by all flows crossing the link).
+    pub bandwidth_bps: f64,
+    /// One-way propagation latency in seconds.
+    pub latency_s: f64,
+}
+
+impl LinkSpec {
+    /// Creates a link spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bandwidth is not strictly positive or latency is negative,
+    /// or either is non-finite.
+    #[must_use]
+    pub fn new(bandwidth_bps: f64, latency_s: f64) -> Self {
+        assert!(
+            bandwidth_bps.is_finite() && bandwidth_bps > 0.0,
+            "bandwidth must be positive and finite: {bandwidth_bps}"
+        );
+        assert!(
+            latency_s.is_finite() && latency_s >= 0.0,
+            "latency must be non-negative and finite: {latency_s}"
+        );
+        LinkSpec {
+            bandwidth_bps,
+            latency_s,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Edge {
+    a: NodeId,
+    b: NodeId,
+    spec: LinkSpec,
+}
+
+/// A weighted undirected multigraph of network nodes and links.
+///
+/// # Example
+///
+/// ```
+/// use gridsched_topology::{Graph, LinkSpec, NodeKind};
+///
+/// let mut g = Graph::new();
+/// let core = g.add_node(NodeKind::WanCore);
+/// let site = g.add_node(NodeKind::SiteGateway(0));
+/// let e = g.add_edge(core, site, LinkSpec::new(1e6, 0.01));
+/// assert_eq!(g.endpoints(e), (core, site));
+/// assert_eq!(g.neighbors(core).count(), 1);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Graph {
+    kinds: Vec<NodeKind>,
+    edges: Vec<Edge>,
+    /// adjacency[n] = list of (edge, other endpoint)
+    adjacency: Vec<Vec<(EdgeId, NodeId)>>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Adds a node of the given kind and returns its id.
+    pub fn add_node(&mut self, kind: NodeKind) -> NodeId {
+        let id = NodeId(u32::try_from(self.kinds.len()).expect("too many nodes"));
+        self.kinds.push(kind);
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Adds an undirected link between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node does not exist or if `a == b` (self-loops make
+    /// no sense for physical links).
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) -> EdgeId {
+        assert!(a.index() < self.kinds.len(), "node {a} out of bounds");
+        assert!(b.index() < self.kinds.len(), "node {b} out of bounds");
+        assert_ne!(a, b, "self-loop links are not allowed");
+        let id = EdgeId(u32::try_from(self.edges.len()).expect("too many edges"));
+        self.edges.push(Edge { a, b, spec });
+        self.adjacency[a.index()].push((id, b));
+        self.adjacency[b.index()].push((id, a));
+        id
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Number of edges (links).
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The kind of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist.
+    #[must_use]
+    pub fn kind(&self, n: NodeId) -> NodeKind {
+        self.kinds[n.index()]
+    }
+
+    /// The two endpoints of an edge, in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge does not exist.
+    #[must_use]
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        let edge = &self.edges[e.index()];
+        (edge.a, edge.b)
+    }
+
+    /// The physical properties of an edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge does not exist.
+    #[must_use]
+    pub fn link(&self, e: EdgeId) -> LinkSpec {
+        self.edges[e.index()].spec
+    }
+
+    /// Iterates over `(edge, neighbor)` pairs incident to `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist.
+    pub fn neighbors(&self, n: NodeId) -> impl Iterator<Item = (EdgeId, NodeId)> + '_ {
+        self.adjacency[n.index()].iter().copied()
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.kinds.len() as u32).map(NodeId)
+    }
+
+    /// Iterates over all edge ids.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeId> {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// All link bandwidths indexed by [`EdgeId::index`] — the layout the
+    /// flow-level network simulator wants.
+    #[must_use]
+    pub fn bandwidths(&self) -> Vec<f64> {
+        self.edges.iter().map(|e| e.spec.bandwidth_bps).collect()
+    }
+
+    /// Finds the first node of a given kind, if any.
+    #[must_use]
+    pub fn find_kind(&self, kind: NodeKind) -> Option<NodeId> {
+        self.kinds
+            .iter()
+            .position(|&k| k == kind)
+            .map(|i| NodeId(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_small_graph() {
+        let mut g = Graph::new();
+        let a = g.add_node(NodeKind::WanCore);
+        let b = g.add_node(NodeKind::ManRouter);
+        let c = g.add_node(NodeKind::SiteGateway(0));
+        let e1 = g.add_edge(a, b, LinkSpec::new(1e9, 0.001));
+        let e2 = g.add_edge(b, c, LinkSpec::new(1e8, 0.002));
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.endpoints(e1), (a, b));
+        assert_eq!(g.link(e2).latency_s, 0.002);
+        assert_eq!(g.kind(c), NodeKind::SiteGateway(0));
+        let nb: Vec<_> = g.neighbors(b).collect();
+        assert_eq!(nb, vec![(e1, a), (e2, c)]);
+    }
+
+    #[test]
+    fn multigraph_allowed() {
+        let mut g = Graph::new();
+        let a = g.add_node(NodeKind::WanCore);
+        let b = g.add_node(NodeKind::ManRouter);
+        g.add_edge(a, b, LinkSpec::new(1.0, 0.0));
+        g.add_edge(a, b, LinkSpec::new(2.0, 0.0));
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.neighbors(a).count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_panics() {
+        let mut g = Graph::new();
+        let a = g.add_node(NodeKind::WanCore);
+        g.add_edge(a, a, LinkSpec::new(1.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_panics() {
+        let _ = LinkSpec::new(0.0, 0.0);
+    }
+
+    #[test]
+    fn bandwidths_layout() {
+        let mut g = Graph::new();
+        let a = g.add_node(NodeKind::WanCore);
+        let b = g.add_node(NodeKind::ManRouter);
+        let c = g.add_node(NodeKind::FileServer);
+        g.add_edge(a, b, LinkSpec::new(10.0, 0.0));
+        g.add_edge(b, c, LinkSpec::new(20.0, 0.0));
+        assert_eq!(g.bandwidths(), vec![10.0, 20.0]);
+    }
+
+    #[test]
+    fn find_kind_works() {
+        let mut g = Graph::new();
+        g.add_node(NodeKind::WanCore);
+        let fs = g.add_node(NodeKind::FileServer);
+        assert_eq!(g.find_kind(NodeKind::FileServer), Some(fs));
+        assert_eq!(g.find_kind(NodeKind::Scheduler), None);
+    }
+}

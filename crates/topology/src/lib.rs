@@ -1,0 +1,41 @@
+//! # gridsched-topology — hierarchical grid topologies
+//!
+//! Replaces the *Tiers* structural topology generator used in the paper
+//! (Doar, "A Better Model for Generating Test Networks", Globecom 1996).
+//! Tiers produces 3-level hierarchical networks — WAN, MAN, LAN — which is
+//! exactly the structure of multi-site grids: every *site* (cluster) hangs
+//! off a LAN gateway, LAN gateways hang off MAN routers, MAN routers off a
+//! WAN core.
+//!
+//! This crate provides:
+//!
+//! * [`Graph`] — a small weighted undirected multigraph with typed nodes,
+//! * [`TiersConfig`] / [`generate`] — a seeded 3-tier generator with
+//!   per-tier bandwidth/latency ranges and optional redundant MAN–MAN links,
+//! * [`RouteTable`] — Dijkstra (latency-weighted) routes from every site
+//!   gateway to the global file server and scheduler.
+//!
+//! The paper's evaluation uses **5 different topologies with 90 sites each**
+//! and averages results over them; [`TiersConfig::paper`] reproduces that
+//! setup for seeds `0..5`.
+//!
+//! ```
+//! use gridsched_topology::{generate, TiersConfig};
+//!
+//! let topo = generate(&TiersConfig::paper(0));
+//! assert_eq!(topo.sites.len(), 90);
+//! let route = topo.routes.site_to_file_server(5);
+//! assert!(!route.links.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dot;
+pub mod graph;
+pub mod route;
+pub mod tiers;
+
+pub use graph::{EdgeId, Graph, LinkSpec, NodeId, NodeKind};
+pub use route::{Route, RouteTable};
+pub use tiers::{generate, TierRange, TiersConfig, Topology};

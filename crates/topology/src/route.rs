@@ -1,0 +1,324 @@
+//! Latency-weighted shortest-path routing.
+//!
+//! Grid traffic in the paper's model flows between site gateways and the two
+//! global hosts (file server, scheduler). [`RouteTable`] precomputes a
+//! Dijkstra shortest-path tree rooted at each global host, weighted by link
+//! latency (ties broken by hop count then edge id, for determinism), and
+//! stores for each site the explicit list of links its traffic crosses —
+//! which is what the flow-level simulator needs for max–min fair sharing.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{EdgeId, Graph, NodeId};
+
+/// An explicit path through the network: the links crossed, plus the total
+/// propagation latency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Route {
+    /// Links crossed, in order from source to destination.
+    pub links: Vec<EdgeId>,
+    /// Sum of link latencies along the path, in seconds.
+    pub latency_s: f64,
+}
+
+impl Route {
+    /// The number of hops (links) on the route.
+    #[must_use]
+    pub fn hops(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The bottleneck (minimum) bandwidth along the route in `graph`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the route is empty or references unknown edges.
+    #[must_use]
+    pub fn bottleneck_bps(&self, graph: &Graph) -> f64 {
+        self.links
+            .iter()
+            .map(|&e| graph.link(e).bandwidth_bps)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    hops: u32,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap: smaller distance first; ties by hops then node id so the
+        // tree is deterministic.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .expect("distances are finite")
+            .then_with(|| other.hops.cmp(&self.hops))
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Runs Dijkstra from `source`, returning for each node the incoming edge on
+/// its shortest path (`None` for the source and unreachable nodes) and the
+/// distance.
+fn dijkstra(graph: &Graph, source: NodeId) -> (Vec<Option<(EdgeId, NodeId)>>, Vec<f64>) {
+    let n = graph.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut hops = vec![u32::MAX; n];
+    let mut prev: Vec<Option<(EdgeId, NodeId)>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[source.index()] = 0.0;
+    hops[source.index()] = 0;
+    heap.push(HeapEntry {
+        dist: 0.0,
+        hops: 0,
+        node: source,
+    });
+    while let Some(HeapEntry {
+        dist: d,
+        hops: h,
+        node,
+    }) = heap.pop()
+    {
+        if d > dist[node.index()] || (d == dist[node.index()] && h > hops[node.index()]) {
+            continue;
+        }
+        for (edge, next) in graph.neighbors(node) {
+            let nd = d + graph.link(edge).latency_s;
+            let nh = h + 1;
+            let better = nd < dist[next.index()]
+                || (nd == dist[next.index()] && nh < hops[next.index()]);
+            if better {
+                dist[next.index()] = nd;
+                hops[next.index()] = nh;
+                prev[next.index()] = Some((edge, node));
+                heap.push(HeapEntry {
+                    dist: nd,
+                    hops: nh,
+                    node: next,
+                });
+            }
+        }
+    }
+    (prev, dist)
+}
+
+/// Extracts the path from `source`'s Dijkstra tree to `target`.
+fn extract_route(
+    prev: &[Option<(EdgeId, NodeId)>],
+    dist: &[f64],
+    target: NodeId,
+) -> Option<Route> {
+    if !dist[target.index()].is_finite() {
+        return None;
+    }
+    let mut links = Vec::new();
+    let mut cur = target;
+    while let Some((edge, parent)) = prev[cur.index()] {
+        links.push(edge);
+        cur = parent;
+    }
+    links.reverse();
+    Some(Route {
+        links,
+        latency_s: dist[target.index()],
+    })
+}
+
+/// Precomputed routes from every site gateway to the file server and the
+/// scheduler.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RouteTable {
+    to_file_server: Vec<Route>,
+    to_scheduler: Vec<Route>,
+}
+
+impl RouteTable {
+    /// Builds the route table for `sites` (site-gateway nodes, indexed by
+    /// site id) toward the two global hosts.
+    ///
+    /// Routes are *symmetric* (undirected links), so the site→file-server
+    /// route is also used for file-server→site transfers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some site cannot reach the file server or scheduler (the
+    /// generator always produces connected graphs).
+    #[must_use]
+    pub fn build(
+        graph: &Graph,
+        sites: &[NodeId],
+        file_server: NodeId,
+        scheduler: NodeId,
+    ) -> Self {
+        let (prev_fs, dist_fs) = dijkstra(graph, file_server);
+        let (prev_sc, dist_sc) = dijkstra(graph, scheduler);
+        let to_file_server = sites
+            .iter()
+            .map(|&s| {
+                extract_route(&prev_fs, &dist_fs, s)
+                    .unwrap_or_else(|| panic!("site {s} unreachable from file server"))
+            })
+            .collect();
+        let to_scheduler = sites
+            .iter()
+            .map(|&s| {
+                extract_route(&prev_sc, &dist_sc, s)
+                    .unwrap_or_else(|| panic!("site {s} unreachable from scheduler"))
+            })
+            .collect();
+        RouteTable {
+            to_file_server,
+            to_scheduler,
+        }
+    }
+
+    /// Route between site `site` and the file server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    #[must_use]
+    pub fn site_to_file_server(&self, site: usize) -> &Route {
+        &self.to_file_server[site]
+    }
+
+    /// Route between site `site` and the scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    #[must_use]
+    pub fn site_to_scheduler(&self, site: usize) -> &Route {
+        &self.to_scheduler[site]
+    }
+
+    /// Number of sites covered by the table.
+    #[must_use]
+    pub fn site_count(&self) -> usize {
+        self.to_file_server.len()
+    }
+}
+
+/// Computes the latency-weighted shortest path between two arbitrary nodes.
+///
+/// Returns `None` if `to` is unreachable from `from`. Used by tests and the
+/// data-replication extension (site-to-site pushes).
+#[must_use]
+pub fn shortest_path(graph: &Graph, from: NodeId, to: NodeId) -> Option<Route> {
+    let (prev, dist) = dijkstra(graph, from);
+    // Note: prev encodes parents toward `from`; extracting the path to `to`
+    // yields links in from→to order after the reverse inside extract_route.
+    extract_route(&prev, &dist, to)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{LinkSpec, NodeKind};
+
+    /// Builds:  fs --1ms-- core --2ms-- man --3ms-- site0
+    ///                        \---------10ms--------/   (redundant slow link)
+    fn diamond() -> (Graph, NodeId, NodeId, NodeId) {
+        let mut g = Graph::new();
+        let fs = g.add_node(NodeKind::FileServer);
+        let core = g.add_node(NodeKind::WanCore);
+        let man = g.add_node(NodeKind::ManRouter);
+        let site = g.add_node(NodeKind::SiteGateway(0));
+        g.add_edge(fs, core, LinkSpec::new(1e9, 0.001));
+        g.add_edge(core, man, LinkSpec::new(1e8, 0.002));
+        g.add_edge(man, site, LinkSpec::new(1e7, 0.003));
+        g.add_edge(core, site, LinkSpec::new(1e6, 0.010));
+        (g, fs, core, site)
+    }
+
+    #[test]
+    fn picks_lower_latency_path() {
+        let (g, fs, _core, site) = diamond();
+        let r = shortest_path(&g, fs, site).expect("connected");
+        // 1 + 2 + 3 ms beats 1 + 10 ms.
+        assert!((r.latency_s - 0.006).abs() < 1e-12);
+        assert_eq!(r.hops(), 3);
+    }
+
+    #[test]
+    fn route_links_are_contiguous() {
+        let (g, fs, _, site) = diamond();
+        let r = shortest_path(&g, fs, site).unwrap();
+        let mut cur = fs;
+        for &e in &r.links {
+            let (a, b) = g.endpoints(e);
+            cur = if a == cur {
+                b
+            } else {
+                assert_eq!(b, cur, "route link does not touch current node");
+                a
+            };
+        }
+        assert_eq!(cur, site, "route must end at the target");
+    }
+
+    #[test]
+    fn bottleneck_bandwidth() {
+        let (g, fs, _, site) = diamond();
+        let r = shortest_path(&g, fs, site).unwrap();
+        assert_eq!(r.bottleneck_bps(&g), 1e7);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut g = Graph::new();
+        let a = g.add_node(NodeKind::FileServer);
+        let b = g.add_node(NodeKind::SiteGateway(0));
+        assert!(shortest_path(&g, a, b).is_none());
+    }
+
+    #[test]
+    fn route_to_self_is_empty() {
+        let (g, fs, _, _) = diamond();
+        let r = shortest_path(&g, fs, fs).unwrap();
+        assert!(r.links.is_empty());
+        assert_eq!(r.latency_s, 0.0);
+    }
+
+    #[test]
+    fn route_table_build() {
+        let (g, fs, core, site) = diamond();
+        let table = RouteTable::build(&g, &[site], fs, core);
+        assert_eq!(table.site_count(), 1);
+        assert_eq!(table.site_to_file_server(0).hops(), 3);
+        assert_eq!(table.site_to_scheduler(0).hops(), 2);
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        // Two equal-latency paths; route must be identical across calls.
+        let mut g = Graph::new();
+        let s = g.add_node(NodeKind::FileServer);
+        let a = g.add_node(NodeKind::ManRouter);
+        let b = g.add_node(NodeKind::ManRouter);
+        let t = g.add_node(NodeKind::SiteGateway(0));
+        g.add_edge(s, a, LinkSpec::new(1.0, 0.005));
+        g.add_edge(s, b, LinkSpec::new(1.0, 0.005));
+        g.add_edge(a, t, LinkSpec::new(1.0, 0.005));
+        g.add_edge(b, t, LinkSpec::new(1.0, 0.005));
+        let r1 = shortest_path(&g, s, t).unwrap();
+        let r2 = shortest_path(&g, s, t).unwrap();
+        assert_eq!(r1, r2);
+    }
+}

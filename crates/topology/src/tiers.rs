@@ -1,0 +1,305 @@
+//! Tiers-like hierarchical topology generator.
+//!
+//! The paper generates its simulation networks with the *Tiers* generator
+//! (Doar 1996): hierarchical WAN / MAN / LAN structures. We reproduce that
+//! shape — one WAN core router, `mans` MAN routers attached to it, and
+//! `sites_per_man` site gateways per MAN — with per-tier bandwidth/latency
+//! ranges sampled uniformly, plus optional redundant MAN–MAN cross links
+//! (Tiers' "redundancy" parameter). The global file server and scheduler
+//! attach to the WAN core, so **all sites share paths toward the file
+//! server**, giving the inter-site contention the paper's evaluation relies
+//! on.
+//!
+//! All randomness is taken from a seeded RNG; the paper's "5 different
+//! topologies with 90 sites each" are `TiersConfig::paper(0) ..
+//! TiersConfig::paper(4)`.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use gridsched_des::rng::{rng_for, Stream};
+
+use crate::graph::{Graph, LinkSpec, NodeId, NodeKind};
+use crate::route::RouteTable;
+
+/// Uniform sampling ranges for one tier of links.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TierRange {
+    /// Minimum bandwidth, bytes/second.
+    pub bw_min_bps: f64,
+    /// Maximum bandwidth, bytes/second.
+    pub bw_max_bps: f64,
+    /// Minimum one-way latency, seconds.
+    pub lat_min_s: f64,
+    /// Maximum one-way latency, seconds.
+    pub lat_max_s: f64,
+}
+
+impl TierRange {
+    /// Creates a range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bound is non-finite, a minimum exceeds its maximum, or
+    /// bandwidth is non-positive.
+    #[must_use]
+    pub fn new(bw_min_bps: f64, bw_max_bps: f64, lat_min_s: f64, lat_max_s: f64) -> Self {
+        assert!(bw_min_bps > 0.0 && bw_min_bps.is_finite());
+        assert!(bw_max_bps >= bw_min_bps && bw_max_bps.is_finite());
+        assert!(lat_min_s >= 0.0 && lat_min_s.is_finite());
+        assert!(lat_max_s >= lat_min_s && lat_max_s.is_finite());
+        TierRange {
+            bw_min_bps,
+            bw_max_bps,
+            lat_min_s,
+            lat_max_s,
+        }
+    }
+
+    fn sample(&self, rng: &mut impl Rng) -> LinkSpec {
+        let bw = if self.bw_min_bps == self.bw_max_bps {
+            self.bw_min_bps
+        } else {
+            rng.gen_range(self.bw_min_bps..self.bw_max_bps)
+        };
+        let lat = if self.lat_min_s == self.lat_max_s {
+            self.lat_min_s
+        } else {
+            rng.gen_range(self.lat_min_s..self.lat_max_s)
+        };
+        LinkSpec::new(bw, lat)
+    }
+}
+
+/// Configuration of the Tiers-like generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TiersConfig {
+    /// Number of MAN routers attached to the WAN core.
+    pub mans: usize,
+    /// Number of site gateways per MAN router.
+    pub sites_per_man: usize,
+    /// Link ranges for WAN-core ↔ MAN links.
+    pub wan_link: TierRange,
+    /// Link ranges for MAN ↔ site-gateway links (the shared *outgoing* link
+    /// of each site in the paper's model).
+    pub man_link: TierRange,
+    /// Link ranges for the file-server and scheduler attachments to the core.
+    pub server_link: TierRange,
+    /// Probability of adding a redundant MAN–MAN cross link per adjacent MAN
+    /// pair (Tiers' redundancy knob).
+    pub redundancy: f64,
+    /// Seed for this topology instance.
+    pub seed: u64,
+}
+
+const MB: f64 = 1e6;
+
+impl TiersConfig {
+    /// The paper's setup: 90 sites (9 MANs × 10 sites), one file server and
+    /// one scheduler on the WAN core. Seeds `0..5` give the paper's five
+    /// averaged topologies.
+    ///
+    /// Bandwidths model the *effective* throughput of a 2007-era shared
+    /// data grid: site uplinks are the bottleneck (0.4–1.4 MB/s effective —
+    /// a 25 MB file takes ~12–40 s, so a cold ~78-file batch takes tens of
+    /// minutes and a contended data-server queue reaches the hour scale of
+    /// the paper's Table 3), while the backbone and the file-server uplink
+    /// are an order of magnitude faster, so contention shifts to the
+    /// server side as the number of active sites grows.
+    #[must_use]
+    pub fn paper(seed: u64) -> Self {
+        TiersConfig {
+            mans: 9,
+            sites_per_man: 10,
+            wan_link: TierRange::new(5.0 * MB, 20.0 * MB, 0.005, 0.020),
+            man_link: TierRange::new(0.4 * MB, 1.4 * MB, 0.001, 0.010),
+            server_link: TierRange::new(20.0 * MB, 50.0 * MB, 0.001, 0.005),
+            redundancy: 0.3,
+            seed,
+        }
+    }
+
+    /// A small topology for unit tests and quick examples (2 MANs × 3 sites).
+    #[must_use]
+    pub fn small(seed: u64) -> Self {
+        TiersConfig {
+            mans: 2,
+            sites_per_man: 3,
+            ..TiersConfig::paper(seed)
+        }
+    }
+
+    /// Total number of sites this config generates.
+    #[must_use]
+    pub fn site_count(&self) -> usize {
+        self.mans * self.sites_per_man
+    }
+}
+
+/// A generated grid network: the graph plus the well-known nodes and the
+/// precomputed route table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    /// The underlying multigraph.
+    pub graph: Graph,
+    /// Site gateways, indexed by site id (`sites[i]` is site `i`).
+    pub sites: Vec<NodeId>,
+    /// The global external file server node.
+    pub file_server: NodeId,
+    /// The global scheduler node.
+    pub scheduler: NodeId,
+    /// Routes from each site to the global hosts.
+    pub routes: RouteTable,
+    /// The seed the topology was generated from.
+    pub seed: u64,
+}
+
+/// Generates a topology from `config`.
+///
+/// Deterministic in `config` (including its seed).
+///
+/// # Panics
+///
+/// Panics if `config.mans` or `config.sites_per_man` is zero.
+#[must_use]
+pub fn generate(config: &TiersConfig) -> Topology {
+    assert!(config.mans > 0, "need at least one MAN");
+    assert!(config.sites_per_man > 0, "need at least one site per MAN");
+    let mut rng = rng_for(config.seed, Stream::Topology);
+    let mut graph = Graph::new();
+
+    let core = graph.add_node(NodeKind::WanCore);
+    let file_server = graph.add_node(NodeKind::FileServer);
+    let scheduler = graph.add_node(NodeKind::Scheduler);
+    graph.add_edge(core, file_server, config.server_link.sample(&mut rng));
+    graph.add_edge(core, scheduler, config.server_link.sample(&mut rng));
+
+    let mut mans = Vec::with_capacity(config.mans);
+    for _ in 0..config.mans {
+        let man = graph.add_node(NodeKind::ManRouter);
+        graph.add_edge(core, man, config.wan_link.sample(&mut rng));
+        mans.push(man);
+    }
+
+    // Redundant MAN–MAN cross links between consecutive MANs (ring-ish), as
+    // Tiers does for its redundancy parameter.
+    if config.mans >= 2 {
+        for i in 0..config.mans {
+            let j = (i + 1) % config.mans;
+            if i < j || config.mans > 2 {
+                if rng.gen_bool(config.redundancy.clamp(0.0, 1.0)) {
+                    graph.add_edge(mans[i], mans[j], config.wan_link.sample(&mut rng));
+                }
+            }
+        }
+    }
+
+    let mut sites = Vec::with_capacity(config.site_count());
+    for (m, &man) in mans.iter().enumerate() {
+        for s in 0..config.sites_per_man {
+            let site_idx = (m * config.sites_per_man + s) as u32;
+            let gw = graph.add_node(NodeKind::SiteGateway(site_idx));
+            graph.add_edge(man, gw, config.man_link.sample(&mut rng));
+            sites.push(gw);
+        }
+    }
+
+    let routes = RouteTable::build(&graph, &sites, file_server, scheduler);
+    Topology {
+        graph,
+        sites,
+        file_server,
+        scheduler,
+        routes,
+        seed: config.seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_has_90_sites() {
+        let topo = generate(&TiersConfig::paper(0));
+        assert_eq!(topo.sites.len(), 90);
+        assert_eq!(topo.routes.site_count(), 90);
+        // 1 core + fs + sched + 9 MANs + 90 sites
+        assert_eq!(topo.graph.node_count(), 3 + 9 + 90);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = generate(&TiersConfig::paper(3));
+        let b = generate(&TiersConfig::paper(3));
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+        for e in a.graph.edges() {
+            assert_eq!(a.graph.link(e), b.graph.link(e));
+            assert_eq!(a.graph.endpoints(e), b.graph.endpoints(e));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&TiersConfig::paper(0));
+        let b = generate(&TiersConfig::paper(1));
+        let differs = a
+            .graph
+            .edges()
+            .take(20)
+            .any(|e| a.graph.link(e) != b.graph.link(e));
+        assert!(differs, "two seeds should give different link specs");
+    }
+
+    #[test]
+    fn every_site_routes_to_servers() {
+        let topo = generate(&TiersConfig::paper(1));
+        for i in 0..topo.sites.len() {
+            let r = topo.routes.site_to_file_server(i);
+            assert!(r.hops() >= 2, "site {i} suspiciously close to file server");
+            assert!(r.latency_s > 0.0);
+            let rs = topo.routes.site_to_scheduler(i);
+            assert!(rs.hops() >= 2);
+        }
+    }
+
+    #[test]
+    fn site_uplink_is_bottleneck() {
+        let topo = generate(&TiersConfig::paper(2));
+        let cfg = TiersConfig::paper(2);
+        for i in 0..topo.sites.len() {
+            let b = topo.routes.site_to_file_server(i).bottleneck_bps(&topo.graph);
+            assert!(
+                b <= cfg.man_link.bw_max_bps,
+                "bottleneck {b} should be at most the site uplink max"
+            );
+        }
+    }
+
+    #[test]
+    fn link_specs_within_ranges() {
+        let cfg = TiersConfig::paper(4);
+        let topo = generate(&cfg);
+        for e in topo.graph.edges() {
+            let spec = topo.graph.link(e);
+            assert!(spec.bandwidth_bps >= cfg.man_link.bw_min_bps);
+            assert!(spec.bandwidth_bps <= cfg.server_link.bw_max_bps);
+            assert!(spec.latency_s >= cfg.man_link.lat_min_s.min(cfg.server_link.lat_min_s));
+            assert!(spec.latency_s <= cfg.wan_link.lat_max_s.max(cfg.man_link.lat_max_s));
+        }
+    }
+
+    #[test]
+    fn small_config() {
+        let topo = generate(&TiersConfig::small(0));
+        assert_eq!(topo.sites.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one MAN")]
+    fn zero_mans_panics() {
+        let mut cfg = TiersConfig::paper(0);
+        cfg.mans = 0;
+        let _ = generate(&cfg);
+    }
+}

@@ -1,0 +1,235 @@
+//! Generic synthetic Bag-of-Tasks workloads.
+//!
+//! The paper's workload is Coadd, but the scheduling strategies are generic
+//! over any Bag-of-Tasks job. This module provides a [`WorkloadBuilder`]
+//! with two popularity models used in ablations and tests:
+//!
+//! * [`Popularity::Uniform`] — every file equally likely; little sharing,
+//!   the adversarial case for locality-aware scheduling,
+//! * [`Popularity::Zipf`] — a few hot files dominate, the distribution
+//!   Ranganathan & Foster's replication study assumes ("geometric"-like
+//!   skew).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use gridsched_des::rng::{rng_for, Stream};
+
+use crate::types::{FileId, TaskId, TaskSpec, Workload};
+
+/// File-popularity model for the generic generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Popularity {
+    /// Uniform file selection.
+    Uniform,
+    /// Zipf-like selection with the given exponent (`1.0` ≈ classic Zipf).
+    Zipf(f64),
+}
+
+/// Builder for synthetic Bag-of-Tasks workloads.
+///
+/// # Example
+///
+/// ```
+/// use gridsched_workload::builder::{Popularity, WorkloadBuilder};
+///
+/// let wl = WorkloadBuilder::new(100, 1000)
+///     .files_per_task(20, 40)
+///     .popularity(Popularity::Zipf(1.0))
+///     .seed(7)
+///     .build();
+/// assert_eq!(wl.task_count(), 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadBuilder {
+    tasks: u32,
+    universe: u32,
+    files_min: u32,
+    files_max: u32,
+    popularity: Popularity,
+    flops_per_file: f64,
+    file_size_bytes: f64,
+    seed: u64,
+}
+
+impl WorkloadBuilder {
+    /// Starts a builder for `tasks` tasks over a universe of `universe`
+    /// files.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    #[must_use]
+    pub fn new(tasks: u32, universe: u32) -> Self {
+        assert!(tasks > 0, "need at least one task");
+        assert!(universe > 0, "need at least one file");
+        WorkloadBuilder {
+            tasks,
+            universe,
+            files_min: 10,
+            files_max: 30,
+            popularity: Popularity::Uniform,
+            flops_per_file: 1.3e12,
+            file_size_bytes: 25e6,
+            seed: 0,
+        }
+    }
+
+    /// Sets the per-task file-count range (inclusive).
+    #[must_use]
+    pub fn files_per_task(mut self, min: u32, max: u32) -> Self {
+        assert!(min >= 1 && min <= max, "bad files-per-task range");
+        self.files_min = min;
+        self.files_max = max;
+        self
+    }
+
+    /// Sets the popularity model.
+    #[must_use]
+    pub fn popularity(mut self, p: Popularity) -> Self {
+        self.popularity = p;
+        self
+    }
+
+    /// Sets the compute cost per file.
+    #[must_use]
+    pub fn flops_per_file(mut self, flops: f64) -> Self {
+        assert!(flops >= 0.0 && flops.is_finite());
+        self.flops_per_file = flops;
+        self
+    }
+
+    /// Sets the uniform file size in bytes.
+    #[must_use]
+    pub fn file_size_bytes(mut self, bytes: f64) -> Self {
+        assert!(bytes > 0.0 && bytes.is_finite());
+        self.file_size_bytes = bytes;
+        self
+    }
+
+    /// Sets the generator seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the workload (deterministic in the builder state).
+    #[must_use]
+    pub fn build(&self) -> Workload {
+        let mut rng = rng_for(self.seed, Stream::Workload);
+        // Zipf CDF over ranks 1..=universe (precomputed for binary search).
+        let zipf_cdf: Option<Vec<f64>> = match self.popularity {
+            Popularity::Uniform => None,
+            Popularity::Zipf(s) => {
+                let mut acc = 0.0;
+                let cdf: Vec<f64> = (1..=self.universe as u64)
+                    .map(|r| {
+                        acc += 1.0 / (r as f64).powf(s);
+                        acc
+                    })
+                    .collect();
+                Some(cdf)
+            }
+        };
+        let max_files = self.files_max.min(self.universe);
+        let min_files = self.files_min.min(max_files);
+        let mut tasks = Vec::with_capacity(self.tasks as usize);
+        for i in 0..self.tasks {
+            let want = rng.gen_range(min_files..=max_files) as usize;
+            let mut set = std::collections::BTreeSet::new();
+            // Rejection-sample distinct files; universe >> want in practice.
+            let mut guard = 0u32;
+            while set.len() < want {
+                let f = match &zipf_cdf {
+                    None => rng.gen_range(0..self.universe),
+                    Some(cdf) => {
+                        let total = *cdf.last().expect("non-empty universe");
+                        let x: f64 = rng.gen_range(0.0..total);
+                        cdf.partition_point(|&c| c < x) as u32
+                    }
+                };
+                set.insert(FileId(f.min(self.universe - 1)));
+                guard += 1;
+                if guard > 100 * self.universe {
+                    break; // pathological config; keep what we have
+                }
+            }
+            let files: Vec<FileId> = set.into_iter().collect();
+            let flops = self.flops_per_file * files.len() as f64;
+            tasks.push(TaskSpec::new(TaskId(i), files, flops));
+        }
+        let wl = Workload::new(
+            tasks,
+            self.universe,
+            self.file_size_bytes,
+            format!(
+                "synthetic(tasks={}, universe={}, files=[{},{}], {:?}, seed={})",
+                self.tasks, self.universe, min_files, max_files, self.popularity, self.seed
+            ),
+        );
+        wl.take_prefix(wl.task_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_within_bounds() {
+        let wl = WorkloadBuilder::new(50, 500)
+            .files_per_task(5, 9)
+            .seed(1)
+            .build();
+        assert_eq!(wl.task_count(), 50);
+        for t in wl.tasks() {
+            assert!(t.file_count() >= 5 && t.file_count() <= 9);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = WorkloadBuilder::new(30, 100).seed(9).build();
+        let b = WorkloadBuilder::new(30, 100).seed(9).build();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let wl = WorkloadBuilder::new(300, 1000)
+            .files_per_task(10, 10)
+            .popularity(Popularity::Zipf(1.2))
+            .seed(2)
+            .build();
+        let mut refs = wl.reference_counts();
+        refs.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: u32 = refs.iter().take(10).sum();
+        let total: u32 = refs.iter().sum();
+        assert!(
+            top10 as f64 > total as f64 * 0.08,
+            "zipf should concentrate references (top10={top10}, total={total})"
+        );
+    }
+
+    #[test]
+    fn uniform_is_flat() {
+        let wl = WorkloadBuilder::new(300, 100)
+            .files_per_task(10, 10)
+            .popularity(Popularity::Uniform)
+            .seed(2)
+            .build();
+        let refs = wl.reference_counts();
+        let max = *refs.iter().max().unwrap() as f64;
+        let mean = refs.iter().map(|&c| c as f64).sum::<f64>() / refs.len() as f64;
+        assert!(max < mean * 2.5, "uniform refs should be flat-ish");
+    }
+
+    #[test]
+    fn files_per_task_clamped_to_universe() {
+        let wl = WorkloadBuilder::new(5, 8).files_per_task(10, 50).build();
+        for t in wl.tasks() {
+            assert!(t.file_count() <= 8);
+        }
+    }
+}

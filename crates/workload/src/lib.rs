@@ -1,0 +1,38 @@
+//! # gridsched-workload — Bag-of-Tasks workloads and the Coadd generator
+//!
+//! Data-intensive grid applications in the paper are **Bag-of-Tasks** jobs:
+//! many independent tasks, each reading a (large, overlapping) set of input
+//! files. This crate provides:
+//!
+//! * [`Workload`], [`TaskSpec`], [`FileId`], [`TaskId`] — the job model,
+//! * [`coadd`] — a synthetic generator for the paper's evaluation workload,
+//!   **Coadd** (Sloan Digital Sky Survey southern-hemisphere coaddition),
+//!   calibrated against the paper's Table 2 and Figure 3,
+//! * [`stats`] — files-per-task statistics and the file-reference CDF the
+//!   paper plots in Figures 1 and 3,
+//! * [`builder`] — generic synthetic workloads (uniform and Zipf file
+//!   popularity) for ablations,
+//! * [`trace`] — a plain-text trace format to save/load workloads.
+//!
+//! ## Example
+//!
+//! ```
+//! use gridsched_workload::coadd::CoaddConfig;
+//!
+//! let wl = CoaddConfig::paper_6000().generate();
+//! assert_eq!(wl.task_count(), 6000);
+//! let stats = wl.stats();
+//! assert!(stats.mean_files_per_task > 70.0 && stats.mean_files_per_task < 90.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod coadd;
+pub mod stats;
+pub mod trace;
+pub mod types;
+
+pub use stats::WorkloadStats;
+pub use types::{FileId, TaskId, TaskSpec, Workload};

@@ -1,0 +1,133 @@
+//! Workload statistics: Table 2 and the Figures 1/3 reference CDF.
+//!
+//! The paper characterises Coadd by (a) files-per-task min/max/mean
+//! (Table 2) and (b) the cumulative distribution of per-file reference
+//! counts, plotted with a *decreasing* x-axis: the y-value at `x = k` is the
+//! percentage of files referenced by **at least** `k` tasks ("roughly 85% of
+//! files are accessed by 6 or more tasks").
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::Workload;
+
+/// Summary statistics of a [`Workload`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadStats {
+    /// Number of tasks.
+    pub tasks: usize,
+    /// Total number of distinct files (Table 2: 53,390 for scaled Coadd).
+    pub total_files: usize,
+    /// Maximum files needed by a task (Table 2: 101).
+    pub max_files_per_task: usize,
+    /// Minimum files needed by a task (Table 2: 36).
+    pub min_files_per_task: usize,
+    /// Mean files needed by a task (Table 2: 78.4327).
+    pub mean_files_per_task: f64,
+    /// Histogram: `ref_histogram[k]` = number of files referenced by exactly
+    /// `k` tasks (index 0 unused — every file is referenced at least once in
+    /// a well-formed workload, but we keep it for defensive reporting).
+    pub ref_histogram: Vec<usize>,
+}
+
+impl WorkloadStats {
+    /// Computes statistics for `workload`.
+    #[must_use]
+    pub fn compute(workload: &Workload) -> Self {
+        let counts = workload.reference_counts();
+        let max_refs = counts.iter().copied().max().unwrap_or(0) as usize;
+        let mut hist = vec![0usize; max_refs + 1];
+        for &c in &counts {
+            hist[c as usize] += 1;
+        }
+        let per_task: Vec<usize> = workload.tasks().iter().map(|t| t.file_count()).collect();
+        let sum: usize = per_task.iter().sum();
+        WorkloadStats {
+            tasks: workload.task_count(),
+            total_files: workload.file_count(),
+            max_files_per_task: per_task.iter().copied().max().unwrap_or(0),
+            min_files_per_task: per_task.iter().copied().min().unwrap_or(0),
+            mean_files_per_task: sum as f64 / per_task.len() as f64,
+            ref_histogram: hist,
+        }
+    }
+
+    /// Percentage (0–100) of files referenced by **at least** `k` tasks —
+    /// one point of the Figure 1/3 CDF.
+    #[must_use]
+    pub fn pct_files_with_at_least(&self, k: usize) -> f64 {
+        if self.total_files == 0 {
+            return 0.0;
+        }
+        let at_least: usize = self.ref_histogram.iter().skip(k).sum();
+        at_least as f64 / self.total_files as f64 * 100.0
+    }
+
+    /// The full decreasing-x CDF as `(k, pct_files_with_at_least(k))` pairs
+    /// for `k = 1 ..= max_refs` — exactly the series plotted in Figures 1
+    /// and 3.
+    #[must_use]
+    pub fn reference_cdf(&self) -> Vec<(usize, f64)> {
+        (1..self.ref_histogram.len())
+            .map(|k| (k, self.pct_files_with_at_least(k)))
+            .collect()
+    }
+
+    /// The highest reference count observed.
+    #[must_use]
+    pub fn max_references(&self) -> usize {
+        self.ref_histogram.len().saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::types::{FileId, TaskId, TaskSpec, Workload};
+
+    fn wl() -> Workload {
+        // Files: 0 referenced by 3 tasks, 1 by 2, 2 by 1.
+        Workload::new(
+            vec![
+                TaskSpec::new(TaskId(0), vec![FileId(0), FileId(1)], 0.0),
+                TaskSpec::new(TaskId(1), vec![FileId(0), FileId(1)], 0.0),
+                TaskSpec::new(TaskId(2), vec![FileId(0), FileId(2)], 0.0),
+            ],
+            3,
+            1.0,
+            "t",
+        )
+    }
+
+    #[test]
+    fn table2_style_stats() {
+        let s = wl().stats();
+        assert_eq!(s.tasks, 3);
+        assert_eq!(s.total_files, 3);
+        assert_eq!(s.min_files_per_task, 2);
+        assert_eq!(s.max_files_per_task, 2);
+        assert!((s.mean_files_per_task - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_and_cdf() {
+        let s = wl().stats();
+        // refs: file0=3, file1=2, file2=1 → hist[1]=1, hist[2]=1, hist[3]=1
+        assert_eq!(s.ref_histogram, vec![0, 1, 1, 1]);
+        assert!((s.pct_files_with_at_least(1) - 100.0).abs() < 1e-9);
+        assert!((s.pct_files_with_at_least(2) - 66.666).abs() < 0.01);
+        assert!((s.pct_files_with_at_least(3) - 33.333).abs() < 0.01);
+        assert_eq!(s.pct_files_with_at_least(4), 0.0);
+        let cdf = s.reference_cdf();
+        assert_eq!(cdf.len(), 3);
+        assert_eq!(cdf[0].0, 1);
+        assert_eq!(s.max_references(), 3);
+    }
+
+    #[test]
+    fn cdf_is_monotone_decreasing() {
+        let s = wl().stats();
+        let cdf = s.reference_cdf();
+        for w in cdf.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+}

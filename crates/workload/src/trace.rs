@@ -1,0 +1,239 @@
+//! Plain-text workload trace format.
+//!
+//! Lets the experiment harness persist a generated workload and reload it
+//! later (or lets a user feed in a *real* trace — e.g. the original Coadd
+//! task→files mapping — without recompiling). The format is deliberately
+//! simple and diff-friendly:
+//!
+//! ```text
+//! # gridsched workload v1
+//! label <free text>
+//! files <num_files>
+//! file_size_bytes <f64>
+//! task <flops> <file_id> <file_id> ...
+//! task <flops> ...
+//! ```
+//!
+//! One `task` line per task, in id order.
+
+use std::fmt::Write as _;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+use crate::types::{FileId, TaskId, TaskSpec, Workload};
+
+/// Magic first line of the format.
+const MAGIC: &str = "# gridsched workload v1";
+
+/// Errors from [`read_trace`].
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The input is not a valid trace; the string describes the problem and
+    /// the line number.
+    Parse(String),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::Parse(msg) => write!(f, "trace parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            TraceError::Parse(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Serialises `workload` to `writer` in the v1 text format.
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer.
+pub fn write_trace<W: Write>(workload: &Workload, mut writer: W) -> io::Result<()> {
+    let mut buf = String::new();
+    buf.push_str(MAGIC);
+    buf.push('\n');
+    let _ = writeln!(buf, "label {}", workload.label.replace('\n', " "));
+    let _ = writeln!(buf, "files {}", workload.file_count());
+    let _ = writeln!(buf, "file_size_bytes {}", workload.file_size_bytes);
+    for t in workload.tasks() {
+        let _ = write!(buf, "task {}", t.flops);
+        for f in t.files() {
+            let _ = write!(buf, " {}", f.0);
+        }
+        buf.push('\n');
+        // Flush periodically to keep memory flat on huge workloads.
+        if buf.len() > 1 << 20 {
+            writer.write_all(buf.as_bytes())?;
+            buf.clear();
+        }
+    }
+    writer.write_all(buf.as_bytes())?;
+    Ok(())
+}
+
+/// Parses a workload from `reader`.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Parse`] on malformed input and [`TraceError::Io`]
+/// on reader failures.
+pub fn read_trace<R: Read>(reader: R) -> Result<Workload, TraceError> {
+    let reader = BufReader::new(reader);
+    let mut lines = reader.lines();
+    let first = lines
+        .next()
+        .ok_or_else(|| TraceError::Parse("empty input".into()))??;
+    if first.trim() != MAGIC {
+        return Err(TraceError::Parse(format!(
+            "line 1: expected `{MAGIC}`, got `{first}`"
+        )));
+    }
+    let mut label = String::from("trace");
+    let mut num_files: Option<u32> = None;
+    let mut file_size: Option<f64> = None;
+    let mut tasks: Vec<TaskSpec> = Vec::new();
+    for (idx, line) in lines.enumerate() {
+        let line = line?;
+        let lineno = idx + 2;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let key = parts.next().expect("non-empty line has a first token");
+        match key {
+            "label" => {
+                label = line["label".len()..].trim().to_string();
+            }
+            "files" => {
+                let v = parts
+                    .next()
+                    .ok_or_else(|| TraceError::Parse(format!("line {lineno}: files needs a count")))?;
+                num_files = Some(v.parse().map_err(|e| {
+                    TraceError::Parse(format!("line {lineno}: bad file count: {e}"))
+                })?);
+            }
+            "file_size_bytes" => {
+                let v = parts.next().ok_or_else(|| {
+                    TraceError::Parse(format!("line {lineno}: file_size_bytes needs a value"))
+                })?;
+                file_size = Some(v.parse().map_err(|e| {
+                    TraceError::Parse(format!("line {lineno}: bad file size: {e}"))
+                })?);
+            }
+            "task" => {
+                let flops: f64 = parts
+                    .next()
+                    .ok_or_else(|| TraceError::Parse(format!("line {lineno}: task needs flops")))?
+                    .parse()
+                    .map_err(|e| TraceError::Parse(format!("line {lineno}: bad flops: {e}")))?;
+                let files: Result<Vec<FileId>, TraceError> = parts
+                    .map(|p| {
+                        p.parse::<u32>().map(FileId).map_err(|e| {
+                            TraceError::Parse(format!("line {lineno}: bad file id `{p}`: {e}"))
+                        })
+                    })
+                    .collect();
+                let files = files?;
+                if files.is_empty() {
+                    return Err(TraceError::Parse(format!(
+                        "line {lineno}: task has no files"
+                    )));
+                }
+                let id = TaskId(u32::try_from(tasks.len()).map_err(|_| {
+                    TraceError::Parse(format!("line {lineno}: too many tasks"))
+                })?);
+                tasks.push(TaskSpec::new(id, files, flops));
+            }
+            other => {
+                return Err(TraceError::Parse(format!(
+                    "line {lineno}: unknown directive `{other}`"
+                )));
+            }
+        }
+    }
+    let num_files =
+        num_files.ok_or_else(|| TraceError::Parse("missing `files` directive".into()))?;
+    let file_size =
+        file_size.ok_or_else(|| TraceError::Parse("missing `file_size_bytes` directive".into()))?;
+    if tasks.is_empty() {
+        return Err(TraceError::Parse("trace contains no tasks".into()));
+    }
+    for t in &tasks {
+        for f in t.files() {
+            if f.0 >= num_files {
+                return Err(TraceError::Parse(format!(
+                    "task {} references file {} >= declared universe {}",
+                    t.id, f.0, num_files
+                )));
+            }
+        }
+    }
+    Ok(Workload::new(tasks, num_files, file_size, label))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coadd::CoaddConfig;
+
+    #[test]
+    fn round_trip() {
+        let wl = CoaddConfig::small(4).generate();
+        let mut buf = Vec::new();
+        write_trace(&wl, &mut buf).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(wl, back);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_trace("nope\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceError::Parse(_)));
+        assert!(err.to_string().contains("expected"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_file() {
+        let text = format!("{MAGIC}\nfiles 2\nfile_size_bytes 1\ntask 1.0 0 5\n");
+        let err = read_trace(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains(">= declared universe"));
+    }
+
+    #[test]
+    fn rejects_taskless_trace() {
+        let text = format!("{MAGIC}\nfiles 2\nfile_size_bytes 1\n");
+        let err = read_trace(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("no tasks"));
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let text = format!("{MAGIC}\n\n# comment\nfiles 2\nfile_size_bytes 1\ntask 1.0 0 1\n");
+        let wl = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(wl.task_count(), 1);
+        assert_eq!(wl.file_count(), 2);
+    }
+
+    #[test]
+    fn unknown_directive_is_error() {
+        let text = format!("{MAGIC}\nbogus 1\n");
+        let err = read_trace(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("unknown directive"));
+    }
+}

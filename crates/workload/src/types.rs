@@ -1,0 +1,311 @@
+//! Core workload types: files, tasks and Bag-of-Tasks jobs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dense identifier of an input file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FileId(pub u32);
+
+/// Dense identifier of a task within a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TaskId(pub u32);
+
+impl FileId {
+    /// The id as a `usize` index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl TaskId {
+    /// The id as a `usize` index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// One task of a Bag-of-Tasks job: the input files it reads and its compute
+/// cost.
+///
+/// Invariant: `files` is sorted and duplicate-free (enforced by
+/// [`TaskSpec::new`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// The task's id (its index in the owning [`Workload`]).
+    pub id: TaskId,
+    files: Vec<FileId>,
+    /// Compute cost in floating-point operations.
+    pub flops: f64,
+}
+
+impl TaskSpec {
+    /// Creates a task, normalising its file list (sorted, deduped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `files` is empty (a data-intensive task reads at least one
+    /// file) or `flops` is negative/NaN.
+    #[must_use]
+    pub fn new(id: TaskId, mut files: Vec<FileId>, flops: f64) -> Self {
+        assert!(!files.is_empty(), "task {id} has no input files");
+        assert!(flops >= 0.0 && flops.is_finite(), "bad flops: {flops}");
+        files.sort_unstable();
+        files.dedup();
+        TaskSpec { id, files, flops }
+    }
+
+    /// The input files, sorted and duplicate-free. `|t|` in the paper's
+    /// notation is `self.files().len()`.
+    #[must_use]
+    pub fn files(&self) -> &[FileId] {
+        &self.files
+    }
+
+    /// Number of input files (`|t|`).
+    #[must_use]
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+}
+
+/// A Bag-of-Tasks job: independent tasks over a universe of equally-sized
+/// files (the paper's system-model assumption 8; "the number of bytes is
+/// what matters").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    tasks: Vec<TaskSpec>,
+    num_files: u32,
+    /// Size of every file, in bytes (default experiments: 25 MB).
+    pub file_size_bytes: f64,
+    /// Human-readable provenance (generator + parameters).
+    pub label: String,
+}
+
+impl Workload {
+    /// Creates a workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any task references a file `>= num_files`, tasks are empty,
+    /// task ids are not dense `0..n`, or `file_size_bytes` is not positive.
+    #[must_use]
+    pub fn new(
+        tasks: Vec<TaskSpec>,
+        num_files: u32,
+        file_size_bytes: f64,
+        label: impl Into<String>,
+    ) -> Self {
+        assert!(!tasks.is_empty(), "workload has no tasks");
+        assert!(
+            file_size_bytes > 0.0 && file_size_bytes.is_finite(),
+            "bad file size"
+        );
+        for (i, t) in tasks.iter().enumerate() {
+            assert_eq!(t.id.index(), i, "task ids must be dense 0..n");
+            for f in t.files() {
+                assert!(
+                    f.0 < num_files,
+                    "task {} references unknown file {f}",
+                    t.id
+                );
+            }
+        }
+        Workload {
+            tasks,
+            num_files,
+            file_size_bytes,
+            label: label.into(),
+        }
+    }
+
+    /// All tasks, indexed by [`TaskId::index`].
+    #[must_use]
+    pub fn tasks(&self) -> &[TaskSpec] {
+        &self.tasks
+    }
+
+    /// Looks up a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn task(&self, id: TaskId) -> &TaskSpec {
+        &self.tasks[id.index()]
+    }
+
+    /// Number of tasks.
+    #[must_use]
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of distinct files in the universe.
+    #[must_use]
+    pub fn file_count(&self) -> usize {
+        self.num_files as usize
+    }
+
+    /// Truncates to the first `n` tasks (the paper uses "only the first
+    /// 6,000 tasks of Coadd"), dropping files no surviving task references
+    /// and re-densifying file ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds the task count.
+    #[must_use]
+    pub fn take_prefix(&self, n: usize) -> Workload {
+        assert!(n > 0 && n <= self.tasks.len(), "bad prefix length {n}");
+        let mut used = vec![false; self.num_files as usize];
+        for t in &self.tasks[..n] {
+            for f in t.files() {
+                used[f.index()] = true;
+            }
+        }
+        let mut remap = vec![u32::MAX; self.num_files as usize];
+        let mut next = 0u32;
+        for (i, &u) in used.iter().enumerate() {
+            if u {
+                remap[i] = next;
+                next += 1;
+            }
+        }
+        let tasks = self.tasks[..n]
+            .iter()
+            .map(|t| {
+                TaskSpec::new(
+                    t.id,
+                    t.files().iter().map(|f| FileId(remap[f.index()])).collect(),
+                    t.flops,
+                )
+            })
+            .collect();
+        Workload::new(
+            tasks,
+            next,
+            self.file_size_bytes,
+            format!("{} (first {n} tasks)", self.label),
+        )
+    }
+
+    /// Computes summary statistics (Table 2 / Figure 3 of the paper).
+    #[must_use]
+    pub fn stats(&self) -> crate::stats::WorkloadStats {
+        crate::stats::WorkloadStats::compute(self)
+    }
+
+    /// Per-file reference counts: `counts[f]` = number of tasks reading
+    /// file `f`.
+    #[must_use]
+    pub fn reference_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.num_files as usize];
+        for t in &self.tasks {
+            for f in t.files() {
+                counts[f.index()] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Total bytes a cold site would need to fetch to run every task once
+    /// with a perfectly warm cache afterwards (i.e. `file_count ×
+    /// file_size`).
+    #[must_use]
+    pub fn total_file_bytes(&self) -> f64 {
+        self.num_files as f64 * self.file_size_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Workload {
+        Workload::new(
+            vec![
+                TaskSpec::new(TaskId(0), vec![FileId(0), FileId(1)], 1e9),
+                TaskSpec::new(TaskId(1), vec![FileId(1), FileId(2)], 2e9),
+            ],
+            3,
+            25e6,
+            "tiny",
+        )
+    }
+
+    #[test]
+    fn task_normalises_files() {
+        let t = TaskSpec::new(TaskId(0), vec![FileId(3), FileId(1), FileId(3)], 0.0);
+        assert_eq!(t.files(), &[FileId(1), FileId(3)]);
+        assert_eq!(t.file_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no input files")]
+    fn empty_task_panics() {
+        let _ = TaskSpec::new(TaskId(0), vec![], 1.0);
+    }
+
+    #[test]
+    fn workload_accessors() {
+        let wl = tiny();
+        assert_eq!(wl.task_count(), 2);
+        assert_eq!(wl.file_count(), 3);
+        assert_eq!(wl.task(TaskId(1)).file_count(), 2);
+        assert_eq!(wl.reference_counts(), vec![1, 2, 1]);
+        assert_eq!(wl.total_file_bytes(), 75e6);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown file")]
+    fn out_of_range_file_panics() {
+        let _ = Workload::new(
+            vec![TaskSpec::new(TaskId(0), vec![FileId(5)], 1.0)],
+            3,
+            1.0,
+            "bad",
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn non_dense_ids_panic() {
+        let _ = Workload::new(
+            vec![TaskSpec::new(TaskId(7), vec![FileId(0)], 1.0)],
+            1,
+            1.0,
+            "bad",
+        );
+    }
+
+    #[test]
+    fn prefix_remaps_files_densely() {
+        let wl = tiny();
+        let p = wl.take_prefix(1);
+        assert_eq!(p.task_count(), 1);
+        assert_eq!(p.file_count(), 2); // file 2 dropped
+        assert_eq!(p.task(TaskId(0)).files(), &[FileId(0), FileId(1)]);
+    }
+
+    #[test]
+    fn prefix_full_length_is_identity_shape() {
+        let wl = tiny();
+        let p = wl.take_prefix(2);
+        assert_eq!(p.task_count(), 2);
+        assert_eq!(p.file_count(), 3);
+    }
+}

@@ -1,0 +1,44 @@
+//! Quickstart: run one simulation with the paper's defaults and print the
+//! headline metrics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use gridsched::prelude::*;
+
+fn main() {
+    // A scaled-down Coadd workload so the example finishes in about a
+    // second; swap in `CoaddConfig::paper_6000()` for the paper's full
+    // scaled workload.
+    let mut coadd = CoaddConfig::paper_6000();
+    coadd.tasks = 1000;
+    let workload = Arc::new(coadd.generate());
+    let stats = workload.stats();
+    println!(
+        "workload: {} tasks over {} files ({:.1} files/task, {:.0}% of files shared by >=6 tasks)",
+        stats.tasks,
+        stats.total_files,
+        stats.mean_files_per_task,
+        stats.pct_files_with_at_least(6),
+    );
+
+    // Table 1 defaults: 10 sites, 1 worker per site, 6,000-file data
+    // servers, 25 MB files.
+    let config = SimConfig::paper(workload, StrategyKind::Combined2);
+    let report = GridSim::new(config).run();
+
+    println!();
+    println!("algorithm        : {}", report.config.strategy);
+    println!("makespan         : {:.0} minutes ({:.1} days)", report.makespan_minutes, report.makespan_minutes / 1440.0);
+    println!("file transfers   : {}", report.file_transfers);
+    println!("bytes on the wire: {:.1} GB", report.bytes_transferred / 1e9);
+    println!("tasks completed  : {}", report.tasks_completed);
+    println!(
+        "avg request wait : {:.2} h, avg batch transfer: {:.2} h",
+        report.avg_waiting_hours(),
+        report.avg_transfer_hours()
+    );
+}

@@ -1,0 +1,320 @@
+//! `gridsched` — command-line front end to the simulator.
+//!
+//! ```text
+//! gridsched simulate [--strategy rest.2] [--sites 10] [--workers 1]
+//!                    [--capacity 6000] [--policy lru] [--tasks 6000]
+//!                    [--file-size-mb 25] [--seed 0] [--topology-seeds 0,1,2,3,4]
+//!                    [--choose-n N] [--replication-threshold T]
+//!                    [--trace FILE] [--csv]
+//! gridsched workload [--tasks 6000] [--seed 0] [--out FILE]
+//! gridsched topology [--seed 0] [--sites 90] [--dot FILE]
+//! gridsched strategies
+//! ```
+//!
+//! `simulate` runs one experiment point (averaged over the topology
+//! seeds), `workload` generates and optionally saves a Coadd trace,
+//! `topology` summarises a generated network (optionally exporting
+//! Graphviz DOT), `strategies` lists the available algorithms.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use gridsched::prelude::*;
+use gridsched::topology::dot::to_dot;
+use gridsched::workload::trace;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let opts = match parse_flags(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match command.as_str() {
+        "simulate" => cmd_simulate(&opts),
+        "workload" => cmd_workload(&opts),
+        "topology" => cmd_topology(&opts),
+        "strategies" => {
+            for s in [
+                "storage-affinity",
+                "overlap",
+                "rest",
+                "combined",
+                "rest.2",
+                "combined.2",
+                "workqueue",
+                "xsufferage",
+            ] {
+                println!("{s}");
+            }
+            Ok(())
+        }
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  gridsched simulate [--strategy S] [--sites N] [--workers N] [--capacity N]
+                     [--policy lru|fifo|lfu] [--tasks N] [--file-size-mb X]
+                     [--seed N] [--topology-seeds a,b,c] [--choose-n N]
+                     [--replication-threshold N] [--trace FILE] [--csv]
+  gridsched workload [--tasks N] [--seed N] [--file-size-mb X] [--out FILE]
+  gridsched topology [--seed N] [--sites N] [--dot FILE]
+  gridsched strategies";
+
+/// `--flag value` pairs plus boolean flags (`--csv`).
+struct Opts {
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Opts {
+    fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|e| format!("bad value for --{key}: {e}")),
+        }
+    }
+
+    fn get_opt<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.values.get(key) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|e| format!("bad value for --{key}: {e}")),
+        }
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+}
+
+const SWITCHES: &[&str] = &["csv"];
+
+fn parse_flags(args: &[String]) -> Result<Opts, String> {
+    let mut values = HashMap::new();
+    let mut switches = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let Some(key) = arg.strip_prefix("--") else {
+            return Err(format!("expected a --flag, got `{arg}`"));
+        };
+        if SWITCHES.contains(&key) {
+            switches.push(key.to_string());
+        } else {
+            let value = iter
+                .next()
+                .ok_or_else(|| format!("--{key} needs a value"))?;
+            values.insert(key.to_string(), value.clone());
+        }
+    }
+    Ok(Opts { values, switches })
+}
+
+fn parse_seed_list(raw: &str) -> Result<Vec<u64>, String> {
+    let seeds: Result<Vec<u64>, _> = raw.split(',').map(|s| s.trim().parse()).collect();
+    let seeds = seeds.map_err(|e| format!("bad seed list: {e}"))?;
+    if seeds.is_empty() {
+        return Err("empty seed list".into());
+    }
+    Ok(seeds)
+}
+
+fn load_or_generate_workload(opts: &Opts) -> Result<Arc<Workload>, String> {
+    if let Some(path) = opts.values.get("trace") {
+        let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+        let wl = trace::read_trace(std::io::BufReader::new(file))
+            .map_err(|e| format!("parse {path}: {e}"))?;
+        return Ok(Arc::new(wl));
+    }
+    let mut cfg = CoaddConfig::paper_6000();
+    cfg.tasks = opts.get("tasks", 6000u32)?;
+    cfg.seed = opts.get("workload-seed", 0u64)?;
+    let fsmb: f64 = opts.get("file-size-mb", 25.0)?;
+    if fsmb <= 0.0 {
+        return Err("--file-size-mb must be positive".into());
+    }
+    Ok(Arc::new(cfg.with_file_size_mb(fsmb).generate()))
+}
+
+fn cmd_simulate(opts: &Opts) -> Result<(), String> {
+    let strategy: StrategyKind = opts.get("strategy", StrategyKind::Rest2)?;
+    let workload = load_or_generate_workload(opts)?;
+    let mut config = SimConfig::paper(workload, strategy)
+        .with_sites(opts.get("sites", 10usize)?)
+        .with_workers_per_site(opts.get("workers", 1usize)?)
+        .with_capacity(opts.get("capacity", 6000usize)?)
+        .with_policy(opts.get("policy", EvictionPolicy::Lru)?)
+        .with_seed(opts.get("seed", 0u64)?);
+    if let Some(n) = opts.get_opt::<usize>("choose-n")? {
+        config = config.with_choose_n(n);
+    }
+    if let Some(t) = opts.get_opt::<u32>("replication-threshold")? {
+        config = config.with_replication(ReplicationConfig {
+            popularity_threshold: t,
+            max_replicas_per_file: 1,
+        });
+    }
+    let seeds = parse_seed_list(
+        opts.values
+            .get("topology-seeds")
+            .map_or("0,1,2,3,4", String::as_str),
+    )?;
+    let report = run_averaged(&config, &seeds);
+
+    if opts.has("csv") {
+        println!(
+            "strategy,sites,workers,capacity,policy,tasks,makespan_min,file_transfers,bytes,avg_wait_h,avg_xfer_h,replicas"
+        );
+        println!(
+            "{},{},{},{},{},{},{:.1},{},{:.0},{:.4},{:.4},{}",
+            report.config.strategy,
+            report.config.sites,
+            report.config.workers_per_site,
+            report.config.capacity_files,
+            report.config.policy,
+            report.config.tasks,
+            report.makespan_minutes,
+            report.file_transfers,
+            report.bytes_transferred,
+            report.avg_waiting_hours(),
+            report.avg_transfer_hours(),
+            report.replicas_launched,
+        );
+    } else {
+        println!("strategy          : {}", report.config.strategy);
+        println!(
+            "grid              : {} sites x {} workers, capacity {} files, {} policy",
+            report.config.sites,
+            report.config.workers_per_site,
+            report.config.capacity_files,
+            report.config.policy
+        );
+        println!(
+            "workload          : {} tasks, {:.0} MB files",
+            report.config.tasks, report.config.file_size_mb
+        );
+        println!("topology seeds    : {seeds:?} (averaged)");
+        println!(
+            "makespan          : {:.0} min ({:.1} days)",
+            report.makespan_minutes,
+            report.makespan_minutes / 1440.0
+        );
+        println!("file transfers    : {}", report.file_transfers);
+        println!(
+            "bytes transferred : {:.1} GB",
+            report.bytes_transferred / 1e9
+        );
+        println!(
+            "request waits     : avg {:.3} h; batch transfers avg {:.3} h",
+            report.avg_waiting_hours(),
+            report.avg_transfer_hours()
+        );
+        if report.replicas_launched > 0 {
+            println!(
+                "replication       : {} launched, {} cancelled, {:.1} GB wasted",
+                report.replicas_launched,
+                report.replicas_cancelled,
+                report.cancelled_bytes / 1e9
+            );
+        }
+        if report.replication_pushes > 0 {
+            println!(
+                "proactive pushes  : {} ({:.1} GB)",
+                report.replication_pushes,
+                report.replication_bytes / 1e9
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_workload(opts: &Opts) -> Result<(), String> {
+    let mut cfg = CoaddConfig::paper_6000();
+    cfg.tasks = opts.get("tasks", 6000u32)?;
+    cfg.seed = opts.get("seed", 0u64)?;
+    let fsmb: f64 = opts.get("file-size-mb", 25.0)?;
+    let wl = cfg.with_file_size_mb(fsmb).generate();
+    let s = wl.stats();
+    println!("tasks              : {}", s.tasks);
+    println!("total files        : {}", s.total_files);
+    println!(
+        "files per task     : min {} / mean {:.2} / max {}",
+        s.min_files_per_task, s.mean_files_per_task, s.max_files_per_task
+    );
+    println!(
+        "files with >=6 refs: {:.1}%",
+        s.pct_files_with_at_least(6)
+    );
+    if let Some(path) = opts.values.get("out") {
+        let file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+        trace::write_trace(&wl, std::io::BufWriter::new(file))
+            .map_err(|e| format!("write {path}: {e}"))?;
+        println!("trace written      : {path}");
+    }
+    Ok(())
+}
+
+fn cmd_topology(opts: &Opts) -> Result<(), String> {
+    let mut cfg = TiersConfig::paper(opts.get("seed", 0u64)?);
+    let sites: usize = opts.get("sites", 90usize)?;
+    if sites == 0 || sites % cfg.sites_per_man != 0 && sites < cfg.sites_per_man {
+        cfg.mans = 1;
+        cfg.sites_per_man = sites.max(1);
+    } else if sites != cfg.site_count() {
+        cfg.mans = sites.div_ceil(cfg.sites_per_man);
+    }
+    let topo = generate_topology(&cfg);
+    println!("nodes     : {}", topo.graph.node_count());
+    println!("links     : {}", topo.graph.edge_count());
+    println!("sites     : {}", topo.sites.len());
+    let (mut min_bw, mut max_bw) = (f64::MAX, f64::MIN);
+    let mut lat_sum = 0.0;
+    for i in 0..topo.sites.len() {
+        let r = topo.routes.site_to_file_server(i);
+        let bw = r.bottleneck_bps(&topo.graph);
+        min_bw = min_bw.min(bw);
+        max_bw = max_bw.max(bw);
+        lat_sum += r.latency_s;
+    }
+    println!(
+        "site→file-server: bottleneck {:.2}–{:.2} MB/s, mean latency {:.1} ms",
+        min_bw / 1e6,
+        max_bw / 1e6,
+        lat_sum / topo.sites.len() as f64 * 1e3
+    );
+    if let Some(path) = opts.values.get("dot") {
+        std::fs::write(path, to_dot(&topo)).map_err(|e| format!("write {path}: {e}"))?;
+        println!("dot written: {path}");
+    }
+    Ok(())
+}

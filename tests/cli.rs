@@ -1,0 +1,88 @@
+//! Smoke tests of the `gridsched` CLI binary (built by Cargo and exposed
+//! via `CARGO_BIN_EXE_gridsched`).
+
+use std::process::Command;
+
+fn gridsched(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_gridsched"))
+        .args(args)
+        .output()
+        .expect("spawn gridsched")
+}
+
+#[test]
+fn strategies_lists_all_algorithms() {
+    let out = gridsched(&["strategies"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    for name in [
+        "storage-affinity",
+        "overlap",
+        "rest",
+        "combined",
+        "rest.2",
+        "combined.2",
+        "workqueue",
+        "xsufferage",
+    ] {
+        assert!(stdout.lines().any(|l| l == name), "missing {name}");
+    }
+}
+
+#[test]
+fn workload_stats_and_trace() {
+    let dir = std::env::temp_dir().join("gridsched-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace = dir.join("wl.trace");
+    let trace_str = trace.to_str().expect("utf8 path");
+
+    let out = gridsched(&["workload", "--tasks", "150", "--out", trace_str]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("tasks              : 150"));
+    assert!(trace.exists());
+
+    // Simulate from the written trace, CSV output.
+    let out = gridsched(&[
+        "simulate",
+        "--trace",
+        trace_str,
+        "--sites",
+        "2",
+        "--topology-seeds",
+        "0",
+        "--csv",
+    ]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    let mut lines = stdout.lines();
+    let header = lines.next().expect("csv header");
+    assert!(header.starts_with("strategy,sites,workers"));
+    let row = lines.next().expect("csv row");
+    assert!(row.starts_with("rest.2,2,1,"), "row: {row}");
+
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn simulate_rejects_bad_strategy() {
+    let out = gridsched(&["simulate", "--strategy", "magic"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("unknown strategy"), "stderr: {stderr}");
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = gridsched(&["frobnicate"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn topology_summary() {
+    let out = gridsched(&["topology", "--seed", "2"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("sites     : 90"));
+    assert!(stdout.contains("bottleneck"));
+}

@@ -1,0 +1,153 @@
+//! Cross-crate integration tests: full simulations through the public
+//! facade API.
+
+use std::sync::Arc;
+
+use gridsched::prelude::*;
+
+fn small_workload(seed: u64) -> Arc<Workload> {
+    Arc::new(CoaddConfig::small(seed).generate())
+}
+
+/// Every strategy completes every task on a default-ish grid.
+#[test]
+fn all_strategies_complete() {
+    let workload = small_workload(0);
+    for strategy in [
+        StrategyKind::StorageAffinity,
+        StrategyKind::Overlap,
+        StrategyKind::Rest,
+        StrategyKind::Combined,
+        StrategyKind::Rest2,
+        StrategyKind::Combined2,
+        StrategyKind::Workqueue,
+    ] {
+        let config = SimConfig::paper(workload.clone(), strategy)
+            .with_sites(4)
+            .with_capacity(1000);
+        let report = GridSim::new(config).run();
+        assert_eq!(report.tasks_completed, 200, "{strategy}");
+        // Every completion had a compute start; replicas aborted *during*
+        // their data wait never start, so `started` is bounded by
+        // completions plus cancelled replicas.
+        let started: u64 = report.per_site.iter().map(|s| s.tasks_started).sum();
+        assert!(started >= 200, "{strategy}: starts cover completions");
+        assert!(
+            started <= 200 + report.replicas_cancelled,
+            "{strategy}: starts {} exceed completions+cancels {}",
+            started,
+            200 + report.replicas_cancelled
+        );
+    }
+}
+
+/// Identical configs give bit-identical reports (full determinism).
+#[test]
+fn deterministic_end_to_end() {
+    let make = || {
+        let config = SimConfig::paper(small_workload(3), StrategyKind::Combined2)
+            .with_sites(3)
+            .with_seed(9)
+            .with_topology_seed(2);
+        GridSim::new(config).run()
+    };
+    assert_eq!(make(), make());
+}
+
+/// Bytes on the wire equal completed transfers × file size plus the
+/// delivered fraction of cancelled transfers.
+#[test]
+fn bytes_accounting_consistent() {
+    let workload = small_workload(1);
+    let file_size = workload.file_size_bytes;
+    for strategy in [StrategyKind::Rest, StrategyKind::StorageAffinity] {
+        let config = SimConfig::paper(workload.clone(), strategy).with_sites(3);
+        let report = GridSim::new(config).run();
+        let expected_min = report.file_transfers as f64 * file_size;
+        assert!(
+            report.bytes_transferred >= expected_min - 1.0,
+            "{strategy}: bytes {} < transfers×size {}",
+            report.bytes_transferred,
+            expected_min
+        );
+        // Partial (cancelled) deliveries can only add less than one file
+        // size per cancelled replica.
+        let slack = (report.replicas_cancelled as f64 + 1.0) * file_size;
+        assert!(
+            report.bytes_transferred <= expected_min + slack,
+            "{strategy}: bytes {} too large",
+            report.bytes_transferred
+        );
+    }
+}
+
+/// Per-site metrics sum to the global counters.
+#[test]
+fn per_site_sums_match_totals() {
+    let config = SimConfig::paper(small_workload(2), StrategyKind::Rest2).with_sites(4);
+    let report = GridSim::new(config).run();
+    let site_transfers: u64 = report.per_site.iter().map(|s| s.file_transfers).sum();
+    assert_eq!(site_transfers, report.file_transfers);
+    let site_bytes: f64 = report.per_site.iter().map(|s| s.bytes_transferred).sum();
+    assert!((site_bytes - report.bytes_transferred).abs() < 1.0);
+    let requests: u64 = report.per_site.iter().map(|s| s.requests).sum();
+    assert!(requests >= 200, "every task issues exactly one batch request");
+}
+
+/// Locality-aware scheduling must beat the FIFO workqueue on transfers —
+/// the premise of the whole paper.
+#[test]
+fn locality_beats_fifo() {
+    let workload = small_workload(4);
+    let run = |strategy| {
+        let config = SimConfig::paper(workload.clone(), strategy).with_sites(4);
+        GridSim::new(config).run()
+    };
+    let rest = run(StrategyKind::Rest);
+    let wq = run(StrategyKind::Workqueue);
+    assert!(rest.file_transfers < wq.file_transfers);
+    assert!(rest.bytes_transferred < wq.bytes_transferred);
+}
+
+/// The `--quick`-style averaged runner reproduces per-replicate runs.
+#[test]
+fn averaged_runner_consistent_with_manual_average() {
+    let workload = small_workload(5);
+    let base = SimConfig::paper(workload, StrategyKind::Rest).with_sites(3);
+    let avg = run_averaged(&base, &[0, 1]);
+    let a = GridSim::new(base.clone().with_topology_seed(0).with_seed(0)).run();
+    let b = GridSim::new(base.clone().with_topology_seed(1).with_seed(1)).run();
+    assert!(
+        (avg.makespan_minutes - (a.makespan_minutes + b.makespan_minutes) / 2.0).abs() < 1e-6
+    );
+}
+
+/// Worker-centric schedulers never replicate; storage affinity may.
+#[test]
+fn replication_only_for_task_centric() {
+    let workload = small_workload(6);
+    for strategy in [StrategyKind::Rest2, StrategyKind::Overlap, StrategyKind::Workqueue] {
+        let config = SimConfig::paper(workload.clone(), strategy).with_sites(3);
+        let report = GridSim::new(config).run();
+        assert_eq!(report.replicas_launched, 0, "{strategy}");
+        assert_eq!(report.cancelled_bytes, 0.0, "{strategy}");
+    }
+}
+
+/// Heterogeneous workers: the faster the (single) site's worker, the
+/// smaller the makespan — compute model sanity through the whole stack.
+#[test]
+fn faster_workers_finish_sooner() {
+    let workload = small_workload(7);
+    let run_with_speed = |speed| {
+        let config = SimConfig::paper(workload.clone(), StrategyKind::Workqueue)
+            .with_sites(1)
+            .with_speeds(SpeedModel::Fixed(speed));
+        GridSim::new(config).run().makespan_minutes
+    };
+    let slow = run_with_speed(5e10);
+    let fast = run_with_speed(5e11);
+    assert!(fast < slow);
+    // Not 10× faster: the transfer component does not shrink.
+    assert!(slow / fast < 10.0);
+}

@@ -1,0 +1,93 @@
+//! Property-based invariants of whole simulations: random small grids and
+//! workloads, every strategy, checked through the public API.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use gridsched::prelude::*;
+
+fn arb_strategy() -> impl Strategy<Value = StrategyKind> {
+    prop_oneof![
+        Just(StrategyKind::StorageAffinity),
+        Just(StrategyKind::Overlap),
+        Just(StrategyKind::Rest),
+        Just(StrategyKind::Combined),
+        Just(StrategyKind::Rest2),
+        Just(StrategyKind::Combined2),
+        Just(StrategyKind::Workqueue),
+    ]
+}
+
+proptest! {
+    // Whole-simulation cases are comparatively expensive; keep the case
+    // count moderate.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn simulations_complete_and_account(
+        strategy in arb_strategy(),
+        sites in 1usize..5,
+        workers in 1usize..4,
+        capacity in 120usize..2000,
+        wl_seed in 0u64..4,
+        seed in 0u64..4,
+    ) {
+        let mut cfg = CoaddConfig::small(wl_seed);
+        cfg.tasks = 120;
+        let workload = Arc::new(cfg.generate());
+        let total_accesses: u64 =
+            workload.tasks().iter().map(|t| t.file_count() as u64).sum();
+        let config = SimConfig::paper(workload.clone(), strategy)
+            .with_sites(sites)
+            .with_workers_per_site(workers)
+            .with_capacity(capacity)
+            .with_seed(seed);
+        let report = GridSim::new(config).run();
+
+        // 1. Exactly-once completion.
+        prop_assert_eq!(report.tasks_completed, 120);
+        // 2. Transfers bounded by total accesses plus replica re-fetches.
+        let bound = total_accesses * (1 + report.replicas_launched / 120 + 1);
+        prop_assert!(report.file_transfers <= bound,
+            "transfers {} > bound {}", report.file_transfers, bound);
+        // 3. Makespan positive and finite.
+        prop_assert!(report.makespan_minutes > 0.0);
+        prop_assert!(report.makespan_minutes.is_finite());
+        // 4. Per-site totals match.
+        let site_sum: u64 = report.per_site.iter().map(|s| s.file_transfers).sum();
+        prop_assert_eq!(site_sum, report.file_transfers);
+        // 5. Requests: one batch per execution (task or replica).
+        let requests: u64 = report.per_site.iter().map(|s| s.requests).sum();
+        prop_assert!(requests >= 120);
+        prop_assert!(requests <= 120 + report.replicas_launched);
+        // 6. Waiting/transfer times non-negative.
+        for s in &report.per_site {
+            prop_assert!(s.waiting_time_s >= 0.0);
+            prop_assert!(s.transfer_time_s >= 0.0);
+        }
+        // 7. Only task-centric strategies replicate.
+        if strategy != StrategyKind::StorageAffinity {
+            prop_assert_eq!(report.replicas_launched, 0);
+        }
+    }
+
+    #[test]
+    fn determinism_under_any_config(
+        strategy in arb_strategy(),
+        sites in 1usize..4,
+        seed in 0u64..3,
+    ) {
+        let mut cfg = CoaddConfig::small(0);
+        cfg.tasks = 60;
+        let workload = Arc::new(cfg.generate());
+        let make = || {
+            let config = SimConfig::paper(workload.clone(), strategy)
+                .with_sites(sites)
+                .with_seed(seed)
+                .with_capacity(500);
+            GridSim::new(config).run()
+        };
+        prop_assert_eq!(make(), make());
+    }
+}

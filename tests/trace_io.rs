@@ -1,0 +1,45 @@
+//! Workload trace round-trip through the filesystem, and feeding a trace
+//! back into a simulation — the path a user with a *real* Coadd trace
+//! would take.
+
+use std::sync::Arc;
+
+use gridsched::prelude::*;
+use gridsched::workload::trace::{read_trace, write_trace};
+
+#[test]
+fn trace_file_round_trip_and_simulate() {
+    let original = CoaddConfig::small(11).generate();
+
+    let dir = std::env::temp_dir().join("gridsched-trace-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("coadd-small.trace");
+
+    let file = std::fs::File::create(&path).expect("create trace");
+    write_trace(&original, std::io::BufWriter::new(file)).expect("write trace");
+
+    let file = std::fs::File::open(&path).expect("open trace");
+    let reloaded = read_trace(std::io::BufReader::new(file)).expect("parse trace");
+    assert_eq!(original, reloaded);
+
+    // A reloaded trace drives a simulation exactly like the original.
+    let run = |wl: Workload| {
+        let config = SimConfig::paper(Arc::new(wl), StrategyKind::Rest).with_sites(3);
+        GridSim::new(config).run()
+    };
+    assert_eq!(run(original), run(reloaded));
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn truncated_trace_fails_cleanly() {
+    let wl = CoaddConfig::small(12).generate();
+    let mut buf = Vec::new();
+    write_trace(&wl, &mut buf).expect("in-memory write");
+    // Chop the declaration lines off.
+    let cut = &buf[..40];
+    let err = read_trace(cut).expect_err("must not parse");
+    let msg = err.to_string();
+    assert!(msg.contains("missing") || msg.contains("parse"), "got: {msg}");
+}
