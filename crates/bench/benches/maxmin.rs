@@ -17,8 +17,7 @@ fn random_case(links: usize, flows: usize, seed: u64) -> (Vec<f64>, Vec<Vec<usiz
     let routes: Vec<Vec<usize>> = (0..flows)
         .map(|_| {
             let hops = rng.gen_range(2..6);
-            let mut route: Vec<usize> =
-                (0..hops).map(|_| rng.gen_range(0..links)).collect();
+            let mut route: Vec<usize> = (0..hops).map(|_| rng.gen_range(0..links)).collect();
             route.sort_unstable();
             route.dedup();
             route

@@ -49,7 +49,11 @@ fn bench_decision(c: &mut Criterion) {
             view.on_file_added(&index, f, store.ref_count(f));
         }
 
-        for metric in [WeightMetric::Overlap, WeightMetric::Rest, WeightMetric::Combined] {
+        for metric in [
+            WeightMetric::Overlap,
+            WeightMetric::Rest,
+            WeightMetric::Combined,
+        ] {
             group.bench_with_input(
                 BenchmarkId::new(format!("naive_OTI_{metric}"), tasks),
                 &tasks,
@@ -63,9 +67,7 @@ fn bench_decision(c: &mut Criterion) {
                 BenchmarkId::new(format!("indexed_OT_{metric}"), tasks),
                 &tasks,
                 |b, _| {
-                    b.iter(|| {
-                        std::hint::black_box(weigh_all_indexed(metric, &index, &pool, &view))
-                    })
+                    b.iter(|| std::hint::black_box(weigh_all_indexed(metric, &index, &pool, &view)))
                 },
             );
         }

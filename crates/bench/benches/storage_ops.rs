@@ -48,9 +48,7 @@ fn bench_overlap_queries(c: &mut Criterion) {
         }
     }
     // A typical Coadd task reads ~78 files; half resident.
-    let task_files: Vec<FileId> = (0..78)
-        .map(|_| FileId(rng.gen_range(0..12_000)))
-        .collect();
+    let task_files: Vec<FileId> = (0..78).map(|_| FileId(rng.gen_range(0..12_000))).collect();
     c.bench_function("store_overlap_78files", |b| {
         b.iter(|| std::hint::black_box(store.overlap(&task_files)))
     });

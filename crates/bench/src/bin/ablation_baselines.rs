@@ -41,12 +41,7 @@ fn main() {
     }
     table.emit(&cli, "ablation_baselines");
 
-    let get = |k: StrategyKind| {
-        measured
-            .iter()
-            .find(|(s, _, _)| *s == k)
-            .expect("measured")
-    };
+    let get = |k: StrategyKind| measured.iter().find(|(s, _, _)| *s == k).expect("measured");
     check(
         &cli,
         "workqueue (no locality) is the worst on transfers",

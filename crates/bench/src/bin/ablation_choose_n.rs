@@ -12,7 +12,11 @@ use gridsched_sim::SimConfig;
 fn main() {
     let cli = Cli::parse();
     let workload = cli.workload();
-    let ns: &[usize] = if cli.quick { &[1, 4] } else { &[1, 2, 4, 8, 16] };
+    let ns: &[usize] = if cli.quick {
+        &[1, 4]
+    } else {
+        &[1, 2, 4, 8, 16]
+    };
 
     let mut table = Table::new(
         "Ablation: ChooseTask(n) sweep",

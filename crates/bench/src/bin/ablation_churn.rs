@@ -1,0 +1,107 @@
+//! Ablation — graceful degradation under churn.
+//!
+//! A new experiment axis the paper could not explore: how do the six
+//! compared algorithms degrade when the grid churns? Sweeps worker MTBF
+//! from "no faults" down to aggressive churn (with MTTR fixed at MTBF/6)
+//! plus a data-server churn level, and reports makespan inflation,
+//! re-execution volume, wasted compute and availability per strategy.
+//!
+//! The interesting question is *relative* degradation: task-centric
+//! storage affinity pre-assigns everything and must re-absorb orphaned
+//! work through its replication channel, while worker-centric strategies
+//! requeue and reschedule at the next idle request — late binding should
+//! degrade more gracefully.
+
+use gridsched_bench::{check, fmt, paper_strategies, run, Cli, Table};
+use gridsched_core::StrategyKind;
+use gridsched_sim::{FaultConfig, SimConfig};
+
+/// Worker MTBF levels swept (seconds); `None` is the fault-free baseline.
+const MTBF_LEVELS: [Option<f64>; 4] = [None, Some(86_400.0), Some(21_600.0), Some(7_200.0)];
+
+fn main() {
+    let cli = Cli::parse();
+    let workload = cli.workload();
+
+    let mut table = Table::new(
+        "Ablation: churn sweep (worker MTBF, MTTR = MTBF/6; server MTBF = 4x worker)",
+        &[
+            "algorithm",
+            "mtbf_s",
+            "makespan_min",
+            "slowdown",
+            "tasks_lost",
+            "re_exec",
+            "wasted_h",
+            "worker_avail",
+            "server_avail",
+        ],
+    );
+
+    let mut baseline = Vec::new();
+    let mut worst = Vec::new();
+    for strategy in paper_strategies() {
+        for mtbf in MTBF_LEVELS {
+            let mut config = SimConfig::paper(workload.clone(), strategy);
+            if let Some(mtbf_s) = mtbf {
+                config = config.with_faults(
+                    FaultConfig::none()
+                        .with_worker_faults(mtbf_s, mtbf_s / 6.0)
+                        .with_server_faults(4.0 * mtbf_s, mtbf_s / 6.0),
+                );
+            }
+            let r = run(&cli, &config);
+            let base = baseline
+                .iter()
+                .find(|(s, _)| *s == strategy)
+                .map(|(_, m): &(StrategyKind, f64)| *m);
+            let slowdown = base.map_or(1.0, |b| r.makespan_minutes / b);
+            table.push_row(vec![
+                strategy.to_string(),
+                mtbf.map_or_else(|| "inf".to_string(), |m| fmt(m, 0)),
+                fmt(r.makespan_minutes, 0),
+                fmt(slowdown, 3),
+                r.tasks_lost.to_string(),
+                r.re_executions.to_string(),
+                fmt(r.wasted_compute_s / 3600.0, 1),
+                fmt(r.mean_worker_availability(), 4),
+                fmt(r.mean_server_availability(), 4),
+            ]);
+            match mtbf {
+                None => {
+                    assert_eq!(r.tasks_lost, 0, "fault-free baseline must not lose tasks");
+                    baseline.push((strategy, r.makespan_minutes));
+                }
+                Some(mtbf_s) if mtbf_s < 10_000.0 => worst.push((strategy, r)),
+                Some(_) => {}
+            }
+        }
+    }
+    table.emit(&cli, "ablation_churn");
+
+    let tasks = workload.task_count() as u64;
+    check(
+        &cli,
+        "every strategy completes the whole job at the highest churn level",
+        worst.iter().all(|(_, r)| r.tasks_completed == tasks),
+    );
+    check(
+        &cli,
+        "aggressive churn actually injects faults (crashes and lost tasks)",
+        worst
+            .iter()
+            .all(|(_, r)| r.worker_crashes > 0 && r.tasks_lost > 0),
+    );
+    check(
+        &cli,
+        "re-execution accounting consistent (re_exec >= tasks_lost)",
+        worst.iter().all(|(_, r)| r.re_executions >= r.tasks_lost),
+    );
+    check(
+        &cli,
+        "churn shows up in availability (< 100% workers up)",
+        worst
+            .iter()
+            .all(|(_, r)| r.mean_worker_availability() < 1.0),
+    );
+}

@@ -14,7 +14,11 @@ use std::sync::Arc;
 
 fn main() {
     let cli = Cli::parse();
-    let scales: &[f64] = if cli.quick { &[0.5, 2.0] } else { &[0.5, 1.0, 2.0] };
+    let scales: &[f64] = if cli.quick {
+        &[0.5, 2.0]
+    } else {
+        &[0.5, 1.0, 2.0]
+    };
 
     let mut table = Table::new(
         "Ablation: compute-cost scale",

@@ -19,7 +19,13 @@ fn main() {
 
     let mut table = Table::new(
         "Ablation: replacement policy",
-        &["capacity", "policy", "algorithm", "makespan_min", "evictions"],
+        &[
+            "capacity",
+            "policy",
+            "algorithm",
+            "makespan_min",
+            "evictions",
+        ],
     );
     let mut rankings_hold = true;
     let mut spread_at_default: f64 = 0.0;

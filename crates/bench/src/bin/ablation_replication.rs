@@ -18,7 +18,13 @@ fn main() {
 
     let mut table = Table::new(
         "Ablation: proactive data replication",
-        &["algorithm", "replication", "makespan_min", "pushes", "bytes_GB"],
+        &[
+            "algorithm",
+            "replication",
+            "makespan_min",
+            "pushes",
+            "bytes_GB",
+        ],
     );
     let mut measured = Vec::new();
     for strategy in [StrategyKind::Rest, StrategyKind::StorageAffinity] {

@@ -33,7 +33,12 @@ fn main() {
     );
     let mut transfers = Table::new(
         "Figure 5: number of file transfers vs capacity",
-        &["capacity", "algorithm", "file_transfers", "transfers_per_site"],
+        &[
+            "capacity",
+            "algorithm",
+            "file_transfers",
+            "transfers_per_site",
+        ],
     );
 
     // results[strategy][capacity] = (makespan, transfers)
@@ -82,8 +87,7 @@ fn main() {
         check(
             &cli,
             "storage affinity is hurt more at small capacity than rest is",
-            results[sa][0].0 / results[sa][last].0
-                > results[rest][0].0 / results[rest][last].0,
+            results[sa][0].0 / results[sa][last].0 > results[rest][0].0 / results[rest][last].0,
         );
     }
     check(
@@ -112,10 +116,15 @@ fn main() {
         "a worker-centric strategy wins at the default capacity",
         {
             let c = capacities.iter().position(|&c| c >= 6000).unwrap_or(0);
-            let best_wc = [StrategyKind::Rest, StrategyKind::Combined, StrategyKind::Rest2, StrategyKind::Combined2]
-                .iter()
-                .map(|&k| results[idx(k)][c].0)
-                .fold(f64::MAX, f64::min);
+            let best_wc = [
+                StrategyKind::Rest,
+                StrategyKind::Combined,
+                StrategyKind::Rest2,
+                StrategyKind::Combined2,
+            ]
+            .iter()
+            .map(|&k| results[idx(k)][c].0)
+            .fold(f64::MAX, f64::min);
             best_wc < results[sa][c].0
         },
     );

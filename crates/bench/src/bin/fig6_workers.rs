@@ -16,7 +16,11 @@ use gridsched_sim::SimConfig;
 fn main() {
     let cli = Cli::parse();
     let workload = cli.workload();
-    let worker_counts: &[usize] = if cli.quick { &[2, 6] } else { &[2, 4, 6, 8, 10] };
+    let worker_counts: &[usize] = if cli.quick {
+        &[2, 6]
+    } else {
+        &[2, 4, 6, 8, 10]
+    };
     let strategies = paper_strategies();
 
     let mut table = Table::new(

@@ -11,7 +11,11 @@ use gridsched_sim::SimConfig;
 fn main() {
     let cli = Cli::parse();
     let workload = cli.workload();
-    let site_counts: &[usize] = if cli.quick { &[10, 18] } else { &[10, 14, 18, 22, 26] };
+    let site_counts: &[usize] = if cli.quick {
+        &[10, 18]
+    } else {
+        &[10, 14, 18, 22, 26]
+    };
     let strategies = paper_strategies();
 
     let mut table = Table::new(
@@ -51,10 +55,15 @@ fn main() {
     check(
         &cli,
         "a worker-centric metric beats storage affinity at the largest site count",
-        [StrategyKind::Rest, StrategyKind::Combined, StrategyKind::Rest2, StrategyKind::Combined2]
-            .iter()
-            .map(|&k| results[idx(k)][last])
-            .fold(f64::MAX, f64::min)
+        [
+            StrategyKind::Rest,
+            StrategyKind::Combined,
+            StrategyKind::Rest2,
+            StrategyKind::Combined2,
+        ]
+        .iter()
+        .map(|&k| results[idx(k)][last])
+        .fold(f64::MAX, f64::min)
             < results[idx(StrategyKind::StorageAffinity)][last],
     );
 }

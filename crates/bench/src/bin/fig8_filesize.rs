@@ -11,7 +11,11 @@ use std::sync::Arc;
 
 fn main() {
     let cli = Cli::parse();
-    let sizes_mb: &[f64] = if cli.quick { &[5.0, 50.0] } else { &[5.0, 25.0, 50.0] };
+    let sizes_mb: &[f64] = if cli.quick {
+        &[5.0, 50.0]
+    } else {
+        &[5.0, 25.0, 50.0]
+    };
     let strategies = paper_strategies();
 
     let mut table = Table::new(
@@ -55,13 +59,9 @@ fn main() {
             slope_a > 0.0 && slope_b > 0.0 && slope_b / slope_a < 2.5 && slope_a / slope_b < 2.5,
         );
     }
-    check(
-        &cli,
-        "overlap suffers more from larger files than rest",
-        {
-            let ov = idx(StrategyKind::Overlap);
-            let growth = |series: &Vec<f64>| series.last().unwrap() - series.first().unwrap();
-            growth(&results[ov]) > growth(&results[rest])
-        },
-    );
+    check(&cli, "overlap suffers more from larger files than rest", {
+        let ov = idx(StrategyKind::Overlap);
+        let growth = |series: &Vec<f64>| series.last().unwrap() - series.first().unwrap();
+        growth(&results[ov]) > growth(&results[rest])
+    });
 }

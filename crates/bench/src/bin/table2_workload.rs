@@ -18,7 +18,11 @@ fn main() {
     let paper_total = if cli.quick { f64::NAN } else { 53_390.0 };
     table.push_row(vec![
         "total number of files".into(),
-        if cli.quick { "n/a (quick)".into() } else { "53390".into() },
+        if cli.quick {
+            "n/a (quick)".into()
+        } else {
+            "53390".into()
+        },
         s.total_files.to_string(),
     ]);
     table.push_row(vec![
@@ -50,7 +54,11 @@ fn main() {
             (s.mean_files_per_task - 78.4327).abs() < 3.0,
         );
     }
-    check(&cli, "min files/task in [30, 45]", (30..=45).contains(&s.min_files_per_task));
+    check(
+        &cli,
+        "min files/task in [30, 45]",
+        (30..=45).contains(&s.min_files_per_task),
+    );
     check(
         &cli,
         "max files/task in [95, 130]",

@@ -65,7 +65,9 @@ impl Cli {
                 "--check" => cli.check = true,
                 "--no-out" => cli.out_dir = None,
                 "--out" => {
-                    let dir = args.next().unwrap_or_else(|| usage("--out needs a directory"));
+                    let dir = args
+                        .next()
+                        .unwrap_or_else(|| usage("--out needs a directory"));
                     cli.out_dir = Some(PathBuf::from(dir));
                 }
                 "--seeds" => {
@@ -110,7 +112,8 @@ impl Cli {
     }
 }
 
-const USAGE: &str = "usage: <experiment> [--quick] [--check] [--out DIR | --no-out] [--seeds a,b,c]";
+const USAGE: &str =
+    "usage: <experiment> [--quick] [--check] [--out DIR | --no-out] [--seeds a,b,c]";
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}\n{USAGE}");

@@ -160,10 +160,7 @@ mod tests {
         }
         assert_eq!(counts[2], 0, "task 2 is not in the top 2");
         let frac0 = counts[0] as f64 / 10_000.0;
-        assert!(
-            (frac0 - 0.9).abs() < 0.02,
-            "P(task 0) ≈ 0.9, got {frac0}"
-        );
+        assert!((frac0 - 0.9).abs() < 0.02, "P(task 0) ≈ 0.9, got {frac0}");
     }
 
     #[test]

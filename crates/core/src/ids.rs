@@ -74,8 +74,7 @@ impl GridEnv {
     /// Iterates over every worker id.
     pub fn workers(&self) -> impl Iterator<Item = WorkerId> + '_ {
         let wps = self.workers_per_site as u32;
-        (0..self.sites as u32)
-            .flat_map(move |s| (0..wps).map(move |w| WorkerId::new(SiteId(s), w)))
+        (0..self.sites as u32).flat_map(move |s| (0..wps).map(move |w| WorkerId::new(SiteId(s), w)))
     }
 }
 

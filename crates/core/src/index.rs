@@ -184,7 +184,12 @@ impl SiteView {
                 "overlap mismatch for task {}",
                 t.id
             );
-            assert_eq!(self.refsum(t.id), refsum, "refsum mismatch for task {}", t.id);
+            assert_eq!(
+                self.refsum(t.id),
+                refsum,
+                "refsum mismatch for task {}",
+                t.id
+            );
         }
         let _ = index;
     }
@@ -320,7 +325,11 @@ mod tests {
         store.record_task_reference(FileId(2));
         view.on_task_reference(&idx, FileId(2));
         let pool = TaskPool::full(3);
-        for metric in [WeightMetric::Overlap, WeightMetric::Rest, WeightMetric::Combined] {
+        for metric in [
+            WeightMetric::Overlap,
+            WeightMetric::Rest,
+            WeightMetric::Combined,
+        ] {
             let naive = crate::weight::weigh_all_naive(metric, &workload, &pool, &store);
             let indexed = weigh_all_indexed(metric, &idx, &pool, &view);
             assert_eq!(naive, indexed, "metric {metric}");
@@ -344,24 +353,18 @@ mod proptests {
 
     fn arb_workload() -> impl Strategy<Value = Workload> {
         // 3..10 tasks over 12 files, 1..6 files each.
-        proptest::collection::vec(
-            proptest::collection::btree_set(0u32..12, 1..6),
-            3..10,
+        proptest::collection::vec(proptest::collection::btree_set(0u32..12, 1..6), 3..10).prop_map(
+            |task_files| {
+                let tasks: Vec<TaskSpec> = task_files
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, fs)| {
+                        TaskSpec::new(TaskId(i as u32), fs.into_iter().map(FileId).collect(), 0.0)
+                    })
+                    .collect();
+                Workload::new(tasks, 12, 1.0, "prop")
+            },
         )
-        .prop_map(|task_files| {
-            let tasks: Vec<TaskSpec> = task_files
-                .into_iter()
-                .enumerate()
-                .map(|(i, fs)| {
-                    TaskSpec::new(
-                        TaskId(i as u32),
-                        fs.into_iter().map(FileId).collect(),
-                        0.0,
-                    )
-                })
-                .collect();
-            Workload::new(tasks, 12, 1.0, "prop")
-        })
     }
 
     fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
@@ -391,11 +394,7 @@ mod proptests {
                     Op::Insert(f) => {
                         let f = FileId(f);
                         if !store.contains(f) {
-                            let evicted = {
-                                // capture ref counts before eviction
-                                let ev = store.insert(f);
-                                ev
-                            };
+                            let evicted = store.insert(f);
                             for e in evicted {
                                 view.on_file_evicted(&idx, e, store.ref_count(e));
                             }

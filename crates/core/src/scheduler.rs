@@ -82,6 +82,22 @@ pub trait Scheduler {
         let _ = (worker, task);
     }
 
+    /// `worker` crashed (fault injection). `in_flight` is the task it was
+    /// executing, if any; the scheduler must make that task eligible for
+    /// execution again unless another replica of it is still running.
+    ///
+    /// Returns `true` iff an in-flight task was *orphaned* — no copy of it
+    /// is running anywhere anymore — and will therefore need a
+    /// re-execution. The engine uses the return value for its
+    /// `tasks_lost` accounting.
+    fn on_worker_lost(&mut self, worker: WorkerId, in_flight: Option<TaskId>) -> bool;
+
+    /// `worker` recovered from a crash and will start requesting work
+    /// again.
+    fn on_worker_recovered(&mut self, worker: WorkerId) {
+        let _ = worker;
+    }
+
     /// A file became resident at a site (with its current `r_i`).
     fn on_file_added(&mut self, site: SiteId, file: FileId, ref_count: u32) {
         let _ = (site, file, ref_count);
@@ -142,9 +158,9 @@ impl StrategyKind {
             StrategyKind::Overlap => Some(WeightMetric::Overlap),
             StrategyKind::Rest | StrategyKind::Rest2 => Some(WeightMetric::Rest),
             StrategyKind::Combined | StrategyKind::Combined2 => Some(WeightMetric::Combined),
-            StrategyKind::StorageAffinity
-            | StrategyKind::Workqueue
-            | StrategyKind::Sufferage => None,
+            StrategyKind::StorageAffinity | StrategyKind::Workqueue | StrategyKind::Sufferage => {
+                None
+            }
         }
     }
 
@@ -198,7 +214,10 @@ mod tests {
 
     #[test]
     fn display_matches_paper_labels() {
-        assert_eq!(StrategyKind::StorageAffinity.to_string(), "storage-affinity");
+        assert_eq!(
+            StrategyKind::StorageAffinity.to_string(),
+            "storage-affinity"
+        );
         assert_eq!(StrategyKind::Rest2.to_string(), "rest.2");
         assert_eq!(StrategyKind::Combined2.to_string(), "combined.2");
     }

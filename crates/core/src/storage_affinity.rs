@@ -231,16 +231,13 @@ impl Scheduler for StorageAffinity {
                 let ov = virtuals[site].overlap(task.files());
                 let better = match best {
                     None => true,
-                    Some((bov, bload, _)) => {
-                        ov > bov || (ov == bov && assigned[site] < bload)
-                    }
+                    Some((bov, bload, _)) => ov > bov || (ov == bov && assigned[site] < bload),
                 };
                 if better {
                     best = Some((ov, assigned[site], site));
                 }
             }
-            let (_, _, site) =
-                best.expect("budget covers all tasks: sites*budget >= total");
+            let (_, _, site) = best.expect("budget covers all tasks: sites*budget >= total");
             // Round-robin among the site's workers.
             let worker_idx = assigned[site] % env.workers_per_site;
             let flat = site * env.workers_per_site + worker_idx;
@@ -293,6 +290,25 @@ impl Scheduler for StorageAffinity {
         if let Some(workers) = self.running.get_mut(&task) {
             workers.retain(|w| *w != worker);
         }
+    }
+
+    fn on_worker_lost(&mut self, worker: WorkerId, in_flight: Option<TaskId>) -> bool {
+        // The crashed worker's queued tasks stay in its queue: it drains
+        // them after recovery, and in the meantime they remain valid
+        // replication targets for idle workers (they are still `pending`).
+        // Only the in-flight execution needs bookkeeping.
+        let Some(task) = in_flight else {
+            return false;
+        };
+        if let Some(workers) = self.running.get_mut(&task) {
+            workers.retain(|w| *w != worker);
+            if workers.is_empty() {
+                self.running.remove(&task);
+            }
+        }
+        // Orphaned iff no other replica is running and nobody finished it;
+        // it stays in `pending`, so replication will pick it back up.
+        !self.done[task.index()] && !self.running.contains_key(&task)
     }
 
     fn on_file_added(&mut self, site: SiteId, file: FileId, ref_count: u32) {
@@ -358,10 +374,7 @@ mod tests {
     #[test]
     fn initial_assignment_is_balanced() {
         let (sched, _, env) = setup(4, 2);
-        let total: usize = env
-            .workers()
-            .map(|w| sched.queue_of(w).len())
-            .sum();
+        let total: usize = env.workers().map(|w| sched.queue_of(w).len()).sum();
         assert_eq!(total, 200, "every task queued exactly once");
         // Slack 1.0 → at most ⌈T/S⌉ tasks per site, split over the site's
         // workers.

@@ -147,6 +147,18 @@ impl Scheduler for Sufferage {
         CompletionOutcome::default()
     }
 
+    fn on_worker_lost(&mut self, _worker: WorkerId, in_flight: Option<TaskId>) -> bool {
+        // No replication here either: a crashed execution is the only
+        // copy, so the task rejoins the pending pool.
+        match in_flight {
+            Some(task) => {
+                self.pool.insert(task);
+                true
+            }
+            None => false,
+        }
+    }
+
     fn on_file_added(&mut self, site: SiteId, file: FileId, ref_count: u32) {
         if let Some(view) = self.views.get_mut(site.index()) {
             view.on_file_added(&self.index, file, ref_count);

@@ -61,9 +61,7 @@ impl std::str::FromStr for WeightMetric {
             "overlap" => Ok(WeightMetric::Overlap),
             "rest" => Ok(WeightMetric::Rest),
             "combined" => Ok(WeightMetric::Combined),
-            other => Err(format!(
-                "unknown metric `{other}` (overlap|rest|combined)"
-            )),
+            other => Err(format!("unknown metric `{other}` (overlap|rest|combined)")),
         }
     }
 }
@@ -195,7 +193,10 @@ mod tests {
         let store = store_with(&[1, 2]);
         let pool = TaskPool::full(3);
         let w = weigh_all_naive(WeightMetric::Overlap, &wl(), &pool, &store);
-        assert_eq!(w, vec![(TaskId(0), 1.0), (TaskId(1), 2.0), (TaskId(2), 0.0)]);
+        assert_eq!(
+            w,
+            vec![(TaskId(0), 1.0), (TaskId(1), 2.0), (TaskId(2), 0.0)]
+        );
     }
 
     #[test]

@@ -196,6 +196,19 @@ impl Scheduler for WorkerCentric {
         CompletionOutcome::default()
     }
 
+    fn on_worker_lost(&mut self, _worker: WorkerId, in_flight: Option<TaskId>) -> bool {
+        // Worker-centric schedulers never replicate, so a crashed
+        // execution is always the only copy: requeue it.
+        match in_flight {
+            Some(task) => {
+                self.pool.insert(task);
+                self.running -= 1;
+                true
+            }
+            None => false,
+        }
+    }
+
     fn on_file_added(&mut self, site: SiteId, file: FileId, ref_count: u32) {
         if let Some(view) = self.views.get_mut(site.index()) {
             view.on_file_added(&self.index, file, ref_count);
@@ -259,7 +272,9 @@ mod tests {
     }
 
     fn stores(n: usize) -> Vec<SiteStore> {
-        (0..n).map(|_| SiteStore::new(10, EvictionPolicy::Lru)).collect()
+        (0..n)
+            .map(|_| SiteStore::new(10, EvictionPolicy::Lru))
+            .collect()
     }
 
     #[test]
@@ -332,10 +347,13 @@ mod tests {
 
     #[test]
     fn naive_and_indexed_agree_end_to_end() {
-        for metric in [WeightMetric::Overlap, WeightMetric::Rest, WeightMetric::Combined] {
+        for metric in [
+            WeightMetric::Overlap,
+            WeightMetric::Rest,
+            WeightMetric::Combined,
+        ] {
             let mut a = WorkerCentric::new(wl(), metric, 1, 7);
-            let mut b =
-                WorkerCentric::new(wl(), metric, 1, 7).with_eval_mode(EvalMode::Naive);
+            let mut b = WorkerCentric::new(wl(), metric, 1, 7).with_eval_mode(EvalMode::Naive);
             let mut st = stores(2);
             st[1].insert(FileId(0));
             a.initialize(&env(2), &st);

@@ -64,6 +64,18 @@ impl Scheduler for Workqueue {
         CompletionOutcome::default()
     }
 
+    fn on_worker_lost(&mut self, _worker: WorkerId, in_flight: Option<TaskId>) -> bool {
+        // FIFO semantics: the lost task goes back to the head so it is
+        // retried before untouched work.
+        match in_flight {
+            Some(task) => {
+                self.queue.push_front(task);
+                true
+            }
+            None => false,
+        }
+    }
+
     fn unfinished(&self) -> usize {
         self.total - self.completed
     }

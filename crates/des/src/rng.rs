@@ -26,6 +26,8 @@ pub enum Stream {
     WorkerSpeeds,
     /// Proactive data-replication placement.
     Replication,
+    /// Fault-injection timelines (worker/server MTBF/MTTR processes).
+    Faults,
     /// Anything else; carries a caller-chosen sub-label.
     Custom(u64),
 }
@@ -38,6 +40,7 @@ impl Stream {
             Stream::Scheduler => 0x3,
             Stream::WorkerSpeeds => 0x4,
             Stream::Replication => 0x5,
+            Stream::Faults => 0x6,
             Stream::Custom(x) => 0x1000_0000_0000_0000 ^ x,
         }
     }

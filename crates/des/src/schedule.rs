@@ -99,6 +99,9 @@ impl<E> Schedule<E> {
     /// Pops the next event, advancing the clock to its timestamp.
     ///
     /// Returns `None` when no events remain (the simulation is over).
+    // Deliberately named like `Iterator::next` (same semantics), but the
+    // driver cannot be an `Iterator`: the borrow must end between events.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<(SimTime, E)> {
         let (at, event) = self.queue.pop()?;
         debug_assert!(at >= self.now, "event queue yielded a past event");

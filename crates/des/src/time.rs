@@ -374,7 +374,10 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(format!("{}", SimTime::from_secs(1.5)), "1.500s");
-        assert_eq!(format!("{:?}", SimDuration::from_secs(2.0)), "SimDuration(2s)");
+        assert_eq!(
+            format!("{:?}", SimDuration::from_secs(2.0)),
+            "SimDuration(2s)"
+        );
     }
 
     #[test]

@@ -1,0 +1,210 @@
+//! # gridsched-faults — fault injection & churn for the grid simulator
+//!
+//! The paper's system model assumes a perfectly reliable grid: every worker
+//! and every data server lives forever. Real grids churn — workers crash
+//! and rejoin, data servers go down and lose their cached replicas. This
+//! crate supplies the *fault model* the simulator (`gridsched-sim`) drives
+//! through the whole stack:
+//!
+//! * [`FaultConfig`] — the knobs of one run's fault environment: seeded
+//!   exponential MTBF/MTTR processes per worker and per data server, plus
+//!   an optional deterministic [`FaultTrace`] of scripted events;
+//! * [`FaultTimeline`] — a per-entity alternating-renewal process
+//!   (up for `Exp(MTBF)`, down for `Exp(MTTR)`), each entity drawing from
+//!   its own decorrelated RNG stream so event interleaving never perturbs
+//!   another entity's timeline;
+//! * [`FaultTrace`] / [`FaultEvent`] — scripted fault timelines with a
+//!   line-oriented text format for the CLI's `--fault-trace`.
+//!
+//! Everything is deterministic given the master seed: the same
+//! configuration always produces the same failure/recovery timeline.
+//!
+//! ## Example
+//!
+//! ```
+//! use gridsched_faults::{Entity, FaultConfig, FaultTimeline};
+//!
+//! let faults = FaultConfig::none().with_worker_faults(3600.0, 600.0);
+//! assert!(!faults.is_inert());
+//!
+//! // Two timelines for the same entity replay identically.
+//! let mut a = FaultTimeline::new(7, Entity::Worker(3), 3600.0, 600.0);
+//! let mut b = FaultTimeline::new(7, Entity::Worker(3), 3600.0, 600.0);
+//! assert_eq!(a.time_to_failure(), b.time_to_failure());
+//! assert_eq!(a.time_to_repair(), b.time_to_repair());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod timeline;
+pub mod trace;
+
+pub use timeline::{Entity, FaultTimeline};
+pub use trace::{FaultEvent, FaultKind, FaultTrace};
+
+use serde::{Deserialize, Serialize};
+
+/// The fault environment of one simulation run.
+///
+/// All rates are mean seconds of the corresponding exponential
+/// distribution. `None` disables the respective stochastic process; a
+/// config with no processes and no trace is *inert* and must reproduce the
+/// faultless engine byte for byte (property-tested in `tests/`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Mean time between failures of each worker, seconds (`None` = workers
+    /// never crash stochastically).
+    pub worker_mtbf_s: Option<f64>,
+    /// Mean time to repair of a crashed worker, seconds.
+    pub worker_mttr_s: f64,
+    /// Mean time between outages of each site's data server, seconds
+    /// (`None` = servers never fail stochastically).
+    pub server_mtbf_s: Option<f64>,
+    /// Mean time to repair of a failed data server, seconds.
+    pub server_mttr_s: f64,
+    /// Scripted fault events, applied in addition to the stochastic
+    /// processes.
+    pub trace: Option<FaultTrace>,
+}
+
+impl FaultConfig {
+    /// A configuration that injects nothing (inert).
+    #[must_use]
+    pub fn none() -> Self {
+        FaultConfig {
+            worker_mtbf_s: None,
+            worker_mttr_s: 0.0,
+            server_mtbf_s: None,
+            server_mttr_s: 0.0,
+            trace: None,
+        }
+    }
+
+    /// Enables worker churn: crashes every `Exp(mtbf_s)`, repairs after
+    /// `Exp(mttr_s)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either mean is not strictly positive and finite.
+    #[must_use]
+    pub fn with_worker_faults(mut self, mtbf_s: f64, mttr_s: f64) -> Self {
+        assert!(
+            mtbf_s > 0.0 && mtbf_s.is_finite(),
+            "worker MTBF must be positive"
+        );
+        assert!(
+            mttr_s > 0.0 && mttr_s.is_finite(),
+            "worker MTTR must be positive"
+        );
+        self.worker_mtbf_s = Some(mtbf_s);
+        self.worker_mttr_s = mttr_s;
+        self
+    }
+
+    /// Enables data-server churn: outages every `Exp(mtbf_s)` with loss of
+    /// all unpinned cached files, repairs after `Exp(mttr_s)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either mean is not strictly positive and finite.
+    #[must_use]
+    pub fn with_server_faults(mut self, mtbf_s: f64, mttr_s: f64) -> Self {
+        assert!(
+            mtbf_s > 0.0 && mtbf_s.is_finite(),
+            "server MTBF must be positive"
+        );
+        assert!(
+            mttr_s > 0.0 && mttr_s.is_finite(),
+            "server MTTR must be positive"
+        );
+        self.server_mtbf_s = Some(mtbf_s);
+        self.server_mttr_s = mttr_s;
+        self
+    }
+
+    /// Attaches a scripted fault trace (replayed alongside any stochastic
+    /// processes).
+    #[must_use]
+    pub fn with_trace(mut self, trace: FaultTrace) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Whether this configuration injects no faults at all. An inert config
+    /// must leave the simulation bit-identical to running without any fault
+    /// config.
+    #[must_use]
+    pub fn is_inert(&self) -> bool {
+        self.worker_mtbf_s.is_none()
+            && self.server_mtbf_s.is_none()
+            && self.trace.as_ref().is_none_or(|t| t.events.is_empty())
+    }
+
+    /// One-line human summary (embedded in report config summaries).
+    #[must_use]
+    pub fn summary(&self) -> String {
+        if self.is_inert() {
+            return "none".to_string();
+        }
+        let mut parts = Vec::new();
+        if let Some(mtbf) = self.worker_mtbf_s {
+            parts.push(format!(
+                "worker mtbf={mtbf:.0}s mttr={:.0}s",
+                self.worker_mttr_s
+            ));
+        }
+        if let Some(mtbf) = self.server_mtbf_s {
+            parts.push(format!(
+                "server mtbf={mtbf:.0}s mttr={:.0}s",
+                self.server_mttr_s
+            ));
+        }
+        if let Some(t) = &self.trace {
+            if !t.events.is_empty() {
+                parts.push(format!("trace={} events", t.events.len()));
+            }
+        }
+        parts.join("; ")
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inert() {
+        assert!(FaultConfig::none().is_inert());
+        assert!(FaultConfig::default().is_inert());
+        assert_eq!(FaultConfig::none().summary(), "none");
+    }
+
+    #[test]
+    fn empty_trace_is_inert() {
+        let cfg = FaultConfig::none().with_trace(FaultTrace::default());
+        assert!(cfg.is_inert());
+    }
+
+    #[test]
+    fn processes_are_not_inert() {
+        let w = FaultConfig::none().with_worker_faults(3600.0, 600.0);
+        assert!(!w.is_inert());
+        assert!(w.summary().contains("worker mtbf=3600s"));
+        let s = FaultConfig::none().with_server_faults(86400.0, 1800.0);
+        assert!(!s.is_inert());
+        assert!(s.summary().contains("server mtbf=86400s"));
+    }
+
+    #[test]
+    #[should_panic(expected = "MTBF must be positive")]
+    fn zero_mtbf_rejected() {
+        let _ = FaultConfig::none().with_worker_faults(0.0, 600.0);
+    }
+}

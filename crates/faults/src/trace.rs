@@ -1,0 +1,248 @@
+//! Scripted fault traces.
+//!
+//! A deterministic, human-authorable list of fault events — the tool for
+//! regression scenarios ("site 2's server dies at hour 3 and returns at
+//! hour 4") where stochastic churn would be noise. The text format is
+//! line-oriented:
+//!
+//! ```text
+//! # seconds  kind            site  [worker]
+//! 1800       worker-crash    0     1
+//! 3600       worker-recover  0     1
+//! 10800      server-fail     2
+//! 14400      server-recover  2
+//! ```
+//!
+//! Blank lines and `#` comments are ignored; events are sorted by time on
+//! parse.
+
+use serde::{Deserialize, Serialize};
+
+/// What happens to whom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A worker crashes; its in-flight task (if any) is lost and must be
+    /// re-executed.
+    WorkerCrash {
+        /// Site index of the worker.
+        site: usize,
+        /// Worker index within the site.
+        worker: usize,
+    },
+    /// A crashed worker rejoins the pool.
+    WorkerRecover {
+        /// Site index of the worker.
+        site: usize,
+        /// Worker index within the site.
+        worker: usize,
+    },
+    /// A site's data server goes down, losing every unpinned cached file.
+    ServerFail {
+        /// Site index.
+        site: usize,
+    },
+    /// A failed data server comes back (with an empty cache, minus whatever
+    /// stayed pinned by still-running computations).
+    ServerRecover {
+        /// Site index.
+        site: usize,
+    },
+}
+
+/// One scripted event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Simulation time of the event, seconds.
+    pub at_s: f64,
+    /// The event itself.
+    pub kind: FaultKind,
+}
+
+/// A time-ordered list of scripted fault events.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultTrace {
+    /// Events, ascending by [`FaultEvent::at_s`].
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultTrace {
+    /// Builds a trace from events (sorted by time; ties keep input order).
+    #[must_use]
+    pub fn new(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by(|a, b| a.at_s.total_cmp(&b.at_s));
+        FaultTrace { events }
+    }
+
+    /// Parses the line-oriented text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line on malformed input.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut events = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |msg: &str| format!("fault trace line {}: {msg}", lineno + 1);
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            if fields.len() < 3 {
+                return Err(err("expected `<secs> <kind> <site> [worker]`"));
+            }
+            let at_s: f64 = fields[0].parse().map_err(|_| err("bad time"))?;
+            if !(at_s.is_finite() && at_s >= 0.0) {
+                return Err(err("time must be finite and non-negative"));
+            }
+            let site: usize = fields[2].parse().map_err(|_| err("bad site index"))?;
+            let worker = || -> Result<usize, String> {
+                fields
+                    .get(3)
+                    .ok_or_else(|| err("worker events need a worker index"))?
+                    .parse()
+                    .map_err(|_| err("bad worker index"))
+            };
+            let kind = match fields[1] {
+                "worker-crash" => FaultKind::WorkerCrash {
+                    site,
+                    worker: worker()?,
+                },
+                "worker-recover" => FaultKind::WorkerRecover {
+                    site,
+                    worker: worker()?,
+                },
+                "server-fail" => FaultKind::ServerFail { site },
+                "server-recover" => FaultKind::ServerRecover { site },
+                other => return Err(err(&format!("unknown event kind `{other}`"))),
+            };
+            events.push(FaultEvent { at_s, kind });
+        }
+        Ok(FaultTrace::new(events))
+    }
+
+    /// Renders the text format (round-trips through [`FaultTrace::parse`]).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::from("# seconds kind site [worker]\n");
+        for e in &self.events {
+            let line = match e.kind {
+                FaultKind::WorkerCrash { site, worker } => {
+                    format!("{} worker-crash {site} {worker}\n", e.at_s)
+                }
+                FaultKind::WorkerRecover { site, worker } => {
+                    format!("{} worker-recover {site} {worker}\n", e.at_s)
+                }
+                FaultKind::ServerFail { site } => format!("{} server-fail {site}\n", e.at_s),
+                FaultKind::ServerRecover { site } => {
+                    format!("{} server-recover {site}\n", e.at_s)
+                }
+            };
+            out.push_str(&line);
+        }
+        out
+    }
+
+    /// Checks every event against a grid shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first event that references a site or
+    /// worker the grid does not have.
+    pub fn validate(&self, sites: usize, workers_per_site: usize) -> Result<(), String> {
+        for e in &self.events {
+            let (site, worker) = match e.kind {
+                FaultKind::WorkerCrash { site, worker }
+                | FaultKind::WorkerRecover { site, worker } => (site, Some(worker)),
+                FaultKind::ServerFail { site } | FaultKind::ServerRecover { site } => (site, None),
+            };
+            if site >= sites {
+                return Err(format!(
+                    "fault trace references site {site} but the run has {sites} sites"
+                ));
+            }
+            if let Some(w) = worker {
+                if w >= workers_per_site {
+                    return Err(format!(
+                        "fault trace references worker {w} at site {site} but the run \
+                         has {workers_per_site} workers per site"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The largest site index any event references, if any event exists.
+    #[must_use]
+    pub fn max_site(&self) -> Option<usize> {
+        self.events
+            .iter()
+            .map(|e| match e.kind {
+                FaultKind::WorkerCrash { site, .. }
+                | FaultKind::WorkerRecover { site, .. }
+                | FaultKind::ServerFail { site }
+                | FaultKind::ServerRecover { site } => site,
+            })
+            .max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_sorts() {
+        let t = FaultTrace::parse(
+            "# demo\n3600 server-recover 2\n\n1800 worker-crash 0 1 # boom\n2000 server-fail 2\n",
+        )
+        .expect("valid trace");
+        assert_eq!(t.events.len(), 3);
+        assert_eq!(
+            t.events[0].kind,
+            FaultKind::WorkerCrash { site: 0, worker: 1 }
+        );
+        assert_eq!(t.events[2].kind, FaultKind::ServerRecover { site: 2 });
+        assert_eq!(t.max_site(), Some(2));
+    }
+
+    #[test]
+    fn round_trips() {
+        let t = FaultTrace::new(vec![
+            FaultEvent {
+                at_s: 10.0,
+                kind: FaultKind::WorkerCrash { site: 1, worker: 0 },
+            },
+            FaultEvent {
+                at_s: 99.5,
+                kind: FaultKind::ServerFail { site: 3 },
+            },
+        ]);
+        assert_eq!(FaultTrace::parse(&t.render()).expect("round trip"), t);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(FaultTrace::parse("oops").is_err());
+        assert!(
+            FaultTrace::parse("10 worker-crash 0").is_err(),
+            "missing worker"
+        );
+        assert!(
+            FaultTrace::parse("-5 server-fail 0").is_err(),
+            "negative time"
+        );
+        assert!(
+            FaultTrace::parse("10 frobnicate 0").is_err(),
+            "unknown kind"
+        );
+        assert!(FaultTrace::parse("NaN server-fail 0").is_err(), "NaN time");
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = FaultTrace::parse("# nothing\n\n").expect("empty ok");
+        assert!(t.events.is_empty());
+        assert_eq!(t.max_site(), None);
+    }
+}

@@ -409,10 +409,7 @@ mod proptests {
     /// Random schedule of flow starts over a small topology; drive the
     /// engine to completion and check conservation: delivered bytes equal
     /// the sum of all flow sizes.
-    fn drive_to_completion(
-        caps: Vec<f64>,
-        starts: Vec<(f64, Vec<usize>, f64, f64)>,
-    ) -> (f64, f64) {
+    fn drive_to_completion(caps: Vec<f64>, starts: Vec<(f64, Vec<usize>, f64, f64)>) -> (f64, f64) {
         let mut net = NetSim::new(caps.clone());
         let total: f64 = starts.iter().map(|s| s.2).sum();
         let mut pending = starts;
@@ -428,8 +425,7 @@ mod proptests {
                         let (at, route, bytes, lat) = pending[idx].clone();
                         let _ = at;
                         now = ts;
-                        let route: Vec<EdgeId> =
-                            route.iter().map(|&l| EdgeId(l as u32)).collect();
+                        let route: Vec<EdgeId> = route.iter().map(|&l| EdgeId(l as u32)).collect();
                         net.start_flow(now, &route, bytes, lat);
                         idx += 1;
                     } else {
@@ -455,6 +451,7 @@ mod proptests {
         (total, net.bytes_delivered())
     }
 
+    #[allow(clippy::type_complexity)]
     fn arb_starts() -> impl Strategy<Value = (Vec<f64>, Vec<(f64, Vec<usize>, f64, f64)>)> {
         (2usize..5).prop_flat_map(|n_links| {
             let caps = proptest::collection::vec(1.0f64..50.0, n_links);

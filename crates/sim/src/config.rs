@@ -5,6 +5,7 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 
 use gridsched_core::StrategyKind;
+use gridsched_faults::FaultConfig;
 use gridsched_storage::EvictionPolicy;
 use gridsched_topology::TiersConfig;
 use gridsched_workload::Workload;
@@ -45,6 +46,10 @@ pub struct SimConfig {
     /// Overrides `ChooseTask(n)` for worker-centric strategies (ablation;
     /// `None` keeps the strategy's own n — 1, or 2 for the `.2` variants).
     pub choose_n_override: Option<usize>,
+    /// Fault injection: worker/server churn processes and scripted fault
+    /// traces. `None` (or an inert config) reproduces the fault-free
+    /// engine byte for byte.
+    pub faults: Option<FaultConfig>,
 }
 
 /// Serializable summary of a configuration (embedded in reports).
@@ -68,6 +73,8 @@ pub struct ConfigSummary {
     pub topology_seed: u64,
     /// Master seed.
     pub seed: u64,
+    /// Fault environment (`"none"` when fault injection is off or inert).
+    pub faults: String,
 }
 
 impl SimConfig {
@@ -87,6 +94,7 @@ impl SimConfig {
             speeds: SpeedModel::paper(),
             replication: None,
             choose_n_override: None,
+            faults: None,
         }
     }
 
@@ -185,6 +193,13 @@ impl SimConfig {
         self
     }
 
+    /// Enables fault injection (worker/server churn, scripted traces).
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
     /// The serializable summary embedded in reports.
     #[must_use]
     pub fn summary(&self) -> ConfigSummary {
@@ -198,6 +213,10 @@ impl SimConfig {
             tasks: self.workload.task_count(),
             topology_seed: self.topology.seed,
             seed: self.seed,
+            faults: self
+                .faults
+                .as_ref()
+                .map_or_else(|| "none".to_string(), FaultConfig::summary),
         }
     }
 }

@@ -19,18 +19,37 @@
 //!
 //! The engine is fully deterministic given the [`SimConfig`] (including
 //! seeds).
+//!
+//! ## Fault injection
+//!
+//! With an active [`gridsched_faults::FaultConfig`], the engine also
+//! drives churn through the model:
+//!
+//! * **worker crashes** abort the worker's execution (queued request,
+//!   in-flight transfer or running computation), hand the in-flight task
+//!   back to the scheduler ([`Scheduler::on_worker_lost`]) and take the
+//!   worker out of the pool until its repair completes;
+//! * **data-server outages** lose every unpinned cached file, abort the
+//!   active batch (its request is requeued and re-served after repair)
+//!   and freeze the server's queue for the outage;
+//! * under active faults a scheduler's `Finished` verdict parks the worker
+//!   instead of retiring it — a fault may requeue work at any time.
+//!
+//! An inert fault config (or none) leaves the engine byte-identical to the
+//! fault-free model; `tests/fault_injection.rs` property-tests this.
 
 use std::collections::{HashMap, VecDeque};
 
 use rand::Rng;
 
+use gridsched_core::GridEnv;
 use gridsched_core::{
     Assignment, Scheduler, SiteId, StorageAffinity, StrategyKind, Sufferage, WorkerCentric,
     WorkerId, Workqueue,
 };
-use gridsched_core::GridEnv;
 use gridsched_des::rng::{rng_for, Stream};
 use gridsched_des::{EventHandle, Schedule, SimDuration, SimTime};
+use gridsched_faults::{Entity, FaultKind, FaultTimeline};
 use gridsched_net::{FlowId, NetSim};
 use gridsched_storage::SiteStore;
 use gridsched_topology::{generate, Topology};
@@ -52,6 +71,14 @@ enum Event {
         task: TaskId,
         generation: u64,
     },
+    /// Fault injection: this (flat-indexed) worker crashes.
+    WorkerCrash(usize),
+    /// Fault injection: this worker's repair completes.
+    WorkerRecover(usize),
+    /// Fault injection: this site's data server goes down (file loss).
+    ServerFail(usize),
+    /// Fault injection: this site's data server comes back.
+    ServerRecover(usize),
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,6 +89,8 @@ enum WorkerState {
     /// Scheduler said [`Assignment::Wait`]; re-polled after the next
     /// assignment or completion.
     Parked,
+    /// Crashed (fault injection); comes back via [`Event::WorkerRecover`].
+    Down,
     Done,
 }
 
@@ -71,6 +100,9 @@ struct RunningTask {
     /// Files currently pinned on behalf of this execution.
     pinned: Vec<FileId>,
     compute_handle: Option<EventHandle>,
+    /// When the computation phase started (for wasted-compute accounting
+    /// on aborts).
+    compute_started: Option<SimTime>,
 }
 
 #[derive(Debug)]
@@ -80,6 +112,8 @@ struct Worker {
     state: WorkerState,
     generation: u64,
     current: Option<RunningTask>,
+    /// When the worker crashed, while it is [`WorkerState::Down`].
+    down_since: Option<SimTime>,
 }
 
 #[derive(Debug)]
@@ -102,6 +136,10 @@ struct ActiveBatch {
 struct DataServer {
     queue: VecDeque<BatchRequest>,
     active: Option<ActiveBatch>,
+    /// Fault injection: the server is down and serves nothing.
+    down: bool,
+    /// When the outage started, while down.
+    down_since: Option<SimTime>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -127,6 +165,18 @@ pub struct GridSim {
     flow_purpose: HashMap<FlowId, FlowPurpose>,
     replication: Option<ReplicationState>,
     replication_rng: rand::rngs::StdRng,
+    // --- fault injection ---
+    /// Whether the fault config injects anything; `false` keeps every
+    /// fault code path dormant so the run matches the fault-free engine
+    /// exactly.
+    faults_active: bool,
+    /// Per-worker stochastic churn processes (empty when inactive).
+    worker_timelines: Vec<Option<FaultTimeline>>,
+    /// Per-site data-server churn processes (empty when inactive).
+    server_timelines: Vec<Option<FaultTimeline>>,
+    /// Tasks that were fault-orphaned at least once (re-execution
+    /// accounting).
+    lost_ever: Vec<bool>,
     // --- metrics ---
     per_site: Vec<SiteMetrics>,
     tasks_completed: u64,
@@ -136,6 +186,11 @@ pub struct GridSim {
     replication_pushes: u64,
     replication_bytes: f64,
     last_completion: SimTime,
+    tasks_lost: u64,
+    re_executions: u64,
+    worker_crashes: u64,
+    server_outages: u64,
+    wasted_compute_s: f64,
 }
 
 impl GridSim {
@@ -169,11 +224,39 @@ impl GridSim {
                     state: WorkerState::Idle,
                     generation: 0,
                     current: None,
+                    down_since: None,
                 });
             }
         }
         let servers = (0..config.sites).map(|_| DataServer::default()).collect();
         let scheduler = build_scheduler(&config);
+        let faults_active = config.faults.as_ref().is_some_and(|f| !f.is_inert());
+        if let Some(trace) = config.faults.as_ref().and_then(|f| f.trace.as_ref()) {
+            if let Err(e) = trace.validate(config.sites, config.workers_per_site) {
+                panic!("{e}");
+            }
+        }
+        let (worker_timelines, server_timelines) = if faults_active {
+            let fc = config.faults.as_ref().expect("active faults have a config");
+            let wtl = (0..workers.len())
+                .map(|w| {
+                    fc.worker_mtbf_s.map(|mtbf| {
+                        FaultTimeline::new(config.seed, Entity::Worker(w), mtbf, fc.worker_mttr_s)
+                    })
+                })
+                .collect();
+            let stl = (0..config.sites)
+                .map(|s| {
+                    fc.server_mtbf_s.map(|mtbf| {
+                        FaultTimeline::new(config.seed, Entity::Server(s), mtbf, fc.server_mttr_s)
+                    })
+                })
+                .collect();
+            (wtl, stl)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        let lost_ever = vec![false; config.workload.task_count()];
         let replication = config
             .replication
             .map(|rc| ReplicationState::new(rc, config.workload.file_count()));
@@ -191,6 +274,10 @@ impl GridSim {
             servers,
             flow_purpose: HashMap::new(),
             replication,
+            faults_active,
+            worker_timelines,
+            server_timelines,
+            lost_ever,
             per_site,
             tasks_completed: 0,
             replicas_launched: 0,
@@ -199,6 +286,11 @@ impl GridSim {
             replication_pushes: 0,
             replication_bytes: 0.0,
             last_completion: SimTime::ZERO,
+            tasks_lost: 0,
+            re_executions: 0,
+            worker_crashes: 0,
+            server_outages: 0,
+            wasted_compute_s: 0.0,
         }
     }
 
@@ -219,6 +311,7 @@ impl GridSim {
         for w in 0..self.workers.len() {
             self.schedule.schedule_now(Event::WorkerIdle(w));
         }
+        self.arm_faults();
         while let Some((_now, event)) = self.schedule.next() {
             match event {
                 Event::WorkerIdle(w) => self.handle_worker_idle(w),
@@ -228,6 +321,10 @@ impl GridSim {
                     task,
                     generation,
                 } => self.handle_compute_done(worker, task, generation),
+                Event::WorkerCrash(w) => self.handle_worker_crash(w),
+                Event::WorkerRecover(w) => self.handle_worker_recover(w),
+                Event::ServerFail(s) => self.handle_server_fail(s),
+                Event::ServerRecover(s) => self.handle_server_recover(s),
             }
         }
         assert_eq!(
@@ -249,26 +346,31 @@ impl GridSim {
     fn handle_worker_idle(&mut self, w: usize) {
         match self.workers[w].state {
             WorkerState::Idle | WorkerState::Parked => {}
-            // Stale re-poll (the worker got work, finished entirely, or is
-            // mid-execution).
-            WorkerState::WaitingData | WorkerState::Computing | WorkerState::Done => return,
+            // Stale re-poll (the worker got work, finished entirely, is
+            // mid-execution, or crashed before the poll fired).
+            WorkerState::WaitingData
+            | WorkerState::Computing
+            | WorkerState::Down
+            | WorkerState::Done => return,
         }
         let worker_id = self.workers[w].id;
         let site = worker_id.site.index();
-        let assignment = self
-            .scheduler
-            .on_worker_idle(worker_id, &self.stores[site]);
+        let assignment = self.scheduler.on_worker_idle(worker_id, &self.stores[site]);
         match assignment {
             Assignment::Run(task) | Assignment::Replicate(task) => {
                 let is_replica = matches!(assignment, Assignment::Replicate(_));
                 if is_replica {
                     self.replicas_launched += 1;
                 }
+                if self.lost_ever[task.index()] {
+                    self.re_executions += 1;
+                }
                 self.workers[w].state = WorkerState::WaitingData;
                 self.workers[w].current = Some(RunningTask {
                     task,
                     pinned: Vec::new(),
                     compute_handle: None,
+                    compute_started: None,
                 });
                 let enqueued_at = self.now();
                 self.servers[site].queue.push_back(BatchRequest {
@@ -283,7 +385,14 @@ impl GridSim {
                 self.workers[w].state = WorkerState::Parked;
             }
             Assignment::Finished => {
-                self.workers[w].state = WorkerState::Done;
+                // Under active faults "finished" is never final: a crash
+                // may orphan a task at any time, so keep the worker
+                // available for a wake-up instead of retiring it.
+                self.workers[w].state = if self.faults_active {
+                    WorkerState::Parked
+                } else {
+                    WorkerState::Done
+                };
             }
         }
     }
@@ -300,7 +409,7 @@ impl GridSim {
     // ----- data-server service loop -----------------------------------
 
     fn maybe_start_service(&mut self, site: usize) {
-        if self.servers[site].active.is_some() {
+        if self.servers[site].down || self.servers[site].active.is_some() {
             return;
         }
         let Some(request) = self.servers[site].queue.pop_front() else {
@@ -418,8 +527,10 @@ impl GridSim {
                 generation,
             },
         );
+        let started = self.now();
         let current = self.workers[w].current.as_mut().expect("running");
         current.compute_handle = Some(handle);
+        current.compute_started = Some(started);
         self.workers[w].state = WorkerState::Computing;
 
         // The server moves on to the next queued request.
@@ -512,12 +623,15 @@ impl GridSim {
             if !eligible {
                 continue;
             }
-            // Pick a random site lacking the file.
+            // Pick a random site lacking the file (skipping servers that
+            // are down — nothing can receive a push during an outage).
             let candidates: Vec<usize> = (0..self.config.sites)
-                .filter(|&s| s != origin_site && !self.stores[s].contains(f))
+                .filter(|&s| {
+                    s != origin_site && !self.servers[s].down && !self.stores[s].contains(f)
+                })
                 .collect();
-            let Some(&target) = candidates
-                .get(self.replication_rng.gen_range(0..candidates.len().max(1)))
+            let Some(&target) =
+                candidates.get(self.replication_rng.gen_range(0..candidates.len().max(1)))
             else {
                 continue;
             };
@@ -567,30 +681,22 @@ impl GridSim {
         self.wake_parked();
     }
 
-    /// Aborts `task`'s execution at `victim` (queued, transferring or
-    /// computing) and returns the worker to the idle pool.
-    fn abort_execution(&mut self, victim: WorkerId, task: TaskId) {
-        let w = self
-            .workers
-            .iter()
-            .position(|wk| wk.id == victim)
-            .expect("cancel target exists");
-        let site = victim.site.index();
+    /// Tears down worker `w`'s execution in progress (queued request,
+    /// active batch with its in-flight transfer, or running computation):
+    /// detaches it from the data server and network, accounts wasted
+    /// compute, and unpins its files. Returns the task it was executing.
+    ///
+    /// The caller decides what the worker becomes (idle again for replica
+    /// cancels, down for crashes) and how the scheduler hears about it.
+    fn teardown_execution(&mut self, w: usize) -> Option<TaskId> {
+        let site = self.workers[w].id.site.index();
         let state = self.workers[w].state;
-        let current = self.workers[w]
-            .current
-            .take()
-            .expect("cancel target is executing");
-        assert_eq!(current.task, task, "cancel target runs a different task");
-        self.replicas_cancelled += 1;
+        let current = self.workers[w].current.take()?;
         match state {
             WorkerState::WaitingData => {
                 // Either still queued at the data server, or the active
                 // batch.
-                let queued_pos = self.servers[site]
-                    .queue
-                    .iter()
-                    .position(|r| r.worker == w);
+                let queued_pos = self.servers[site].queue.iter().position(|r| r.worker == w);
                 if let Some(pos) = queued_pos {
                     self.servers[site].queue.remove(pos);
                 } else {
@@ -603,8 +709,7 @@ impl GridSim {
                         self.flow_purpose.remove(&fid);
                         if let Some(left) = self.net.cancel_flow(self.now(), fid) {
                             self.cancelled_bytes += left;
-                            let delivered =
-                                self.config.workload.file_size_bytes - left;
+                            let delivered = self.config.workload.file_size_bytes - left;
                             self.per_site[site].bytes_transferred += delivered.max(0.0);
                         }
                         self.resync_net();
@@ -619,25 +724,249 @@ impl GridSim {
                 if let Some(h) = current.compute_handle {
                     self.schedule.cancel(h);
                 }
+                if let Some(started) = current.compute_started {
+                    self.wasted_compute_s += (self.now() - started).as_secs();
+                }
             }
-            other => panic!("abort_execution on worker in state {other:?}"),
+            other => panic!("teardown_execution on worker in state {other:?}"),
         }
         for f in current.pinned {
             self.stores[site].unpin(f);
         }
+        Some(current.task)
+    }
+
+    /// Aborts `task`'s execution at `victim` (queued, transferring or
+    /// computing) and returns the worker to the idle pool.
+    fn abort_execution(&mut self, victim: WorkerId, task: TaskId) {
+        let w = self
+            .workers
+            .iter()
+            .position(|wk| wk.id == victim)
+            .expect("cancel target exists");
+        let torn = self
+            .teardown_execution(w)
+            .expect("cancel target is executing");
+        assert_eq!(torn, task, "cancel target runs a different task");
+        self.replicas_cancelled += 1;
         self.workers[w].generation += 1;
         self.workers[w].state = WorkerState::Idle;
         self.scheduler.on_replica_aborted(victim, task);
         self.schedule.schedule_now(Event::WorkerIdle(w));
     }
 
+    // ----- fault injection ------------------------------------------------
+
+    /// Schedules the first stochastic fault of every entity plus every
+    /// scripted trace event.
+    fn arm_faults(&mut self) {
+        if !self.faults_active {
+            return;
+        }
+        for w in 0..self.workers.len() {
+            if let Some(tl) = self.worker_timelines[w].as_mut() {
+                let d = tl.time_to_failure();
+                self.schedule.schedule_in(d, Event::WorkerCrash(w));
+            }
+        }
+        for s in 0..self.config.sites {
+            if let Some(tl) = self.server_timelines[s].as_mut() {
+                let d = tl.time_to_failure();
+                self.schedule.schedule_in(d, Event::ServerFail(s));
+            }
+        }
+        let trace = self.config.faults.as_ref().and_then(|f| f.trace.clone());
+        if let Some(trace) = trace {
+            let wps = self.config.workers_per_site;
+            for e in &trace.events {
+                let at = SimTime::from_secs(e.at_s);
+                let event = match e.kind {
+                    FaultKind::WorkerCrash { site, worker } => {
+                        Event::WorkerCrash(flat_worker(site, worker, wps))
+                    }
+                    FaultKind::WorkerRecover { site, worker } => {
+                        Event::WorkerRecover(flat_worker(site, worker, wps))
+                    }
+                    FaultKind::ServerFail { site } => Event::ServerFail(site),
+                    FaultKind::ServerRecover { site } => Event::ServerRecover(site),
+                };
+                self.schedule.schedule_at(at, event);
+            }
+        }
+    }
+
+    fn handle_worker_crash(&mut self, w: usize) {
+        // Once the job is done the churn processes stop re-arming and
+        // pending fault events drain without effect.
+        if self.scheduler.unfinished() == 0 {
+            return;
+        }
+        // Already down (scripted + stochastic overlap): ignore.
+        if self.workers[w].state == WorkerState::Down {
+            return;
+        }
+        let worker_id = self.workers[w].id;
+        let lost = self.teardown_execution(w);
+        self.workers[w].generation += 1;
+        self.workers[w].state = WorkerState::Down;
+        self.workers[w].down_since = Some(self.now());
+        self.worker_crashes += 1;
+        let orphaned = self.scheduler.on_worker_lost(worker_id, lost);
+        if orphaned {
+            let task = lost.expect("orphaned implies an in-flight task");
+            self.tasks_lost += 1;
+            self.lost_ever[task.index()] = true;
+            // The requeued task may be picked up by parked workers.
+            self.wake_parked();
+        }
+        if let Some(tl) = self.worker_timelines[w].as_mut() {
+            let d = tl.time_to_repair();
+            self.schedule.schedule_in(d, Event::WorkerRecover(w));
+        }
+    }
+
+    fn handle_worker_recover(&mut self, w: usize) {
+        if self.workers[w].state != WorkerState::Down {
+            return;
+        }
+        let site = self.workers[w].id.site.index();
+        if let Some(since) = self.workers[w].down_since.take() {
+            let end = self.downtime_end().max(since);
+            self.per_site[site].worker_downtime_s += (end - since).as_secs();
+        }
+        self.workers[w].state = WorkerState::Idle;
+        self.scheduler.on_worker_recovered(self.workers[w].id);
+        if self.scheduler.unfinished() == 0 {
+            return;
+        }
+        self.schedule.schedule_now(Event::WorkerIdle(w));
+        if let Some(tl) = self.worker_timelines[w].as_mut() {
+            let d = tl.time_to_failure();
+            self.schedule.schedule_in(d, Event::WorkerCrash(w));
+        }
+    }
+
+    fn handle_server_fail(&mut self, site: usize) {
+        if self.scheduler.unfinished() == 0 {
+            return;
+        }
+        if self.servers[site].down {
+            return;
+        }
+        self.servers[site].down = true;
+        self.servers[site].down_since = Some(self.now());
+        self.server_outages += 1;
+        // The active batch dissolves: its in-flight transfer is aborted
+        // and the request goes back to the head of the queue, to be
+        // re-served (re-fetching whatever the outage lost) after repair.
+        // The worker keeps waiting; its task stays assigned.
+        if let Some(batch) = self.servers[site].active.take() {
+            let w = batch.worker;
+            if let Some((_file, fid)) = batch.current {
+                self.flow_purpose.remove(&fid);
+                if let Some(left) = self.net.cancel_flow(self.now(), fid) {
+                    self.cancelled_bytes += left;
+                    let delivered = self.config.workload.file_size_bytes - left;
+                    self.per_site[site].bytes_transferred += delivered.max(0.0);
+                }
+                self.resync_net();
+            }
+            self.per_site[site].transfer_time_s += (self.now() - batch.service_start).as_secs();
+            let current = self.workers[w]
+                .current
+                .as_mut()
+                .expect("active batch worker is running");
+            for f in current.pinned.drain(..) {
+                self.stores[site].unpin(f);
+            }
+            let enqueued_at = self.now();
+            self.servers[site].queue.push_front(BatchRequest {
+                worker: w,
+                enqueued_at,
+            });
+        }
+        // Inbound replication pushes have no destination anymore.
+        let mut inbound: Vec<FlowId> = self
+            .flow_purpose
+            .iter()
+            .filter(|(_, p)| matches!(p, FlowPurpose::Replication { site: s, .. } if *s == site))
+            .map(|(&fid, _)| fid)
+            .collect();
+        inbound.sort_unstable();
+        for fid in inbound {
+            self.flow_purpose.remove(&fid);
+            if let Some(left) = self.net.cancel_flow(self.now(), fid) {
+                self.cancelled_bytes += left;
+            }
+        }
+        self.resync_net();
+        // The outage loses every unpinned cached file.
+        let lost = self.stores[site].fail();
+        self.per_site[site].files_lost += lost.len() as u64;
+        for f in lost {
+            self.scheduler
+                .on_file_evicted(SiteId(site as u32), f, self.stores[site].ref_count(f));
+        }
+        if let Some(tl) = self.server_timelines[site].as_mut() {
+            let d = tl.time_to_repair();
+            self.schedule.schedule_in(d, Event::ServerRecover(site));
+        }
+    }
+
+    fn handle_server_recover(&mut self, site: usize) {
+        if !self.servers[site].down {
+            return;
+        }
+        self.servers[site].down = false;
+        if let Some(since) = self.servers[site].down_since.take() {
+            let end = self.downtime_end().max(since);
+            self.per_site[site].server_downtime_s += (end - since).as_secs();
+        }
+        self.maybe_start_service(site);
+        if self.scheduler.unfinished() == 0 {
+            return;
+        }
+        if let Some(tl) = self.server_timelines[site].as_mut() {
+            let d = tl.time_to_failure();
+            self.schedule.schedule_in(d, Event::ServerFail(site));
+        }
+    }
+
     // ----- reporting ------------------------------------------------------
+
+    /// Where downtime accounting stops: availability is measured against
+    /// the job's makespan, so once the last task has completed, repairs
+    /// that drain later must not accrue further downtime.
+    fn downtime_end(&self) -> SimTime {
+        if self.scheduler.unfinished() == 0 {
+            self.now().min(self.last_completion)
+        } else {
+            self.now()
+        }
+    }
 
     fn report(&self) -> MetricsReport {
         let file_transfers: u64 = self.per_site.iter().map(|s| s.file_transfers).sum();
         let bytes: f64 = self.per_site.iter().map(|s| s.bytes_transferred).sum();
         let total_evictions: u64 = self.per_site.iter().map(|s| s.evictions).sum();
         let overflow: u64 = self.stores.iter().map(|s| s.stats().overflow_inserts).sum();
+        let files_lost: u64 = self.per_site.iter().map(|s| s.files_lost).sum();
+        // Entities still down at the end (scripted crash with no scripted
+        // recovery) never saw a recover event; account their downtime up
+        // to the makespan here.
+        let mut per_site = self.per_site.clone();
+        for w in &self.workers {
+            if let Some(since) = w.down_since {
+                let end = self.last_completion.max(since);
+                per_site[w.id.site.index()].worker_downtime_s += (end - since).as_secs();
+            }
+        }
+        for (site, server) in self.servers.iter().enumerate() {
+            if let Some(since) = server.down_since {
+                let end = self.last_completion.max(since);
+                per_site[site].server_downtime_s += (end - since).as_secs();
+            }
+        }
         MetricsReport {
             config: self.config.summary(),
             makespan_minutes: self.last_completion.as_minutes(),
@@ -647,14 +976,35 @@ impl GridSim {
             tasks_completed: self.tasks_completed,
             replicas_launched: self.replicas_launched,
             replicas_cancelled: self.replicas_cancelled,
-            per_site: self.per_site.clone(),
+            per_site,
             replication_pushes: self.replication_pushes,
             replication_bytes: self.replication_bytes,
             events_dispatched: self.schedule.dispatched(),
             total_evictions,
             overflow_inserts: overflow,
+            tasks_lost: self.tasks_lost,
+            re_executions: self.re_executions,
+            worker_crashes: self.worker_crashes,
+            server_outages: self.server_outages,
+            files_lost,
+            wasted_compute_s: self.wasted_compute_s,
         }
     }
+}
+
+/// Flattens a (site, worker-in-site) pair to the engine's worker index.
+///
+/// # Panics
+///
+/// Panics if the worker index is out of the configured range (a fault
+/// trace referencing a worker the run does not have).
+fn flat_worker(site: usize, worker: usize, workers_per_site: usize) -> usize {
+    assert!(
+        worker < workers_per_site,
+        "fault trace references worker {worker} at site {site} but the run has \
+         {workers_per_site} workers per site"
+    );
+    site * workers_per_site + worker
 }
 
 /// Builds the scheduler for a strategy kind.
@@ -665,7 +1015,9 @@ fn build_scheduler(config: &SimConfig) -> Box<dyn Scheduler> {
         StrategyKind::Workqueue => Box::new(Workqueue::new(wl)),
         StrategyKind::Sufferage => Box::new(Sufferage::new(wl)),
         kind => {
-            let metric = kind.metric().expect("worker-centric strategies have a metric");
+            let metric = kind
+                .metric()
+                .expect("worker-centric strategies have a metric");
             let n = config.choose_n_override.unwrap_or_else(|| kind.choose_n());
             Box::new(WorkerCentric::new(wl, metric, n, config.seed))
         }
@@ -842,6 +1194,41 @@ mod tests {
     #[allow(non_snake_case)]
     fn SpeedModelFixed(s: f64) -> crate::speeds::SpeedModel {
         crate::speeds::SpeedModel::Fixed(s)
+    }
+
+    #[test]
+    fn worker_churn_completes_with_reexecutions() {
+        let config = small_config(StrategyKind::Rest2)
+            .with_faults(gridsched_faults::FaultConfig::none().with_worker_faults(3_000.0, 400.0));
+        let report = GridSim::new(config).run();
+        assert_eq!(report.tasks_completed, 200);
+        assert!(report.worker_crashes > 0, "churn must inject crashes");
+        assert!(report.re_executions >= report.tasks_lost);
+        assert!(report.mean_worker_availability() < 1.0);
+    }
+
+    #[test]
+    fn server_churn_completes_and_loses_files() {
+        let config = small_config(StrategyKind::StorageAffinity)
+            .with_faults(gridsched_faults::FaultConfig::none().with_server_faults(15_000.0, 900.0));
+        let report = GridSim::new(config).run();
+        assert_eq!(report.tasks_completed, 200);
+        assert!(report.server_outages > 0, "churn must inject outages");
+        assert!(report.mean_server_availability() < 1.0);
+    }
+
+    #[test]
+    fn combined_churn_is_deterministic() {
+        let config = || {
+            small_config(StrategyKind::Combined2).with_faults(
+                gridsched_faults::FaultConfig::none()
+                    .with_worker_faults(4_000.0, 500.0)
+                    .with_server_faults(25_000.0, 800.0),
+            )
+        };
+        let a = GridSim::new(config()).run();
+        let b = GridSim::new(config()).run();
+        assert_eq!(a, b, "fault injection broke determinism");
     }
 
     #[test]

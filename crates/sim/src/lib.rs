@@ -56,3 +56,7 @@ pub use metrics::{MetricsReport, SiteMetrics};
 pub use replication::ReplicationConfig;
 pub use runner::{average_reports, run_averaged, ExperimentPoint};
 pub use speeds::SpeedModel;
+
+// The fault model lives in its own crate; re-export the configuration
+// surface so simulator users need only `gridsched_sim`.
+pub use gridsched_faults::{FaultConfig, FaultEvent, FaultKind, FaultTrace};

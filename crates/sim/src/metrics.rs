@@ -23,6 +23,12 @@ pub struct SiteMetrics {
     pub tasks_started: u64,
     /// Files evicted by the data server.
     pub evictions: u64,
+    /// Σ seconds this site's workers spent crashed (summed over workers).
+    pub worker_downtime_s: f64,
+    /// Σ seconds this site's data server was down.
+    pub server_downtime_s: f64,
+    /// Cached files lost to data-server outages at this site.
+    pub files_lost: u64,
 }
 
 impl SiteMetrics {
@@ -80,6 +86,24 @@ pub struct MetricsReport {
     pub total_evictions: u64,
     /// Inserts that overflowed capacity because everything was pinned.
     pub overflow_inserts: u64,
+    // --- disruption accounting: all zero on fault-free runs except
+    // `wasted_compute_s`, which also counts replica cancellations ---
+    /// Executions killed by a fault with no other replica running — each
+    /// forces a re-execution.
+    pub tasks_lost: u64,
+    /// Executions (initial or replica) handed out for tasks that had
+    /// previously been fault-lost. Always ≥ [`MetricsReport::tasks_lost`]
+    /// once the run completes.
+    pub re_executions: u64,
+    /// Worker crash events injected.
+    pub worker_crashes: u64,
+    /// Data-server outage events injected.
+    pub server_outages: u64,
+    /// Cached files lost to data-server outages (sum over sites).
+    pub files_lost: u64,
+    /// Compute-seconds thrown away by aborted executions (fault kills and
+    /// replica cancellations).
+    pub wasted_compute_s: f64,
 }
 
 impl MetricsReport {
@@ -118,6 +142,46 @@ impl MetricsReport {
             return 0.0;
         }
         self.file_transfers as f64 / self.per_site.len() as f64
+    }
+
+    /// Fraction of the makespan `site`'s data server was up, in `[0, 1]`
+    /// (1.0 on fault-free runs or a zero-length run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    #[must_use]
+    pub fn site_availability(&self, site: usize) -> f64 {
+        let horizon = self.makespan_minutes * 60.0;
+        if horizon <= 0.0 {
+            return 1.0;
+        }
+        (1.0 - self.per_site[site].server_downtime_s / horizon).clamp(0.0, 1.0)
+    }
+
+    /// Mean data-server availability across sites.
+    #[must_use]
+    pub fn mean_server_availability(&self) -> f64 {
+        if self.per_site.is_empty() {
+            return 1.0;
+        }
+        (0..self.per_site.len())
+            .map(|s| self.site_availability(s))
+            .sum::<f64>()
+            / self.per_site.len() as f64
+    }
+
+    /// Mean worker availability: the fraction of worker-seconds the grid's
+    /// workers were up, in `[0, 1]`.
+    #[must_use]
+    pub fn mean_worker_availability(&self) -> f64 {
+        let horizon = self.makespan_minutes * 60.0;
+        let worker_seconds = horizon * (self.per_site.len() * self.config.workers_per_site) as f64;
+        if worker_seconds <= 0.0 {
+            return 1.0;
+        }
+        let down: f64 = self.per_site.iter().map(|s| s.worker_downtime_s).sum();
+        (1.0 - down / worker_seconds).clamp(0.0, 1.0)
     }
 }
 

@@ -5,8 +5,6 @@
 //! simulation per topology seed — in parallel, one thread per seed — and
 //! returns the element-wise average report.
 
-use crossbeam::thread;
-
 use crate::config::SimConfig;
 use crate::engine::GridSim;
 use crate::metrics::{MetricsReport, SiteMetrics};
@@ -35,7 +33,7 @@ pub struct ExperimentPoint {
 #[must_use]
 pub fn run_averaged(base: &SimConfig, topology_seeds: &[u64]) -> MetricsReport {
     assert!(!topology_seeds.is_empty(), "need at least one replicate");
-    let reports: Vec<MetricsReport> = thread::scope(|scope| {
+    let reports: Vec<MetricsReport> = std::thread::scope(|scope| {
         let handles: Vec<_> = topology_seeds
             .iter()
             .map(|&ts| {
@@ -43,15 +41,14 @@ pub fn run_averaged(base: &SimConfig, topology_seeds: &[u64]) -> MetricsReport {
                     .clone()
                     .with_topology_seed(ts)
                     .with_seed(base.seed.wrapping_add(ts));
-                scope.spawn(move |_| GridSim::new(config).run())
+                scope.spawn(move || GridSim::new(config).run())
             })
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("simulation thread panicked"))
             .collect()
-    })
-    .expect("scope join");
+    });
     average_reports(&reports)
 }
 
@@ -82,17 +79,14 @@ pub fn average_reports(reports: &[MetricsReport]) -> MetricsReport {
         .map(|s| SiteMetrics {
             requests: avg_u64(reports.iter().map(|r| r.per_site[s].requests), n),
             waiting_time_s: avg_f64(reports.iter().map(|r| r.per_site[s].waiting_time_s), n),
-            transfer_time_s: avg_f64(
-                reports.iter().map(|r| r.per_site[s].transfer_time_s),
-                n,
-            ),
+            transfer_time_s: avg_f64(reports.iter().map(|r| r.per_site[s].transfer_time_s), n),
             file_transfers: avg_u64(reports.iter().map(|r| r.per_site[s].file_transfers), n),
-            bytes_transferred: avg_f64(
-                reports.iter().map(|r| r.per_site[s].bytes_transferred),
-                n,
-            ),
+            bytes_transferred: avg_f64(reports.iter().map(|r| r.per_site[s].bytes_transferred), n),
             tasks_started: avg_u64(reports.iter().map(|r| r.per_site[s].tasks_started), n),
             evictions: avg_u64(reports.iter().map(|r| r.per_site[s].evictions), n),
+            worker_downtime_s: avg_f64(reports.iter().map(|r| r.per_site[s].worker_downtime_s), n),
+            server_downtime_s: avg_f64(reports.iter().map(|r| r.per_site[s].server_downtime_s), n),
+            files_lost: avg_u64(reports.iter().map(|r| r.per_site[s].files_lost), n),
         })
         .collect();
     MetricsReport {
@@ -110,6 +104,12 @@ pub fn average_reports(reports: &[MetricsReport]) -> MetricsReport {
         events_dispatched: avg_u64(reports.iter().map(|r| r.events_dispatched), n),
         total_evictions: avg_u64(reports.iter().map(|r| r.total_evictions), n),
         overflow_inserts: avg_u64(reports.iter().map(|r| r.overflow_inserts), n),
+        tasks_lost: avg_u64(reports.iter().map(|r| r.tasks_lost), n),
+        re_executions: avg_u64(reports.iter().map(|r| r.re_executions), n),
+        worker_crashes: avg_u64(reports.iter().map(|r| r.worker_crashes), n),
+        server_outages: avg_u64(reports.iter().map(|r| r.server_outages), n),
+        files_lost: avg_u64(reports.iter().map(|r| r.files_lost), n),
+        wasted_compute_s: avg_f64(reports.iter().map(|r| r.wasted_compute_s), n),
     }
 }
 
@@ -131,8 +131,7 @@ mod tests {
         let b = GridSim::new(cfg.with_topology_seed(1)).run();
         let avg = average_reports(&[a.clone(), b.clone()]);
         assert!(
-            (avg.makespan_minutes - (a.makespan_minutes + b.makespan_minutes) / 2.0).abs()
-                < 1e-9
+            (avg.makespan_minutes - (a.makespan_minutes + b.makespan_minutes) / 2.0).abs() < 1e-9
         );
         assert_eq!(avg.tasks_completed, 200);
     }

@@ -129,7 +129,10 @@ mod tests {
     #[test]
     fn uniform_in_bounds() {
         let mut rng = StdRng::seed_from_u64(3);
-        let m = SpeedModel::Uniform { min: 10.0, max: 20.0 };
+        let m = SpeedModel::Uniform {
+            min: 10.0,
+            max: 20.0,
+        };
         for _ in 0..100 {
             let s = m.sample(&mut rng);
             assert!((10.0..20.0).contains(&s));

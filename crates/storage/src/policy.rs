@@ -23,8 +23,11 @@ pub enum EvictionPolicy {
 
 impl EvictionPolicy {
     /// All policies, for sweeps.
-    pub const ALL: [EvictionPolicy; 3] =
-        [EvictionPolicy::Lru, EvictionPolicy::Fifo, EvictionPolicy::Lfu];
+    pub const ALL: [EvictionPolicy; 3] = [
+        EvictionPolicy::Lru,
+        EvictionPolicy::Fifo,
+        EvictionPolicy::Lfu,
+    ];
 }
 
 impl fmt::Display for EvictionPolicy {

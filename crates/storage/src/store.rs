@@ -133,7 +133,11 @@ impl SiteStore {
     /// data server sends to the external file server).
     #[must_use]
     pub fn missing(&self, files: &[FileId]) -> Vec<FileId> {
-        files.iter().copied().filter(|f| !self.contains(*f)).collect()
+        files
+            .iter()
+            .copied()
+            .filter(|f| !self.contains(*f))
+            .collect()
     }
 
     /// `r_i` — past task references of `file` at this site (0 if never
@@ -285,6 +289,31 @@ impl SiteStore {
         self.entries.values().filter(|e| e.pins > 0).count()
     }
 
+    /// A data-server outage: every **unpinned** resident file is lost.
+    ///
+    /// Pinned files survive — they are held in memory by executions in
+    /// progress, not only on the failed server's disk. Reference counts
+    /// (`r_i`) survive too: they are scheduler bookkeeping, not cache
+    /// state. Lost files are *not* counted as policy evictions in
+    /// [`StoreStats`] (the caller accounts them separately).
+    ///
+    /// Returns the lost files in ascending id order (deterministic, so
+    /// downstream scheduler notifications are reproducible).
+    pub fn fail(&mut self) -> Vec<FileId> {
+        let mut lost: Vec<FileId> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.pins == 0)
+            .map(|(&f, _)| f)
+            .collect();
+        lost.sort_unstable();
+        for &f in &lost {
+            let entry = self.entries.remove(&f).expect("collected above");
+            self.order.remove(&(entry.key, f));
+        }
+        lost
+    }
+
     /// Iterates over resident files in unspecified order.
     pub fn resident(&self) -> impl Iterator<Item = FileId> + '_ {
         self.entries.keys().copied()
@@ -341,7 +370,11 @@ mod tests {
         s.touch(f(1));
         s.touch(f(1));
         let ev = s.insert(f(4));
-        assert_eq!(ev, vec![f(1)], "FIFO evicts oldest insert regardless of use");
+        assert_eq!(
+            ev,
+            vec![f(1)],
+            "FIFO evicts oldest insert regardless of use"
+        );
     }
 
     #[test]
@@ -447,7 +480,11 @@ mod tests {
         s.record_task_reference(f(2));
         s.record_task_reference(f(2));
         s.insert(f(3)); // evicts 1
-        assert_eq!(s.overlap_ref_sum(&[f(1), f(2), f(3)]), 2, "only resident 2 counts");
+        assert_eq!(
+            s.overlap_ref_sum(&[f(1), f(2), f(3)]),
+            2,
+            "only resident 2 counts"
+        );
     }
 
     #[test]

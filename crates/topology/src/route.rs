@@ -101,8 +101,8 @@ fn dijkstra(graph: &Graph, source: NodeId) -> (Vec<Option<(EdgeId, NodeId)>>, Ve
         for (edge, next) in graph.neighbors(node) {
             let nd = d + graph.link(edge).latency_s;
             let nh = h + 1;
-            let better = nd < dist[next.index()]
-                || (nd == dist[next.index()] && nh < hops[next.index()]);
+            let better =
+                nd < dist[next.index()] || (nd == dist[next.index()] && nh < hops[next.index()]);
             if better {
                 dist[next.index()] = nd;
                 hops[next.index()] = nh;
@@ -119,11 +119,7 @@ fn dijkstra(graph: &Graph, source: NodeId) -> (Vec<Option<(EdgeId, NodeId)>>, Ve
 }
 
 /// Extracts the path from `source`'s Dijkstra tree to `target`.
-fn extract_route(
-    prev: &[Option<(EdgeId, NodeId)>],
-    dist: &[f64],
-    target: NodeId,
-) -> Option<Route> {
+fn extract_route(prev: &[Option<(EdgeId, NodeId)>], dist: &[f64], target: NodeId) -> Option<Route> {
     if !dist[target.index()].is_finite() {
         return None;
     }
@@ -160,12 +156,7 @@ impl RouteTable {
     /// Panics if some site cannot reach the file server or scheduler (the
     /// generator always produces connected graphs).
     #[must_use]
-    pub fn build(
-        graph: &Graph,
-        sites: &[NodeId],
-        file_server: NodeId,
-        scheduler: NodeId,
-    ) -> Self {
+    pub fn build(graph: &Graph, sites: &[NodeId], file_server: NodeId, scheduler: NodeId) -> Self {
         let (prev_fs, dist_fs) = dijkstra(graph, file_server);
         let (prev_sc, dist_sc) = dijkstra(graph, scheduler);
         let to_file_server = sites

@@ -186,10 +186,8 @@ pub fn generate(config: &TiersConfig) -> Topology {
     if config.mans >= 2 {
         for i in 0..config.mans {
             let j = (i + 1) % config.mans;
-            if i < j || config.mans > 2 {
-                if rng.gen_bool(config.redundancy.clamp(0.0, 1.0)) {
-                    graph.add_edge(mans[i], mans[j], config.wan_link.sample(&mut rng));
-                }
+            if (i < j || config.mans > 2) && rng.gen_bool(config.redundancy.clamp(0.0, 1.0)) {
+                graph.add_edge(mans[i], mans[j], config.wan_link.sample(&mut rng));
             }
         }
     }
@@ -268,7 +266,10 @@ mod tests {
         let topo = generate(&TiersConfig::paper(2));
         let cfg = TiersConfig::paper(2);
         for i in 0..topo.sites.len() {
-            let b = topo.routes.site_to_file_server(i).bottleneck_bps(&topo.graph);
+            let b = topo
+                .routes
+                .site_to_file_server(i)
+                .bottleneck_bps(&topo.graph);
             assert!(
                 b <= cfg.man_link.bw_max_bps,
                 "bottleneck {b} should be at most the site uplink max"

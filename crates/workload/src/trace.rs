@@ -121,9 +121,9 @@ pub fn read_trace<R: Read>(reader: R) -> Result<Workload, TraceError> {
                 label = line["label".len()..].trim().to_string();
             }
             "files" => {
-                let v = parts
-                    .next()
-                    .ok_or_else(|| TraceError::Parse(format!("line {lineno}: files needs a count")))?;
+                let v = parts.next().ok_or_else(|| {
+                    TraceError::Parse(format!("line {lineno}: files needs a count"))
+                })?;
                 num_files = Some(v.parse().map_err(|e| {
                     TraceError::Parse(format!("line {lineno}: bad file count: {e}"))
                 })?);
@@ -155,9 +155,10 @@ pub fn read_trace<R: Read>(reader: R) -> Result<Workload, TraceError> {
                         "line {lineno}: task has no files"
                     )));
                 }
-                let id = TaskId(u32::try_from(tasks.len()).map_err(|_| {
-                    TraceError::Parse(format!("line {lineno}: too many tasks"))
-                })?);
+                let id =
+                    TaskId(u32::try_from(tasks.len()).map_err(|_| {
+                        TraceError::Parse(format!("line {lineno}: too many tasks"))
+                    })?);
                 tasks.push(TaskSpec::new(id, files, flops));
             }
             other => {

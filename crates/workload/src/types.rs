@@ -118,11 +118,7 @@ impl Workload {
         for (i, t) in tasks.iter().enumerate() {
             assert_eq!(t.id.index(), i, "task ids must be dense 0..n");
             for f in t.files() {
-                assert!(
-                    f.0 < num_files,
-                    "task {} references unknown file {f}",
-                    t.id
-                );
+                assert!(f.0 < num_files, "task {} references unknown file {f}", t.id);
             }
         }
         Workload {

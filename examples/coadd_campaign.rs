@@ -42,9 +42,7 @@ fn main() {
             let days = report.makespan_minutes / 1440.0;
             let site_hours = report.makespan_minutes / 60.0 * sites as f64;
             let ok = days <= deadline_days;
-            println!(
-                "{sites:>6} {workers:>12} {days:>14.2} {site_hours:>12.0} {ok:>12}",
-            );
+            println!("{sites:>6} {workers:>12} {days:>14.2} {site_hours:>12.0} {ok:>12}",);
             if ok && best.is_none_or(|(_, _, _, cost)| site_hours < cost) {
                 best = Some((sites, workers, days, site_hours));
             }

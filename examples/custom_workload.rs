@@ -16,7 +16,11 @@ use gridsched::prelude::*;
 use gridsched::workload::trace;
 
 fn compare(label: &str, workload: Arc<Workload>) {
-    println!("--- {label}: {} tasks / {} files ---", workload.task_count(), workload.file_count());
+    println!(
+        "--- {label}: {} tasks / {} files ---",
+        workload.task_count(),
+        workload.file_count()
+    );
     for strategy in [StrategyKind::Rest, StrategyKind::Workqueue] {
         let config = SimConfig::paper(workload.clone(), strategy).with_sites(5);
         let report = GridSim::new(config).run();

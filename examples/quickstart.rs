@@ -32,9 +32,16 @@ fn main() {
 
     println!();
     println!("algorithm        : {}", report.config.strategy);
-    println!("makespan         : {:.0} minutes ({:.1} days)", report.makespan_minutes, report.makespan_minutes / 1440.0);
+    println!(
+        "makespan         : {:.0} minutes ({:.1} days)",
+        report.makespan_minutes,
+        report.makespan_minutes / 1440.0
+    );
     println!("file transfers   : {}", report.file_transfers);
-    println!("bytes on the wire: {:.1} GB", report.bytes_transferred / 1e9);
+    println!(
+        "bytes on the wire: {:.1} GB",
+        report.bytes_transferred / 1e9
+    );
     println!("tasks completed  : {}", report.tasks_completed);
     println!(
         "avg request wait : {:.2} h, avg batch transfer: {:.2} h",

@@ -5,6 +5,9 @@
 //!                    [--capacity 6000] [--policy lru] [--tasks 6000]
 //!                    [--file-size-mb 25] [--seed 0] [--topology-seeds 0,1,2,3,4]
 //!                    [--choose-n N] [--replication-threshold T]
+//!                    [--mtbf SECS] [--mttr SECS]
+//!                    [--server-mtbf SECS] [--server-mttr SECS]
+//!                    [--fault-trace FILE]
 //!                    [--trace FILE] [--csv]
 //! gridsched workload [--tasks 6000] [--seed 0] [--out FILE]
 //! gridsched topology [--seed 0] [--sites 90] [--dot FILE]
@@ -77,6 +80,9 @@ usage:
                      [--policy lru|fifo|lfu] [--tasks N] [--file-size-mb X]
                      [--seed N] [--topology-seeds a,b,c] [--choose-n N]
                      [--replication-threshold N] [--trace FILE] [--csv]
+                     [--mtbf SECS] [--mttr SECS] (worker churn, default MTTR 600)
+                     [--server-mtbf SECS] [--server-mttr SECS] (default MTTR 900)
+                     [--fault-trace FILE] (scripted faults; see gridsched-faults)
   gridsched workload [--tasks N] [--seed N] [--file-size-mb X] [--out FILE]
   gridsched topology [--seed N] [--sites N] [--dot FILE]
   gridsched strategies";
@@ -166,6 +172,35 @@ fn load_or_generate_workload(opts: &Opts) -> Result<Arc<Workload>, String> {
     Ok(Arc::new(cfg.with_file_size_mb(fsmb).generate()))
 }
 
+fn build_fault_config(opts: &Opts) -> Result<FaultConfig, String> {
+    if opts.values.contains_key("mttr") && !opts.values.contains_key("mtbf") {
+        return Err("--mttr requires --mtbf".into());
+    }
+    if opts.values.contains_key("server-mttr") && !opts.values.contains_key("server-mtbf") {
+        return Err("--server-mttr requires --server-mtbf".into());
+    }
+    let mut faults = FaultConfig::none();
+    if let Some(mtbf) = opts.get_opt::<f64>("mtbf")? {
+        let mttr: f64 = opts.get("mttr", 600.0)?;
+        if mtbf <= 0.0 || mttr <= 0.0 {
+            return Err("--mtbf/--mttr must be positive seconds".into());
+        }
+        faults = faults.with_worker_faults(mtbf, mttr);
+    }
+    if let Some(mtbf) = opts.get_opt::<f64>("server-mtbf")? {
+        let mttr: f64 = opts.get("server-mttr", 900.0)?;
+        if mtbf <= 0.0 || mttr <= 0.0 {
+            return Err("--server-mtbf/--server-mttr must be positive seconds".into());
+        }
+        faults = faults.with_server_faults(mtbf, mttr);
+    }
+    if let Some(path) = opts.values.get("fault-trace") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        faults = faults.with_trace(FaultTrace::parse(&text)?);
+    }
+    Ok(faults)
+}
+
 fn cmd_simulate(opts: &Opts) -> Result<(), String> {
     let strategy: StrategyKind = opts.get("strategy", StrategyKind::Rest2)?;
     let workload = load_or_generate_workload(opts)?;
@@ -184,6 +219,13 @@ fn cmd_simulate(opts: &Opts) -> Result<(), String> {
             max_replicas_per_file: 1,
         });
     }
+    let faults = build_fault_config(opts)?;
+    if !faults.is_inert() {
+        if let Some(trace) = &faults.trace {
+            trace.validate(config.sites, config.workers_per_site)?;
+        }
+        config = config.with_faults(faults);
+    }
     let seeds = parse_seed_list(
         opts.values
             .get("topology-seeds")
@@ -193,10 +235,10 @@ fn cmd_simulate(opts: &Opts) -> Result<(), String> {
 
     if opts.has("csv") {
         println!(
-            "strategy,sites,workers,capacity,policy,tasks,makespan_min,file_transfers,bytes,avg_wait_h,avg_xfer_h,replicas"
+            "strategy,sites,workers,capacity,policy,tasks,makespan_min,file_transfers,bytes,avg_wait_h,avg_xfer_h,replicas,tasks_lost,re_executions,worker_availability,server_availability"
         );
         println!(
-            "{},{},{},{},{},{},{:.1},{},{:.0},{:.4},{:.4},{}",
+            "{},{},{},{},{},{},{:.1},{},{:.0},{:.4},{:.4},{},{},{},{:.4},{:.4}",
             report.config.strategy,
             report.config.sites,
             report.config.workers_per_site,
@@ -209,6 +251,10 @@ fn cmd_simulate(opts: &Opts) -> Result<(), String> {
             report.avg_waiting_hours(),
             report.avg_transfer_hours(),
             report.replicas_launched,
+            report.tasks_lost,
+            report.re_executions,
+            report.mean_worker_availability(),
+            report.mean_server_availability(),
         );
     } else {
         println!("strategy          : {}", report.config.strategy);
@@ -254,6 +300,24 @@ fn cmd_simulate(opts: &Opts) -> Result<(), String> {
                 report.replication_bytes / 1e9
             );
         }
+        if report.config.faults != "none" {
+            println!("faults            : {}", report.config.faults);
+            println!(
+                "churn             : {} worker crashes, {} server outages, {} files lost",
+                report.worker_crashes, report.server_outages, report.files_lost
+            );
+            println!(
+                "re-execution      : {} tasks lost, {} re-executions, {:.1} h compute wasted",
+                report.tasks_lost,
+                report.re_executions,
+                report.wasted_compute_s / 3600.0
+            );
+            println!(
+                "availability      : workers {:.2}%, data servers {:.2}%",
+                report.mean_worker_availability() * 100.0,
+                report.mean_server_availability() * 100.0
+            );
+        }
     }
     Ok(())
 }
@@ -271,10 +335,7 @@ fn cmd_workload(opts: &Opts) -> Result<(), String> {
         "files per task     : min {} / mean {:.2} / max {}",
         s.min_files_per_task, s.mean_files_per_task, s.max_files_per_task
     );
-    println!(
-        "files with >=6 refs: {:.1}%",
-        s.pct_files_with_at_least(6)
-    );
+    println!("files with >=6 refs: {:.1}%", s.pct_files_with_at_least(6));
     if let Some(path) = opts.values.get("out") {
         let file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
         trace::write_trace(&wl, std::io::BufWriter::new(file))
@@ -287,7 +348,7 @@ fn cmd_workload(opts: &Opts) -> Result<(), String> {
 fn cmd_topology(opts: &Opts) -> Result<(), String> {
     let mut cfg = TiersConfig::paper(opts.get("seed", 0u64)?);
     let sites: usize = opts.get("sites", 90usize)?;
-    if sites == 0 || sites % cfg.sites_per_man != 0 && sites < cfg.sites_per_man {
+    if sites == 0 || !sites.is_multiple_of(cfg.sites_per_man) && sites < cfg.sites_per_man {
         cfg.mans = 1;
         cfg.sites_per_man = sites.max(1);
     } else if sites != cfg.site_count() {

@@ -13,6 +13,7 @@
 //! | [`workload`] | `gridsched-workload` | Bag-of-Tasks model + the Coadd generator |
 //! | [`storage`] | `gridsched-storage` | capacity-bounded site storage (LRU/FIFO/LFU, pinning, `r_i`) |
 //! | [`core`] | `gridsched-core` | the scheduling strategies (the paper's contribution) |
+//! | [`faults`] | `gridsched-faults` | fault injection: MTBF/MTTR churn processes + scripted fault traces |
 //! | [`sim`] | `gridsched-sim` | the grid simulator + experiment runner |
 //!
 //! ## Quickstart
@@ -38,6 +39,7 @@
 
 pub use gridsched_core as core;
 pub use gridsched_des as des;
+pub use gridsched_faults as faults;
 pub use gridsched_net as net;
 pub use gridsched_storage as storage;
 pub use gridsched_topology as topology;
@@ -55,6 +57,7 @@ pub mod prelude {
         Assignment, ChooseTask, Scheduler, SiteId, StorageAffinity, StrategyKind, WeightMetric,
         WorkerCentric, WorkerId, Workqueue,
     };
+    pub use gridsched_faults::{FaultConfig, FaultEvent, FaultKind, FaultTrace};
     pub use gridsched_sim::{
         run_averaged, GridSim, MetricsReport, ReplicationConfig, SimConfig, SpeedModel,
     };

@@ -1,6 +1,7 @@
 //! Smoke tests of the `gridsched` CLI binary (built by Cargo and exposed
 //! via `CARGO_BIN_EXE_gridsched`).
 
+use std::path::PathBuf;
 use std::process::Command;
 
 fn gridsched(args: &[&str]) -> std::process::Output {
@@ -8,6 +9,30 @@ fn gridsched(args: &[&str]) -> std::process::Output {
         .args(args)
         .output()
         .expect("spawn gridsched")
+}
+
+/// A per-test scratch directory, unique across concurrent test *processes*
+/// (pid) and across tests within one process (tag) — a fixed path here
+/// makes parallel `cargo test` runs clobber each other's files.
+struct TestDir(PathBuf);
+
+impl TestDir {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("gridsched-cli-test-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create test dir");
+        TestDir(dir)
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TestDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
 }
 
 #[test]
@@ -31,13 +56,16 @@ fn strategies_lists_all_algorithms() {
 
 #[test]
 fn workload_stats_and_trace() {
-    let dir = std::env::temp_dir().join("gridsched-cli-test");
-    std::fs::create_dir_all(&dir).expect("temp dir");
-    let trace = dir.join("wl.trace");
+    let dir = TestDir::new("workload-trace");
+    let trace = dir.path("wl.trace");
     let trace_str = trace.to_str().expect("utf8 path");
 
     let out = gridsched(&["workload", "--tasks", "150", "--out", trace_str]);
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8(out.stdout).expect("utf8");
     assert!(stdout.contains("tasks              : 150"));
     assert!(trace.exists());
@@ -53,15 +81,89 @@ fn workload_stats_and_trace() {
         "0",
         "--csv",
     ]);
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8(out.stdout).expect("utf8");
     let mut lines = stdout.lines();
     let header = lines.next().expect("csv header");
     assert!(header.starts_with("strategy,sites,workers"));
     let row = lines.next().expect("csv row");
     assert!(row.starts_with("rest.2,2,1,"), "row: {row}");
+}
 
-    std::fs::remove_file(&trace).ok();
+#[test]
+fn simulate_with_fault_injection() {
+    let dir = TestDir::new("faults");
+    let trace = dir.path("wl.trace");
+    let trace_str = trace.to_str().expect("utf8 path");
+    let out = gridsched(&["workload", "--tasks", "120", "--out", trace_str]);
+    assert!(out.status.success());
+
+    let fault_trace = dir.path("faults.trace");
+    std::fs::write(&fault_trace, "600 server-fail 1\n5400 server-recover 1\n")
+        .expect("write fault trace");
+    let args = [
+        "simulate",
+        "--trace",
+        trace_str,
+        "--sites",
+        "2",
+        "--topology-seeds",
+        "0",
+        "--strategy",
+        "rest.2",
+        "--mtbf",
+        "3600",
+        "--mttr",
+        "600",
+        "--fault-trace",
+        fault_trace.to_str().expect("utf8 path"),
+    ];
+    let out = gridsched(&args);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout.clone()).expect("utf8");
+    assert!(
+        stdout.contains("faults            : worker mtbf=3600s"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("re-execution"), "{stdout}");
+    assert!(stdout.contains("availability"), "{stdout}");
+
+    // Same invocation again: byte-identical output (determinism).
+    let again = gridsched(&args);
+    assert_eq!(out.stdout, again.stdout, "fault runs must be deterministic");
+}
+
+#[test]
+fn simulate_rejects_bad_fault_flags() {
+    let out = gridsched(&["simulate", "--mtbf", "-5"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("must be positive"), "stderr: {stderr}");
+
+    // An MTTR without its MTBF would otherwise be silently ignored.
+    let out = gridsched(&["simulate", "--mttr", "60"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(
+        stderr.contains("--mttr requires --mtbf"),
+        "stderr: {stderr}"
+    );
+
+    let out = gridsched(&["simulate", "--server-mttr", "60"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(
+        stderr.contains("--server-mttr requires --server-mtbf"),
+        "stderr: {stderr}"
+    );
 }
 
 #[test]

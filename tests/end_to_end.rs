@@ -91,7 +91,10 @@ fn per_site_sums_match_totals() {
     let site_bytes: f64 = report.per_site.iter().map(|s| s.bytes_transferred).sum();
     assert!((site_bytes - report.bytes_transferred).abs() < 1.0);
     let requests: u64 = report.per_site.iter().map(|s| s.requests).sum();
-    assert!(requests >= 200, "every task issues exactly one batch request");
+    assert!(
+        requests >= 200,
+        "every task issues exactly one batch request"
+    );
 }
 
 /// Locality-aware scheduling must beat the FIFO workqueue on transfers —
@@ -117,16 +120,18 @@ fn averaged_runner_consistent_with_manual_average() {
     let avg = run_averaged(&base, &[0, 1]);
     let a = GridSim::new(base.clone().with_topology_seed(0).with_seed(0)).run();
     let b = GridSim::new(base.clone().with_topology_seed(1).with_seed(1)).run();
-    assert!(
-        (avg.makespan_minutes - (a.makespan_minutes + b.makespan_minutes) / 2.0).abs() < 1e-6
-    );
+    assert!((avg.makespan_minutes - (a.makespan_minutes + b.makespan_minutes) / 2.0).abs() < 1e-6);
 }
 
 /// Worker-centric schedulers never replicate; storage affinity may.
 #[test]
 fn replication_only_for_task_centric() {
     let workload = small_workload(6);
-    for strategy in [StrategyKind::Rest2, StrategyKind::Overlap, StrategyKind::Workqueue] {
+    for strategy in [
+        StrategyKind::Rest2,
+        StrategyKind::Overlap,
+        StrategyKind::Workqueue,
+    ] {
         let config = SimConfig::paper(workload.clone(), strategy).with_sites(3);
         let report = GridSim::new(config).run();
         assert_eq!(report.replicas_launched, 0, "{strategy}");

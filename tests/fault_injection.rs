@@ -1,0 +1,250 @@
+//! Property-based guarantees of the fault-injection subsystem, checked
+//! through the public API:
+//!
+//! 1. an **inert** fault config reproduces the fault-free engine's
+//!    `MetricsReport` exactly (every field, including event counts);
+//! 2. under arbitrary seeded churn every task still completes, the
+//!    re-execution accounting is consistent (`re_executions ≥ tasks_lost`)
+//!    and the whole run is deterministic per seed;
+//! 3. scripted fault traces inject exactly what they say.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use gridsched::prelude::*;
+
+fn small_workload(seed: u64, tasks: u32) -> Arc<Workload> {
+    let mut cfg = CoaddConfig::small(seed);
+    cfg.tasks = tasks;
+    Arc::new(cfg.generate())
+}
+
+fn base_config(strategy: StrategyKind, sites: usize, seed: u64) -> SimConfig {
+    SimConfig::paper(small_workload(seed, 120), strategy)
+        .with_sites(sites)
+        .with_capacity(600)
+        .with_seed(seed)
+}
+
+const ALL_STRATEGIES: [StrategyKind; 8] = [
+    StrategyKind::StorageAffinity,
+    StrategyKind::Overlap,
+    StrategyKind::Rest,
+    StrategyKind::Combined,
+    StrategyKind::Rest2,
+    StrategyKind::Combined2,
+    StrategyKind::Workqueue,
+    StrategyKind::Sufferage,
+];
+
+/// (1) Inert fault configs must be invisible: same `MetricsReport`, field
+/// for field, as not configuring faults at all.
+#[test]
+fn zero_fault_config_reproduces_faultless_run_exactly() {
+    for strategy in ALL_STRATEGIES {
+        let plain = GridSim::new(base_config(strategy, 3, 1)).run();
+        let inert =
+            GridSim::new(base_config(strategy, 3, 1).with_faults(FaultConfig::none())).run();
+        assert_eq!(plain, inert, "inert faults perturbed {strategy}");
+        // Includes the diagnostic event count: the fault paths must not
+        // schedule anything.
+        assert_eq!(plain.events_dispatched, inert.events_dispatched);
+        assert_eq!(inert.tasks_lost, 0);
+        assert_eq!(inert.re_executions, 0);
+        assert_eq!(inert.worker_crashes, 0);
+        assert_eq!(inert.server_outages, 0);
+        assert_eq!(inert.config.faults, "none");
+    }
+}
+
+/// An empty scripted trace is inert too.
+#[test]
+fn empty_trace_is_inert() {
+    let plain = GridSim::new(base_config(StrategyKind::Rest2, 2, 5)).run();
+    let traced = GridSim::new(
+        base_config(StrategyKind::Rest2, 2, 5)
+            .with_faults(FaultConfig::none().with_trace(FaultTrace::default())),
+    )
+    .run();
+    assert_eq!(plain, traced);
+}
+
+fn arb_strategy() -> impl Strategy<Value = StrategyKind> {
+    prop_oneof![
+        Just(StrategyKind::StorageAffinity),
+        Just(StrategyKind::Rest),
+        Just(StrategyKind::Rest2),
+        Just(StrategyKind::Combined2),
+        Just(StrategyKind::Workqueue),
+        Just(StrategyKind::Sufferage),
+    ]
+}
+
+proptest! {
+    // Whole-simulation churn cases are expensive; a moderate case count
+    // still covers strategy × fault-shape × seed combinations well.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// (2) Under arbitrary worker/server churn: completion, accounting
+    /// consistency, determinism.
+    #[test]
+    fn churn_preserves_completion_and_determinism(
+        strategy in arb_strategy(),
+        sites in 2usize..4,
+        workers in 1usize..3,
+        worker_mtbf in 2_000.0f64..30_000.0,
+        worker_mttr in 120.0f64..1_500.0,
+        server_mtbf in 20_000.0f64..80_000.0,
+        server_mttr in 300.0f64..1_500.0,
+        seed in 0u64..1_000,
+    ) {
+        let faults = FaultConfig::none()
+            .with_worker_faults(worker_mtbf, worker_mttr)
+            .with_server_faults(server_mtbf, server_mttr);
+        let config = base_config(strategy, sites, seed)
+            .with_workers_per_site(workers)
+            .with_faults(faults);
+        let report = GridSim::new(config.clone()).run();
+
+        // Every task completes despite churn.
+        prop_assert_eq!(report.tasks_completed, 120, "{} lost work", strategy);
+        // Each orphaned execution is eventually re-executed (possibly more
+        // than once under replication).
+        prop_assert!(
+            report.re_executions >= report.tasks_lost,
+            "{}: re_executions {} < tasks_lost {}",
+            strategy, report.re_executions, report.tasks_lost
+        );
+        // A lost task implies at least one injected crash.
+        prop_assert!(report.tasks_lost == 0 || report.worker_crashes > 0);
+        // Availability metrics stay in range.
+        let wa = report.mean_worker_availability();
+        let sa = report.mean_server_availability();
+        prop_assert!((0.0..=1.0).contains(&wa), "worker availability {wa}");
+        prop_assert!((0.0..=1.0).contains(&sa), "server availability {sa}");
+        // File-loss accounting is per-site consistent.
+        let site_lost: u64 = report.per_site.iter().map(|s| s.files_lost).sum();
+        prop_assert_eq!(site_lost, report.files_lost);
+
+        // Determinism: the same config replays to the identical report.
+        let replay = GridSim::new(config).run();
+        prop_assert_eq!(report, replay, "churn run not deterministic");
+    }
+
+    /// Different master seeds produce different fault timelines (churn is
+    /// actually seeded, not frozen).
+    #[test]
+    fn churn_varies_with_seed(seed in 0u64..500) {
+        let cfg = |s: u64| {
+            base_config(StrategyKind::Rest, 2, s)
+                .with_faults(FaultConfig::none().with_worker_faults(4_000.0, 600.0))
+        };
+        let a = GridSim::new(cfg(seed)).run();
+        let b = GridSim::new(cfg(seed + 1)).run();
+        prop_assert!(
+            a.makespan_minutes != b.makespan_minutes
+                || a.worker_crashes != b.worker_crashes,
+            "seeds {seed}/{} gave identical churn", seed + 1
+        );
+    }
+}
+
+/// (3) Scripted traces inject exactly the events they script.
+#[test]
+fn scripted_trace_injects_exact_events() {
+    let trace = FaultTrace::parse(
+        "900 worker-crash 0 0\n2400 worker-recover 0 0\n\
+         1200 server-fail 1\n4800 server-recover 1\n",
+    )
+    .expect("valid trace");
+    let config = base_config(StrategyKind::Workqueue, 2, 3)
+        .with_faults(FaultConfig::none().with_trace(trace));
+    let report = GridSim::new(config.clone()).run();
+
+    assert_eq!(report.tasks_completed, 120);
+    assert_eq!(report.worker_crashes, 1);
+    assert_eq!(report.server_outages, 1);
+    // The crashed worker was down 900→2400s; the engine may stop counting
+    // early only if the job ended first, which this workload does not.
+    let down: f64 = report.per_site.iter().map(|s| s.worker_downtime_s).sum();
+    assert!((down - 1500.0).abs() < 1e-6, "downtime {down}");
+    let server_down: f64 = report.per_site.iter().map(|s| s.server_downtime_s).sum();
+    assert!(
+        (server_down - 3600.0).abs() < 1e-6,
+        "server downtime {server_down}"
+    );
+
+    let replay = GridSim::new(config).run();
+    assert_eq!(report, replay);
+}
+
+/// A worker crash mid-computation wastes the compute spent so far.
+#[test]
+fn crash_mid_run_wastes_compute_and_reexecutes() {
+    // One site, one worker: the crash at t=900 is guaranteed to hit an
+    // execution in progress (the single worker is never idle this early).
+    let trace =
+        FaultTrace::parse("900 worker-crash 0 0\n1000 worker-recover 0 0\n").expect("valid");
+    let config = base_config(StrategyKind::Workqueue, 1, 7)
+        .with_faults(FaultConfig::none().with_trace(trace));
+    let report = GridSim::new(config).run();
+    assert_eq!(report.tasks_completed, 120);
+    assert_eq!(report.worker_crashes, 1);
+    assert_eq!(report.tasks_lost, 1);
+    assert_eq!(report.re_executions, 1);
+}
+
+/// A worker that never recovers still has its downtime counted (up to
+/// the makespan), and availability never leaves `[0, 1]` even when the
+/// repair would land long after the job finished.
+#[test]
+fn unrecovered_worker_downtime_is_clipped_to_makespan() {
+    // Site 0's only worker dies at t=900 and never comes back; site 1
+    // finishes the job alone.
+    let trace = FaultTrace::parse("900 worker-crash 0 0\n").expect("valid");
+    let report = GridSim::new(
+        base_config(StrategyKind::Workqueue, 2, 11)
+            .with_faults(FaultConfig::none().with_trace(trace)),
+    )
+    .run();
+    assert_eq!(report.tasks_completed, 120);
+    let down: f64 = report.per_site.iter().map(|s| s.worker_downtime_s).sum();
+    let horizon = report.makespan_minutes * 60.0;
+    assert!(
+        (down - (horizon - 900.0)).abs() < 1e-6,
+        "downtime {down} should cover crash→makespan ({})",
+        horizon - 900.0
+    );
+    let wa = report.mean_worker_availability();
+    assert!((0.0..1.0).contains(&wa), "availability {wa}");
+}
+
+/// Server outages lose cached files, forcing re-transfers.
+///
+/// Workqueue on a single site makes the comparison airtight: its task
+/// order ignores storage contents, and an eviction-free capacity makes the
+/// fault-free cache grow monotonically — so the wiped run's misses are a
+/// strict superset of the fault-free run's.
+#[test]
+fn server_outage_loses_files_and_refetches() {
+    let cfg = || {
+        SimConfig::paper(small_workload(9, 120), StrategyKind::Workqueue)
+            .with_sites(1)
+            .with_capacity(20_000)
+            .with_seed(9)
+    };
+    let no_faults = GridSim::new(cfg()).run();
+    // Fail the only server mid-run, long after the cache warmed up.
+    let trace = FaultTrace::parse("30000 server-fail 0\n31000 server-recover 0\n").expect("valid");
+    let faulty = GridSim::new(cfg().with_faults(FaultConfig::none().with_trace(trace))).run();
+    assert_eq!(faulty.tasks_completed, 120);
+    assert_eq!(faulty.server_outages, 1);
+    assert!(faulty.files_lost > 0, "warm cache must lose files");
+    assert!(
+        faulty.file_transfers > no_faults.file_transfers,
+        "lost files must be re-fetched: {} vs {}",
+        faulty.file_transfers,
+        no_faults.file_transfers
+    );
+}

@@ -41,5 +41,8 @@ fn truncated_trace_fails_cleanly() {
     let cut = &buf[..40];
     let err = read_trace(cut).expect_err("must not parse");
     let msg = err.to_string();
-    assert!(msg.contains("missing") || msg.contains("parse"), "got: {msg}");
+    assert!(
+        msg.contains("missing") || msg.contains("parse"),
+        "got: {msg}"
+    );
 }

@@ -1,0 +1,124 @@
+//! Collection strategies (`vec`, `btree_set`).
+
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// A size specification: a fixed length or a range of lengths.
+pub trait SizeBound {
+    /// Draws a concrete size.
+    fn pick(&self, rng: &mut StdRng) -> usize;
+}
+
+impl SizeBound for usize {
+    fn pick(&self, _rng: &mut StdRng) -> usize {
+        *self
+    }
+}
+
+impl SizeBound for Range<usize> {
+    fn pick(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl SizeBound for RangeInclusive<usize> {
+    fn pick(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Vectors of `size` elements drawn from `element`.
+#[must_use]
+pub fn vec<S: Strategy, B: SizeBound>(element: S, size: B) -> VecStrategy<S, B> {
+    VecStrategy { element, size }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S, B> {
+    element: S,
+    size: B,
+}
+
+impl<S: Strategy, B: SizeBound> Strategy for VecStrategy<S, B> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Ordered sets with a target size drawn from `size`.
+///
+/// If the element domain is too small to reach the target size, the set
+/// saturates at whatever distinct values showed up (mirroring proptest's
+/// best-effort behaviour).
+#[must_use]
+pub fn btree_set<S, B>(element: S, size: B) -> BTreeSetStrategy<S, B>
+where
+    S: Strategy,
+    S::Value: Ord,
+    B: SizeBound,
+{
+    BTreeSetStrategy { element, size }
+}
+
+/// See [`btree_set`].
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S, B> {
+    element: S,
+    size: B,
+}
+
+impl<S, B> Strategy for BTreeSetStrategy<S, B>
+where
+    S: Strategy,
+    S::Value: Ord,
+    B: SizeBound,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn sample(&self, rng: &mut StdRng) -> BTreeSet<S::Value> {
+        let target = self.size.pick(rng);
+        let mut set = BTreeSet::new();
+        let mut attempts = 0usize;
+        while set.len() < target && attempts < 10 * target + 100 {
+            set.insert(self.element.sample(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_rng;
+
+    #[test]
+    fn vec_sizes() {
+        let mut rng = test_rng("collection::vec_sizes");
+        let fixed = vec(0u32..5, 7usize);
+        assert_eq!(fixed.sample(&mut rng).len(), 7);
+        let ranged = vec(0u32..5, 2..6);
+        for _ in 0..100 {
+            assert!((2..6).contains(&ranged.sample(&mut rng).len()));
+        }
+    }
+
+    #[test]
+    fn btree_set_reaches_target_when_possible() {
+        let mut rng = test_rng("collection::btree_set");
+        let s = btree_set(0usize..10, 1..=10);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!(!v.is_empty() && v.len() <= 10);
+        }
+    }
+}

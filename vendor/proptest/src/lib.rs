@@ -1,0 +1,137 @@
+//! Offline mini property-testing harness, API-compatible with the subset
+//! of `proptest` this workspace uses (see `vendor/README.md`).
+//!
+//! Differences from real proptest: cases are sampled from a deterministic
+//! per-test RNG (seeded from the test's module path and name) and failing
+//! inputs are **not shrunk** — the panic message carries the values via
+//! the assertion text instead. The strategy combinators (`prop_map`,
+//! `prop_flat_map`, tuples, ranges, `Just`, `prop_oneof!`,
+//! `collection::vec` / `collection::btree_set`, `any::<T>()`) behave as
+//! upstream for sampling purposes.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub use strategy::{any, Arbitrary, Just, Strategy, Union};
+
+/// Per-run configuration (subset of proptest's).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps whole-simulation
+        // properties affordable while still exploring the space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// FNV-1a over a test identifier — the per-test RNG seed.
+#[must_use]
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// The deterministic RNG of one property test.
+#[must_use]
+pub fn test_rng(test_id: &str) -> StdRng {
+    StdRng::seed_from_u64(fnv1a(test_id))
+}
+
+/// The `proptest! { ... }` block: zero or more `#[test]` functions whose
+/// arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strat:expr),* $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cases = ($cfg).cases;
+                let mut __rng =
+                    $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__cases {
+                    let _ = __case;
+                    $(
+                        let $pat =
+                            $crate::Strategy::sample(&($strat), &mut __rng);
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!` — plain `assert!` (no shrinking in the stub).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// `prop_assert_eq!` — plain `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// `prop_assert_ne!` — plain `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $s:expr ),+ $(,)? ) => {
+        $crate::Union::new(vec![ $( $crate::strategy::boxed($s) ),+ ])
+    };
+}
+
+/// The glob-import surface (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy, Union};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}

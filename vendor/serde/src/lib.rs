@@ -1,0 +1,9 @@
+//! Offline stand-in for `serde` (see `vendor/README.md`).
+//!
+//! Exports `Serialize` / `Deserialize` as **derive macros only** — the
+//! workspace never serializes anything in-process, it only annotates types
+//! so the derives stay in place for when the real crates are restored.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,23 @@
+//! No-op stand-ins for serde's derive macros.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public types so
+//! downstream users *could* serialize them, but nothing inside the
+//! workspace actually serializes (there is no serde_json / bincode /
+//! etc.), so these derives emit no code at all. When real serde becomes
+//! available, delete `vendor/` and restore registry deps — every
+//! `#[derive(Serialize, Deserialize)]` in the tree is already correct for
+//! the real macros.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
