@@ -10,9 +10,10 @@
 //!   exponential MTBF/MTTR processes per worker and per data server, plus
 //!   an optional deterministic [`FaultTrace`] of scripted events;
 //! * [`FaultTimeline`] — a per-entity alternating-renewal process
-//!   (up for `Exp(MTBF)`, down for `Exp(MTTR)`), each entity drawing from
-//!   its own decorrelated RNG stream so event interleaving never perturbs
-//!   another entity's timeline;
+//!   (up for `Exp(MTBF)`, down for a Weibull repair of the configured mean
+//!   and shape — shape 1 is the classic `Exp(MTTR)`, shapes < 1 are
+//!   fat-tailed), each entity drawing from its own decorrelated RNG stream
+//!   so event interleaving never perturbs another entity's timeline;
 //! * [`FaultTrace`] / [`FaultEvent`] — scripted fault timelines with a
 //!   line-oriented text format for the CLI's `--fault-trace`.
 //!
@@ -58,11 +59,16 @@ pub struct FaultConfig {
     pub worker_mtbf_s: Option<f64>,
     /// Mean time to repair of a crashed worker, seconds.
     pub worker_mttr_s: f64,
+    /// Weibull shape of the worker repair distribution (1.0 = exponential,
+    /// < 1.0 fat-tailed: many quick repairs, occasional very long ones).
+    pub worker_mttr_shape: f64,
     /// Mean time between outages of each site's data server, seconds
     /// (`None` = servers never fail stochastically).
     pub server_mtbf_s: Option<f64>,
     /// Mean time to repair of a failed data server, seconds.
     pub server_mttr_s: f64,
+    /// Weibull shape of the server repair distribution (1.0 = exponential).
+    pub server_mttr_shape: f64,
     /// Scripted fault events, applied in addition to the stochastic
     /// processes.
     pub trace: Option<FaultTrace>,
@@ -75,8 +81,10 @@ impl FaultConfig {
         FaultConfig {
             worker_mtbf_s: None,
             worker_mttr_s: 0.0,
+            worker_mttr_shape: 1.0,
             server_mtbf_s: None,
             server_mttr_s: 0.0,
+            server_mttr_shape: 1.0,
             trace: None,
         }
     }
@@ -123,6 +131,39 @@ impl FaultConfig {
         self
     }
 
+    /// Sets the Weibull shape of the worker repair distribution (1.0 keeps
+    /// the exponential repairs byte-for-byte; the ROADMAP's fat-tailed
+    /// follow-up uses shapes < 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape` is not strictly positive and finite.
+    #[must_use]
+    pub fn with_worker_repair_shape(mut self, shape: f64) -> Self {
+        assert!(
+            shape > 0.0 && shape.is_finite(),
+            "worker repair shape must be positive"
+        );
+        self.worker_mttr_shape = shape;
+        self
+    }
+
+    /// Sets the Weibull shape of the server repair distribution (1.0 =
+    /// exponential).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape` is not strictly positive and finite.
+    #[must_use]
+    pub fn with_server_repair_shape(mut self, shape: f64) -> Self {
+        assert!(
+            shape > 0.0 && shape.is_finite(),
+            "server repair shape must be positive"
+        );
+        self.server_mttr_shape = shape;
+        self
+    }
+
     /// Attaches a scripted fault trace (replayed alongside any stochastic
     /// processes).
     #[must_use]
@@ -148,16 +189,25 @@ impl FaultConfig {
             return "none".to_string();
         }
         let mut parts = Vec::new();
+        let shape = |k: f64| {
+            if k == 1.0 {
+                String::new()
+            } else {
+                format!(" repair-shape={k:.2}")
+            }
+        };
         if let Some(mtbf) = self.worker_mtbf_s {
             parts.push(format!(
-                "worker mtbf={mtbf:.0}s mttr={:.0}s",
-                self.worker_mttr_s
+                "worker mtbf={mtbf:.0}s mttr={:.0}s{}",
+                self.worker_mttr_s,
+                shape(self.worker_mttr_shape)
             ));
         }
         if let Some(mtbf) = self.server_mtbf_s {
             parts.push(format!(
-                "server mtbf={mtbf:.0}s mttr={:.0}s",
-                self.server_mttr_s
+                "server mtbf={mtbf:.0}s mttr={:.0}s{}",
+                self.server_mttr_s,
+                shape(self.server_mttr_shape)
             ));
         }
         if let Some(t) = &self.trace {
@@ -206,5 +256,26 @@ mod tests {
     #[should_panic(expected = "MTBF must be positive")]
     fn zero_mtbf_rejected() {
         let _ = FaultConfig::none().with_worker_faults(0.0, 600.0);
+    }
+
+    #[test]
+    fn repair_shapes_surface_in_summary() {
+        let cfg = FaultConfig::none()
+            .with_worker_faults(3600.0, 600.0)
+            .with_worker_repair_shape(0.5);
+        assert!(
+            cfg.summary().contains("repair-shape=0.50"),
+            "{}",
+            cfg.summary()
+        );
+        // Shape 1.0 stays silent — it is the legacy exponential.
+        let plain = FaultConfig::none().with_server_faults(7200.0, 900.0);
+        assert!(!plain.summary().contains("repair-shape"));
+    }
+
+    #[test]
+    #[should_panic(expected = "repair shape must be positive")]
+    fn negative_shape_rejected() {
+        let _ = FaultConfig::none().with_worker_repair_shape(-1.0);
     }
 }

@@ -32,17 +32,67 @@ impl Entity {
     }
 }
 
-/// An alternating-renewal fault process: up for `Exp(MTBF)`, down for
-/// `Exp(MTTR)`.
+/// An alternating-renewal fault process: up for `Exp(MTBF)`, down for a
+/// repair time drawn from a Weibull with the configured mean and shape
+/// (shape 1 ⇒ the classic exponential repair).
 ///
 /// The engine asks for the next inter-event time lazily ([`
 /// FaultTimeline::time_to_failure`] while up, [`FaultTimeline::time_to_repair`]
 /// while down); the sequence of draws is fixed by the seed and entity.
+/// Every draw consumes exactly one uniform variate regardless of shape, so
+/// changing the shape never perturbs the *failure* schedule.
 #[derive(Debug)]
 pub struct FaultTimeline {
     rng: StdRng,
     mtbf_s: f64,
     mttr_s: f64,
+    /// Weibull shape of the repair distribution; 1.0 is exponential,
+    /// < 1.0 fat-tailed (many quick repairs, occasional very long ones).
+    mttr_shape: f64,
+    /// Cached Weibull scale `λ = mean / Γ(1 + 1/k)` so each draw costs
+    /// one uniform + `powf`, not a Lanczos evaluation.
+    mttr_scale: f64,
+}
+
+/// `ln Γ(x)` for `x > 0` (Lanczos approximation, g = 7, n = 9).
+///
+/// Accurate to ~1e-13 over the range we need (Weibull shapes in
+/// `(0, ~50]` query `Γ(1 + 1/k)`); used to convert a Weibull *mean* into
+/// the distribution's scale parameter.
+fn ln_gamma(x: f64) -> f64 {
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    debug_assert!(x > 0.0, "ln_gamma needs x > 0, got {x}");
+    if x < 0.5 {
+        // Reflection: Γ(x) Γ(1-x) = π / sin(πx).
+        return (std::f64::consts::PI / (std::f64::consts::PI * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// The scale `λ` of a Weibull with the given `mean` and `shape`:
+/// `mean = λ Γ(1 + 1/k)` ⇒ `λ = mean / Γ(1 + 1/k)`.
+#[must_use]
+pub fn weibull_scale(mean: f64, shape: f64) -> f64 {
+    assert!(mean > 0.0 && mean.is_finite(), "mean must be positive");
+    assert!(shape > 0.0 && shape.is_finite(), "shape must be positive");
+    mean / ln_gamma(1.0 + 1.0 / shape).exp()
 }
 
 impl FaultTimeline {
@@ -62,13 +112,39 @@ impl FaultTimeline {
             rng: StdRng::seed_from_u64(seed),
             mtbf_s,
             mttr_s,
+            mttr_shape: 1.0,
+            mttr_scale: mttr_s,
         }
+    }
+
+    /// Sets the Weibull shape of the repair distribution (1.0 keeps the
+    /// exponential repair byte-for-byte; shapes < 1 are fat-tailed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape` is not strictly positive and finite.
+    #[must_use]
+    pub fn with_repair_shape(mut self, shape: f64) -> Self {
+        assert!(
+            shape > 0.0 && shape.is_finite(),
+            "repair shape must be positive"
+        );
+        self.mttr_shape = shape;
+        self.mttr_scale = weibull_scale(self.mttr_s, shape);
+        self
     }
 
     fn exponential(&mut self, mean_s: f64) -> SimDuration {
         // Inverse-CDF sampling; u ∈ [0, 1) keeps ln(1-u) finite.
         let u: f64 = self.rng.gen();
         SimDuration::from_secs(-mean_s * (1.0 - u).ln())
+    }
+
+    fn weibull(&mut self, scale: f64, shape: f64) -> SimDuration {
+        // Inverse CDF: x = λ (-ln(1-u))^(1/k), one uniform per draw like
+        // `exponential` so the two stay stream-compatible.
+        let u: f64 = self.rng.gen();
+        SimDuration::from_secs(scale * (-(1.0 - u).ln()).powf(1.0 / shape))
     }
 
     /// Time from now (an up transition) until the next failure.
@@ -80,7 +156,14 @@ impl FaultTimeline {
     /// Time from now (a failure) until the repair completes.
     #[must_use]
     pub fn time_to_repair(&mut self) -> SimDuration {
-        self.exponential(self.mttr_s)
+        // Shape exactly 1.0 takes the exponential path so legacy configs
+        // reproduce the PR 1 timelines bit for bit (the Weibull formula
+        // agrees analytically but would round differently through Γ).
+        if self.mttr_shape == 1.0 {
+            self.exponential(self.mttr_s)
+        } else {
+            self.weibull(self.mttr_scale, self.mttr_shape)
+        }
     }
 }
 
@@ -127,5 +210,76 @@ mod tests {
             let d = tl.time_to_failure().as_secs();
             assert!(d.is_finite() && d >= 0.0);
         }
+    }
+
+    #[test]
+    fn shape_one_is_byte_identical_to_exponential() {
+        let mut plain = FaultTimeline::new(13, Entity::Worker(2), 800.0, 90.0);
+        let mut shaped =
+            FaultTimeline::new(13, Entity::Worker(2), 800.0, 90.0).with_repair_shape(1.0);
+        for _ in 0..64 {
+            assert_eq!(plain.time_to_failure(), shaped.time_to_failure());
+            assert_eq!(plain.time_to_repair(), shaped.time_to_repair());
+        }
+    }
+
+    #[test]
+    fn repair_shape_never_perturbs_failures() {
+        // One uniform per draw regardless of shape ⇒ failure times match.
+        let mut exp = FaultTimeline::new(5, Entity::Server(1), 700.0, 60.0);
+        let mut fat = FaultTimeline::new(5, Entity::Server(1), 700.0, 60.0).with_repair_shape(0.5);
+        for _ in 0..64 {
+            assert_eq!(exp.time_to_failure(), fat.time_to_failure());
+            let _ = (exp.time_to_repair(), fat.time_to_repair());
+        }
+    }
+
+    #[test]
+    fn weibull_mean_roughly_matches_for_any_shape() {
+        for shape in [0.5, 0.7, 2.0, 3.5] {
+            let mut tl =
+                FaultTimeline::new(3, Entity::Worker(1), 500.0, 120.0).with_repair_shape(shape);
+            let n = 30_000;
+            let mean: f64 =
+                (0..n).map(|_| tl.time_to_repair().as_secs()).sum::<f64>() / f64::from(n);
+            assert!(
+                (mean - 120.0).abs() < 120.0 * 0.1,
+                "shape {shape}: sample mean {mean} far from 120"
+            );
+        }
+    }
+
+    #[test]
+    fn fat_tail_has_more_extreme_repairs() {
+        // Shape 0.5 at the same mean: P[X > 4·mean] ≈ 0.059 vs the
+        // exponential's e⁻⁴ ≈ 0.018 — the tail must be visibly heavier.
+        let count_over = |shape: f64| {
+            let mut tl =
+                FaultTimeline::new(11, Entity::Worker(0), 500.0, 100.0).with_repair_shape(shape);
+            (0..20_000)
+                .filter(|_| tl.time_to_repair().as_secs() > 400.0)
+                .count()
+        };
+        let fat = count_over(0.5);
+        let exp = count_over(1.0);
+        assert!(
+            fat > exp * 2,
+            "fat tail should see far more >4·mean repairs: {fat} vs {exp}"
+        );
+    }
+
+    #[test]
+    fn gamma_sanity() {
+        // Γ(2) = 1 ⇒ scale = mean for the exponential special case.
+        assert!((weibull_scale(100.0, 1.0) - 100.0).abs() < 1e-9);
+        // Γ(1.5) = √π/2 ≈ 0.8862 ⇒ scale = mean / 0.8862.
+        let expected = 100.0 / (std::f64::consts::PI.sqrt() / 2.0);
+        assert!((weibull_scale(100.0, 2.0) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape must be positive")]
+    fn zero_shape_rejected() {
+        let _ = FaultTimeline::new(0, Entity::Worker(0), 10.0, 1.0).with_repair_shape(0.0);
     }
 }

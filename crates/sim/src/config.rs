@@ -4,6 +4,7 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
+use gridsched_checkpoint::CheckpointConfig;
 use gridsched_core::StrategyKind;
 use gridsched_faults::FaultConfig;
 use gridsched_storage::EvictionPolicy;
@@ -50,6 +51,11 @@ pub struct SimConfig {
     /// traces. `None` (or an inert config) reproduces the fault-free
     /// engine byte for byte.
     pub faults: Option<FaultConfig>,
+    /// Checkpoint/restart: periodic checkpoint images so a crashed task
+    /// resumes from its latest surviving checkpoint instead of restarting.
+    /// `None` (or a `CheckpointPolicy::None` config) reproduces the
+    /// checkpoint-free engine byte for byte.
+    pub checkpointing: Option<CheckpointConfig>,
 }
 
 /// Serializable summary of a configuration (embedded in reports).
@@ -75,6 +81,8 @@ pub struct ConfigSummary {
     pub seed: u64,
     /// Fault environment (`"none"` when fault injection is off or inert).
     pub faults: String,
+    /// Checkpoint environment (`"none"` when checkpointing is off).
+    pub checkpointing: String,
 }
 
 impl SimConfig {
@@ -95,6 +103,7 @@ impl SimConfig {
             replication: None,
             choose_n_override: None,
             faults: None,
+            checkpointing: None,
         }
     }
 
@@ -200,6 +209,13 @@ impl SimConfig {
         self
     }
 
+    /// Enables checkpoint/restart (periodic images, resume after crashes).
+    #[must_use]
+    pub fn with_checkpointing(mut self, checkpointing: CheckpointConfig) -> Self {
+        self.checkpointing = Some(checkpointing);
+        self
+    }
+
     /// The serializable summary embedded in reports.
     #[must_use]
     pub fn summary(&self) -> ConfigSummary {
@@ -217,6 +233,10 @@ impl SimConfig {
                 .faults
                 .as_ref()
                 .map_or_else(|| "none".to_string(), FaultConfig::summary),
+            checkpointing: self
+                .checkpointing
+                .as_ref()
+                .map_or_else(|| "none".to_string(), CheckpointConfig::summary),
         }
     }
 }

@@ -37,11 +37,30 @@
 //!
 //! An inert fault config (or none) leaves the engine byte-identical to the
 //! fault-free model; `tests/fault_injection.rs` property-tests this.
+//!
+//! ## Checkpoint/restart
+//!
+//! With an active [`gridsched_checkpoint::CheckpointConfig`], compute is
+//! segmented: after every checkpoint interval (fixed, or the per-site
+//! Young/Daly optimum `sqrt(2 · MTBF · C)`) the worker stalls and writes a
+//! checkpoint image to its site's data server — a real flow across the
+//! site's access link, contending with the server's file fetches. The
+//! latest image of each task survives worker crashes (but dies with the
+//! data server that holds it): when a fault-orphaned task is reassigned,
+//! the new execution *restores* from the image — fetching it through the
+//! backbone when it lives at another site — and computes only the
+//! remaining flops. `wasted_compute_s` then counts only the work since the
+//! last durable image, and `work_saved_s` the work a restore rescued.
+//!
+//! An inert checkpoint config (or none) leaves the engine byte-identical
+//! to the PR 1 churn engine; `tests/checkpoint_restart.rs` property-tests
+//! this.
 
 use std::collections::{HashMap, VecDeque};
 
 use rand::Rng;
 
+use gridsched_checkpoint::{CheckpointConfig, ImageTracker};
 use gridsched_core::GridEnv;
 use gridsched_core::{
     Assignment, Scheduler, SiteId, StorageAffinity, StrategyKind, Sufferage, WorkerCentric,
@@ -51,8 +70,8 @@ use gridsched_des::rng::{rng_for, Stream};
 use gridsched_des::{EventHandle, Schedule, SimDuration, SimTime};
 use gridsched_faults::{Entity, FaultKind, FaultTimeline};
 use gridsched_net::{FlowId, NetSim};
-use gridsched_storage::SiteStore;
-use gridsched_topology::{generate, Topology};
+use gridsched_storage::{CheckpointImage, ImageVault, SiteStore};
+use gridsched_topology::{generate, EdgeId, Topology};
 use gridsched_workload::{FileId, TaskId};
 
 use crate::config::SimConfig;
@@ -79,12 +98,18 @@ enum Event {
     ServerFail(usize),
     /// Fault injection: this site's data server comes back.
     ServerRecover(usize),
+    /// Checkpointing: this worker's compute segment ended — commit the
+    /// progress and write an image.
+    CheckpointDue { worker: usize, generation: u64 },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum WorkerState {
     Idle,
     WaitingData,
+    /// Fetching a checkpoint image from another site before resuming
+    /// (checkpointing only; input files are already pinned locally).
+    Restoring,
     Computing,
     /// Scheduler said [`Assignment::Wait`]; re-polled after the next
     /// assignment or completion.
@@ -100,9 +125,46 @@ struct RunningTask {
     /// Files currently pinned on behalf of this execution.
     pinned: Vec<FileId>,
     compute_handle: Option<EventHandle>,
-    /// When the computation phase started (for wasted-compute accounting
-    /// on aborts).
+    /// When the current compute segment started (for wasted-compute
+    /// accounting on aborts); `None` while stalled writing a checkpoint.
     compute_started: Option<SimTime>,
+    // --- checkpoint/restart bookkeeping (all zero/None when
+    // checkpointing is off) ---
+    /// Flops already completed: restored progress plus segments committed
+    /// this execution.
+    progress_flops: f64,
+    /// Compute-seconds embodied in `progress_flops` (across executions).
+    progress_s: f64,
+    /// Progress held by the latest durable image of this task — what a
+    /// crash does *not* waste.
+    durable_flops: f64,
+    /// Compute-seconds held by the latest durable image.
+    durable_s: f64,
+    /// In-flight checkpoint image write or restore fetch.
+    ckpt_flow: Option<FlowId>,
+    /// When `ckpt_flow` started (overhead accounting).
+    ckpt_flow_started: Option<SimTime>,
+    /// Image contents (flops, invested seconds) being written by
+    /// `ckpt_flow`.
+    pending_image: Option<(f64, f64)>,
+}
+
+impl RunningTask {
+    fn new(task: TaskId) -> Self {
+        RunningTask {
+            task,
+            pinned: Vec::new(),
+            compute_handle: None,
+            compute_started: None,
+            progress_flops: 0.0,
+            progress_s: 0.0,
+            durable_flops: 0.0,
+            durable_s: 0.0,
+            ckpt_flow: None,
+            ckpt_flow_started: None,
+            pending_image: None,
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -148,6 +210,35 @@ enum FlowPurpose {
     Batch { site: usize },
     /// A proactive replication push of `file` to `site`.
     Replication { site: usize, file: FileId },
+    /// A checkpoint image write from `worker` to its site's data server.
+    Checkpoint { worker: usize },
+    /// A checkpoint image fetch for `worker`'s resumed task from
+    /// `from_site`'s data server.
+    Restore { worker: usize, from_site: usize },
+}
+
+/// Runtime state of the checkpoint/restart subsystem (present only when a
+/// non-inert [`CheckpointConfig`] is active).
+#[derive(Debug)]
+struct CkptState {
+    /// Checkpoint image size in bytes.
+    size_bytes: f64,
+    /// Per-site checkpoint interval, seconds (Young/Daly adapts to each
+    /// site's access-link write cost; fixed policies repeat one value).
+    interval_s: Vec<f64>,
+    /// Per-site access link crossed by image writes (the last hop of the
+    /// site's route — the data server's uplink is the shared bottleneck).
+    access_link: Vec<EdgeId>,
+    /// Per-site image storage, dying with the site's data server.
+    vaults: Vec<ImageVault>,
+    /// Which site holds each task's latest image.
+    tracker: ImageTracker,
+    /// Executions that resumed from an image.
+    restores: u64,
+    /// Compute stalls while writing images + restore transfer time.
+    overhead_s: f64,
+    /// Compute-seconds restores rescued from re-execution.
+    work_saved_s: f64,
 }
 
 /// One deterministic simulation run. See the [crate docs](crate) for an
@@ -174,6 +265,10 @@ pub struct GridSim {
     worker_timelines: Vec<Option<FaultTimeline>>,
     /// Per-site data-server churn processes (empty when inactive).
     server_timelines: Vec<Option<FaultTimeline>>,
+    /// Checkpoint/restart subsystem (`None` keeps every checkpoint code
+    /// path dormant so the run matches the checkpoint-free engine
+    /// exactly).
+    checkpointing: Option<CkptState>,
     /// Tasks that were fault-orphaned at least once (re-execution
     /// accounting).
     lost_ever: Vec<bool>,
@@ -242,6 +337,7 @@ impl GridSim {
                 .map(|w| {
                     fc.worker_mtbf_s.map(|mtbf| {
                         FaultTimeline::new(config.seed, Entity::Worker(w), mtbf, fc.worker_mttr_s)
+                            .with_repair_shape(fc.worker_mttr_shape)
                     })
                 })
                 .collect();
@@ -249,6 +345,7 @@ impl GridSim {
                 .map(|s| {
                     fc.server_mtbf_s.map(|mtbf| {
                         FaultTimeline::new(config.seed, Entity::Server(s), mtbf, fc.server_mttr_s)
+                            .with_repair_shape(fc.server_mttr_shape)
                     })
                 })
                 .collect();
@@ -256,6 +353,11 @@ impl GridSim {
         } else {
             (Vec::new(), Vec::new())
         };
+        let checkpointing = config
+            .checkpointing
+            .as_ref()
+            .filter(|c| !c.is_inert())
+            .map(|c| build_ckpt_state(c, &config, &topology));
         let lost_ever = vec![false; config.workload.task_count()];
         let replication = config
             .replication
@@ -277,6 +379,7 @@ impl GridSim {
             faults_active,
             worker_timelines,
             server_timelines,
+            checkpointing,
             lost_ever,
             per_site,
             tasks_completed: 0,
@@ -325,6 +428,9 @@ impl GridSim {
                 Event::WorkerRecover(w) => self.handle_worker_recover(w),
                 Event::ServerFail(s) => self.handle_server_fail(s),
                 Event::ServerRecover(s) => self.handle_server_recover(s),
+                Event::CheckpointDue { worker, generation } => {
+                    self.handle_checkpoint_due(worker, generation);
+                }
             }
         }
         assert_eq!(
@@ -349,6 +455,7 @@ impl GridSim {
             // Stale re-poll (the worker got work, finished entirely, is
             // mid-execution, or crashed before the poll fired).
             WorkerState::WaitingData
+            | WorkerState::Restoring
             | WorkerState::Computing
             | WorkerState::Down
             | WorkerState::Done => return,
@@ -366,12 +473,7 @@ impl GridSim {
                     self.re_executions += 1;
                 }
                 self.workers[w].state = WorkerState::WaitingData;
-                self.workers[w].current = Some(RunningTask {
-                    task,
-                    pinned: Vec::new(),
-                    compute_handle: None,
-                    compute_started: None,
-                });
+                self.workers[w].current = Some(RunningTask::new(task));
                 let enqueued_at = self.now();
                 self.servers[site].queue.push_back(BatchRequest {
                     worker: w,
@@ -515,26 +617,165 @@ impl GridSim {
         }
         self.maybe_replicate(&files, site);
 
-        let speed = self.workers[w].speed_flops;
-        let flops = self.config.workload.task(task).flops;
-        let duration = SimDuration::from_secs(flops / speed);
-        let generation = self.workers[w].generation;
-        let handle = self.schedule.schedule_in(
-            duration,
-            Event::ComputeDone {
+        // Checkpoint restore: a re-executed task resumes from its latest
+        // surviving image instead of recomputing from scratch. A remote
+        // image must first cross the network; compute starts on arrival.
+        if self.try_restore(w, site) {
+            self.maybe_start_service(site);
+            return;
+        }
+        self.begin_compute_segment(w);
+
+        // The server moves on to the next queued request.
+        self.maybe_start_service(site);
+    }
+
+    /// Loads `w`'s task's latest checkpoint image into the execution, if
+    /// one survives. Returns `true` when a cross-site image fetch was
+    /// started (the worker is [`WorkerState::Restoring`] until it lands);
+    /// a local image restores for free and compute can begin immediately.
+    fn try_restore(&mut self, w: usize, site: usize) -> bool {
+        let Some(ckpt) = self.checkpointing.as_mut() else {
+            return false;
+        };
+        let task = self.workers[w]
+            .current
+            .as_ref()
+            .expect("restoring worker is running")
+            .task;
+        let Some(img_site) = ckpt.tracker.site_of(task) else {
+            return false;
+        };
+        let image = ckpt.vaults[img_site]
+            .get(task)
+            .expect("tracker and vaults agree");
+        let current = self.workers[w].current.as_mut().expect("running");
+        current.progress_flops = image.flops_done;
+        current.progress_s = image.invested_s;
+        current.durable_flops = image.flops_done;
+        current.durable_s = image.invested_s;
+        if img_site == site {
+            // Intra-site reads are free in the paper's model; the rescue
+            // takes effect right now.
+            ckpt.restores += 1;
+            ckpt.work_saved_s += image.invested_s;
+            return false;
+        }
+        // The image travels source site → backbone → destination site
+        // (all inter-site traffic rides the file-server backbone in this
+        // model). Shared links are crossed once.
+        let src = self.topology.routes.site_to_file_server(img_site).clone();
+        let dst = self.topology.routes.site_to_file_server(site).clone();
+        let mut links = src.links;
+        for l in dst.links {
+            if !links.contains(&l) {
+                links.push(l);
+            }
+        }
+        let size = ckpt.size_bytes;
+        let fid = self
+            .net
+            .start_flow(self.now(), &links, size, src.latency_s + dst.latency_s);
+        self.flow_purpose.insert(
+            fid,
+            FlowPurpose::Restore {
                 worker: w,
-                task,
-                generation,
+                from_site: img_site,
             },
         );
+        let started = self.now();
+        let current = self.workers[w].current.as_mut().expect("running");
+        current.ckpt_flow = Some(fid);
+        current.ckpt_flow_started = Some(started);
+        self.workers[w].state = WorkerState::Restoring;
+        self.resync_net();
+        true
+    }
+
+    /// Starts (or resumes) computing `w`'s task: schedules either the
+    /// final [`Event::ComputeDone`] or, when checkpointing would fire
+    /// first, the next [`Event::CheckpointDue`] segment boundary.
+    fn begin_compute_segment(&mut self, w: usize) {
+        let site = self.workers[w].id.site.index();
+        let speed = self.workers[w].speed_flops;
+        let generation = self.workers[w].generation;
+        let task = self.workers[w]
+            .current
+            .as_ref()
+            .expect("computing worker is running")
+            .task;
+        let progress = self.workers[w]
+            .current
+            .as_ref()
+            .expect("running")
+            .progress_flops;
+        let flops = self.config.workload.task(task).flops;
+        let remaining_s = (flops - progress).max(0.0) / speed;
+        let interval = self.checkpointing.as_ref().map(|c| c.interval_s[site]);
+        let handle = match interval {
+            Some(t) if remaining_s > t => self.schedule.schedule_in(
+                SimDuration::from_secs(t),
+                Event::CheckpointDue {
+                    worker: w,
+                    generation,
+                },
+            ),
+            _ => self.schedule.schedule_in(
+                SimDuration::from_secs(remaining_s),
+                Event::ComputeDone {
+                    worker: w,
+                    task,
+                    generation,
+                },
+            ),
+        };
         let started = self.now();
         let current = self.workers[w].current.as_mut().expect("running");
         current.compute_handle = Some(handle);
         current.compute_started = Some(started);
         self.workers[w].state = WorkerState::Computing;
+    }
 
-        // The server moves on to the next queued request.
-        self.maybe_start_service(site);
+    /// A compute segment ended: commit its progress and write a checkpoint
+    /// image to the site's data server (skipped while the server is down —
+    /// there is nowhere to write, so the worker keeps computing).
+    fn handle_checkpoint_due(&mut self, w: usize, generation: u64) {
+        if self.workers[w].generation != generation {
+            // Stale event from an aborted execution; the handle should
+            // have been cancelled, but be tolerant.
+            return;
+        }
+        debug_assert_eq!(self.workers[w].state, WorkerState::Computing);
+        let site = self.workers[w].id.site.index();
+        let speed = self.workers[w].speed_flops;
+        let now = self.now();
+        let current = self.workers[w].current.as_mut().expect("computing");
+        let started = current
+            .compute_started
+            .take()
+            .expect("segment boundary implies a running segment");
+        let seg_s = (now - started).as_secs();
+        current.progress_flops += seg_s * speed;
+        current.progress_s += seg_s;
+        current.compute_handle = None;
+        if self.servers[site].down {
+            self.begin_compute_segment(w);
+            return;
+        }
+        let ckpt = self
+            .checkpointing
+            .as_ref()
+            .expect("checkpoint event implies checkpointing");
+        let link = ckpt.access_link[site];
+        let size = ckpt.size_bytes;
+        let fid = self.net.start_flow(now, &[link], size, 0.0);
+        self.flow_purpose
+            .insert(fid, FlowPurpose::Checkpoint { worker: w });
+        let current = self.workers[w].current.as_mut().expect("computing");
+        current.ckpt_flow = Some(fid);
+        current.ckpt_flow_started = Some(now);
+        current.pending_image = Some((current.progress_flops, current.progress_s));
+        self.resync_net();
     }
 
     // ----- network ------------------------------------------------------
@@ -591,6 +832,63 @@ impl GridSim {
                     self.insert_file(site, file);
                 }
                 self.resync_net();
+            }
+            FlowPurpose::Checkpoint { worker } => {
+                let site = self.workers[worker].id.site.index();
+                let now = self.now();
+                let current = self.workers[worker]
+                    .current
+                    .as_mut()
+                    .expect("checkpoint flow belongs to a running task");
+                debug_assert_eq!(current.ckpt_flow, Some(fid));
+                let started = current.ckpt_flow_started.take().expect("write in flight");
+                let (flops, invested) = current.pending_image.take().expect("image pending");
+                current.ckpt_flow = None;
+                let task = current.task;
+                let ckpt = self.checkpointing.as_mut().expect("checkpoint flow");
+                ckpt.overhead_s += (now - started).as_secs();
+                // Only-improve: a lagging storage-affinity replica's image
+                // never clobbers a fresher one of the same task.
+                let fresher = ckpt
+                    .tracker
+                    .site_of(task)
+                    .and_then(|s| ckpt.vaults[s].get(task))
+                    .is_none_or(|old| flops > old.flops_done);
+                if fresher {
+                    if let Some(old) = ckpt.tracker.record(task, site) {
+                        ckpt.vaults[old].remove(task);
+                    }
+                    ckpt.vaults[site].put(
+                        task,
+                        CheckpointImage {
+                            flops_done: flops,
+                            invested_s: invested,
+                            bytes: ckpt.size_bytes,
+                        },
+                    );
+                    let current = self.workers[worker].current.as_mut().expect("running");
+                    current.durable_flops = flops;
+                    current.durable_s = invested;
+                }
+                self.resync_net();
+                self.begin_compute_segment(worker);
+            }
+            FlowPurpose::Restore { worker, .. } => {
+                let now = self.now();
+                let current = self.workers[worker]
+                    .current
+                    .as_mut()
+                    .expect("restore flow belongs to a running task");
+                debug_assert_eq!(current.ckpt_flow, Some(fid));
+                let started = current.ckpt_flow_started.take().expect("restore in flight");
+                current.ckpt_flow = None;
+                let saved = current.progress_s;
+                let ckpt = self.checkpointing.as_mut().expect("restore flow");
+                ckpt.overhead_s += (now - started).as_secs();
+                ckpt.restores += 1;
+                ckpt.work_saved_s += saved;
+                self.resync_net();
+                self.begin_compute_segment(worker);
             }
         }
     }
@@ -673,6 +971,14 @@ impl GridSim {
         self.tasks_completed += 1;
         self.last_completion = self.now();
 
+        // A finished task's image is dead weight; drop it (not a loss).
+        if let Some(ckpt) = self.checkpointing.as_mut() {
+            if let Some(s) = ckpt.tracker.site_of(task) {
+                ckpt.vaults[s].remove(task);
+                ckpt.tracker.forget(task);
+            }
+        }
+
         let outcome = self.scheduler.on_task_complete(self.workers[w].id, task);
         for victim in outcome.cancel_replicas {
             self.abort_execution(victim, task);
@@ -720,10 +1026,36 @@ impl GridSim {
                     self.maybe_start_service(site);
                 }
             }
+            WorkerState::Restoring => {
+                // Cancel the in-flight image fetch; the image itself
+                // survives at its source for the next attempt. The aborted
+                // transfer still counts as checkpoint overhead.
+                if let Some(fid) = current.ckpt_flow {
+                    self.flow_purpose.remove(&fid);
+                    if let Some(left) = self.net.cancel_flow(self.now(), fid) {
+                        self.cancelled_bytes += left;
+                    }
+                    self.resync_net();
+                    self.account_aborted_ckpt_stall(current.ckpt_flow_started);
+                }
+            }
             WorkerState::Computing => {
                 if let Some(h) = current.compute_handle {
                     self.schedule.cancel(h);
                 }
+                // Crash mid-image-write: the write dies with the worker,
+                // but the stall it caused was still paid.
+                if let Some(fid) = current.ckpt_flow {
+                    self.flow_purpose.remove(&fid);
+                    if let Some(left) = self.net.cancel_flow(self.now(), fid) {
+                        self.cancelled_bytes += left;
+                    }
+                    self.resync_net();
+                    self.account_aborted_ckpt_stall(current.ckpt_flow_started);
+                }
+                // Committed-but-undurable segments are lost along with the
+                // in-flight segment; checkpointed work is not.
+                self.wasted_compute_s += current.progress_s - current.durable_s;
                 if let Some(started) = current.compute_started {
                     self.wasted_compute_s += (self.now() - started).as_secs();
                 }
@@ -734,6 +1066,18 @@ impl GridSim {
             self.stores[site].unpin(f);
         }
         Some(current.task)
+    }
+
+    /// Adds the elapsed stall of an aborted image write or restore fetch
+    /// to the checkpoint overhead (the time was spent even though the
+    /// image never landed).
+    fn account_aborted_ckpt_stall(&mut self, started: Option<SimTime>) {
+        if let Some(started) = started {
+            let stalled = (self.now() - started).as_secs();
+            if let Some(ckpt) = self.checkpointing.as_mut() {
+                ckpt.overhead_s += stalled;
+            }
+        }
     }
 
     /// Aborts `task`'s execution at `victim` (queued, transferring or
@@ -900,6 +1244,27 @@ impl GridSim {
             }
         }
         self.resync_net();
+        // Checkpointing: in-flight image writes to this server and image
+        // fetches *from* it die with it; every image it held is lost.
+        if self.checkpointing.is_some() {
+            self.abort_ckpt_flows_for_failed_server(site);
+            let ckpt = self.checkpointing.as_mut().expect("checked above");
+            ckpt.vaults[site].fail();
+            ckpt.tracker.drop_site(site);
+            // Running executions whose durable image just vanished have
+            // nothing to fall back on anymore: a later crash wastes
+            // everything they have computed, not just the tail.
+            let ckpt = self.checkpointing.as_ref().expect("checked above");
+            for worker in &mut self.workers {
+                let Some(current) = worker.current.as_mut() else {
+                    continue;
+                };
+                if current.durable_s > 0.0 && ckpt.tracker.site_of(current.task).is_none() {
+                    current.durable_flops = 0.0;
+                    current.durable_s = 0.0;
+                }
+            }
+        }
         // The outage loses every unpinned cached file.
         let lost = self.stores[site].fail();
         self.per_site[site].files_lost += lost.len() as u64;
@@ -910,6 +1275,54 @@ impl GridSim {
         if let Some(tl) = self.server_timelines[site].as_mut() {
             let d = tl.time_to_repair();
             self.schedule.schedule_in(d, Event::ServerRecover(site));
+        }
+    }
+
+    /// Aborts every checkpoint flow the failure of `site`'s data server
+    /// invalidates: image writes by this site's workers (they drop the
+    /// image and keep computing) and image fetches sourced from this
+    /// server (the restoring worker loses its image and restarts from
+    /// scratch — its input files are already pinned locally).
+    fn abort_ckpt_flows_for_failed_server(&mut self, site: usize) {
+        let mut writes: Vec<(FlowId, usize)> = Vec::new();
+        let mut restores: Vec<(FlowId, usize)> = Vec::new();
+        for (&fid, p) in &self.flow_purpose {
+            match *p {
+                FlowPurpose::Checkpoint { worker }
+                    if self.workers[worker].id.site.index() == site =>
+                {
+                    writes.push((fid, worker));
+                }
+                FlowPurpose::Restore { worker, from_site } if from_site == site => {
+                    restores.push((fid, worker));
+                }
+                _ => {}
+            }
+        }
+        writes.sort_unstable();
+        restores.sort_unstable();
+        for &(fid, w) in writes.iter().chain(&restores) {
+            self.flow_purpose.remove(&fid);
+            if let Some(left) = self.net.cancel_flow(self.now(), fid) {
+                self.cancelled_bytes += left;
+            }
+            let current = self.workers[w].current.as_mut().expect("flow owner runs");
+            current.ckpt_flow = None;
+            let stall_started = current.ckpt_flow_started.take();
+            current.pending_image = None;
+            self.account_aborted_ckpt_stall(stall_started);
+        }
+        self.resync_net();
+        for &(_, w) in &writes {
+            self.begin_compute_segment(w);
+        }
+        for &(_, w) in &restores {
+            let current = self.workers[w].current.as_mut().expect("restorer runs");
+            current.progress_flops = 0.0;
+            current.progress_s = 0.0;
+            current.durable_flops = 0.0;
+            current.durable_s = 0.0;
+            self.begin_compute_segment(w);
         }
     }
 
@@ -967,6 +1380,18 @@ impl GridSim {
                 per_site[site].server_downtime_s += (end - since).as_secs();
             }
         }
+        let (ckpt_written, ckpt_lost, restores, overhead_s, saved_s) = self
+            .checkpointing
+            .as_ref()
+            .map_or((0, 0, 0, 0.0, 0.0), |c| {
+                (
+                    c.vaults.iter().map(ImageVault::written).sum(),
+                    c.vaults.iter().map(ImageVault::lost).sum(),
+                    c.restores,
+                    c.overhead_s,
+                    c.work_saved_s,
+                )
+            });
         MetricsReport {
             config: self.config.summary(),
             makespan_minutes: self.last_completion.as_minutes(),
@@ -988,6 +1413,11 @@ impl GridSim {
             server_outages: self.server_outages,
             files_lost,
             wasted_compute_s: self.wasted_compute_s,
+            checkpoints_written: ckpt_written,
+            checkpoints_lost: ckpt_lost,
+            checkpoint_restores: restores,
+            checkpoint_overhead_s: overhead_s,
+            work_saved_s: saved_s,
         }
     }
 }
@@ -1005,6 +1435,44 @@ fn flat_worker(site: usize, worker: usize, workers_per_site: usize) -> usize {
          {workers_per_site} workers per site"
     );
     site * workers_per_site + worker
+}
+
+/// Builds the checkpoint runtime state for a non-inert config: per-site
+/// intervals (Young/Daly adapts to each site's access-link write cost) and
+/// per-site image vaults.
+///
+/// # Panics
+///
+/// Panics if the policy is Young/Daly and the fault model has no worker
+/// MTBF to derive the interval from.
+fn build_ckpt_state(c: &CheckpointConfig, config: &SimConfig, topology: &Topology) -> CkptState {
+    let mtbf = config.faults.as_ref().and_then(|f| f.worker_mtbf_s);
+    let mut interval_s = Vec::with_capacity(config.sites);
+    let mut access_link = Vec::with_capacity(config.sites);
+    for site in 0..config.sites {
+        let route = topology.routes.site_to_file_server(site);
+        let link = *route
+            .links
+            .last()
+            .expect("site routes cross at least one link");
+        let bandwidth = topology.graph.link(link).bandwidth_bps;
+        let write_cost_s = c.size_bytes / bandwidth;
+        interval_s.push(
+            c.interval_s(mtbf, write_cost_s)
+                .expect("non-inert checkpoint config has an interval"),
+        );
+        access_link.push(link);
+    }
+    CkptState {
+        size_bytes: c.size_bytes,
+        interval_s,
+        access_link,
+        vaults: vec![ImageVault::new(); config.sites],
+        tracker: ImageTracker::new(),
+        restores: 0,
+        overhead_s: 0.0,
+        work_saved_s: 0.0,
+    }
 }
 
 /// Builds the scheduler for a strategy kind.
@@ -1215,6 +1683,122 @@ mod tests {
         assert_eq!(report.tasks_completed, 200);
         assert!(report.server_outages > 0, "churn must inject outages");
         assert!(report.mean_server_availability() < 1.0);
+    }
+
+    #[test]
+    fn checkpointing_saves_work_under_churn() {
+        let faulty = || {
+            small_config(StrategyKind::Rest2).with_faults(
+                gridsched_faults::FaultConfig::none().with_worker_faults(3_000.0, 400.0),
+            )
+        };
+        let plain = GridSim::new(faulty()).run();
+        let ckpt = GridSim::new(
+            faulty().with_checkpointing(gridsched_checkpoint::CheckpointConfig::fixed(300.0)),
+        )
+        .run();
+        assert_eq!(ckpt.tasks_completed, 200);
+        assert!(ckpt.checkpoints_written > 0, "churned run must checkpoint");
+        assert!(ckpt.work_saved_s > 0.0, "resumes must rescue work");
+        assert!(ckpt.checkpoint_restores > 0);
+        assert!(
+            ckpt.wasted_compute_s < plain.wasted_compute_s,
+            "checkpointing must cut re-executed compute: {} vs {}",
+            ckpt.wasted_compute_s,
+            plain.wasted_compute_s
+        );
+        // Fault-free metrics of the checkpoint run stay self-consistent.
+        assert!(ckpt.checkpoint_overhead_s > 0.0);
+        assert_eq!(plain.checkpoints_written, 0);
+        assert_eq!(plain.work_saved_s, 0.0);
+    }
+
+    #[test]
+    fn young_daly_derives_interval_from_fault_model() {
+        let config = small_config(StrategyKind::Workqueue)
+            .with_faults(gridsched_faults::FaultConfig::none().with_worker_faults(2_500.0, 300.0))
+            .with_checkpointing(gridsched_checkpoint::CheckpointConfig::young_daly());
+        let report = GridSim::new(config).run();
+        assert_eq!(report.tasks_completed, 200);
+        assert!(report.checkpoints_written > 0);
+        assert_eq!(report.config.checkpointing, "young-daly image=25MB");
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a worker MTBF")]
+    fn young_daly_without_faults_panics() {
+        let config = small_config(StrategyKind::Rest)
+            .with_checkpointing(gridsched_checkpoint::CheckpointConfig::young_daly());
+        let _ = GridSim::new(config);
+    }
+
+    #[test]
+    fn inert_checkpoint_config_is_invisible() {
+        let faulty = || {
+            small_config(StrategyKind::StorageAffinity).with_faults(
+                gridsched_faults::FaultConfig::none().with_worker_faults(4_000.0, 500.0),
+            )
+        };
+        let a = GridSim::new(faulty()).run();
+        let b = GridSim::new(
+            faulty().with_checkpointing(gridsched_checkpoint::CheckpointConfig::none()),
+        )
+        .run();
+        assert_eq!(a, b, "policy none must reproduce the churn engine exactly");
+    }
+
+    #[test]
+    fn checkpointing_without_faults_only_adds_overhead() {
+        let config = small_config(StrategyKind::Combined)
+            .with_checkpointing(gridsched_checkpoint::CheckpointConfig::fixed(120.0));
+        let report = GridSim::new(config).run();
+        assert_eq!(report.tasks_completed, 200);
+        assert!(report.checkpoints_written > 0);
+        // Nothing ever crashes, so nothing is restored or lost.
+        assert_eq!(report.checkpoint_restores, 0);
+        assert_eq!(report.checkpoints_lost, 0);
+        assert_eq!(report.work_saved_s, 0.0);
+        assert!(report.checkpoint_overhead_s > 0.0);
+    }
+
+    #[test]
+    fn checkpointed_churn_is_deterministic() {
+        let config = || {
+            small_config(StrategyKind::Combined2)
+                .with_faults(
+                    gridsched_faults::FaultConfig::none()
+                        .with_worker_faults(3_500.0, 450.0)
+                        .with_server_faults(20_000.0, 700.0),
+                )
+                .with_checkpointing(gridsched_checkpoint::CheckpointConfig::fixed(400.0))
+        };
+        let a = GridSim::new(config()).run();
+        let b = GridSim::new(config()).run();
+        assert_eq!(a, b, "checkpointing broke determinism");
+    }
+
+    #[test]
+    fn weibull_repairs_change_downtime_not_crash_count() {
+        let cfg = |shape: f64| {
+            small_config(StrategyKind::Rest).with_faults(
+                gridsched_faults::FaultConfig::none()
+                    .with_worker_faults(3_000.0, 400.0)
+                    .with_worker_repair_shape(shape),
+            )
+        };
+        let exp = GridSim::new(cfg(1.0)).run();
+        let fat = GridSim::new(cfg(0.5)).run();
+        assert_eq!(exp.tasks_completed, 200);
+        assert_eq!(fat.tasks_completed, 200);
+        // Shape 1.0 must match the legacy exponential engine exactly.
+        let legacy =
+            GridSim::new(small_config(StrategyKind::Rest).with_faults(
+                gridsched_faults::FaultConfig::none().with_worker_faults(3_000.0, 400.0),
+            ))
+            .run();
+        assert_eq!(exp.makespan_minutes, legacy.makespan_minutes);
+        // A different shape must actually change the run.
+        assert_ne!(fat.makespan_minutes, exp.makespan_minutes);
     }
 
     #[test]

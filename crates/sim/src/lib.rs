@@ -57,6 +57,7 @@ pub use replication::ReplicationConfig;
 pub use runner::{average_reports, run_averaged, ExperimentPoint};
 pub use speeds::SpeedModel;
 
-// The fault model lives in its own crate; re-export the configuration
-// surface so simulator users need only `gridsched_sim`.
+// The fault and checkpoint models live in their own crates; re-export the
+// configuration surface so simulator users need only `gridsched_sim`.
+pub use gridsched_checkpoint::{CheckpointConfig, CheckpointPolicy};
 pub use gridsched_faults::{FaultConfig, FaultEvent, FaultKind, FaultTrace};

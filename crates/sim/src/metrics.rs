@@ -104,6 +104,21 @@ pub struct MetricsReport {
     /// Compute-seconds thrown away by aborted executions (fault kills and
     /// replica cancellations).
     pub wasted_compute_s: f64,
+    // --- checkpoint/restart accounting: all zero when checkpointing is
+    // off ---
+    /// Checkpoint images successfully written to a site data server.
+    pub checkpoints_written: u64,
+    /// Checkpoint images lost to data-server outages.
+    pub checkpoints_lost: u64,
+    /// Executions that resumed from a surviving checkpoint image instead
+    /// of restarting from scratch.
+    pub checkpoint_restores: u64,
+    /// Seconds spent on checkpointing itself: compute stalls while writing
+    /// images plus restore-image transfer time.
+    pub checkpoint_overhead_s: f64,
+    /// Compute-seconds restores rescued from re-execution (the progress a
+    /// resumed execution did *not* have to redo).
+    pub work_saved_s: f64,
 }
 
 impl MetricsReport {

@@ -110,6 +110,11 @@ pub fn average_reports(reports: &[MetricsReport]) -> MetricsReport {
         server_outages: avg_u64(reports.iter().map(|r| r.server_outages), n),
         files_lost: avg_u64(reports.iter().map(|r| r.files_lost), n),
         wasted_compute_s: avg_f64(reports.iter().map(|r| r.wasted_compute_s), n),
+        checkpoints_written: avg_u64(reports.iter().map(|r| r.checkpoints_written), n),
+        checkpoints_lost: avg_u64(reports.iter().map(|r| r.checkpoints_lost), n),
+        checkpoint_restores: avg_u64(reports.iter().map(|r| r.checkpoint_restores), n),
+        checkpoint_overhead_s: avg_f64(reports.iter().map(|r| r.checkpoint_overhead_s), n),
+        work_saved_s: avg_f64(reports.iter().map(|r| r.work_saved_s), n),
     }
 }
 

@@ -1,0 +1,161 @@
+//! Checkpoint-image storage on a site data server.
+//!
+//! Checkpoint images live *beside* the file cache on a site's data server:
+//! they are task-private blobs, not shared workload files, so they never
+//! participate in the replacement policy or overlap queries of
+//! [`SiteStore`](crate::SiteStore) — but they share the server's fate. When
+//! the server fails, every image it held is lost with it (images are not
+//! pinned by anything: an execution keeps its *progress* in worker memory,
+//! the image on the server is only needed after a crash).
+
+use gridsched_workload::TaskId;
+use std::collections::HashMap;
+
+/// One task's latest checkpoint image as held by a data server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckpointImage {
+    /// Task progress at checkpoint time, in flops completed.
+    pub flops_done: f64,
+    /// Compute-seconds invested in that progress (what a resume saves from
+    /// re-execution).
+    pub invested_s: f64,
+    /// Image size in bytes.
+    pub bytes: f64,
+}
+
+/// The checkpoint images resident on one site's data server.
+///
+/// # Example
+///
+/// ```
+/// use gridsched_storage::{CheckpointImage, ImageVault};
+/// use gridsched_workload::TaskId;
+///
+/// let mut vault = ImageVault::new();
+/// vault.put(TaskId(3), CheckpointImage { flops_done: 1e12, invested_s: 40.0, bytes: 25e6 });
+/// assert!(vault.get(TaskId(3)).is_some());
+/// let lost = vault.fail();
+/// assert_eq!(lost, 1);
+/// assert!(vault.get(TaskId(3)).is_none());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ImageVault {
+    images: HashMap<TaskId, CheckpointImage>,
+    /// Lifetime count of images written to this server.
+    written: u64,
+    /// Lifetime count of images lost to server failures.
+    lost: u64,
+}
+
+impl ImageVault {
+    /// An empty vault.
+    #[must_use]
+    pub fn new() -> Self {
+        ImageVault::default()
+    }
+
+    /// The latest image of `task` held here, if any.
+    #[must_use]
+    pub fn get(&self, task: TaskId) -> Option<CheckpointImage> {
+        self.images.get(&task).copied()
+    }
+
+    /// Stores `task`'s image, superseding any older image of the task held
+    /// here.
+    pub fn put(&mut self, task: TaskId, image: CheckpointImage) {
+        self.images.insert(task, image);
+        self.written += 1;
+    }
+
+    /// Removes `task`'s image (superseded elsewhere, or the task
+    /// completed). Not counted as a loss.
+    pub fn remove(&mut self, task: TaskId) {
+        self.images.remove(&task);
+    }
+
+    /// A data-server outage: every image on this server is lost. Returns
+    /// the number of images lost.
+    pub fn fail(&mut self) -> u64 {
+        let n = self.images.len() as u64;
+        self.images.clear();
+        self.lost += n;
+        n
+    }
+
+    /// Number of images currently resident.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Whether no images are resident.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// Total bytes of resident images.
+    #[must_use]
+    pub fn resident_bytes(&self) -> f64 {
+        self.images.values().map(|i| i.bytes).sum()
+    }
+
+    /// Lifetime count of images written to this server.
+    #[must_use]
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Lifetime count of images lost to server failures.
+    #[must_use]
+    pub fn lost(&self) -> u64 {
+        self.lost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn img(flops: f64) -> CheckpointImage {
+        CheckpointImage {
+            flops_done: flops,
+            invested_s: flops / 1e10,
+            bytes: 25e6,
+        }
+    }
+
+    #[test]
+    fn put_get_supersede() {
+        let mut v = ImageVault::new();
+        assert!(v.is_empty());
+        v.put(TaskId(1), img(1e12));
+        v.put(TaskId(1), img(2e12));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.get(TaskId(1)).unwrap().flops_done, 2e12);
+        assert_eq!(v.written(), 2);
+        assert!((v.resident_bytes() - 25e6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn remove_is_not_a_loss() {
+        let mut v = ImageVault::new();
+        v.put(TaskId(1), img(1e12));
+        v.remove(TaskId(1));
+        assert!(v.is_empty());
+        assert_eq!(v.lost(), 0);
+    }
+
+    #[test]
+    fn fail_loses_everything() {
+        let mut v = ImageVault::new();
+        v.put(TaskId(1), img(1e12));
+        v.put(TaskId(2), img(3e12));
+        assert_eq!(v.fail(), 2);
+        assert!(v.is_empty());
+        assert_eq!(v.lost(), 2);
+        // A second outage on an empty vault loses nothing more.
+        assert_eq!(v.fail(), 0);
+        assert_eq!(v.lost(), 2);
+    }
+}

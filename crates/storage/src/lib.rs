@@ -17,13 +17,17 @@
 //!   eviction (they are bookkeeping, not cache state).
 //!
 //! [`SiteStore`] implements all of this with O(log n) insert/evict and O(1)
-//! lookup.
+//! lookup. [`ImageVault`] holds the checkpoint images the checkpoint/restart
+//! subsystem parks beside the file cache — task-private blobs that never
+//! enter the replacement policy but are lost with the server when it fails.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod images;
 pub mod policy;
 pub mod store;
 
+pub use images::{CheckpointImage, ImageVault};
 pub use policy::EvictionPolicy;
 pub use store::{SiteStore, StoreStats};

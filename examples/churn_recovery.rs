@@ -1,0 +1,69 @@
+//! Churn recovery: what checkpoint/restart buys each strategy.
+//!
+//! Runs one Coadd workload under aggressive worker churn twice per
+//! strategy — once bare (every crash re-executes the task from scratch)
+//! and once with Young/Daly checkpointing — and prints the work each
+//! strategy saved, the overhead it paid, and the makespan delta.
+//!
+//! ```sh
+//! cargo run --release --example churn_recovery
+//! ```
+
+use std::sync::Arc;
+
+use gridsched::prelude::*;
+
+fn main() {
+    let mut coadd = CoaddConfig::paper_6000();
+    coadd.tasks = 1500; // keep the example under ~10 s
+    let workload = Arc::new(coadd.generate());
+    let seeds = [0u64, 1];
+    // Aggressive churn: a worker dies every ~2 h of uptime on average.
+    let faults = FaultConfig::none().with_worker_faults(7_200.0, 1_200.0);
+
+    let strategies = [
+        StrategyKind::StorageAffinity,
+        StrategyKind::Overlap,
+        StrategyKind::Rest,
+        StrategyKind::Combined,
+        StrategyKind::Rest2,
+        StrategyKind::Combined2,
+    ];
+
+    println!(
+        "{:<18} {:>12} {:>12} {:>9} {:>9} {:>10} {:>9}",
+        "algorithm", "bare_mkspan", "ckpt_mkspan", "wasted_h", "saved_h", "overhead_h", "restores"
+    );
+    let mut best: Option<(String, f64)> = None;
+    for strategy in strategies {
+        let base = SimConfig::paper(workload.clone(), strategy).with_faults(faults.clone());
+        let bare = run_averaged(&base, &seeds);
+        let ckpt = run_averaged(
+            &base
+                .clone()
+                .with_checkpointing(CheckpointConfig::young_daly()),
+            &seeds,
+        );
+        let saved_h = ckpt.work_saved_s / 3600.0;
+        println!(
+            "{:<18} {:>12.0} {:>12.0} {:>9.1} {:>9.1} {:>10.1} {:>9}",
+            strategy.to_string(),
+            bare.makespan_minutes,
+            ckpt.makespan_minutes,
+            bare.wasted_compute_s / 3600.0,
+            saved_h,
+            ckpt.checkpoint_overhead_s / 3600.0,
+            ckpt.checkpoint_restores,
+        );
+        if best.as_ref().is_none_or(|(_, s)| saved_h > *s) {
+            best = Some((strategy.to_string(), saved_h));
+        }
+    }
+    let (winner, saved) = best.expect("six strategies ran");
+    println!();
+    println!(
+        "{winner} saved the most work ({saved:.1} h): strategies that lose the most\n\
+         compute to churn (task-centric pre-assignment, long transfers before\n\
+         compute) gain the most from resuming at the last image instead of zero."
+    );
+}

@@ -5,9 +5,11 @@
 //!                    [--capacity 6000] [--policy lru] [--tasks 6000]
 //!                    [--file-size-mb 25] [--seed 0] [--topology-seeds 0,1,2,3,4]
 //!                    [--choose-n N] [--replication-threshold T]
-//!                    [--mtbf SECS] [--mttr SECS]
-//!                    [--server-mtbf SECS] [--server-mttr SECS]
+//!                    [--mtbf SECS] [--mttr SECS] [--mttr-shape K]
+//!                    [--server-mtbf SECS] [--server-mttr SECS] [--server-mttr-shape K]
 //!                    [--fault-trace FILE]
+//!                    [--checkpoint-policy none|fixed|young-daly]
+//!                    [--checkpoint-interval SECS] [--checkpoint-size MB]
 //!                    [--trace FILE] [--csv]
 //! gridsched workload [--tasks 6000] [--seed 0] [--out FILE]
 //! gridsched topology [--seed 0] [--sites 90] [--dot FILE]
@@ -81,8 +83,13 @@ usage:
                      [--seed N] [--topology-seeds a,b,c] [--choose-n N]
                      [--replication-threshold N] [--trace FILE] [--csv]
                      [--mtbf SECS] [--mttr SECS] (worker churn, default MTTR 600)
+                     [--mttr-shape K] (Weibull repair shape; 1 = exponential)
                      [--server-mtbf SECS] [--server-mttr SECS] (default MTTR 900)
+                     [--server-mttr-shape K] (Weibull repair shape; 1 = exponential)
                      [--fault-trace FILE] (scripted faults; see gridsched-faults)
+                     [--checkpoint-policy none|fixed|young-daly]
+                     [--checkpoint-interval SECS] (fixed policy's interval)
+                     [--checkpoint-size MB] (image size, default 25)
   gridsched workload [--tasks N] [--seed N] [--file-size-mb X] [--out FILE]
   gridsched topology [--seed N] [--sites N] [--dot FILE]
   gridsched strategies";
@@ -173,11 +180,17 @@ fn load_or_generate_workload(opts: &Opts) -> Result<Arc<Workload>, String> {
 }
 
 fn build_fault_config(opts: &Opts) -> Result<FaultConfig, String> {
-    if opts.values.contains_key("mttr") && !opts.values.contains_key("mtbf") {
-        return Err("--mttr requires --mtbf".into());
-    }
-    if opts.values.contains_key("server-mttr") && !opts.values.contains_key("server-mtbf") {
-        return Err("--server-mttr requires --server-mtbf".into());
+    // Dependent flags are rejected (not silently ignored) when the flag
+    // that gives them meaning is missing.
+    for (dependent, required) in [
+        ("mttr", "mtbf"),
+        ("mttr-shape", "mtbf"),
+        ("server-mttr", "server-mtbf"),
+        ("server-mttr-shape", "server-mtbf"),
+    ] {
+        if opts.values.contains_key(dependent) && !opts.values.contains_key(required) {
+            return Err(format!("--{dependent} requires --{required}"));
+        }
     }
     let mut faults = FaultConfig::none();
     if let Some(mtbf) = opts.get_opt::<f64>("mtbf")? {
@@ -186,6 +199,12 @@ fn build_fault_config(opts: &Opts) -> Result<FaultConfig, String> {
             return Err("--mtbf/--mttr must be positive seconds".into());
         }
         faults = faults.with_worker_faults(mtbf, mttr);
+        if let Some(shape) = opts.get_opt::<f64>("mttr-shape")? {
+            if shape <= 0.0 {
+                return Err("--mttr-shape must be a positive Weibull shape".into());
+            }
+            faults = faults.with_worker_repair_shape(shape);
+        }
     }
     if let Some(mtbf) = opts.get_opt::<f64>("server-mtbf")? {
         let mttr: f64 = opts.get("server-mttr", 900.0)?;
@@ -193,12 +212,68 @@ fn build_fault_config(opts: &Opts) -> Result<FaultConfig, String> {
             return Err("--server-mtbf/--server-mttr must be positive seconds".into());
         }
         faults = faults.with_server_faults(mtbf, mttr);
+        if let Some(shape) = opts.get_opt::<f64>("server-mttr-shape")? {
+            if shape <= 0.0 {
+                return Err("--server-mttr-shape must be a positive Weibull shape".into());
+            }
+            faults = faults.with_server_repair_shape(shape);
+        }
     }
     if let Some(path) = opts.values.get("fault-trace") {
         let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
         faults = faults.with_trace(FaultTrace::parse(&text)?);
     }
     Ok(faults)
+}
+
+fn build_checkpoint_config(opts: &Opts, faults: &FaultConfig) -> Result<CheckpointConfig, String> {
+    let policy = opts.values.get("checkpoint-policy").map(String::as_str);
+    if policy.is_none() || policy == Some("none") {
+        for flag in ["checkpoint-interval", "checkpoint-size"] {
+            if opts.values.contains_key(flag) {
+                return Err(format!("--{flag} requires --checkpoint-policy"));
+            }
+        }
+        return Ok(CheckpointConfig::none());
+    }
+    let mut ckpt = match policy.expect("checked above") {
+        "fixed" => {
+            let interval: f64 = opts
+                .get_opt("checkpoint-interval")?
+                .ok_or("--checkpoint-policy fixed requires --checkpoint-interval")?;
+            if interval <= 0.0 {
+                return Err("--checkpoint-interval must be positive seconds".into());
+            }
+            CheckpointConfig::fixed(interval)
+        }
+        "young-daly" | "youngdaly" | "yd" => {
+            if faults.worker_mtbf_s.is_none() {
+                return Err(
+                    "--checkpoint-policy young-daly derives its interval from the fault \
+                     model and requires --mtbf"
+                        .into(),
+                );
+            }
+            if opts.values.contains_key("checkpoint-interval") {
+                return Err(
+                    "--checkpoint-interval only applies to --checkpoint-policy fixed".into(),
+                );
+            }
+            CheckpointConfig::young_daly()
+        }
+        other => {
+            return Err(format!(
+                "unknown checkpoint policy `{other}` (none|fixed|young-daly)"
+            ))
+        }
+    };
+    if let Some(mb) = opts.get_opt::<f64>("checkpoint-size")? {
+        if mb <= 0.0 {
+            return Err("--checkpoint-size must be positive MB".into());
+        }
+        ckpt = ckpt.with_size_bytes(mb * 1e6);
+    }
+    Ok(ckpt)
 }
 
 fn cmd_simulate(opts: &Opts) -> Result<(), String> {
@@ -220,11 +295,15 @@ fn cmd_simulate(opts: &Opts) -> Result<(), String> {
         });
     }
     let faults = build_fault_config(opts)?;
+    let checkpointing = build_checkpoint_config(opts, &faults)?;
     if !faults.is_inert() {
         if let Some(trace) = &faults.trace {
             trace.validate(config.sites, config.workers_per_site)?;
         }
         config = config.with_faults(faults);
+    }
+    if !checkpointing.is_inert() {
+        config = config.with_checkpointing(checkpointing);
     }
     let seeds = parse_seed_list(
         opts.values
@@ -235,10 +314,10 @@ fn cmd_simulate(opts: &Opts) -> Result<(), String> {
 
     if opts.has("csv") {
         println!(
-            "strategy,sites,workers,capacity,policy,tasks,makespan_min,file_transfers,bytes,avg_wait_h,avg_xfer_h,replicas,tasks_lost,re_executions,worker_availability,server_availability"
+            "strategy,sites,workers,capacity,policy,tasks,makespan_min,file_transfers,bytes,avg_wait_h,avg_xfer_h,replicas,tasks_lost,re_executions,worker_availability,server_availability,ckpt_written,ckpt_lost,ckpt_restores,ckpt_overhead_h,work_saved_h"
         );
         println!(
-            "{},{},{},{},{},{},{:.1},{},{:.0},{:.4},{:.4},{},{},{},{:.4},{:.4}",
+            "{},{},{},{},{},{},{:.1},{},{:.0},{:.4},{:.4},{},{},{},{:.4},{:.4},{},{},{},{:.4},{:.4}",
             report.config.strategy,
             report.config.sites,
             report.config.workers_per_site,
@@ -255,6 +334,11 @@ fn cmd_simulate(opts: &Opts) -> Result<(), String> {
             report.re_executions,
             report.mean_worker_availability(),
             report.mean_server_availability(),
+            report.checkpoints_written,
+            report.checkpoints_lost,
+            report.checkpoint_restores,
+            report.checkpoint_overhead_s / 3600.0,
+            report.work_saved_s / 3600.0,
         );
     } else {
         println!("strategy          : {}", report.config.strategy);
@@ -316,6 +400,18 @@ fn cmd_simulate(opts: &Opts) -> Result<(), String> {
                 "availability      : workers {:.2}%, data servers {:.2}%",
                 report.mean_worker_availability() * 100.0,
                 report.mean_server_availability() * 100.0
+            );
+        }
+        if report.config.checkpointing != "none" {
+            println!("checkpointing     : {}", report.config.checkpointing);
+            println!(
+                "checkpoints       : {} written, {} lost, {} restores",
+                report.checkpoints_written, report.checkpoints_lost, report.checkpoint_restores
+            );
+            println!(
+                "checkpoint cost   : {:.1} h overhead; {:.1} h of compute saved from re-execution",
+                report.checkpoint_overhead_s / 3600.0,
+                report.work_saved_s / 3600.0
             );
         }
     }

@@ -14,6 +14,7 @@
 //! | [`storage`] | `gridsched-storage` | capacity-bounded site storage (LRU/FIFO/LFU, pinning, `r_i`) |
 //! | [`core`] | `gridsched-core` | the scheduling strategies (the paper's contribution) |
 //! | [`faults`] | `gridsched-faults` | fault injection: MTBF/MTTR churn processes + scripted fault traces |
+//! | [`checkpoint`] | `gridsched-checkpoint` | checkpoint/restart policies (fixed interval, Young/Daly) + image tracking |
 //! | [`sim`] | `gridsched-sim` | the grid simulator + experiment runner |
 //!
 //! ## Quickstart
@@ -37,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use gridsched_checkpoint as checkpoint;
 pub use gridsched_core as core;
 pub use gridsched_des as des;
 pub use gridsched_faults as faults;
@@ -53,6 +55,7 @@ pub mod sim {
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use gridsched_checkpoint::{CheckpointConfig, CheckpointPolicy};
     pub use gridsched_core::{
         Assignment, ChooseTask, Scheduler, SiteId, StorageAffinity, StrategyKind, WeightMetric,
         WorkerCentric, WorkerId, Workqueue,

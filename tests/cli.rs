@@ -164,6 +164,132 @@ fn simulate_rejects_bad_fault_flags() {
         stderr.contains("--server-mttr requires --server-mtbf"),
         "stderr: {stderr}"
     );
+
+    // Repair-shape flags depend on their churn process too.
+    let out = gridsched(&["simulate", "--mttr-shape", "0.5"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(
+        stderr.contains("--mttr-shape requires --mtbf"),
+        "stderr: {stderr}"
+    );
+
+    let out = gridsched(&["simulate", "--server-mttr-shape", "0.5"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(
+        stderr.contains("--server-mttr-shape requires --server-mtbf"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn simulate_rejects_bad_checkpoint_flags() {
+    // Interval/size without a policy would otherwise be silently ignored.
+    let out = gridsched(&["simulate", "--checkpoint-interval", "600"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(
+        stderr.contains("--checkpoint-interval requires --checkpoint-policy"),
+        "stderr: {stderr}"
+    );
+
+    let out = gridsched(&["simulate", "--checkpoint-size", "50"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(
+        stderr.contains("--checkpoint-size requires --checkpoint-policy"),
+        "stderr: {stderr}"
+    );
+
+    // The fixed policy needs its interval.
+    let out = gridsched(&["simulate", "--checkpoint-policy", "fixed"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(
+        stderr.contains("requires --checkpoint-interval"),
+        "stderr: {stderr}"
+    );
+
+    // Young/Daly derives its interval from the fault model.
+    let out = gridsched(&["simulate", "--checkpoint-policy", "young-daly"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("requires --mtbf"), "stderr: {stderr}");
+
+    let out = gridsched(&["simulate", "--checkpoint-policy", "sometimes"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(
+        stderr.contains("unknown checkpoint policy"),
+        "stderr: {stderr}"
+    );
+
+    let out = gridsched(&[
+        "simulate",
+        "--checkpoint-policy",
+        "fixed",
+        "--checkpoint-interval",
+        "-60",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("must be positive"), "stderr: {stderr}");
+}
+
+#[test]
+fn simulate_with_checkpointing_reports_and_is_deterministic() {
+    let dir = TestDir::new("checkpoint");
+    let trace = dir.path("wl.trace");
+    let trace_str = trace.to_str().expect("utf8 path");
+    let out = gridsched(&["workload", "--tasks", "120", "--out", trace_str]);
+    assert!(out.status.success());
+
+    let args = [
+        "simulate",
+        "--trace",
+        trace_str,
+        "--sites",
+        "2",
+        "--topology-seeds",
+        "0",
+        "--strategy",
+        "rest.2",
+        "--mtbf",
+        "3600",
+        "--mttr",
+        "600",
+        "--mttr-shape",
+        "0.7",
+        "--checkpoint-policy",
+        "young-daly",
+        "--checkpoint-size",
+        "50",
+    ];
+    let out = gridsched(&args);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout.clone()).expect("utf8");
+    assert!(
+        stdout.contains("repair-shape=0.70"),
+        "fault summary should show the Weibull shape: {stdout}"
+    );
+    assert!(
+        stdout.contains("checkpointing     : young-daly image=50MB"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("checkpoints       :"), "{stdout}");
+    assert!(stdout.contains("compute saved"), "{stdout}");
+
+    // Same invocation again: byte-identical output (determinism).
+    let again = gridsched(&args);
+    assert_eq!(
+        out.stdout, again.stdout,
+        "checkpointed runs must be deterministic"
+    );
 }
 
 #[test]
