@@ -9,16 +9,30 @@
 //! overlap counters of the affected tasks. A scheduling decision then
 //! degenerates to an `O(T)` scan over cached counters.
 //!
-//! This does not change any scheduling decision — [`weigh_all_indexed`] is
-//! property-tested to agree exactly with
-//! [`crate::weight::weigh_all_naive`] — it only changes the constant; the
-//! `sched_decision` criterion bench quantifies the gap.
+//! An `O(T)` scan per decision is still an `O(T²)` run, which caps the
+//! engine far below 10⁵ workers. The same storage-change notifications can
+//! therefore also maintain a **priority index**: every [`SiteView`] may
+//! carry a [`TaskRank`] that buckets the pending tasks by their (small
+//! integer) overlap or missing-file count, each bucket an ordered set.
+//! A scheduling decision then degenerates to reading the best few bucket
+//! heads — `O(log T)` amortized — instead of scanning the pool.
+//!
+//! None of this changes any scheduling decision — [`weigh_all_indexed`]
+//! and the ranked picks are property-tested to agree exactly with
+//! [`crate::weight::weigh_all_naive`] plus [`crate::choose::ChooseTask`] —
+//! it only changes the constant/complexity; the `sched_decision` criterion
+//! bench and the `perf_scale` harness quantify the gap.
+
+use std::collections::BTreeSet;
+
+use rand::Rng;
 
 use gridsched_storage::SiteStore;
 use gridsched_workload::{FileId, TaskId, Workload};
 
+use crate::choose::ChooseTask;
 use crate::pool::TaskPool;
-use crate::weight::{combined_weight, rest_weight, WeightMetric};
+use crate::weight::{combined_weight, rest_weight, total_rest_from_counts, WeightMetric};
 
 /// Compressed-sparse-row inverted index: for each file, the tasks reading
 /// it; plus per-task input-set sizes (`|t|`).
@@ -103,6 +117,152 @@ impl FileIndex {
     pub fn file_count(&self) -> usize {
         self.offsets.len() - 1
     }
+
+    /// The largest input-set size over all tasks (`max |t|`) — the number
+    /// of levels a [`TaskRank`] needs.
+    #[must_use]
+    pub fn max_task_size(&self) -> u32 {
+        self.task_sizes.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// An incrementally-maintained per-site priority index over the *pending*
+/// tasks, bucketed by the metric's small-integer level:
+///
+/// * `Overlap` — level `|F_t|`, best bucket is the **highest** level;
+/// * `Rest` / `Combined` — level `|t| − |F_t|` (missing files), best
+///   bucket is the **lowest** level.
+///
+/// Within a bucket, tasks are ordered so the bucket head is exactly the
+/// task the full-scan argmax would select among that bucket: ascending id
+/// for `Overlap`/`Rest` (all weights in a bucket are equal there), and
+/// descending cached reference sum (ties by id) for finite `Combined`
+/// buckets. The zero-missing `Combined` bucket orders by id alone — its
+/// weight is `+∞` regardless of references.
+///
+/// The owning [`SiteView`] keeps the bucket coordinates in sync on every
+/// counter change; the scheduler forwards pending-pool membership through
+/// [`SiteView::rank_insert`] / [`SiteView::rank_remove`]. Each maintenance
+/// step is one `BTreeSet` remove + insert — `O(log T)`.
+#[derive(Debug, Clone)]
+pub struct TaskRank {
+    metric: WeightMetric,
+    /// `buckets[level]` — ordered `(key, task id)`; see [`TaskRank`] docs
+    /// for the key.
+    buckets: Vec<BTreeSet<(u64, u32)>>,
+    member: Vec<bool>,
+    level_of: Vec<u32>,
+    key_of: Vec<u64>,
+    /// Member tasks' cached `Σ r_i` (mirrors [`SiteView::refsum`] so key
+    /// changes and `total_ref` deltas need no caller-side bookkeeping).
+    refsum_of: Vec<u64>,
+    /// Exact `Σ refsum` over members — `Combined`'s `totalRef` (integer
+    /// arithmetic, so incremental maintenance is bit-exact).
+    total_ref: u64,
+    len: usize,
+}
+
+impl TaskRank {
+    fn new(metric: WeightMetric, num_tasks: usize, max_level: u32) -> Self {
+        let levels = max_level as usize + 1;
+        TaskRank {
+            metric,
+            buckets: vec![BTreeSet::new(); levels],
+            member: vec![false; num_tasks],
+            level_of: vec![0; num_tasks],
+            key_of: vec![0; num_tasks],
+            refsum_of: vec![0; num_tasks],
+            total_ref: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of member (pending) tasks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no pending task is tracked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The metric whose ordering this rank maintains.
+    #[must_use]
+    pub fn metric(&self) -> WeightMetric {
+        self.metric
+    }
+
+    fn level_for(&self, size: u32, overlap: u32) -> u32 {
+        match self.metric {
+            WeightMetric::Overlap => overlap,
+            WeightMetric::Rest | WeightMetric::Combined => size - overlap,
+        }
+    }
+
+    fn key_for(&self, level: u32, refsum: u64) -> u64 {
+        // Only finite Combined buckets order by references; level 0 there
+        // means zero missing files (weight +∞ for every reference count).
+        if self.metric == WeightMetric::Combined && level > 0 {
+            u64::MAX - refsum
+        } else {
+            0
+        }
+    }
+
+    fn insert(&mut self, t: usize, level: u32, refsum: u64) {
+        if self.member[t] {
+            return;
+        }
+        let key = self.key_for(level, refsum);
+        self.buckets[level as usize].insert((key, t as u32));
+        self.member[t] = true;
+        self.level_of[t] = level;
+        self.key_of[t] = key;
+        self.refsum_of[t] = refsum;
+        self.total_ref += refsum;
+        self.len += 1;
+    }
+
+    fn remove(&mut self, t: usize) {
+        if !self.member[t] {
+            return;
+        }
+        let level = self.level_of[t] as usize;
+        self.buckets[level].remove(&(self.key_of[t], t as u32));
+        self.member[t] = false;
+        self.total_ref -= self.refsum_of[t];
+        self.len -= 1;
+    }
+
+    /// `Combined`'s `totalRest` over the members: the bucket sizes fed
+    /// through the one canonical accumulation,
+    /// [`total_rest_from_counts`] — bit-identical to the scan paths by
+    /// construction.
+    fn total_rest(&self) -> f64 {
+        total_rest_from_counts(self.buckets.iter().map(|b| b.len() as u32))
+    }
+
+    /// Re-files `t` after its cached counters changed.
+    fn sync(&mut self, t: usize, level: u32, refsum: u64) {
+        if !self.member[t] {
+            return;
+        }
+        self.total_ref += refsum;
+        self.total_ref -= self.refsum_of[t];
+        self.refsum_of[t] = refsum;
+        let key = self.key_for(level, refsum);
+        if level == self.level_of[t] && key == self.key_of[t] {
+            return;
+        }
+        let old_level = self.level_of[t] as usize;
+        self.buckets[old_level].remove(&(self.key_of[t], t as u32));
+        self.buckets[level as usize].insert((key, t as u32));
+        self.level_of[t] = level;
+        self.key_of[t] = key;
+    }
 }
 
 /// Incrementally-maintained per-site overlap state.
@@ -119,6 +279,7 @@ impl FileIndex {
 pub struct SiteView {
     overlap: Vec<u32>,
     refsum: Vec<u64>,
+    rank: Option<TaskRank>,
 }
 
 impl SiteView {
@@ -128,6 +289,43 @@ impl SiteView {
         SiteView {
             overlap: vec![0; num_tasks],
             refsum: vec![0; num_tasks],
+            rank: None,
+        }
+    }
+
+    /// Attaches an (empty) priority index ordered for `metric`. Call after
+    /// seeding the counters from pre-populated storage, then admit the
+    /// pending pool via [`SiteView::rank_insert`].
+    pub fn enable_rank(&mut self, metric: WeightMetric, index: &FileIndex) {
+        self.rank = Some(TaskRank::new(
+            metric,
+            self.overlap.len(),
+            index.max_task_size(),
+        ));
+    }
+
+    /// The attached priority index, if any.
+    #[must_use]
+    pub fn rank(&self) -> Option<&TaskRank> {
+        self.rank.as_ref()
+    }
+
+    /// Admits `task` (newly pending) into the priority index. No-op
+    /// without a rank or if already tracked.
+    pub fn rank_insert(&mut self, index: &FileIndex, task: TaskId) {
+        let t = task.index();
+        let (overlap, refsum) = (self.overlap[t], self.refsum[t]);
+        if let Some(rank) = self.rank.as_mut() {
+            let level = rank.level_for(index.task_size(task), overlap);
+            rank.insert(t, level, refsum);
+        }
+    }
+
+    /// Withdraws `task` (assigned/completed) from the priority index.
+    /// No-op without a rank or if not tracked.
+    pub fn rank_remove(&mut self, task: TaskId) {
+        if let Some(rank) = self.rank.as_mut() {
+            rank.remove(task.index());
         }
     }
 
@@ -135,8 +333,13 @@ impl SiteView {
     /// `ref_count`.
     pub fn on_file_added(&mut self, index: &FileIndex, file: FileId, ref_count: u32) {
         for &t in index.tasks_of(file) {
-            self.overlap[t as usize] += 1;
-            self.refsum[t as usize] += u64::from(ref_count);
+            let ti = t as usize;
+            self.overlap[ti] += 1;
+            self.refsum[ti] += u64::from(ref_count);
+            if let Some(rank) = self.rank.as_mut() {
+                let level = rank.level_for(index.task_size(TaskId(t)), self.overlap[ti]);
+                rank.sync(ti, level, self.refsum[ti]);
+            }
         }
     }
 
@@ -144,15 +347,25 @@ impl SiteView {
     /// `ref_count`.
     pub fn on_file_evicted(&mut self, index: &FileIndex, file: FileId, ref_count: u32) {
         for &t in index.tasks_of(file) {
-            self.overlap[t as usize] -= 1;
-            self.refsum[t as usize] -= u64::from(ref_count);
+            let ti = t as usize;
+            self.overlap[ti] -= 1;
+            self.refsum[ti] -= u64::from(ref_count);
+            if let Some(rank) = self.rank.as_mut() {
+                let level = rank.level_for(index.task_size(TaskId(t)), self.overlap[ti]);
+                rank.sync(ti, level, self.refsum[ti]);
+            }
         }
     }
 
     /// Records that a task referenced resident `file` (`r_i += 1`).
     pub fn on_task_reference(&mut self, index: &FileIndex, file: FileId) {
         for &t in index.tasks_of(file) {
-            self.refsum[t as usize] += 1;
+            let ti = t as usize;
+            self.refsum[ti] += 1;
+            if let Some(rank) = self.rank.as_mut() {
+                let level = rank.level_of[ti];
+                rank.sync(ti, level, self.refsum[ti]);
+            }
         }
     }
 
@@ -166,6 +379,117 @@ impl SiteView {
     #[must_use]
     pub fn refsum(&self, task: TaskId) -> u64 {
         self.refsum[task.index()]
+    }
+
+    /// The worker-centric pick straight off the priority index —
+    /// equivalent to `chooser.pick(weigh_all(...), rng)` but reading only
+    /// the best few bucket heads (`O(log T)` amortized; `Combined`
+    /// additionally scans the `O(levels)` per-level counters for its
+    /// normalisers).
+    ///
+    /// The candidate set handed to [`ChooseTask::pick`] provably contains
+    /// the full scan's top-`n` (within a bucket the order matches the
+    /// argmax tie-break; across buckets every bucket contributes its first
+    /// `n`), and the weights are computed with the identical expressions —
+    /// so the pick, including its RNG consumption, is bit-identical.
+    ///
+    /// Returns `None` when no pending task is tracked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no rank is attached (see [`SiteView::enable_rank`]).
+    pub fn pick_ranked<R: Rng + ?Sized>(
+        &self,
+        chooser: &ChooseTask,
+        rng: &mut R,
+    ) -> Option<TaskId> {
+        let rank = self
+            .rank
+            .as_ref()
+            .expect("pick_ranked requires an enabled rank");
+        if rank.is_empty() {
+            return None;
+        }
+        let n = chooser.n();
+        let mut cands: Vec<(TaskId, f64)> = Vec::with_capacity(n);
+        match rank.metric {
+            WeightMetric::Overlap => {
+                // Strictly decreasing weight per level: the first n tasks
+                // in (level desc, id asc) order are the exact top-n.
+                for level in (0..rank.buckets.len()).rev() {
+                    let need = n - cands.len();
+                    for &(_, t) in rank.buckets[level].iter().take(need) {
+                        cands.push((TaskId(t), level as f64));
+                    }
+                    if cands.len() == n {
+                        break;
+                    }
+                }
+            }
+            WeightMetric::Rest => {
+                // Strictly decreasing weight as missing grows: ascending
+                // levels yield the exact top-n.
+                for (level, bucket) in rank.buckets.iter().enumerate() {
+                    let need = n - cands.len();
+                    for &(_, t) in bucket.iter().take(need) {
+                        cands.push((TaskId(t), rest_weight(level)));
+                    }
+                    if cands.len() == n {
+                        break;
+                    }
+                }
+            }
+            WeightMetric::Combined => {
+                // Weights mix normalised references and rest, so no single
+                // bucket order is globally sorted — but within a bucket the
+                // order is weight-descending, hence the global top-n is
+                // contained in the union of every bucket's first n.
+                let total_ref = rank.total_ref;
+                let total_rest = rank.total_rest();
+                for (level, bucket) in rank.buckets.iter().enumerate() {
+                    for &(_, t) in bucket.iter().take(n) {
+                        let w = combined_weight(
+                            self.refsum[t as usize],
+                            rest_weight(level),
+                            total_ref,
+                            total_rest,
+                        );
+                        cands.push((TaskId(t), w));
+                    }
+                }
+            }
+        }
+        chooser.pick(&cands, rng)
+    }
+
+    /// The pending task with the largest overlap (ties to the lowest id)
+    /// that satisfies `keep`, walking the index in (overlap desc, id asc)
+    /// order — the storage-affinity replica selection and the sufferage
+    /// fallback.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no rank is attached or the rank does not order by
+    /// [`WeightMetric::Overlap`].
+    pub fn top_overlap_where<F: FnMut(TaskId) -> bool>(&self, mut keep: F) -> Option<TaskId> {
+        let rank = self
+            .rank
+            .as_ref()
+            .expect("top_overlap_where requires an enabled rank");
+        assert_eq!(
+            rank.metric,
+            WeightMetric::Overlap,
+            "top_overlap_where needs an Overlap-ordered rank"
+        );
+        for level in (0..rank.buckets.len()).rev() {
+            for &(_, t) in &rank.buckets[level] {
+                let task = TaskId(t);
+                if keep(task) {
+                    return Some(task);
+                }
+            }
+        }
+        None
     }
 
     /// Debug helper: checks this view against ground truth from the store.
@@ -195,6 +519,40 @@ impl SiteView {
     }
 }
 
+/// Attaches a `metric`-ordered priority index to every view and admits the
+/// current pending pool — the shared initialize-time step of every
+/// incremental-mode scheduler.
+pub fn enable_ranks(
+    views: &mut [SiteView],
+    metric: WeightMetric,
+    index: &FileIndex,
+    pool: &TaskPool,
+) {
+    let pending: Vec<TaskId> = pool.iter().collect();
+    for view in views {
+        view.enable_rank(metric, index);
+        for &t in &pending {
+            view.rank_insert(index, t);
+        }
+    }
+}
+
+/// Withdraws `task` from every view's priority index (pool removal).
+/// No-op for views without a rank.
+pub fn rank_remove_all(views: &mut [SiteView], task: TaskId) {
+    for view in views {
+        view.rank_remove(task);
+    }
+}
+
+/// Admits `task` into every view's priority index (pool requeue).
+/// No-op for views without a rank.
+pub fn rank_insert_all(views: &mut [SiteView], index: &FileIndex, task: TaskId) {
+    for view in views {
+        view.rank_insert(index, task);
+    }
+}
+
 /// Indexed equivalent of [`weigh_all_naive`]: `O(T)` per decision.
 ///
 /// [`weigh_all_naive`]: crate::weight::weigh_all_naive
@@ -218,20 +576,24 @@ pub fn weigh_all_indexed(
             })
             .collect(),
         WeightMetric::Combined => {
-            let mut per_task: Vec<(TaskId, u64, f64)> = Vec::with_capacity(pool.len());
+            let mut per_task: Vec<(TaskId, u64, usize)> = Vec::with_capacity(pool.len());
             let mut total_ref: u64 = 0;
-            let mut total_rest: f64 = 0.0;
+            let mut missing_counts: Vec<u32> = Vec::new();
             for t in pool.iter() {
                 let missing = (index.task_size(t) - view.overlap(t)) as usize;
                 let ref_t = view.refsum(t);
-                let rest_t = rest_weight(missing);
                 total_ref += ref_t;
-                total_rest += rest_t;
-                per_task.push((t, ref_t, rest_t));
+                if missing >= missing_counts.len() {
+                    missing_counts.resize(missing + 1, 0);
+                }
+                missing_counts[missing] += 1;
+                per_task.push((t, ref_t, missing));
             }
+            let total_rest = total_rest_from_counts(missing_counts.iter().copied());
             per_task
                 .into_iter()
-                .map(|(t, ref_t, rest_t)| {
+                .map(|(t, ref_t, missing)| {
+                    let rest_t = rest_weight(missing);
                     (t, combined_weight(ref_t, rest_t, total_ref, total_rest))
                 })
                 .collect()
@@ -338,6 +700,121 @@ mod tests {
 }
 
 #[cfg(test)]
+mod rank_tests {
+    use super::*;
+    use gridsched_storage::EvictionPolicy;
+    use gridsched_workload::TaskSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn wl() -> Workload {
+        Workload::new(
+            vec![
+                TaskSpec::new(TaskId(0), vec![FileId(0), FileId(1)], 0.0),
+                TaskSpec::new(TaskId(1), vec![FileId(1), FileId(2)], 0.0),
+                TaskSpec::new(TaskId(2), vec![FileId(2), FileId(3)], 0.0),
+                TaskSpec::new(TaskId(3), vec![FileId(0), FileId(3)], 0.0),
+            ],
+            4,
+            1.0,
+            "w",
+        )
+    }
+
+    fn ranked_view(metric: WeightMetric, resident: &[u32]) -> (FileIndex, SiteView, SiteStore) {
+        let workload = wl();
+        let idx = FileIndex::build(&workload);
+        let mut store = SiteStore::new(10, EvictionPolicy::Lru);
+        let mut view = SiteView::new(4);
+        view.enable_rank(metric, &idx);
+        for t in 0..4 {
+            view.rank_insert(&idx, TaskId(t));
+        }
+        for &f in resident {
+            store.insert(FileId(f));
+            view.on_file_added(&idx, FileId(f), store.ref_count(FileId(f)));
+        }
+        (idx, view, store)
+    }
+
+    #[test]
+    fn ranked_overlap_pick_is_argmax() {
+        let (_, view, _) = ranked_view(WeightMetric::Overlap, &[2, 3]);
+        let mut rng = StdRng::seed_from_u64(0);
+        // Task 2 overlaps {2,3} fully; deterministic argmax.
+        assert_eq!(
+            view.pick_ranked(&ChooseTask::new(1), &mut rng),
+            Some(TaskId(2))
+        );
+    }
+
+    #[test]
+    fn ranked_rest_prefers_zero_missing() {
+        let (_, view, _) = ranked_view(WeightMetric::Rest, &[0, 1]);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(
+            view.pick_ranked(&ChooseTask::new(1), &mut rng),
+            Some(TaskId(0)),
+            "task 0 needs zero transfers"
+        );
+    }
+
+    #[test]
+    fn ranked_tracks_pool_membership() {
+        let (idx, mut view, _) = ranked_view(WeightMetric::Overlap, &[0, 1]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let chooser = ChooseTask::new(1);
+        assert_eq!(view.pick_ranked(&chooser, &mut rng), Some(TaskId(0)));
+        view.rank_remove(TaskId(0));
+        assert_eq!(view.pick_ranked(&chooser, &mut rng), Some(TaskId(1)));
+        view.rank_insert(&idx, TaskId(0));
+        assert_eq!(view.pick_ranked(&chooser, &mut rng), Some(TaskId(0)));
+        for t in 0..4 {
+            view.rank_remove(TaskId(t));
+        }
+        assert_eq!(view.pick_ranked(&chooser, &mut rng), None);
+    }
+
+    #[test]
+    fn top_overlap_where_filters() {
+        let (_, view, _) = ranked_view(WeightMetric::Overlap, &[2, 3]);
+        assert_eq!(view.top_overlap_where(|_| true), Some(TaskId(2)));
+        assert_eq!(
+            view.top_overlap_where(|t| t != TaskId(2)),
+            Some(TaskId(1)),
+            "next-best overlap after filtering the argmax"
+        );
+        assert_eq!(view.top_overlap_where(|_| false), None);
+    }
+
+    #[test]
+    fn rank_totals_track_members() {
+        let (idx, mut view, mut store) = ranked_view(WeightMetric::Combined, &[1, 2]);
+        store.record_task_reference(FileId(1));
+        view.on_task_reference(&idx, FileId(1));
+        view.rank_remove(TaskId(3));
+        let rank = view.rank().expect("rank enabled");
+        assert_eq!(rank.len(), 3);
+        let total: usize = rank.buckets.iter().map(BTreeSet::len).sum();
+        assert_eq!(total, rank.len());
+        assert_eq!(
+            rank.total_ref,
+            view.refsum(TaskId(0)) + view.refsum(TaskId(1)) + view.refsum(TaskId(2))
+        );
+        // total_rest mirrors the canonical grouped accumulation.
+        let mut counts = vec![0u32; rank.buckets.len()];
+        for (m, bucket) in rank.buckets.iter().enumerate() {
+            counts[m] = bucket.len() as u32;
+        }
+        assert_eq!(
+            rank.total_rest().to_bits(),
+            total_rest_from_counts(counts).to_bits(),
+            "bit-identical to the scan paths' normaliser"
+        );
+    }
+}
+
+#[cfg(test)]
 mod proptests {
     use super::*;
     use gridsched_storage::EvictionPolicy;
@@ -419,6 +896,74 @@ mod proptests {
                     let indexed = weigh_all_indexed(metric, &idx, &pool, &view);
                     prop_assert_eq!(naive, indexed, "metric {}", metric);
                 }
+            }
+        }
+
+        /// The ranked pick — candidate selection off the bucket heads —
+        /// makes the same choice as the full naive scan + `ChooseTask`,
+        /// consuming the RNG identically, across storage churn and pool
+        /// membership changes.
+        #[test]
+        fn ranked_pick_matches_naive_scan(
+            workload in arb_workload(),
+            ops in arb_ops(),
+            cap in 1usize..8,
+            metric_ix in 0usize..3,
+            n in 1usize..4,
+            seed in 0u64..8,
+        ) {
+            use rand::rngs::StdRng;
+            use rand::SeedableRng;
+
+            let metric = [WeightMetric::Overlap, WeightMetric::Rest, WeightMetric::Combined][metric_ix];
+            let chooser = ChooseTask::new(n);
+            let idx = FileIndex::build(&workload);
+            let mut store = SiteStore::new(cap, EvictionPolicy::Lru);
+            let mut view = SiteView::new(workload.task_count());
+            view.enable_rank(metric, &idx);
+            let mut pool = TaskPool::full(workload.task_count());
+            for t in pool.iter().collect::<Vec<_>>() {
+                view.rank_insert(&idx, t);
+            }
+            let mut rng_naive = StdRng::seed_from_u64(seed);
+            let mut rng_ranked = StdRng::seed_from_u64(seed);
+            for op in ops {
+                match op {
+                    Op::Insert(f) => {
+                        let f = FileId(f);
+                        if !store.contains(f) {
+                            let evicted = store.insert(f);
+                            for e in evicted {
+                                view.on_file_evicted(&idx, e, store.ref_count(e));
+                            }
+                            view.on_file_added(&idx, f, store.ref_count(f));
+                        }
+                    }
+                    Op::Reference(f) => {
+                        let f = FileId(f);
+                        if store.contains(f) {
+                            store.record_task_reference(f);
+                            view.on_task_reference(&idx, f);
+                        }
+                    }
+                    Op::RemoveTask(t) => {
+                        // Toggle pool membership to exercise requeues.
+                        if (t as usize) < workload.task_count() {
+                            let t = TaskId(t);
+                            if pool.contains(t) {
+                                pool.remove(t);
+                                view.rank_remove(t);
+                            } else {
+                                pool.insert(t);
+                                view.rank_insert(&idx, t);
+                            }
+                        }
+                    }
+                }
+                let weights = crate::weight::weigh_all_naive(metric, &workload, &pool, &store);
+                let naive = chooser.pick(&weights, &mut rng_naive);
+                let ranked = view.pick_ranked(&chooser, &mut rng_ranked);
+                prop_assert_eq!(naive, ranked, "metric {} n {}", metric, n);
             }
         }
     }

@@ -14,11 +14,13 @@
 //! * [`StorageAffinity`] — the task-centric baseline of Santos-Neto et al.
 //!   (data reuse + task replication), §3.1/[14];
 //! * [`Workqueue`] — the classic FIFO pull scheduler [6];
-//! * [`index::FileIndex`] / [`index::SiteView`] — an inverted file→task
-//!   index with incrementally-maintained per-site overlap and reference
-//!   sums, turning each scheduling decision from `O(T·I)` file probes into
-//!   an `O(T)` scan (the complexity the paper quotes is the naive
-//!   evaluation; both are provided and property-tested for equivalence).
+//! * [`index::FileIndex`] / [`index::SiteView`] / [`index::TaskRank`] — an
+//!   inverted file→task index with incrementally-maintained per-site
+//!   overlap and reference sums, plus bucketed priority indexes over the
+//!   pending pool, turning each scheduling decision from `O(T·I)` file
+//!   probes into an `O(log T)` amortized pick (the complexity the paper
+//!   quotes is the naive evaluation; all paths are provided, selectable
+//!   via [`EvalMode`], and property-tested for byte-identical decisions).
 //!
 //! All strategies implement the [`Scheduler`] trait, which the grid
 //! simulator (`gridsched-sim`) drives with worker-idle and task-completion
@@ -41,9 +43,9 @@ pub mod workqueue;
 pub use choose::ChooseTask;
 pub use ids::{GridEnv, SiteId, WorkerId};
 pub use pool::TaskPool;
-pub use scheduler::{Assignment, CompletionOutcome, Scheduler, StrategyKind};
+pub use scheduler::{Assignment, CompletionOutcome, EvalMode, Scheduler, StrategyKind};
 pub use storage_affinity::StorageAffinity;
 pub use sufferage::Sufferage;
 pub use weight::WeightMetric;
-pub use worker_centric::{EvalMode, WorkerCentric};
+pub use worker_centric::WorkerCentric;
 pub use workqueue::Workqueue;

@@ -23,6 +23,52 @@ use gridsched_workload::{FileId, TaskId};
 use crate::ids::{GridEnv, SiteId, WorkerId};
 use crate::weight::WeightMetric;
 
+/// How a scheduler evaluates its per-decision queue scan.
+///
+/// All modes are property-tested to produce byte-identical assignment
+/// sequences (and therefore identical simulation output); they differ only
+/// in per-decision cost. See `tests/scheduler_equivalence.rs` and the
+/// `perf_scale` harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum EvalMode {
+    /// Incrementally-maintained per-site priority indexes
+    /// ([`crate::index::TaskRank`]): `O(log T)` amortized per decision.
+    /// The default.
+    #[default]
+    Incremental,
+    /// Per-decision scan over incrementally-cached counters: `O(T)`.
+    Indexed,
+    /// Per-decision direct file probing — the paper's stated `O(T·I)`
+    /// complexity (§4.4); kept for validation and benchmarking.
+    Naive,
+}
+
+impl fmt::Display for EvalMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EvalMode::Incremental => "incremental",
+            EvalMode::Indexed => "indexed",
+            EvalMode::Naive => "naive",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::str::FromStr for EvalMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "incremental" => Ok(EvalMode::Incremental),
+            "indexed" => Ok(EvalMode::Indexed),
+            "naive" => Ok(EvalMode::Naive),
+            other => Err(format!(
+                "unknown eval mode `{other}` (incremental|indexed|naive)"
+            )),
+        }
+    }
+}
+
 /// What an idle worker should do next.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Assignment {

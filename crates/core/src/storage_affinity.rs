@@ -35,22 +35,27 @@
 //! The assignment phase costs `O(T·I·S)` — the complexity the paper quotes
 //! for task-centric strategies in §4.4.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
-use gridsched_storage::SiteStore;
+use gridsched_storage::{FileMask, FileSet, SiteStore};
 use gridsched_workload::{FileId, TaskId, Workload};
 
 use crate::ids::{GridEnv, SiteId, WorkerId};
-use crate::index::{FileIndex, SiteView};
+use crate::index::{enable_ranks, rank_remove_all, FileIndex, SiteView};
 use crate::pool::TaskPool;
-use crate::scheduler::{Assignment, CompletionOutcome, Scheduler};
+use crate::scheduler::{Assignment, CompletionOutcome, EvalMode, Scheduler};
+use crate::weight::WeightMetric;
 
 /// FIFO-truncated prediction of a site's future storage contents.
+///
+/// Residency is a dense [`FileSet`] bitset, so the assignment phase's
+/// per-(task, site) overlap probe is AND+popcount against the task's
+/// pre-lowered [`FileMask`] instead of `|t|` hash probes.
 #[derive(Debug, Clone)]
 struct VirtualStore {
     capacity: usize,
-    resident: HashSet<FileId>,
+    resident: FileSet,
     order: VecDeque<FileId>,
 }
 
@@ -58,13 +63,13 @@ impl VirtualStore {
     fn new(capacity: usize) -> Self {
         VirtualStore {
             capacity,
-            resident: HashSet::new(),
+            resident: FileSet::new(),
             order: VecDeque::new(),
         }
     }
 
-    fn overlap(&self, files: &[FileId]) -> usize {
-        files.iter().filter(|f| self.resident.contains(f)).count()
+    fn overlap(&self, mask: &FileMask) -> usize {
+        mask.overlap(&self.resident)
     }
 
     fn admit(&mut self, files: &[FileId]) {
@@ -73,7 +78,7 @@ impl VirtualStore {
                 self.order.push_back(f);
                 while self.order.len() > self.capacity {
                     let victim = self.order.pop_front().expect("non-empty");
-                    self.resident.remove(&victim);
+                    self.resident.remove(victim);
                 }
             }
         }
@@ -109,10 +114,12 @@ pub struct StorageAffinity {
     pending: TaskPool,
     /// task → workers currently executing it (primary first).
     running: HashMap<TaskId, Vec<WorkerId>>,
-    /// Inverted index + per-site overlap caches for O(pending) replica
-    /// selection against *actual* storage contents.
+    /// Inverted index + per-site overlap caches (and, in incremental
+    /// mode, overlap-ordered priority indexes) for replica selection
+    /// against *actual* storage contents.
     index: Arc<FileIndex>,
     views: Vec<SiteView>,
+    mode: EvalMode,
     completed: usize,
     initialized: bool,
 }
@@ -134,9 +141,21 @@ impl StorageAffinity {
             running: HashMap::new(),
             index,
             views: Vec::new(),
+            mode: EvalMode::default(),
             completed: 0,
             initialized: false,
         }
+    }
+
+    /// Switches the replica-selection path (see [`EvalMode`]): `Naive`
+    /// probes the idle worker's store directly (`O(T·I)`), `Indexed` scans
+    /// the cached per-site counters (`O(T)`), `Incremental` (default)
+    /// reads the overlap-ordered priority index (`O(log T)`). Call before
+    /// [`Scheduler::initialize`].
+    #[must_use]
+    pub fn with_eval_mode(mut self, mode: EvalMode) -> Self {
+        self.mode = mode;
+        self
     }
 
     /// Overrides the assignment budget slack (see the field docs).
@@ -169,20 +188,49 @@ impl StorageAffinity {
 
     /// Picks the unfinished task (queued or running, assigned to some other
     /// worker) with the largest overlap against the idle worker's current
-    /// site storage. `O(pending)` thanks to the incremental per-site views.
-    fn pick_replica(&self, worker: WorkerId) -> Option<TaskId> {
-        let view = &self.views[worker.site.index()];
-        self.pending
-            .iter()
-            .filter(|t| {
-                !self
-                    .running
-                    .get(t)
-                    .is_some_and(|workers| workers.contains(&worker))
-            })
-            .map(|t| (view.overlap(t), std::cmp::Reverse(t)))
-            .max()
-            .map(|(_, std::cmp::Reverse(t))| t)
+    /// site storage.
+    fn pick_replica(&self, worker: WorkerId, store: &SiteStore) -> Option<TaskId> {
+        let excluded = |t: &TaskId| {
+            self.running
+                .get(t)
+                .is_some_and(|workers| workers.contains(&worker))
+        };
+        match self.mode {
+            // O(log T): walk the overlap-ordered index until a task not
+            // already executing at this very worker appears.
+            EvalMode::Incremental => {
+                self.views[worker.site.index()].top_overlap_where(|t| !excluded(&t))
+            }
+            // O(T): scan the cached per-site counters.
+            EvalMode::Indexed => {
+                let view = &self.views[worker.site.index()];
+                self.pending
+                    .iter()
+                    .filter(|t| !excluded(t))
+                    .map(|t| (view.overlap(t), std::cmp::Reverse(t)))
+                    .max()
+                    .map(|(_, std::cmp::Reverse(t))| t)
+            }
+            // O(T·I): probe the store directly, the paper's task-centric
+            // per-decision cost.
+            EvalMode::Naive => self
+                .pending
+                .iter()
+                .filter(|t| !excluded(t))
+                .map(|t| {
+                    let files = self.workload.task(t).files();
+                    (store.overlap(files) as u32, std::cmp::Reverse(t))
+                })
+                .max()
+                .map(|(_, std::cmp::Reverse(t))| t),
+        }
+    }
+
+    /// Marks a task completed: out of the pending pool and every site's
+    /// priority index.
+    fn pool_remove(&mut self, task: TaskId) {
+        self.pending.remove(task);
+        rank_remove_all(&mut self.views, task);
     }
 }
 
@@ -203,6 +251,14 @@ impl Scheduler for StorageAffinity {
                 self.views[site].on_file_added(&self.index, f, store.ref_count(f));
             }
         }
+        if self.mode == EvalMode::Incremental {
+            enable_ranks(
+                &mut self.views,
+                WeightMetric::Overlap,
+                &self.index,
+                &self.pending,
+            );
+        }
 
         // Predicted storage per site, seeded from actual contents.
         let mut virtuals: Vec<VirtualStore> = stores
@@ -219,6 +275,13 @@ impl Scheduler for StorageAffinity {
         let total = self.workload.task_count();
         let budget = ((total as f64 / env.sites as f64) * self.budget_slack).ceil() as usize;
         let mut assigned = vec![0usize; env.sites];
+        // Pre-lowered input sets: one AND+popcount per (task, site) probe.
+        let masks: Vec<FileMask> = self
+            .workload
+            .tasks()
+            .iter()
+            .map(|t| FileMask::new(t.files()))
+            .collect();
 
         for task in self.workload.tasks() {
             // Site with max predicted overlap among sites with budget left;
@@ -228,7 +291,7 @@ impl Scheduler for StorageAffinity {
                 if assigned[site] >= budget {
                     continue;
                 }
-                let ov = virtuals[site].overlap(task.files());
+                let ov = virtuals[site].overlap(&masks[task.id.index()]);
                 let better = match best {
                     None => true,
                     Some((bov, bload, _)) => ov > bov || (ov == bov && assigned[site] < bload),
@@ -250,7 +313,6 @@ impl Scheduler for StorageAffinity {
 
     fn on_worker_idle(&mut self, worker: WorkerId, store: &SiteStore) -> Assignment {
         assert!(self.initialized, "initialize() must run first");
-        let _ = store; // overlap comes from the incremental views
         if let Some(t) = self.pop_own_queue(worker) {
             self.running.entry(t).or_default().push(worker);
             return Assignment::Run(t);
@@ -258,7 +320,7 @@ impl Scheduler for StorageAffinity {
         if self.completed == self.workload.task_count() {
             return Assignment::Finished;
         }
-        match self.pick_replica(worker) {
+        match self.pick_replica(worker, store) {
             Some(t) => {
                 self.running.entry(t).or_default().push(worker);
                 Assignment::Replicate(t)
@@ -277,7 +339,7 @@ impl Scheduler for StorageAffinity {
             return CompletionOutcome::default();
         }
         self.done[task.index()] = true;
-        self.pending.remove(task);
+        self.pool_remove(task);
         self.completed += 1;
         let mut others = self.running.remove(&task).unwrap_or_default();
         others.retain(|w| *w != worker);
@@ -466,6 +528,87 @@ mod tests {
         // Completing the same task again is tolerated and a no-op.
         let again = sched.on_task_complete(w1, t0);
         assert!(again.cancel_replicas.is_empty());
+    }
+
+    #[test]
+    fn replica_pick_modes_agree() {
+        // Drive one instance per eval mode through the same storage churn
+        // + idle/complete interleaving; every assignment must match.
+        let mk = |mode| {
+            let mut cfg = CoaddConfig::small(0);
+            cfg.shuffle_tasks = false;
+            let wl = Arc::new(cfg.generate());
+            StorageAffinity::new(wl)
+                .with_budget_slack(1.0)
+                .with_eval_mode(mode)
+        };
+        let env = GridEnv {
+            sites: 2,
+            workers_per_site: 1,
+            capacity_files: 40,
+        };
+        let mut stores: Vec<SiteStore> = (0..2)
+            .map(|_| SiteStore::new(40, EvictionPolicy::Lru))
+            .collect();
+        let mut scheds: Vec<StorageAffinity> =
+            [EvalMode::Incremental, EvalMode::Indexed, EvalMode::Naive]
+                .into_iter()
+                .map(mk)
+                .collect();
+        for s in &mut scheds {
+            s.initialize(&env, &stores);
+        }
+        let w0 = WorkerId::new(SiteId(0), 0);
+        let w1 = WorkerId::new(SiteId(1), 0);
+        // Drain w0's queue (completing), churning site-0 storage along the
+        // way, until it starts replicating; every decision must agree.
+        let mut file = 0u32;
+        for step in 0..300 {
+            let f = FileId(file % 60);
+            file += 7;
+            if !stores[0].contains(f) {
+                let evicted = stores[0].insert(f);
+                for e in evicted {
+                    let rc = stores[0].ref_count(e);
+                    for s in &mut scheds {
+                        s.on_file_evicted(SiteId(0), e, rc);
+                    }
+                }
+                let rc = stores[0].ref_count(f);
+                for s in &mut scheds {
+                    s.on_file_added(SiteId(0), f, rc);
+                }
+            }
+            let picks: Vec<Assignment> = scheds
+                .iter_mut()
+                .map(|s| s.on_worker_idle(w0, &stores[0]))
+                .collect();
+            assert_eq!(picks[0], picks[1], "step {step}");
+            assert_eq!(picks[0], picks[2], "step {step}");
+            match picks[0] {
+                Assignment::Run(t) => {
+                    for s in &mut scheds {
+                        s.on_task_complete(w0, t);
+                    }
+                }
+                Assignment::Replicate(t) => {
+                    // Let the replica "finish" at w0, cancelling nothing at
+                    // w1 (it is not running anything), then continue.
+                    for s in &mut scheds {
+                        let out = s.on_task_complete(w0, t);
+                        assert!(out.cancel_replicas.is_empty());
+                    }
+                }
+                Assignment::Wait | Assignment::Finished => break,
+            }
+        }
+        // w1 must agree too (its queue was never touched).
+        let picks: Vec<Assignment> = scheds
+            .iter_mut()
+            .map(|s| s.on_worker_idle(w1, &stores[1]))
+            .collect();
+        assert_eq!(picks[0], picks[1]);
+        assert_eq!(picks[0], picks[2]);
     }
 
     #[test]

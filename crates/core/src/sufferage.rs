@@ -27,16 +27,30 @@
 //! decision inspects **all** sites (`O(T·S)` with the incremental views,
 //! `O(T·I·S)` naively), which is exactly the per-decision cost §4.4
 //! attributes to task-centric strategies.
+//!
+//! In [`EvalMode::Incremental`] (the default) that per-decision cost goes
+//! away: the per-task `(best, second, best site)` triples are recomputed
+//! only when some site's overlap of the task changes (`O(S)` per affected
+//! task per storage event), and feed two incrementally-maintained ordered
+//! structures — a per-site *contest* set keyed by `(sufferage desc, id
+//! asc)` over the pending tasks whose best site it is, and a per-site
+//! overlap [`TaskRank`] for the fallback. A decision then reads one set
+//! head, `O(log T)`; the scan modes are kept for validation and
+//! benchmarking and are property-tested to pick identically.
+//!
+//! [`TaskRank`]: crate::index::TaskRank
 
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use gridsched_storage::SiteStore;
 use gridsched_workload::{FileId, TaskId, Workload};
 
 use crate::ids::{GridEnv, SiteId, WorkerId};
-use crate::index::{FileIndex, SiteView};
+use crate::index::{enable_ranks, rank_insert_all, rank_remove_all, FileIndex, SiteView};
 use crate::pool::TaskPool;
-use crate::scheduler::{Assignment, CompletionOutcome, Scheduler};
+use crate::scheduler::{Assignment, CompletionOutcome, EvalMode, Scheduler};
+use crate::weight::WeightMetric;
 
 /// Data-aware XSufferage-style scheduler.
 ///
@@ -56,6 +70,14 @@ pub struct Sufferage {
     pool: TaskPool,
     index: Arc<FileIndex>,
     views: Vec<SiteView>,
+    mode: EvalMode,
+    /// Per-task `(best, second, best_site)` triples, maintained for every
+    /// task (incremental mode only; empty otherwise).
+    best: Vec<(u32, u32, u32)>,
+    /// Per-site contest: pending tasks whose best site this is (with
+    /// `best > 0`), ordered `(sufferage desc, id asc)` via the key
+    /// `(u64::MAX − sufferage, id)`.
+    contest: Vec<BTreeSet<(u64, u32)>>,
     completed: usize,
 }
 
@@ -70,8 +92,21 @@ impl Sufferage {
             pool: TaskPool::full(tasks),
             index,
             views: Vec::new(),
+            mode: EvalMode::default(),
+            best: Vec::new(),
+            contest: Vec::new(),
             completed: 0,
         }
+    }
+
+    /// Switches the evaluation path (see [`EvalMode`]; `Naive` and
+    /// `Indexed` both mean the per-decision `O(T·S)` scan here — sufferage
+    /// cannot probe remote stores directly). Call before
+    /// [`Scheduler::initialize`].
+    #[must_use]
+    pub fn with_eval_mode(mut self, mode: EvalMode) -> Self {
+        self.mode = mode;
+        self
     }
 
     /// Best and second-best overlap of `task` across all sites, plus the
@@ -92,6 +127,88 @@ impl Sufferage {
         }
         (best, second, best_site)
     }
+
+    fn contest_key(best: u32, second: u32, task: u32) -> (u64, u32) {
+        (u64::MAX - u64::from(best - second), task)
+    }
+
+    /// Drops `task` from its contest set, if it competes.
+    fn contest_remove(&mut self, task: TaskId) {
+        let (best, second, site) = self.best[task.index()];
+        if best > 0 {
+            self.contest[site as usize].remove(&Self::contest_key(best, second, task.0));
+        }
+    }
+
+    /// (Re-)enters `task` into its contest set, if it competes.
+    fn contest_insert(&mut self, task: TaskId) {
+        let (best, second, site) = self.best[task.index()];
+        if best > 0 {
+            self.contest[site as usize].insert(Self::contest_key(best, second, task.0));
+        }
+    }
+
+    /// Recomputes the best-two triples of every task reading `file` after
+    /// `file`'s residency changed at some site, keeping contest membership
+    /// in step.
+    fn refresh_best_for_file(&mut self, file: FileId) {
+        let index = Arc::clone(&self.index);
+        for &t in index.tasks_of(file) {
+            let task = TaskId(t);
+            let pending = self.pool.contains(task);
+            if pending {
+                self.contest_remove(task);
+            }
+            let (best, second, site) = self.best_two(task);
+            self.best[task.index()] = (best, second, site as u32);
+            if pending {
+                self.contest_insert(task);
+            }
+        }
+    }
+
+    /// Removes an assigned/completed task from the incremental structures.
+    fn pool_remove(&mut self, task: TaskId) {
+        self.pool.remove(task);
+        if self.mode == EvalMode::Incremental {
+            self.contest_remove(task);
+            rank_remove_all(&mut self.views, task);
+        }
+    }
+
+    /// Requeues a task (fault recovery) into the incremental structures.
+    fn pool_insert(&mut self, task: TaskId) {
+        if self.pool.insert(task) && self.mode == EvalMode::Incremental {
+            self.contest_insert(task);
+            let index = Arc::clone(&self.index);
+            rank_insert_all(&mut self.views, &index, task);
+        }
+    }
+
+    /// The scan-mode pick (the pre-index algorithm, kept verbatim for
+    /// validation and benchmarking).
+    fn pick_scan(&self, my_site: usize) -> TaskId {
+        let mut best_suff: Option<(u32, std::cmp::Reverse<TaskId>, TaskId)> = None;
+        let mut best_local: Option<(u32, std::cmp::Reverse<TaskId>, TaskId)> = None;
+        for t in self.pool.iter() {
+            let (best, second, best_site) = self.best_two(t);
+            if best_site == my_site && best > 0 {
+                let key = (best - second, std::cmp::Reverse(t), t);
+                if best_suff.as_ref().is_none_or(|b| key > *b) {
+                    best_suff = Some(key);
+                }
+            }
+            let local = self.views[my_site].overlap(t);
+            let key = (local, std::cmp::Reverse(t), t);
+            if best_local.as_ref().is_none_or(|b| key > *b) {
+                best_local = Some(key);
+            }
+        }
+        best_suff
+            .or(best_local)
+            .map(|(_, _, t)| t)
+            .expect("pool is non-empty")
+    }
 }
 
 impl Scheduler for Sufferage {
@@ -109,6 +226,24 @@ impl Scheduler for Sufferage {
                 self.views[site].on_file_added(&self.index, f, store.ref_count(f));
             }
         }
+        if self.mode == EvalMode::Incremental {
+            enable_ranks(
+                &mut self.views,
+                WeightMetric::Overlap,
+                &self.index,
+                &self.pool,
+            );
+            self.best = (0..self.workload.task_count())
+                .map(|t| {
+                    let (b, s, site) = self.best_two(TaskId(t as u32));
+                    (b, s, site as u32)
+                })
+                .collect();
+            self.contest = vec![BTreeSet::new(); env.sites];
+            for t in self.pool.iter().collect::<Vec<_>>() {
+                self.contest_insert(t);
+            }
+        }
     }
 
     fn on_worker_idle(&mut self, worker: WorkerId, _store: &SiteStore) -> Assignment {
@@ -118,27 +253,16 @@ impl Scheduler for Sufferage {
         let my_site = worker.site.index();
         // Highest sufferage among tasks whose best site is mine; fallback:
         // highest local overlap.
-        let mut best_suff: Option<(u32, std::cmp::Reverse<TaskId>, TaskId)> = None;
-        let mut best_local: Option<(u32, std::cmp::Reverse<TaskId>, TaskId)> = None;
-        for t in self.pool.iter() {
-            let (best, second, best_site) = self.best_two(t);
-            if best_site == my_site && best > 0 {
-                let key = (best - second, std::cmp::Reverse(t), t);
-                if best_suff.as_ref().is_none_or(|b| key > *b) {
-                    best_suff = Some(key);
-                }
-            }
-            let local = self.views[my_site].overlap(t);
-            let key = (local, std::cmp::Reverse(t), t);
-            if best_local.as_ref().is_none_or(|b| key > *b) {
-                best_local = Some(key);
-            }
-        }
-        let task = best_suff
-            .or(best_local)
-            .map(|(_, _, t)| t)
-            .expect("pool is non-empty");
-        self.pool.remove(task);
+        let task = if self.mode == EvalMode::Incremental {
+            self.contest[my_site]
+                .first()
+                .map(|&(_, t)| TaskId(t))
+                .or_else(|| self.views[my_site].top_overlap_where(|_| true))
+                .expect("pool is non-empty")
+        } else {
+            self.pick_scan(my_site)
+        };
+        self.pool_remove(task);
         Assignment::Run(task)
     }
 
@@ -152,7 +276,7 @@ impl Scheduler for Sufferage {
         // copy, so the task rejoins the pending pool.
         match in_flight {
             Some(task) => {
-                self.pool.insert(task);
+                self.pool_insert(task);
                 true
             }
             None => false,
@@ -162,12 +286,18 @@ impl Scheduler for Sufferage {
     fn on_file_added(&mut self, site: SiteId, file: FileId, ref_count: u32) {
         if let Some(view) = self.views.get_mut(site.index()) {
             view.on_file_added(&self.index, file, ref_count);
+            if self.mode == EvalMode::Incremental {
+                self.refresh_best_for_file(file);
+            }
         }
     }
 
     fn on_file_evicted(&mut self, site: SiteId, file: FileId, ref_count: u32) {
         if let Some(view) = self.views.get_mut(site.index()) {
             view.on_file_evicted(&self.index, file, ref_count);
+            if self.mode == EvalMode::Incremental {
+                self.refresh_best_for_file(file);
+            }
         }
     }
 
@@ -252,6 +382,89 @@ mod tests {
             Assignment::Run(_) => {}
             other => panic!("worker must not idle: {other:?}"),
         }
+    }
+
+    #[test]
+    fn incremental_matches_scan_under_churn() {
+        // Drive a scan-mode and an incremental-mode instance through the
+        // same interleaving of storage churn, idle requests and a requeue;
+        // every assignment must match.
+        let wl = Arc::new(CoaddConfig_like());
+        let env = env(3);
+        let stores_init: Vec<SiteStore> = (0..3)
+            .map(|_| SiteStore::new(4, EvictionPolicy::Lru))
+            .collect();
+        let mut scan = Sufferage::new(Arc::clone(&wl)).with_eval_mode(EvalMode::Indexed);
+        let mut inc = Sufferage::new(wl);
+        scan.initialize(&env, &stores_init);
+        inc.initialize(&env, &stores_init);
+        let mut stores = stores_init;
+        let file_events: &[(usize, u32)] = &[(0, 0), (1, 2), (0, 3), (2, 1), (1, 4), (0, 5)];
+        let mut assigned: Vec<(WorkerId, TaskId)> = Vec::new();
+        for (step, &(site, f)) in file_events.iter().enumerate() {
+            let f = FileId(f);
+            if !stores[site].contains(f) {
+                let evicted = stores[site].insert(f);
+                for e in evicted {
+                    let rc = stores[site].ref_count(e);
+                    scan.on_file_evicted(SiteId(site as u32), e, rc);
+                    inc.on_file_evicted(SiteId(site as u32), e, rc);
+                }
+                let rc = stores[site].ref_count(f);
+                scan.on_file_added(SiteId(site as u32), f, rc);
+                inc.on_file_added(SiteId(site as u32), f, rc);
+            }
+            let w = WorkerId::new(SiteId((step % 3) as u32), 0);
+            let a = scan.on_worker_idle(w, &stores[w.site.index()]);
+            let b = inc.on_worker_idle(w, &stores[w.site.index()]);
+            assert_eq!(a, b, "step {step}");
+            if let Assignment::Run(t) = a {
+                assigned.push((w, t));
+            }
+            // Inject one crash/requeue mid-sequence.
+            if step == 2 {
+                let (cw, ct) = assigned.pop().expect("something assigned");
+                assert!(scan.on_worker_lost(cw, Some(ct)));
+                assert!(inc.on_worker_lost(cw, Some(ct)));
+            }
+        }
+        // Drain both to completion identically.
+        let w = WorkerId::new(SiteId(0), 0);
+        loop {
+            let a = scan.on_worker_idle(w, &stores[0]);
+            let b = inc.on_worker_idle(w, &stores[0]);
+            assert_eq!(a, b);
+            match a {
+                Assignment::Run(t) => {
+                    scan.on_task_complete(w, t);
+                    inc.on_task_complete(w, t);
+                }
+                _ => break,
+            }
+        }
+        for (w, t) in assigned {
+            scan.on_task_complete(w, t);
+            inc.on_task_complete(w, t);
+        }
+        assert_eq!(scan.unfinished(), inc.unfinished());
+    }
+
+    // A slightly richer workload than `wl()` for the equivalence test.
+    #[allow(non_snake_case)]
+    fn CoaddConfig_like() -> Workload {
+        Workload::new(
+            vec![
+                TaskSpec::new(TaskId(0), vec![FileId(0), FileId(1)], 1.0),
+                TaskSpec::new(TaskId(1), vec![FileId(1), FileId(2)], 1.0),
+                TaskSpec::new(TaskId(2), vec![FileId(2), FileId(3)], 1.0),
+                TaskSpec::new(TaskId(3), vec![FileId(3), FileId(4)], 1.0),
+                TaskSpec::new(TaskId(4), vec![FileId(4), FileId(5)], 1.0),
+                TaskSpec::new(TaskId(5), vec![FileId(0), FileId(5)], 1.0),
+            ],
+            6,
+            1.0,
+            "w",
+        )
     }
 
     #[test]

@@ -21,7 +21,16 @@
 //! Weight evaluation over the whole queue is `O(T·I)` — the complexity the
 //! paper quotes in §4.4 (`T` pending tasks, `I` worst-case files per task).
 //! The [`crate::index`] module provides an incrementally-maintained `O(T)`
-//! path; both are property-tested to agree.
+//! path plus bucketed priority indexes with `O(log T)` amortized picks; all
+//! paths are property-tested to agree bit for bit.
+//!
+//! To make that bit-identity possible, the `combined` metric's `totalRest`
+//! normaliser is accumulated in a **canonical order**: per missing-file
+//! count (ascending), as `count(m) × rest(m)` — see
+//! [`total_rest_from_counts`]. Floating-point addition is not associative,
+//! so a per-task accumulation order would be unreproducible from the
+//! incremental per-level counters; grouping by the (small-integer) missing
+//! count gives every evaluation path the same well-defined sum.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -77,6 +86,29 @@ pub fn rest_weight(missing: usize) -> f64 {
     }
 }
 
+/// The `combined` metric's queue-wide `totalRest` normaliser, accumulated
+/// in the canonical order every evaluation path shares: ascending missing
+/// count `m`, adding `count(m) × rest(m)` per occupied level.
+///
+/// The `m`-th yielded item is the number of pending tasks missing exactly
+/// `m` files. Any task with `m = 0` (infinite rest) makes the total
+/// infinite, exactly as a per-task accumulation would.
+///
+/// This is the **single** implementation of the canonical order — every
+/// evaluation path (naive scan, indexed scan, `TaskRank` pick) must feed
+/// its per-level counts through here so the byte-identity contract lives
+/// in one place.
+#[must_use]
+pub fn total_rest_from_counts<I: IntoIterator<Item = u32>>(counts: I) -> f64 {
+    let mut total = 0.0f64;
+    for (m, c) in counts.into_iter().enumerate() {
+        if c > 0 {
+            total += f64::from(c) * rest_weight(m);
+        }
+    }
+    total
+}
+
 /// Combines the per-task `ref` and `rest` values into the `combined`
 /// weight, given the queue-wide totals.
 #[inline]
@@ -129,24 +161,29 @@ pub fn weigh_all_naive(
             })
             .collect(),
         WeightMetric::Combined => {
-            // Pass 1: per-task ref and rest, plus totals over the queue.
-            let mut per_task: Vec<(TaskId, u64, f64)> = Vec::with_capacity(pool.len());
+            // Pass 1: per-task ref and missing count, plus the queue-wide
+            // totals (`totalRest` in the canonical grouped order).
+            let mut per_task: Vec<(TaskId, u64, usize)> = Vec::with_capacity(pool.len());
             let mut total_ref: u64 = 0;
-            let mut total_rest: f64 = 0.0;
+            let mut missing_counts: Vec<u32> = Vec::new();
             for t in pool.iter() {
                 let files = workload.task(t).files();
                 let overlap = store.overlap(files);
                 let missing = files.len() - overlap;
                 let ref_t = store.overlap_ref_sum(files);
-                let rest_t = rest_weight(missing);
                 total_ref += ref_t;
-                total_rest += rest_t; // may saturate to inf — intended
-                per_task.push((t, ref_t, rest_t));
+                if missing >= missing_counts.len() {
+                    missing_counts.resize(missing + 1, 0);
+                }
+                missing_counts[missing] += 1;
+                per_task.push((t, ref_t, missing));
             }
+            let total_rest = total_rest_from_counts(missing_counts.iter().copied());
             // Pass 2: combine.
             per_task
                 .into_iter()
-                .map(|(t, ref_t, rest_t)| {
+                .map(|(t, ref_t, missing)| {
+                    let rest_t = rest_weight(missing);
                     (t, combined_weight(ref_t, rest_t, total_ref, total_rest))
                 })
                 .collect()
@@ -247,6 +284,16 @@ mod tests {
         for (i, (_, weight)) in w.iter().enumerate() {
             assert!((weight - expect[i]).abs() < 1e-12, "task {i}: {weight}");
         }
+    }
+
+    #[test]
+    fn total_rest_grouping_matches_expectation() {
+        // counts: two tasks missing 1, one missing 3 → 2·1 + 1/3.
+        let total = total_rest_from_counts([0, 2, 0, 1]);
+        assert!((total - (2.0 + 1.0 / 3.0)).abs() < 1e-15);
+        // A zero-missing task makes the total infinite.
+        assert!(total_rest_from_counts([1, 2]).is_infinite());
+        assert_eq!(total_rest_from_counts([0u32; 0]), 0.0);
     }
 
     #[test]

@@ -26,21 +26,12 @@ use gridsched_workload::{FileId, TaskId, Workload};
 
 use crate::choose::ChooseTask;
 use crate::ids::{GridEnv, SiteId, WorkerId};
-use crate::index::{weigh_all_indexed, FileIndex, SiteView};
+use crate::index::{
+    enable_ranks, rank_insert_all, rank_remove_all, weigh_all_indexed, FileIndex, SiteView,
+};
 use crate::pool::TaskPool;
-use crate::scheduler::{Assignment, CompletionOutcome, Scheduler};
+use crate::scheduler::{Assignment, CompletionOutcome, EvalMode, Scheduler};
 use crate::weight::{weigh_all_naive, WeightMetric};
-
-/// How the scheduler evaluates `CalculateWeight` over the queue.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum EvalMode {
-    /// Incremental inverted-index path, `O(T)` per decision (default).
-    #[default]
-    Indexed,
-    /// Direct file probing, `O(T·I)` per decision — the paper's stated
-    /// complexity; kept for validation and the complexity benchmark.
-    Naive,
-}
 
 /// Worker-centric scheduler: weight metric + `ChooseTask(n)`.
 ///
@@ -81,7 +72,7 @@ impl WorkerCentric {
             workload,
             metric,
             chooser: ChooseTask::new(n),
-            mode: EvalMode::Indexed,
+            mode: EvalMode::default(),
             pool: TaskPool::full(tasks),
             index,
             views: Vec::new(),
@@ -106,7 +97,7 @@ impl WorkerCentric {
             workload,
             metric,
             chooser: ChooseTask::new(n),
-            mode: EvalMode::Indexed,
+            mode: EvalMode::default(),
             pool: TaskPool::full(tasks),
             index,
             views: Vec::new(),
@@ -116,7 +107,8 @@ impl WorkerCentric {
         }
     }
 
-    /// Switches the weight-evaluation path (see [`EvalMode`]).
+    /// Switches the weight-evaluation path (see [`EvalMode`]). Call before
+    /// [`Scheduler::initialize`].
     #[must_use]
     pub fn with_eval_mode(mut self, mode: EvalMode) -> Self {
         self.mode = mode;
@@ -143,12 +135,26 @@ impl WorkerCentric {
 
     fn weigh(&self, site: SiteId, store: &SiteStore) -> Vec<(TaskId, f64)> {
         match self.mode {
+            EvalMode::Incremental => unreachable!("incremental mode picks off the rank"),
             EvalMode::Indexed => {
                 let view = &self.views[site.index()];
                 weigh_all_indexed(self.metric, &self.index, &self.pool, view)
             }
             EvalMode::Naive => weigh_all_naive(self.metric, &self.workload, &self.pool, store),
         }
+    }
+
+    /// Removes an assigned task from the pending pool (and every site's
+    /// priority index).
+    fn pool_remove(&mut self, task: TaskId) {
+        self.pool.remove(task);
+        rank_remove_all(&mut self.views, task);
+    }
+
+    /// Requeues a task (fault recovery) into the pool and indexes.
+    fn pool_insert(&mut self, task: TaskId) {
+        self.pool.insert(task);
+        rank_insert_all(&mut self.views, &self.index, task);
     }
 }
 
@@ -172,6 +178,9 @@ impl Scheduler for WorkerCentric {
                 self.views[s].on_file_added(&self.index, f, store.ref_count(f));
             }
         }
+        if self.mode == EvalMode::Incremental {
+            enable_ranks(&mut self.views, self.metric, &self.index, &self.pool);
+        }
     }
 
     fn on_worker_idle(&mut self, worker: WorkerId, store: &SiteStore) -> Assignment {
@@ -180,12 +189,17 @@ impl Scheduler for WorkerCentric {
             // drained this worker is done.
             return Assignment::Finished;
         }
-        let weights = self.weigh(worker.site, store);
-        let task = self
-            .chooser
-            .pick(&weights, &mut self.rng)
-            .expect("pool is non-empty");
-        self.pool.remove(task);
+        let task = if self.mode == EvalMode::Incremental {
+            self.views[worker.site.index()]
+                .pick_ranked(&self.chooser, &mut self.rng)
+                .expect("pool is non-empty")
+        } else {
+            let weights = self.weigh(worker.site, store);
+            self.chooser
+                .pick(&weights, &mut self.rng)
+                .expect("pool is non-empty")
+        };
+        self.pool_remove(task);
         self.running += 1;
         Assignment::Run(task)
     }
@@ -201,7 +215,7 @@ impl Scheduler for WorkerCentric {
         // execution is always the only copy: requeue it.
         match in_flight {
             Some(task) => {
-                self.pool.insert(task);
+                self.pool_insert(task);
                 self.running -= 1;
                 true
             }
@@ -346,29 +360,55 @@ mod tests {
     }
 
     #[test]
-    fn naive_and_indexed_agree_end_to_end() {
+    fn all_eval_modes_agree_end_to_end() {
         for metric in [
             WeightMetric::Overlap,
             WeightMetric::Rest,
             WeightMetric::Combined,
         ] {
-            let mut a = WorkerCentric::new(wl(), metric, 1, 7);
-            let mut b = WorkerCentric::new(wl(), metric, 1, 7).with_eval_mode(EvalMode::Naive);
-            let mut st = stores(2);
-            st[1].insert(FileId(0));
-            a.initialize(&env(2), &st);
-            b.initialize(&env(2), &st);
-            let w = WorkerId::new(SiteId(1), 0);
-            for _ in 0..3 {
-                let ra = a.on_worker_idle(w, &st[1]);
-                let rb = b.on_worker_idle(w, &st[1]);
-                assert_eq!(ra, rb, "metric {metric}");
-                if let Assignment::Run(t) = ra {
-                    a.on_task_complete(w, t);
-                    b.on_task_complete(w, t);
+            for n in [1usize, 2] {
+                let mut scheds: Vec<WorkerCentric> =
+                    [EvalMode::Incremental, EvalMode::Indexed, EvalMode::Naive]
+                        .into_iter()
+                        .map(|mode| WorkerCentric::new(wl(), metric, n, 7).with_eval_mode(mode))
+                        .collect();
+                let mut st = stores(2);
+                st[1].insert(FileId(0));
+                for s in &mut scheds {
+                    s.initialize(&env(2), &st);
+                }
+                let w = WorkerId::new(SiteId(1), 0);
+                for _ in 0..4 {
+                    let picks: Vec<Assignment> = scheds
+                        .iter_mut()
+                        .map(|s| s.on_worker_idle(w, &st[1]))
+                        .collect();
+                    assert_eq!(picks[0], picks[1], "metric {metric} n {n}");
+                    assert_eq!(picks[0], picks[2], "metric {metric} n {n}");
+                    if let Assignment::Run(t) = picks[0] {
+                        for s in &mut scheds {
+                            s.on_task_complete(w, t);
+                        }
+                    }
                 }
             }
         }
+    }
+
+    #[test]
+    fn incremental_survives_requeue() {
+        let mut sched = WorkerCentric::new(wl(), WeightMetric::Rest, 1, 0);
+        let st = stores(1);
+        sched.initialize(&env(1), &st);
+        let w = WorkerId::new(SiteId(0), 0);
+        let Assignment::Run(t) = sched.on_worker_idle(w, &st[0]) else {
+            panic!("expected work");
+        };
+        assert!(sched.on_worker_lost(w, Some(t)), "orphaned task requeues");
+        let Assignment::Run(t2) = sched.on_worker_idle(w, &st[0]) else {
+            panic!("requeued task must be assignable");
+        };
+        assert_eq!(t, t2, "same deterministic pick after requeue");
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 
 use gridsched_checkpoint::CheckpointConfig;
-use gridsched_core::StrategyKind;
+use gridsched_core::{EvalMode, StrategyKind};
 use gridsched_faults::FaultConfig;
 use gridsched_storage::EvictionPolicy;
 use gridsched_topology::TiersConfig;
@@ -56,6 +56,12 @@ pub struct SimConfig {
     /// `None` (or a `CheckpointPolicy::None` config) reproduces the
     /// checkpoint-free engine byte for byte.
     pub checkpointing: Option<CheckpointConfig>,
+    /// How schedulers evaluate their per-decision scans. All modes yield
+    /// byte-identical simulations (property-tested); they differ only in
+    /// wall-clock cost. Defaults to [`EvalMode::Incremental`]; an
+    /// implementation detail, deliberately excluded from
+    /// [`ConfigSummary`] so reports from different modes compare equal.
+    pub eval_mode: EvalMode,
 }
 
 /// Serializable summary of a configuration (embedded in reports).
@@ -104,6 +110,7 @@ impl SimConfig {
             choose_n_override: None,
             faults: None,
             checkpointing: None,
+            eval_mode: EvalMode::default(),
         }
     }
 
@@ -213,6 +220,14 @@ impl SimConfig {
     #[must_use]
     pub fn with_checkpointing(mut self, checkpointing: CheckpointConfig) -> Self {
         self.checkpointing = Some(checkpointing);
+        self
+    }
+
+    /// Selects the scheduler evaluation path (validation/benchmarking; the
+    /// simulation output is identical across modes).
+    #[must_use]
+    pub fn with_eval_mode(mut self, eval_mode: EvalMode) -> Self {
+        self.eval_mode = eval_mode;
         self
     }
 

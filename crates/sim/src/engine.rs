@@ -57,6 +57,7 @@
 //! this.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 use rand::Rng;
 
@@ -71,7 +72,7 @@ use gridsched_des::{EventHandle, Schedule, SimDuration, SimTime};
 use gridsched_faults::{Entity, FaultKind, FaultTimeline};
 use gridsched_net::{FlowId, NetSim};
 use gridsched_storage::{CheckpointImage, ImageVault, SiteStore};
-use gridsched_topology::{generate, EdgeId, Topology};
+use gridsched_topology::{generate, EdgeId, Route, Topology};
 use gridsched_workload::{FileId, TaskId};
 
 use crate::config::SimConfig;
@@ -181,6 +182,13 @@ struct Worker {
 #[derive(Debug)]
 struct BatchRequest {
     worker: usize,
+    /// The worker's generation when the request was enqueued. Cancelled
+    /// executions leave their entry in the queue (removal would be an
+    /// O(queue) scan — ruinous under replica storms at 10⁵ workers); a
+    /// generation mismatch at pop time identifies it as stale, which is
+    /// behaviourally identical to eager removal because a skipped entry
+    /// consumes no service time.
+    generation: u64,
     enqueued_at: SimTime,
 }
 
@@ -245,7 +253,11 @@ struct CkptState {
 /// example.
 pub struct GridSim {
     config: SimConfig,
-    topology: Topology,
+    /// Shared per-site routes to the file server: flows borrow these
+    /// instead of cloning a `Route` per transfer (engine hot path). The
+    /// full [`Topology`] is dropped after construction — only the routes
+    /// are needed at run time.
+    site_routes: Vec<Arc<Route>>,
     schedule: Schedule<Event>,
     net: NetSim,
     net_handle: Option<EventHandle>,
@@ -253,6 +265,10 @@ pub struct GridSim {
     scheduler: Box<dyn Scheduler>,
     workers: Vec<Worker>,
     servers: Vec<DataServer>,
+    /// Flat indices of workers in [`WorkerState::Parked`] — lets
+    /// [`GridSim::wake_parked`] run in O(parked) instead of scanning every
+    /// worker on every completion (ruinous at 10⁵ workers).
+    parked: Vec<usize>,
     flow_purpose: HashMap<FlowId, FlowPurpose>,
     replication: Option<ReplicationState>,
     replication_rng: rand::rngs::StdRng,
@@ -363,10 +379,13 @@ impl GridSim {
             .replication
             .map(|rc| ReplicationState::new(rc, config.workload.file_count()));
         let per_site = vec![SiteMetrics::default(); config.sites];
+        let site_routes: Vec<Arc<Route>> = (0..config.sites)
+            .map(|s| Arc::new(topology.routes.site_to_file_server(s).clone()))
+            .collect();
         GridSim {
             replication_rng: rng_for(config.seed, Stream::Replication),
             config,
-            topology,
+            site_routes,
             schedule: Schedule::new(),
             net,
             net_handle: None,
@@ -374,6 +393,7 @@ impl GridSim {
             scheduler,
             workers,
             servers,
+            parked: Vec::new(),
             flow_purpose: HashMap::new(),
             replication,
             faults_active,
@@ -475,8 +495,10 @@ impl GridSim {
                 self.workers[w].state = WorkerState::WaitingData;
                 self.workers[w].current = Some(RunningTask::new(task));
                 let enqueued_at = self.now();
+                let generation = self.workers[w].generation;
                 self.servers[site].queue.push_back(BatchRequest {
                     worker: w,
+                    generation,
                     enqueued_at,
                 });
                 self.maybe_start_service(site);
@@ -484,23 +506,38 @@ impl GridSim {
                 self.wake_parked();
             }
             Assignment::Wait => {
-                self.workers[w].state = WorkerState::Parked;
+                self.park(w);
             }
             Assignment::Finished => {
                 // Under active faults "finished" is never final: a crash
                 // may orphan a task at any time, so keep the worker
                 // available for a wake-up instead of retiring it.
-                self.workers[w].state = if self.faults_active {
-                    WorkerState::Parked
+                if self.faults_active {
+                    self.park(w);
                 } else {
-                    WorkerState::Done
-                };
+                    self.workers[w].state = WorkerState::Done;
+                }
             }
         }
     }
 
+    fn park(&mut self, w: usize) {
+        self.workers[w].state = WorkerState::Parked;
+        self.parked.push(w);
+    }
+
+    /// Wakes every parked worker, in ascending index order (matching the
+    /// former full scan, so event order — and hence every downstream
+    /// decision — is unchanged). Entries whose worker has since crashed
+    /// are silently dropped.
     fn wake_parked(&mut self) {
-        for w in 0..self.workers.len() {
+        if self.parked.is_empty() {
+            return;
+        }
+        let mut list = std::mem::take(&mut self.parked);
+        list.sort_unstable();
+        list.dedup();
+        for w in list {
             if self.workers[w].state == WorkerState::Parked {
                 self.workers[w].state = WorkerState::Idle;
                 self.schedule.schedule_now(Event::WorkerIdle(w));
@@ -514,8 +551,15 @@ impl GridSim {
         if self.servers[site].down || self.servers[site].active.is_some() {
             return;
         }
-        let Some(request) = self.servers[site].queue.pop_front() else {
-            return;
+        let request = loop {
+            let Some(request) = self.servers[site].queue.pop_front() else {
+                return;
+            };
+            // Skip entries whose execution was torn down since enqueueing
+            // (replica cancels, crashes) — see `BatchRequest::generation`.
+            if self.workers[request.worker].generation == request.generation {
+                break request;
+            }
         };
         let w = request.worker;
         let task = self.workers[w]
@@ -578,7 +622,7 @@ impl GridSim {
                     .push(file);
                 continue;
             }
-            let route = self.topology.routes.site_to_file_server(site).clone();
+            let route = Arc::clone(&self.site_routes[site]);
             let fid = self.net.start_flow(
                 self.now(),
                 &route.links,
@@ -664,10 +708,11 @@ impl GridSim {
         // The image travels source site → backbone → destination site
         // (all inter-site traffic rides the file-server backbone in this
         // model). Shared links are crossed once.
-        let src = self.topology.routes.site_to_file_server(img_site).clone();
-        let dst = self.topology.routes.site_to_file_server(site).clone();
-        let mut links = src.links;
-        for l in dst.links {
+        let src = Arc::clone(&self.site_routes[img_site]);
+        let dst = Arc::clone(&self.site_routes[site]);
+        let mut links = Vec::with_capacity(src.links.len() + dst.links.len());
+        links.extend_from_slice(&src.links);
+        for &l in &dst.links {
             if !links.contains(&l) {
                 links.push(l);
             }
@@ -935,7 +980,7 @@ impl GridSim {
             };
             self.replication.as_mut().expect("checked").mark_pushed(f);
             self.replication_pushes += 1;
-            let route = self.topology.routes.site_to_file_server(target).clone();
+            let route = Arc::clone(&self.site_routes[target]);
             let fid = self.net.start_flow(
                 self.now(),
                 &route.links,
@@ -1000,17 +1045,18 @@ impl GridSim {
         let current = self.workers[w].current.take()?;
         match state {
             WorkerState::WaitingData => {
-                // Either still queued at the data server, or the active
-                // batch.
-                let queued_pos = self.servers[site].queue.iter().position(|r| r.worker == w);
-                if let Some(pos) = queued_pos {
-                    self.servers[site].queue.remove(pos);
-                } else {
+                // Either still queued at the data server (left in place —
+                // the generation bump below marks the entry stale), or the
+                // active batch.
+                let is_active = self.servers[site]
+                    .active
+                    .as_ref()
+                    .is_some_and(|b| b.worker == w);
+                if is_active {
                     let batch = self.servers[site]
                         .active
                         .take()
-                        .expect("waiting worker is queued or active");
-                    debug_assert_eq!(batch.worker, w);
+                        .expect("checked active above");
                     if let Some((_file, fid)) = batch.current {
                         self.flow_purpose.remove(&fid);
                         if let Some(left) = self.net.cancel_flow(self.now(), fid) {
@@ -1083,11 +1129,8 @@ impl GridSim {
     /// Aborts `task`'s execution at `victim` (queued, transferring or
     /// computing) and returns the worker to the idle pool.
     fn abort_execution(&mut self, victim: WorkerId, task: TaskId) {
-        let w = self
-            .workers
-            .iter()
-            .position(|wk| wk.id == victim)
-            .expect("cancel target exists");
+        let w = victim.flat_index(self.config.workers_per_site);
+        debug_assert_eq!(self.workers[w].id, victim, "flat index mismatch");
         let torn = self
             .teardown_execution(w)
             .expect("cancel target is executing");
@@ -1224,8 +1267,10 @@ impl GridSim {
                 self.stores[site].unpin(f);
             }
             let enqueued_at = self.now();
+            let generation = self.workers[w].generation;
             self.servers[site].queue.push_front(BatchRequest {
                 worker: w,
+                generation,
                 enqueued_at,
             });
         }
@@ -1479,15 +1524,19 @@ fn build_ckpt_state(c: &CheckpointConfig, config: &SimConfig, topology: &Topolog
 fn build_scheduler(config: &SimConfig) -> Box<dyn Scheduler> {
     let wl = config.workload.clone();
     match config.strategy {
-        StrategyKind::StorageAffinity => Box::new(StorageAffinity::new(wl)),
+        StrategyKind::StorageAffinity => {
+            Box::new(StorageAffinity::new(wl).with_eval_mode(config.eval_mode))
+        }
         StrategyKind::Workqueue => Box::new(Workqueue::new(wl)),
-        StrategyKind::Sufferage => Box::new(Sufferage::new(wl)),
+        StrategyKind::Sufferage => Box::new(Sufferage::new(wl).with_eval_mode(config.eval_mode)),
         kind => {
             let metric = kind
                 .metric()
                 .expect("worker-centric strategies have a metric");
             let n = config.choose_n_override.unwrap_or_else(|| kind.choose_n());
-            Box::new(WorkerCentric::new(wl, metric, n, config.seed))
+            Box::new(
+                WorkerCentric::new(wl, metric, n, config.seed).with_eval_mode(config.eval_mode),
+            )
         }
     }
 }

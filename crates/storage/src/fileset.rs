@@ -1,0 +1,271 @@
+//! Dense bitset file sets.
+//!
+//! [`FileId`]s are dense `u32`s (the workload crate guarantees ids
+//! `0..num_files`), so residency can be stored as one bit per file in a
+//! `u64`-word array instead of a hash set: membership probes become a
+//! shift-and-mask, and overlap cardinality between a task's input set and a
+//! site's storage becomes AND + popcount over the handful of words the
+//! task's (spatially clustered) files actually touch.
+//!
+//! Two types cooperate:
+//!
+//! * [`FileSet`] — a growable dense bitset, the "storage side";
+//! * [`FileMask`] — a task's input set pre-lowered to sparse
+//!   `(word, bits)` pairs, the "query side". [`FileMask::overlap`] is the
+//!   AND+popcount kernel.
+
+use gridsched_workload::FileId;
+
+/// A growable dense bitset over [`FileId`]s.
+///
+/// # Example
+///
+/// ```
+/// use gridsched_storage::{FileMask, FileSet};
+/// use gridsched_workload::FileId;
+///
+/// let mut set = FileSet::new();
+/// set.insert(FileId(3));
+/// set.insert(FileId(200));
+/// assert!(set.contains(FileId(3)));
+/// assert!(!set.contains(FileId(4)));
+///
+/// let mask = FileMask::new(&[FileId(3), FileId(4), FileId(200)]);
+/// assert_eq!(mask.overlap(&set), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FileSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl FileSet {
+    /// An empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        FileSet::default()
+    }
+
+    /// An empty set pre-sized for ids `0..num_files` (avoids regrowth).
+    #[must_use]
+    pub fn with_capacity(num_files: usize) -> Self {
+        FileSet {
+            words: vec![0; num_files.div_ceil(64)],
+            len: 0,
+        }
+    }
+
+    /// Number of member files.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `file` is a member.
+    #[must_use]
+    pub fn contains(&self, file: FileId) -> bool {
+        let w = file.index() / 64;
+        self.words
+            .get(w)
+            .is_some_and(|bits| bits & (1u64 << (file.index() % 64)) != 0)
+    }
+
+    /// Inserts `file`; returns whether it was newly added.
+    pub fn insert(&mut self, file: FileId) -> bool {
+        let w = file.index() / 64;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let bit = 1u64 << (file.index() % 64);
+        let newly = self.words[w] & bit == 0;
+        self.words[w] |= bit;
+        self.len += usize::from(newly);
+        newly
+    }
+
+    /// Removes `file`; returns whether it was a member.
+    pub fn remove(&mut self, file: FileId) -> bool {
+        let w = file.index() / 64;
+        let Some(word) = self.words.get_mut(w) else {
+            return false;
+        };
+        let bit = 1u64 << (file.index() % 64);
+        let was = *word & bit != 0;
+        *word &= !bit;
+        self.len -= usize::from(was);
+        was
+    }
+
+    /// Removes every member.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+
+    /// Iterates over members in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = FileId> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &bits)| {
+            let mut bits = bits;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros();
+                bits &= bits - 1;
+                Some(FileId((w as u32) * 64 + b))
+            })
+        })
+    }
+
+    /// The backing words (for [`FileMask::overlap`]).
+    #[must_use]
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+/// A file set pre-lowered to sparse `(word index, bits)` pairs — the query
+/// side of AND+popcount overlap counting.
+///
+/// Built once per task; spatially clustered input sets (adjacent Coadd
+/// windows) collapse `|t|` files into `⌈|t|/64⌉`-ish entries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileMask {
+    entries: Vec<(u32, u64)>,
+    len: u32,
+}
+
+impl FileMask {
+    /// Lowers `files` (any order, duplicates ignored) into a mask.
+    #[must_use]
+    pub fn new(files: &[FileId]) -> Self {
+        let mut entries: Vec<(u32, u64)> = Vec::with_capacity(files.len() / 32 + 1);
+        let mut len = 0u32;
+        for &f in files {
+            let w = (f.index() / 64) as u32;
+            let bit = 1u64 << (f.index() % 64);
+            match entries.iter_mut().find(|(ew, _)| *ew == w) {
+                Some((_, bits)) => {
+                    len += u32::from(*bits & bit == 0);
+                    *bits |= bit;
+                }
+                None => {
+                    entries.push((w, bit));
+                    len += 1;
+                }
+            }
+        }
+        entries.sort_unstable_by_key(|&(w, _)| w);
+        FileMask { entries, len }
+    }
+
+    /// Number of files in the mask.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the mask is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `|F_t|` against `set`: AND + popcount over the touched words.
+    #[must_use]
+    pub fn overlap(&self, set: &FileSet) -> usize {
+        let words = set.words();
+        self.entries
+            .iter()
+            .map(|&(w, bits)| match words.get(w as usize) {
+                Some(&sw) => (sw & bits).count_ones() as usize,
+                None => 0,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(i: u32) -> FileId {
+        FileId(i)
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = FileSet::new();
+        assert!(s.insert(f(0)));
+        assert!(s.insert(f(65)));
+        assert!(!s.insert(f(65)), "double insert");
+        assert!(s.contains(f(0)));
+        assert!(s.contains(f(65)));
+        assert!(!s.contains(f(64)));
+        assert!(!s.contains(f(1000)), "beyond allocated words");
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(f(0)));
+        assert!(!s.remove(f(0)), "double remove");
+        assert!(!s.remove(f(1000)), "remove beyond words");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn iter_is_ascending() {
+        let mut s = FileSet::with_capacity(300);
+        for i in [256u32, 3, 64, 63, 127] {
+            s.insert(f(i));
+        }
+        let got: Vec<u32> = s.iter().map(|x| x.0).collect();
+        assert_eq!(got, vec![3, 63, 64, 127, 256]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = FileSet::with_capacity(10);
+        s.insert(f(5));
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(f(5)));
+    }
+
+    #[test]
+    fn mask_overlap_counts() {
+        let mut s = FileSet::new();
+        for i in [1u32, 2, 70, 200] {
+            s.insert(f(i));
+        }
+        let m = FileMask::new(&[f(2), f(3), f(70), f(199)]);
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.overlap(&s), 2);
+        // Mask reaching beyond the set's words.
+        let far = FileMask::new(&[f(100_000)]);
+        assert_eq!(far.overlap(&s), 0);
+    }
+
+    #[test]
+    fn mask_dedups() {
+        let m = FileMask::new(&[f(7), f(7), f(8)]);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn mask_matches_probing() {
+        // Cross-check AND+popcount against per-file probing on a spread of
+        // patterns (including word boundaries).
+        let files: Vec<FileId> = (0..400).filter(|i| i % 3 == 0).map(f).collect();
+        let mut s = FileSet::new();
+        for i in (0..400).filter(|i| i % 5 == 0) {
+            s.insert(f(i));
+        }
+        let m = FileMask::new(&files);
+        let probed = files.iter().filter(|&&x| s.contains(x)).count();
+        assert_eq!(m.overlap(&s), probed);
+    }
+}

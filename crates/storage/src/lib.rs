@@ -17,17 +17,21 @@
 //!   eviction (they are bookkeeping, not cache state).
 //!
 //! [`SiteStore`] implements all of this with O(log n) insert/evict and O(1)
-//! lookup. [`ImageVault`] holds the checkpoint images the checkpoint/restart
+//! lookup; residency lives in a dense [`FileSet`] bitset (FileIds are dense
+//! `u32`s) so membership probes are a shift-and-mask and overlap queries
+//! can use AND+popcount via [`FileMask`]. [`ImageVault`] holds the checkpoint images the checkpoint/restart
 //! subsystem parks beside the file cache — task-private blobs that never
 //! enter the replacement policy but are lost with the server when it fails.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fileset;
 pub mod images;
 pub mod policy;
 pub mod store;
 
+pub use fileset::{FileMask, FileSet};
 pub use images::{CheckpointImage, ImageVault};
 pub use policy::EvictionPolicy;
 pub use store::{SiteStore, StoreStats};

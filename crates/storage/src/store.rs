@@ -6,6 +6,7 @@ use serde::{Deserialize, Serialize};
 
 use gridsched_workload::FileId;
 
+use crate::fileset::FileSet;
 use crate::policy::EvictionPolicy;
 
 /// Counters describing a store's lifetime behaviour.
@@ -60,6 +61,9 @@ pub struct SiteStore {
     capacity: usize,
     policy: EvictionPolicy,
     entries: HashMap<FileId, Entry>,
+    /// Dense residency bitset mirroring `entries` — the hot-path membership
+    /// structure (`entries` keeps the per-file eviction metadata).
+    resident: FileSet,
     order: BTreeSet<((u64, u64), FileId)>,
     refs: HashMap<FileId, u32>,
     tick: u64,
@@ -79,6 +83,7 @@ impl SiteStore {
             capacity,
             policy,
             entries: HashMap::new(),
+            resident: FileSet::new(),
             order: BTreeSet::new(),
             refs: HashMap::new(),
             tick: 0,
@@ -116,10 +121,10 @@ impl SiteStore {
         self.stats
     }
 
-    /// Whether `file` is resident.
+    /// Whether `file` is resident (one bitset probe).
     #[must_use]
     pub fn contains(&self, file: FileId) -> bool {
-        self.entries.contains_key(&file)
+        self.resident.contains(file)
     }
 
     /// The paper's **overlap cardinality** `|F_t|`: how many of `files` are
@@ -205,6 +210,7 @@ impl SiteStore {
                 inserted: tick,
             },
         );
+        self.resident.insert(file);
         self.order.insert((key, file));
         self.stats.insertions += 1;
         self.stats.max_resident = self.stats.max_resident.max(self.entries.len());
@@ -221,6 +227,7 @@ impl SiteStore {
             .map(|&(key, f)| (key, f))?;
         self.order.remove(&victim);
         self.entries.remove(&victim.1);
+        self.resident.remove(victim.1);
         self.stats.evictions += 1;
         Some(victim.1)
     }
@@ -309,6 +316,7 @@ impl SiteStore {
         lost.sort_unstable();
         for &f in &lost {
             let entry = self.entries.remove(&f).expect("collected above");
+            self.resident.remove(f);
             self.order.remove(&(entry.key, f));
         }
         lost
@@ -574,6 +582,11 @@ mod proptests {
             prop_assert_eq!(resident.len(), s.len());
             for f in resident {
                 prop_assert!(s.contains(f));
+            }
+            // The residency bitset mirrors the metadata map exactly.
+            for x in 0..50u32 {
+                let f = FileId(x);
+                prop_assert_eq!(s.contains(f), s.entries.contains_key(&f));
             }
         }
     }

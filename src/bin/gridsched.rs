@@ -82,6 +82,8 @@ usage:
                      [--policy lru|fifo|lfu] [--tasks N] [--file-size-mb X]
                      [--seed N] [--topology-seeds a,b,c] [--choose-n N]
                      [--replication-threshold N] [--trace FILE] [--csv]
+                     [--eval-mode incremental|indexed|naive] (scheduler internals;
+                       identical output, different per-decision cost)
                      [--mtbf SECS] [--mttr SECS] (worker churn, default MTTR 600)
                      [--mttr-shape K] (Weibull repair shape; 1 = exponential)
                      [--server-mtbf SECS] [--server-mttr SECS] (default MTTR 900)
@@ -287,6 +289,9 @@ fn cmd_simulate(opts: &Opts) -> Result<(), String> {
         .with_seed(opts.get("seed", 0u64)?);
     if let Some(n) = opts.get_opt::<usize>("choose-n")? {
         config = config.with_choose_n(n);
+    }
+    if let Some(mode) = opts.get_opt::<EvalMode>("eval-mode")? {
+        config = config.with_eval_mode(mode);
     }
     if let Some(t) = opts.get_opt::<u32>("replication-threshold")? {
         config = config.with_replication(ReplicationConfig {

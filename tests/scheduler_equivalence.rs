@@ -1,0 +1,119 @@
+//! The optimisation-correctness contract: every scheduler evaluation path
+//! — `Naive` (the paper's per-decision file probing), `Indexed` (cached
+//! counters) and `Incremental` (bucketed priority indexes, the default) —
+//! must produce **byte-identical simulations**: the same assignment
+//! sequence, hence the same event trace, hence the same `MetricsReport`
+//! down to the last bit of every float.
+//!
+//! Checked for all strategies over random grid shapes, with randomized
+//! `ChooseTask(2)` selection (which also pins down RNG-consumption
+//! equality), and under fault injection + checkpoint/restart, where pool
+//! membership churns (requeues) mid-run.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use gridsched::prelude::*;
+
+fn arb_strategy() -> impl Strategy<Value = StrategyKind> {
+    prop_oneof![
+        Just(StrategyKind::StorageAffinity),
+        Just(StrategyKind::Overlap),
+        Just(StrategyKind::Rest),
+        Just(StrategyKind::Combined),
+        Just(StrategyKind::Rest2),
+        Just(StrategyKind::Combined2),
+        Just(StrategyKind::Workqueue),
+        Just(StrategyKind::Sufferage),
+    ]
+}
+
+fn run_with(config: &SimConfig, mode: EvalMode) -> MetricsReport {
+    GridSim::new(config.clone().with_eval_mode(mode)).run()
+}
+
+proptest! {
+    // Whole-simulation cases are expensive; keep the case count moderate.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Fault-free runs: all three paths agree exactly.
+    #[test]
+    fn eval_modes_agree(
+        strategy in arb_strategy(),
+        sites in 1usize..5,
+        workers in 1usize..4,
+        capacity in 120usize..1500,
+        wl_seed in 0u64..3,
+        seed in 0u64..3,
+    ) {
+        let mut cfg = CoaddConfig::small(wl_seed);
+        cfg.tasks = 100;
+        let workload = Arc::new(cfg.generate());
+        let config = SimConfig::paper(workload, strategy)
+            .with_sites(sites)
+            .with_workers_per_site(workers)
+            .with_capacity(capacity)
+            .with_seed(seed);
+        let incremental = run_with(&config, EvalMode::Incremental);
+        let indexed = run_with(&config, EvalMode::Indexed);
+        let naive = run_with(&config, EvalMode::Naive);
+        prop_assert_eq!(&incremental, &indexed, "incremental vs indexed ({})", strategy);
+        prop_assert_eq!(&incremental, &naive, "incremental vs naive ({})", strategy);
+    }
+
+    /// Under churn (requeues through `on_worker_lost`) plus
+    /// checkpoint/restart, the paths still agree exactly.
+    #[test]
+    fn eval_modes_agree_under_churn_and_checkpointing(
+        strategy in arb_strategy(),
+        sites in 2usize..5,
+        seed in 0u64..3,
+        mtbf in 2_000.0f64..6_000.0,
+        checkpoint in 0u8..2,
+    ) {
+        let mut cfg = CoaddConfig::small(seed);
+        cfg.tasks = 80;
+        let workload = Arc::new(cfg.generate());
+        let mut config = SimConfig::paper(workload, strategy)
+            .with_sites(sites)
+            .with_capacity(400)
+            .with_seed(seed)
+            .with_faults(
+                FaultConfig::none()
+                    .with_worker_faults(mtbf, 400.0)
+                    .with_server_faults(mtbf * 8.0, 700.0),
+            );
+        if checkpoint == 1 {
+            config = config.with_checkpointing(CheckpointConfig::fixed(300.0));
+        }
+        let incremental = run_with(&config, EvalMode::Incremental);
+        let indexed = run_with(&config, EvalMode::Indexed);
+        let naive = run_with(&config, EvalMode::Naive);
+        prop_assert_eq!(&incremental, &indexed, "incremental vs indexed ({})", strategy);
+        prop_assert_eq!(&incremental, &naive, "incremental vs naive ({})", strategy);
+    }
+}
+
+/// A fixed-shape smoke version that always runs (proptest shrinks its own
+/// cases; this pins one deterministic configuration for quick triage).
+#[test]
+fn eval_modes_agree_smoke() {
+    let mut cfg = CoaddConfig::small(0);
+    cfg.tasks = 120;
+    let workload = Arc::new(cfg.generate());
+    for strategy in [
+        StrategyKind::StorageAffinity,
+        StrategyKind::Rest2,
+        StrategyKind::Combined2,
+        StrategyKind::Sufferage,
+    ] {
+        let config = SimConfig::paper(Arc::clone(&workload), strategy)
+            .with_sites(3)
+            .with_capacity(500)
+            .with_seed(1);
+        let a = run_with(&config, EvalMode::Incremental);
+        let b = run_with(&config, EvalMode::Naive);
+        assert_eq!(a, b, "{strategy}");
+    }
+}
