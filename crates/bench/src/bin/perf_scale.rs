@@ -6,6 +6,17 @@
 //! additionally runs the paper-complexity `naive` path at a comparison
 //! point to quantify the speed-up of the incremental indexes.
 //!
+//! Two further sections target the known large-grid pathologies:
+//!
+//! * a **throttled storage-affinity** run at every sweep point
+//!   (`--replica-cap`/`--site-replica-budget` semantics; cap 4, site
+//!   budget 256 — chosen so the 10²–10³ makespans stay within the
+//!   seed-to-seed noise of uncapped) — the replica-storm mitigation whose
+//!   10⁵-worker tail this file regresses against;
+//! * a **sites × workers sweep** at a fixed worker count, exposing the
+//!   `O(S)` terms (sufferage best-two refresh, per-site rank maintenance)
+//!   that the fixed-10-sites sweep cannot see.
+//!
 //! Results go to `BENCH_scale.json` (machine-readable, one file every
 //! future PR can regress against) and to stdout as a table.
 //!
@@ -14,8 +25,10 @@
 //! ```
 //!
 //! * `--smoke` — tiny sweep (10²/4·10² workers) for CI;
-//! * `--check` — exit non-zero unless every run completed and the
-//!   incremental path is ≥ 5× faster than naive at the comparison point;
+//! * `--check` — exit non-zero unless every run completed, the incremental
+//!   path is ≥ 5× faster than naive at the comparison point, and (at the
+//!   full 10⁵ scale) the throttled storage-affinity run dispatches ≤ 1/10
+//!   of the uncapped run's events;
 //! * `--max-workers N` — truncate the sweep (e.g. `--max-workers 10000`);
 //! * `--out FILE` — where to write the JSON (default `BENCH_scale.json`).
 //!
@@ -31,17 +44,29 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use gridsched_bench::Table;
-use gridsched_core::{EvalMode, StrategyKind};
+use gridsched_core::{EvalMode, ReplicaThrottle, StrategyKind};
 use gridsched_sim::{GridSim, SimConfig};
 use gridsched_workload::coadd::CoaddConfig;
 use gridsched_workload::Workload;
 
 const SITES: usize = 10;
+/// The throttled storage-affinity configuration the bench tracks.
+const THROTTLE_CAP: u32 = 4;
+const THROTTLE_SITE_BUDGET: u32 = 256;
+
+fn bench_throttle() -> ReplicaThrottle {
+    ReplicaThrottle::none()
+        .with_replica_cap(THROTTLE_CAP)
+        .with_site_budget(THROTTLE_SITE_BUDGET)
+}
 
 struct Run {
     workers: usize,
+    sites: usize,
     strategy: StrategyKind,
     mode: EvalMode,
+    /// Replica-throttle label (`"none"` for unthrottled runs).
+    throttle: String,
     tasks: usize,
     wall_s: f64,
     events: u64,
@@ -118,23 +143,30 @@ fn scale_workload(tasks: u32, seed: u64) -> Arc<Workload> {
 fn run_once(
     workload: &Arc<Workload>,
     workers: usize,
+    sites: usize,
     strategy: StrategyKind,
     mode: EvalMode,
+    throttle: Option<ReplicaThrottle>,
     seed: u64,
 ) -> Run {
-    let config = SimConfig::paper(Arc::clone(workload), strategy)
-        .with_sites(SITES)
-        .with_workers_per_site((workers / SITES).max(1))
+    let mut config = SimConfig::paper(Arc::clone(workload), strategy)
+        .with_sites(sites)
+        .with_workers_per_site((workers / sites).max(1))
         .with_capacity(workload.file_count().max(1))
         .with_seed(seed)
         .with_eval_mode(mode);
+    if let Some(throttle) = throttle {
+        config = config.with_replica_throttle(throttle);
+    }
     let started = Instant::now();
     let report = GridSim::new(config).run();
     let wall_s = started.elapsed().as_secs_f64();
     Run {
         workers,
+        sites,
         strategy,
         mode,
+        throttle: throttle.map_or_else(|| "none".to_string(), |t| t.summary()),
         tasks: workload.task_count(),
         wall_s,
         events: report.events_dispatched,
@@ -168,15 +200,26 @@ fn main() {
             .max()
             .expect("non-empty")
     };
+    // The sites × workers sweep: fixed worker count, varying site count.
+    let (sites_sweep_workers, sites_sweep): (usize, Vec<usize>) = if args.smoke {
+        (400, vec![2, 5])
+    } else {
+        (10_000, vec![5, 10, 20, 40])
+    };
+    let sites_sweep_workers = args
+        .max_workers
+        .map_or(sites_sweep_workers, |m| sites_sweep_workers.min(m));
 
     let mut runs: Vec<Run> = Vec::new();
     let mut table = Table::new(
         "perf_scale: wall time per full simulation (incremental path)",
         &[
             "workers",
+            "sites",
             "tasks",
             "algorithm",
             "mode",
+            "throttle",
             "wall_s",
             "events",
             "events/s",
@@ -188,8 +231,10 @@ fn main() {
             let run = run_once(
                 &workload,
                 workers,
+                SITES,
                 strategy,
                 EvalMode::Incremental,
+                None,
                 args.seed,
             );
             eprintln!(
@@ -202,10 +247,36 @@ fn main() {
             push_row(&mut table, &run);
             runs.push(run);
         }
+        // The replica-throttle variant of storage affinity at every scale:
+        // the small grids prove the cap stays within noise of uncapped,
+        // the large ones show the storm tail cut.
+        let run = run_once(
+            &workload,
+            workers,
+            SITES,
+            StrategyKind::StorageAffinity,
+            EvalMode::Incremental,
+            Some(bench_throttle()),
+            args.seed,
+        );
+        eprintln!(
+            "  {:>6} workers  {:<16} {:>8.2}s  {:>10} events  (throttled {})",
+            workers, "storage-affinity", run.wall_s, run.events, run.throttle
+        );
+        push_row(&mut table, &run);
+        runs.push(run);
         // The comparison runs ride on the same workload instance.
         if workers == compare_at {
             for strategy in [StrategyKind::Rest, StrategyKind::Combined2] {
-                let run = run_once(&workload, workers, strategy, EvalMode::Naive, args.seed);
+                let run = run_once(
+                    &workload,
+                    workers,
+                    SITES,
+                    strategy,
+                    EvalMode::Naive,
+                    None,
+                    args.seed,
+                );
                 eprintln!(
                     "  {:>6} workers  {:<16} {:>8.2}s  (naive path)",
                     workers,
@@ -217,6 +288,39 @@ fn main() {
             }
         }
     }
+
+    // Sites × workers: the per-decision cost carries O(S) terms (sufferage
+    // best-two refresh, per-site rank/view maintenance) that a fixed site
+    // count cannot expose. Storage affinity runs throttled here — the
+    // point is the O(S) scaling, not yet another storm measurement.
+    let sites_workload = scale_workload((sites_sweep_workers * 2).max(200) as u32, args.seed);
+    for &sites in &sites_sweep {
+        for (strategy, throttle) in [
+            (StrategyKind::StorageAffinity, Some(bench_throttle())),
+            (StrategyKind::Combined2, None),
+            (StrategyKind::Sufferage, None),
+        ] {
+            let run = run_once(
+                &sites_workload,
+                sites_sweep_workers,
+                sites,
+                strategy,
+                EvalMode::Incremental,
+                throttle,
+                args.seed,
+            );
+            eprintln!(
+                "  {:>6} workers  {:<16} {:>8.2}s  {:>10} events  ({} sites)",
+                sites_sweep_workers,
+                strategy.to_string(),
+                run.wall_s,
+                run.events,
+                sites
+            );
+            push_row(&mut table, &run);
+            runs.push(run);
+        }
+    }
     print!("{}", table.render());
 
     // Speed-ups at the comparison point.
@@ -224,7 +328,13 @@ fn main() {
     for strategy in [StrategyKind::Rest, StrategyKind::Combined2] {
         let wall = |mode: EvalMode| {
             runs.iter()
-                .find(|r| r.workers == compare_at && r.strategy == strategy && r.mode == mode)
+                .find(|r| {
+                    r.workers == compare_at
+                        && r.sites == SITES
+                        && r.strategy == strategy
+                        && r.mode == mode
+                        && r.throttle == "none"
+                })
                 .map(|r| r.wall_s)
         };
         if let (Some(naive), Some(inc)) = (wall(EvalMode::Naive), wall(EvalMode::Incremental)) {
@@ -237,7 +347,36 @@ fn main() {
         }
     }
 
-    let json = to_json(&runs, &speedups, &sweep, compare_at, args.seed);
+    // Storm mitigation at the largest scale where both variants ran.
+    let storm = runs
+        .iter()
+        .filter(|r| {
+            r.strategy == StrategyKind::StorageAffinity && r.sites == SITES && r.throttle == "none"
+        })
+        .map(|r| r.workers)
+        .max()
+        .and_then(|w| {
+            let events = |throttled: bool| {
+                runs.iter()
+                    .find(|r| {
+                        r.workers == w
+                            && r.sites == SITES
+                            && r.strategy == StrategyKind::StorageAffinity
+                            && (r.throttle != "none") == throttled
+                    })
+                    .map(|r| (r.events, r.wall_s, r.makespan_min))
+            };
+            Some((w, events(false)?, events(true)?))
+        });
+    if let Some((w, (ue, uw, um), (te, tw, tm))) = storm {
+        println!(
+            "replica throttle @ {w} workers: events {ue} -> {te} ({:.1}x), wall \
+             {uw:.2}s -> {tw:.2}s, makespan {um:.0} -> {tm:.0} min",
+            ue as f64 / te.max(1) as f64
+        );
+    }
+
+    let json = to_json(&runs, &speedups, &sweep, &sites_sweep, compare_at, &args);
     if let Err(e) = std::fs::write(&args.out, json) {
         eprintln!("error: could not write {}: {e}", args.out.display());
         std::process::exit(1);
@@ -249,11 +388,25 @@ fn main() {
         for r in &runs {
             if r.completed != r.tasks as u64 {
                 eprintln!(
-                    "CHECK FAIL: {} @ {} workers completed {}/{} tasks",
-                    r.strategy, r.workers, r.completed, r.tasks
+                    "CHECK FAIL: {} @ {} workers / {} sites ({}) completed {}/{} tasks",
+                    r.strategy, r.workers, r.sites, r.throttle, r.completed, r.tasks
                 );
                 ok = false;
             }
+        }
+        let throttled_runs = runs.iter().filter(|r| r.throttle != "none").count();
+        let sites_rows = runs.iter().filter(|r| r.sites != SITES).count();
+        if throttled_runs == 0 {
+            eprintln!("CHECK FAIL: no throttled storage-affinity run");
+            ok = false;
+        } else {
+            println!("CHECK PASS: {throttled_runs} throttled storage-affinity runs");
+        }
+        if sites_rows == 0 {
+            eprintln!("CHECK FAIL: sites sweep did not run");
+            ok = false;
+        } else {
+            println!("CHECK PASS: sites sweep covered {sites_rows} configurations");
         }
         if args.smoke {
             // The smoke sweep is too small for the asymptotics to show,
@@ -264,7 +417,11 @@ fn main() {
                 let events = |mode: EvalMode| {
                     runs.iter()
                         .find(|r| {
-                            r.workers == compare_at && r.strategy == strategy && r.mode == mode
+                            r.workers == compare_at
+                                && r.sites == SITES
+                                && r.strategy == strategy
+                                && r.mode == mode
+                                && r.throttle == "none"
                         })
                         .map(|r| r.events)
                 };
@@ -288,6 +445,21 @@ fn main() {
                     println!("CHECK PASS: {strategy} incremental ≥ 5x naive");
                 }
             }
+            // The replica storm must be cut ≥ 10x in events at the largest
+            // scale where the uncapped baseline ran.
+            if let Some((w, (ue, _, _), (te, _, _))) = storm {
+                if w >= 100_000 && te.saturating_mul(10) > ue {
+                    eprintln!(
+                        "CHECK FAIL: throttle cut events only {ue} -> {te} at {w} workers (< 10x)"
+                    );
+                    ok = false;
+                } else {
+                    println!(
+                        "CHECK PASS: throttle events {ue} -> {te} at {w} workers ({:.1}x)",
+                        ue as f64 / te.max(1) as f64
+                    );
+                }
+            }
         }
         if !ok {
             std::process::exit(1);
@@ -302,9 +474,11 @@ fn main() {
 fn push_row(table: &mut Table, run: &Run) {
     table.push_row(vec![
         run.workers.to_string(),
+        run.sites.to_string(),
         run.tasks.to_string(),
         run.strategy.to_string(),
         run.mode.to_string(),
+        run.throttle.clone(),
         format!("{:.3}", run.wall_s),
         run.events.to_string(),
         format!("{:.0}", run.events_per_s),
@@ -315,21 +489,26 @@ fn to_json(
     runs: &[Run],
     speedups: &[(StrategyKind, f64, f64, f64)],
     sweep: &[usize],
+    sites_sweep: &[usize],
     compare_at: usize,
-    seed: u64,
+    args: &Args,
 ) -> String {
-    let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"bench\": \"perf_scale\",");
-    let _ = writeln!(out, "  \"sites\": {SITES},");
-    let _ = writeln!(out, "  \"seed\": {seed},");
-    let _ = writeln!(
-        out,
-        "  \"worker_sweep\": [{}],",
-        sweep
+    let list = |values: &[usize]| {
+        values
             .iter()
             .map(ToString::to_string)
             .collect::<Vec<_>>()
             .join(", ")
+    };
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"perf_scale\",");
+    let _ = writeln!(out, "  \"sites\": {SITES},");
+    let _ = writeln!(out, "  \"seed\": {},", args.seed);
+    let _ = writeln!(out, "  \"worker_sweep\": [{}],", list(sweep));
+    let _ = writeln!(out, "  \"sites_sweep\": [{}],", list(sites_sweep));
+    let _ = writeln!(
+        out,
+        "  \"throttle\": \"cap={THROTTLE_CAP} site-budget={THROTTLE_SITE_BUDGET}\","
     );
     let _ = writeln!(out, "  \"naive_comparison_at\": {compare_at},");
     let _ = writeln!(out, "  \"runs\": [");
@@ -337,13 +516,15 @@ fn to_json(
         let comma = if i + 1 < runs.len() { "," } else { "" };
         let _ = writeln!(
             out,
-            "    {{\"workers\": {}, \"tasks\": {}, \"strategy\": \"{}\", \"mode\": \"{}\", \
-             \"wall_s\": {:.6}, \"events\": {}, \"events_per_s\": {:.1}, \
-             \"makespan_min\": {:.3}, \"tasks_completed\": {}}}{comma}",
+            "    {{\"workers\": {}, \"sites\": {}, \"tasks\": {}, \"strategy\": \"{}\", \
+             \"mode\": \"{}\", \"throttle\": \"{}\", \"wall_s\": {:.6}, \"events\": {}, \
+             \"events_per_s\": {:.1}, \"makespan_min\": {:.3}, \"tasks_completed\": {}}}{comma}",
             r.workers,
+            r.sites,
             r.tasks,
             r.strategy,
             r.mode,
+            r.throttle,
             r.wall_s,
             r.events,
             r.events_per_s,

@@ -43,7 +43,9 @@ pub mod workqueue;
 pub use choose::ChooseTask;
 pub use ids::{GridEnv, SiteId, WorkerId};
 pub use pool::TaskPool;
-pub use scheduler::{Assignment, CompletionOutcome, EvalMode, Scheduler, StrategyKind};
+pub use scheduler::{
+    Assignment, CompletionOutcome, EvalMode, ReplicaThrottle, Scheduler, StrategyKind,
+};
 pub use storage_affinity::StorageAffinity;
 pub use sufferage::Sufferage;
 pub use weight::WeightMetric;

@@ -69,6 +69,86 @@ impl std::str::FromStr for EvalMode {
     }
 }
 
+/// Bounds on storage affinity's speculative task replication.
+///
+/// Uncapped replication is the documented large-grid pathology of the
+/// task-centric baseline: every idle worker replicates some running task,
+/// every completion cancels the losers, and the cancelled workers go idle
+/// and replicate again — a launch/cancel storm whose event count dwarfs the
+/// useful work (283M events vs ~1.8M for the worker-centric strategies at
+/// 10⁵ workers in `BENCH_scale.json`). The throttle bounds the fan-out on
+/// two axes without touching the paper's small-grid behaviour:
+///
+/// * [`replica_cap`](ReplicaThrottle::replica_cap) — at most this many
+///   concurrent *replica* executions per task (primaries never count, so a
+///   cap of 1 still lets an idle worker pick up any task that is queued or
+///   running exactly once elsewhere);
+/// * [`site_budget`](ReplicaThrottle::site_budget) — at most this many
+///   concurrent replica executions *launched by one site's workers*, so a
+///   site full of idle workers cannot flood the grid by itself.
+///
+/// `ReplicaThrottle::none()` (the default) disables both bounds and is
+/// byte-identical to the unthrottled scheduler.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicaThrottle {
+    /// Max concurrent replica executions per task (`None` = unbounded).
+    pub replica_cap: Option<u32>,
+    /// Max concurrent replica executions launched per site (`None` =
+    /// unbounded).
+    pub site_budget: Option<u32>,
+}
+
+impl ReplicaThrottle {
+    /// No throttling — the unbounded paper behaviour.
+    #[must_use]
+    pub fn none() -> Self {
+        ReplicaThrottle::default()
+    }
+
+    /// Whether any bound is configured.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.replica_cap.is_some() || self.site_budget.is_some()
+    }
+
+    /// Sets the per-task replica cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero: a fault-orphaned task that is in nobody's
+    /// queue anymore can only come back as a replica, so a zero cap could
+    /// deadlock churned runs.
+    #[must_use]
+    pub fn with_replica_cap(mut self, cap: u32) -> Self {
+        assert!(cap >= 1, "replica cap must be >= 1");
+        self.replica_cap = Some(cap);
+        self
+    }
+
+    /// Sets the per-site in-flight replica budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is zero (same deadlock hazard as a zero cap).
+    #[must_use]
+    pub fn with_site_budget(mut self, budget: u32) -> Self {
+        assert!(budget >= 1, "site replica budget must be >= 1");
+        self.site_budget = Some(budget);
+        self
+    }
+
+    /// Human-readable summary (`"none"` when inactive).
+    #[must_use]
+    pub fn summary(&self) -> String {
+        match (self.replica_cap, self.site_budget) {
+            (None, None) => "none".to_string(),
+            (Some(c), None) => format!("cap={c}"),
+            (None, Some(b)) => format!("site-budget={b}"),
+            (Some(c), Some(b)) => format!("cap={c} site-budget={b}"),
+        }
+    }
+}
+
 /// What an idle worker should do next.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Assignment {
@@ -277,6 +357,27 @@ mod tests {
             "workqueue".parse::<StrategyKind>().unwrap(),
             StrategyKind::Workqueue
         );
+    }
+
+    #[test]
+    fn throttle_summary_and_activity() {
+        assert!(!ReplicaThrottle::none().is_active());
+        assert_eq!(ReplicaThrottle::none().summary(), "none");
+        let t = ReplicaThrottle::none().with_replica_cap(2);
+        assert!(t.is_active());
+        assert_eq!(t.summary(), "cap=2");
+        let t = t.with_site_budget(16);
+        assert_eq!(t.summary(), "cap=2 site-budget=16");
+        assert_eq!(
+            ReplicaThrottle::none().with_site_budget(4).summary(),
+            "site-budget=4"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "replica cap must be >= 1")]
+    fn zero_cap_panics() {
+        let _ = ReplicaThrottle::none().with_replica_cap(0);
     }
 
     #[test]

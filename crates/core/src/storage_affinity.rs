@@ -42,9 +42,9 @@ use gridsched_storage::{FileMask, FileSet, SiteStore};
 use gridsched_workload::{FileId, TaskId, Workload};
 
 use crate::ids::{GridEnv, SiteId, WorkerId};
-use crate::index::{enable_ranks, rank_remove_all, FileIndex, SiteView};
+use crate::index::{enable_ranks, rank_insert_all, rank_remove_all, FileIndex, SiteView};
 use crate::pool::TaskPool;
-use crate::scheduler::{Assignment, CompletionOutcome, EvalMode, Scheduler};
+use crate::scheduler::{Assignment, CompletionOutcome, EvalMode, ReplicaThrottle, Scheduler};
 use crate::weight::WeightMetric;
 
 /// FIFO-truncated prediction of a site's future storage contents.
@@ -122,6 +122,19 @@ pub struct StorageAffinity {
     mode: EvalMode,
     completed: usize,
     initialized: bool,
+    /// Replica fan-out bounds; [`ReplicaThrottle::none`] reproduces the
+    /// unthrottled paper behaviour byte for byte (the bookkeeping below is
+    /// only maintained while a bound is active).
+    throttle: ReplicaThrottle,
+    /// Active replica executions: worker → the task it replicates.
+    replica_at: HashMap<WorkerId, TaskId>,
+    /// Concurrent replica executions per task. A task at the cap is
+    /// withdrawn from every site's overlap index so the `O(log T)` ranked
+    /// walk skips saturated tasks structurally instead of filtering them
+    /// out after the fact.
+    task_replicas: Vec<u32>,
+    /// Concurrent replica executions launched by each site's workers.
+    site_inflight: Vec<u32>,
 }
 
 impl StorageAffinity {
@@ -144,6 +157,10 @@ impl StorageAffinity {
             mode: EvalMode::default(),
             completed: 0,
             initialized: false,
+            throttle: ReplicaThrottle::none(),
+            replica_at: HashMap::new(),
+            task_replicas: vec![0; tasks],
+            site_inflight: Vec::new(),
         }
     }
 
@@ -155,6 +172,15 @@ impl StorageAffinity {
     #[must_use]
     pub fn with_eval_mode(mut self, mode: EvalMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Bounds speculative replica fan-out (see [`ReplicaThrottle`]). The
+    /// default — no bounds — is byte-identical to the paper's unthrottled
+    /// behaviour. Call before [`Scheduler::initialize`].
+    #[must_use]
+    pub fn with_throttle(mut self, throttle: ReplicaThrottle) -> Self {
+        self.throttle = throttle;
         self
     }
 
@@ -186,14 +212,24 @@ impl StorageAffinity {
         None
     }
 
+    /// Whether `task` already runs its full complement of replicas.
+    fn capped(&self, task: TaskId) -> bool {
+        self.throttle
+            .replica_cap
+            .is_some_and(|cap| self.task_replicas[task.index()] >= cap)
+    }
+
     /// Picks the unfinished task (queued or running, assigned to some other
     /// worker) with the largest overlap against the idle worker's current
-    /// site storage.
+    /// site storage. Tasks at their replica cap are skipped — in
+    /// incremental mode they are not even in the overlap index.
     fn pick_replica(&self, worker: WorkerId, store: &SiteStore) -> Option<TaskId> {
         let excluded = |t: &TaskId| {
-            self.running
-                .get(t)
-                .is_some_and(|workers| workers.contains(&worker))
+            self.capped(*t)
+                || self
+                    .running
+                    .get(t)
+                    .is_some_and(|workers| workers.contains(&worker))
         };
         match self.mode {
             // O(log T): walk the overlap-ordered index until a task not
@@ -232,6 +268,40 @@ impl StorageAffinity {
         self.pending.remove(task);
         rank_remove_all(&mut self.views, task);
     }
+
+    /// Throttle bookkeeping for a replica execution starting at `worker`.
+    /// Saturating a task's cap withdraws it from every overlap index.
+    fn note_replica_started(&mut self, worker: WorkerId, task: TaskId) {
+        if !self.throttle.is_active() {
+            return;
+        }
+        self.replica_at.insert(worker, task);
+        self.site_inflight[worker.site.index()] += 1;
+        let n = &mut self.task_replicas[task.index()];
+        *n += 1;
+        if Some(*n) == self.throttle.replica_cap {
+            rank_remove_all(&mut self.views, task);
+        }
+    }
+
+    /// Throttle bookkeeping for an execution ending at `worker` (won,
+    /// cancelled, or fault-killed). A no-op for primary executions. A task
+    /// dropping back below its cap rejoins the overlap indexes if it is
+    /// still pending.
+    fn note_execution_ended(&mut self, worker: WorkerId) {
+        if !self.throttle.is_active() {
+            return;
+        }
+        let Some(task) = self.replica_at.remove(&worker) else {
+            return;
+        };
+        self.site_inflight[worker.site.index()] -= 1;
+        let n = &mut self.task_replicas[task.index()];
+        *n -= 1;
+        if Some(*n + 1) == self.throttle.replica_cap && self.pending.contains(task) {
+            rank_insert_all(&mut self.views, &self.index, task);
+        }
+    }
 }
 
 impl Scheduler for StorageAffinity {
@@ -243,6 +313,7 @@ impl Scheduler for StorageAffinity {
         assert_eq!(env.sites, stores.len(), "one store per site");
         self.workers_per_site = env.workers_per_site;
         self.queues = vec![VecDeque::new(); env.total_workers()];
+        self.site_inflight = vec![0; env.sites];
         self.views = (0..env.sites)
             .map(|_| SiteView::new(self.workload.task_count()))
             .collect();
@@ -320,14 +391,21 @@ impl Scheduler for StorageAffinity {
         if self.completed == self.workload.task_count() {
             return Assignment::Finished;
         }
+        // Site budget: a saturated site parks its idle workers until one of
+        // its in-flight replicas resolves (O(1), before any pick).
+        if let Some(budget) = self.throttle.site_budget {
+            if self.site_inflight[worker.site.index()] >= budget {
+                return Assignment::Wait;
+            }
+        }
         match self.pick_replica(worker, store) {
             Some(t) => {
                 self.running.entry(t).or_default().push(worker);
+                self.note_replica_started(worker, t);
                 Assignment::Replicate(t)
             }
-            // Every unfinished task is already executing at this very
-            // worker (only possible in degenerate single-worker setups) —
-            // try again after the next event.
+            // Every unfinished task is saturated or already executing at
+            // this very worker — try again after the next event.
             None => Assignment::Wait,
         }
     }
@@ -335,12 +413,20 @@ impl Scheduler for StorageAffinity {
     fn on_task_complete(&mut self, worker: WorkerId, task: TaskId) -> CompletionOutcome {
         if self.done[task.index()] {
             // A replica finished after the first copy; nothing to do (the
-            // engine should have cancelled it, but be tolerant).
+            // engine should have cancelled it, but be tolerant) — beyond
+            // releasing the execution's throttle slots.
+            self.note_execution_ended(worker);
             return CompletionOutcome::default();
         }
         self.done[task.index()] = true;
         self.pool_remove(task);
         self.completed += 1;
+        // The winning execution may itself be a replica. Its slots are
+        // released only now, after the pool removal, so a cap-saturated
+        // winner is not pointlessly re-admitted into every site's overlap
+        // index just to be withdrawn again (2·S wasted rank edits on the
+        // completion hot path).
+        self.note_execution_ended(worker);
         let mut others = self.running.remove(&task).unwrap_or_default();
         others.retain(|w| *w != worker);
         CompletionOutcome {
@@ -349,12 +435,14 @@ impl Scheduler for StorageAffinity {
     }
 
     fn on_replica_aborted(&mut self, worker: WorkerId, task: TaskId) {
+        self.note_execution_ended(worker);
         if let Some(workers) = self.running.get_mut(&task) {
             workers.retain(|w| *w != worker);
         }
     }
 
     fn on_worker_lost(&mut self, worker: WorkerId, in_flight: Option<TaskId>) -> bool {
+        self.note_execution_ended(worker);
         // The crashed worker's queued tasks stay in its queue: it drains
         // them after recovery, and in the meantime they remain valid
         // replication targets for idle workers (they are still `pending`).
@@ -609,6 +697,120 @@ mod tests {
             .collect();
         assert_eq!(picks[0], picks[1]);
         assert_eq!(picks[0], picks[2]);
+    }
+
+    /// Completes every task except `keep` (as if other workers had run
+    /// them), so the next idle polls can only replicate the kept tasks.
+    fn complete_all_except(sched: &mut StorageAffinity, reporter: WorkerId, keep: &[TaskId]) {
+        let total = sched.workload.task_count() as u32;
+        for t in (0..total).map(TaskId) {
+            if !keep.contains(&t) {
+                sched.on_task_complete(reporter, t);
+            }
+        }
+    }
+
+    #[test]
+    fn replica_cap_limits_concurrent_copies() {
+        let mut cfg = CoaddConfig::small(0);
+        cfg.shuffle_tasks = false;
+        let wl = Arc::new(cfg.generate());
+        let env = GridEnv {
+            sites: 3,
+            workers_per_site: 1,
+            capacity_files: 500,
+        };
+        let stores: Vec<SiteStore> = (0..3)
+            .map(|_| SiteStore::new(500, EvictionPolicy::Lru))
+            .collect();
+        let mut sched = StorageAffinity::new(wl)
+            .with_budget_slack(1.0)
+            .with_throttle(ReplicaThrottle::none().with_replica_cap(1));
+        sched.initialize(&env, &stores);
+        let w0 = WorkerId::new(SiteId(0), 0);
+        let w1 = WorkerId::new(SiteId(1), 0);
+        let w2 = WorkerId::new(SiteId(2), 0);
+        // Leave exactly two of w2's queued tasks pending; everything else
+        // is done, so w0/w1 can only replicate those two.
+        let mut keep: Vec<TaskId> = sched.queue_of(w2).iter().copied().take(2).collect();
+        keep.sort_unstable();
+        let (a, b) = (keep[0], keep[1]);
+        complete_all_except(&mut sched, w2, &keep);
+        // Both stores are empty → all overlaps zero → lowest id wins.
+        let first = match sched.on_worker_idle(w0, &stores[0]) {
+            Assignment::Replicate(t) => t,
+            other => panic!("expected a replica, got {other:?}"),
+        };
+        assert_eq!(first, a);
+        assert_eq!(sched.task_replicas[a.index()], 1);
+        // With cap 1 the second idle worker must pick the *other* task.
+        match sched.on_worker_idle(w1, &stores[1]) {
+            Assignment::Replicate(t) => assert_eq!(t, b, "cap 1 forbids a second copy of {a}"),
+            other => panic!("expected a replica, got {other:?}"),
+        }
+        // Aborting the first replica frees the task again.
+        sched.on_replica_aborted(w0, a);
+        assert_eq!(sched.task_replicas[a.index()], 0);
+        match sched.on_worker_idle(w0, &stores[0]) {
+            Assignment::Replicate(t) => assert_eq!(t, a, "freed task is the best pick again"),
+            other => panic!("expected a replica, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn site_budget_parks_saturated_site() {
+        let mut cfg = CoaddConfig::small(0);
+        cfg.shuffle_tasks = false;
+        let wl = Arc::new(cfg.generate());
+        let env = GridEnv {
+            sites: 2,
+            workers_per_site: 2,
+            capacity_files: 500,
+        };
+        let stores: Vec<SiteStore> = (0..2)
+            .map(|_| SiteStore::new(500, EvictionPolicy::Lru))
+            .collect();
+        let mut sched = StorageAffinity::new(wl)
+            .with_budget_slack(1.0)
+            .with_throttle(ReplicaThrottle::none().with_site_budget(1));
+        sched.initialize(&env, &stores);
+        let w00 = WorkerId::new(SiteId(0), 0);
+        let w01 = WorkerId::new(SiteId(0), 1);
+        let w10 = WorkerId::new(SiteId(1), 0);
+        // Keep two of site 1's queued tasks; site 0 has nothing left to
+        // run, so its two workers both turn to replication.
+        let keep: Vec<TaskId> = sched.queue_of(w10).iter().copied().take(2).collect();
+        complete_all_except(&mut sched, w10, &keep);
+        let t = match sched.on_worker_idle(w00, &stores[0]) {
+            Assignment::Replicate(t) => t,
+            other => panic!("expected a replica, got {other:?}"),
+        };
+        assert_eq!(sched.site_inflight[0], 1);
+        // The site's single replica slot is taken: the second worker waits.
+        assert_eq!(sched.on_worker_idle(w01, &stores[0]), Assignment::Wait);
+        // Slot frees when the replica resolves.
+        sched.on_replica_aborted(w00, t);
+        assert_eq!(sched.site_inflight[0], 0);
+        assert!(matches!(
+            sched.on_worker_idle(w01, &stores[0]),
+            Assignment::Replicate(_)
+        ));
+    }
+
+    #[test]
+    fn inactive_throttle_keeps_counters_dormant() {
+        let (mut sched, stores, _env) = setup(2, 1);
+        let w0 = WorkerId::new(SiteId(0), 0);
+        let w1 = WorkerId::new(SiteId(1), 0);
+        let keep: Vec<TaskId> = sched.queue_of(w1).iter().copied().take(1).collect();
+        complete_all_except(&mut sched, w1, &keep);
+        match sched.on_worker_idle(w0, &stores[0]) {
+            Assignment::Replicate(t) => {
+                assert!(sched.replica_at.is_empty(), "no bookkeeping when inactive");
+                assert_eq!(sched.task_replicas[t.index()], 0);
+            }
+            other => panic!("expected a replica, got {other:?}"),
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 
 use gridsched_checkpoint::CheckpointConfig;
-use gridsched_core::{EvalMode, StrategyKind};
+use gridsched_core::{EvalMode, ReplicaThrottle, StrategyKind};
 use gridsched_faults::FaultConfig;
 use gridsched_storage::EvictionPolicy;
 use gridsched_topology::TiersConfig;
@@ -56,6 +56,12 @@ pub struct SimConfig {
     /// `None` (or a `CheckpointPolicy::None` config) reproduces the
     /// checkpoint-free engine byte for byte.
     pub checkpointing: Option<CheckpointConfig>,
+    /// Bounds on storage affinity's speculative replica fan-out (per-task
+    /// cap, per-site in-flight budget). The default —
+    /// [`ReplicaThrottle::none`] — reproduces the unthrottled scheduler
+    /// byte for byte; only meaningful for
+    /// [`StrategyKind::StorageAffinity`].
+    pub replica_throttle: ReplicaThrottle,
     /// How schedulers evaluate their per-decision scans. All modes yield
     /// byte-identical simulations (property-tested); they differ only in
     /// wall-clock cost. Defaults to [`EvalMode::Incremental`]; an
@@ -89,6 +95,8 @@ pub struct ConfigSummary {
     pub faults: String,
     /// Checkpoint environment (`"none"` when checkpointing is off).
     pub checkpointing: String,
+    /// Replica throttle (`"none"` when unbounded).
+    pub replica_throttle: String,
 }
 
 impl SimConfig {
@@ -110,6 +118,7 @@ impl SimConfig {
             choose_n_override: None,
             faults: None,
             checkpointing: None,
+            replica_throttle: ReplicaThrottle::none(),
             eval_mode: EvalMode::default(),
         }
     }
@@ -223,6 +232,35 @@ impl SimConfig {
         self
     }
 
+    /// Bounds storage affinity's replica fan-out (see [`ReplicaThrottle`]).
+    #[must_use]
+    pub fn with_replica_throttle(mut self, throttle: ReplicaThrottle) -> Self {
+        self.replica_throttle = throttle;
+        self
+    }
+
+    /// Caps concurrent replica executions per task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    #[must_use]
+    pub fn with_replica_cap(mut self, cap: u32) -> Self {
+        self.replica_throttle = self.replica_throttle.with_replica_cap(cap);
+        self
+    }
+
+    /// Caps concurrent replica executions launched per site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is zero.
+    #[must_use]
+    pub fn with_site_replica_budget(mut self, budget: u32) -> Self {
+        self.replica_throttle = self.replica_throttle.with_site_budget(budget);
+        self
+    }
+
     /// Selects the scheduler evaluation path (validation/benchmarking; the
     /// simulation output is identical across modes).
     #[must_use]
@@ -252,6 +290,7 @@ impl SimConfig {
                 .checkpointing
                 .as_ref()
                 .map_or_else(|| "none".to_string(), CheckpointConfig::summary),
+            replica_throttle: self.replica_throttle.summary(),
         }
     }
 }
@@ -291,6 +330,17 @@ mod tests {
         assert_eq!(s.strategy, "overlap");
         assert_eq!(s.tasks, 200);
         assert!((s.file_size_mb - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throttle_builders_and_summary() {
+        let c = SimConfig::paper(wl(), StrategyKind::StorageAffinity);
+        assert!(!c.replica_throttle.is_active());
+        assert_eq!(c.summary().replica_throttle, "none");
+        let c = c.with_replica_cap(1).with_site_replica_budget(32);
+        assert_eq!(c.replica_throttle.replica_cap, Some(1));
+        assert_eq!(c.replica_throttle.site_budget, Some(32));
+        assert_eq!(c.summary().replica_throttle, "cap=1 site-budget=32");
     }
 
     #[test]

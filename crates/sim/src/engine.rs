@@ -56,7 +56,7 @@
 //! to the PR 1 churn engine; `tests/checkpoint_restart.rs` property-tests
 //! this.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::Arc;
 
 use rand::Rng;
@@ -123,6 +123,11 @@ enum WorkerState {
 #[derive(Debug)]
 struct RunningTask {
     task: TaskId,
+    /// Whether this execution was launched as a replica
+    /// ([`Assignment::Replicate`]) — drives the replica accounting split
+    /// (completed vs cancelled vs fault-lost) and, under an active replica
+    /// throttle, the targeted wake-ups when the execution ends.
+    is_replica: bool,
     /// Files currently pinned on behalf of this execution.
     pinned: Vec<FileId>,
     compute_handle: Option<EventHandle>,
@@ -151,9 +156,10 @@ struct RunningTask {
 }
 
 impl RunningTask {
-    fn new(task: TaskId) -> Self {
+    fn new(task: TaskId, is_replica: bool) -> Self {
         RunningTask {
             task,
+            is_replica,
             pinned: Vec::new(),
             compute_handle: None,
             compute_started: None,
@@ -265,10 +271,18 @@ pub struct GridSim {
     scheduler: Box<dyn Scheduler>,
     workers: Vec<Worker>,
     servers: Vec<DataServer>,
-    /// Flat indices of workers in [`WorkerState::Parked`] — lets
-    /// [`GridSim::wake_parked`] run in O(parked) instead of scanning every
-    /// worker on every completion (ruinous at 10⁵ workers).
-    parked: Vec<usize>,
+    /// Flat indices of workers in [`WorkerState::Parked`], grouped by
+    /// site — lets [`GridSim::wake_parked`] run in O(parked) instead of
+    /// scanning every worker on every completion, and lets the replica
+    /// throttle hand a freed site-budget slot to exactly one parked worker
+    /// of that site ([`GridSim::wake_one_parked`]) instead of re-polling
+    /// the entire parked population (ruinous at 10⁵ workers).
+    parked: Vec<BTreeSet<usize>>,
+    /// Whether the replica throttle governs this run (storage affinity
+    /// with an active [`gridsched_core::ReplicaThrottle`]). Throttled runs
+    /// use targeted wake-ups; unthrottled runs keep the legacy
+    /// wake-everyone behaviour byte for byte.
+    throttled: bool,
     flow_purpose: HashMap<FlowId, FlowPurpose>,
     replication: Option<ReplicationState>,
     replication_rng: rand::rngs::StdRng,
@@ -293,6 +307,9 @@ pub struct GridSim {
     tasks_completed: u64,
     replicas_launched: u64,
     replicas_cancelled: u64,
+    replicas_completed: u64,
+    primaries_cancelled: u64,
+    replicas_lost: u64,
     cancelled_bytes: f64,
     replication_pushes: u64,
     replication_bytes: f64,
@@ -319,6 +336,22 @@ impl GridSim {
             "config uses {} sites but topology has {}",
             config.sites,
             topology.sites.len()
+        );
+        assert!(
+            !config.replica_throttle.is_active()
+                || config.strategy == StrategyKind::StorageAffinity,
+            "the replica throttle only applies to storage-affinity \
+             (configured strategy: {})",
+            config.strategy
+        );
+        // The builders already reject zero bounds, but the struct's public
+        // fields (and deserialized configs) can bypass them — and a zero
+        // cap can deadlock churned runs (a fault-orphaned task that is in
+        // nobody's queue can only come back as a replica).
+        assert!(
+            config.replica_throttle.replica_cap != Some(0)
+                && config.replica_throttle.site_budget != Some(0),
+            "replica cap and site replica budget must be >= 1"
         );
         let net = NetSim::new(topology.graph.bandwidths());
         let stores: Vec<SiteStore> = (0..config.sites)
@@ -382,6 +415,8 @@ impl GridSim {
         let site_routes: Vec<Arc<Route>> = (0..config.sites)
             .map(|s| Arc::new(topology.routes.site_to_file_server(s).clone()))
             .collect();
+        let throttled = config.replica_throttle.is_active();
+        let parked = vec![BTreeSet::new(); config.sites];
         GridSim {
             replication_rng: rng_for(config.seed, Stream::Replication),
             config,
@@ -393,7 +428,8 @@ impl GridSim {
             scheduler,
             workers,
             servers,
-            parked: Vec::new(),
+            parked,
+            throttled,
             flow_purpose: HashMap::new(),
             replication,
             faults_active,
@@ -405,6 +441,9 @@ impl GridSim {
             tasks_completed: 0,
             replicas_launched: 0,
             replicas_cancelled: 0,
+            replicas_completed: 0,
+            primaries_cancelled: 0,
+            replicas_lost: 0,
             cancelled_bytes: 0.0,
             replication_pushes: 0,
             replication_bytes: 0.0,
@@ -493,7 +532,7 @@ impl GridSim {
                     self.re_executions += 1;
                 }
                 self.workers[w].state = WorkerState::WaitingData;
-                self.workers[w].current = Some(RunningTask::new(task));
+                self.workers[w].current = Some(RunningTask::new(task, is_replica));
                 let enqueued_at = self.now();
                 let generation = self.workers[w].generation;
                 self.servers[site].queue.push_back(BatchRequest {
@@ -502,8 +541,13 @@ impl GridSim {
                     enqueued_at,
                 });
                 self.maybe_start_service(site);
-                // New running task → replication candidates changed.
-                self.wake_parked();
+                // New running task → replication candidates changed. Under
+                // a throttle this re-poll is pointless (a new execution
+                // never frees a cap or budget slot) and waking 10⁵ parked
+                // workers per assignment would recreate the storm.
+                if !self.throttled {
+                    self.wake_parked();
+                }
             }
             Assignment::Wait => {
                 self.park(w);
@@ -523,7 +567,8 @@ impl GridSim {
 
     fn park(&mut self, w: usize) {
         self.workers[w].state = WorkerState::Parked;
-        self.parked.push(w);
+        let site = self.workers[w].id.site.index();
+        self.parked[site].insert(w);
     }
 
     /// Wakes every parked worker, in ascending index order (matching the
@@ -531,16 +576,33 @@ impl GridSim {
     /// decision — is unchanged). Entries whose worker has since crashed
     /// are silently dropped.
     fn wake_parked(&mut self) {
-        if self.parked.is_empty() {
+        let mut list: Vec<usize> = Vec::new();
+        for site in &mut self.parked {
+            list.extend(std::mem::take(site));
+        }
+        if list.is_empty() {
             return;
         }
-        let mut list = std::mem::take(&mut self.parked);
         list.sort_unstable();
-        list.dedup();
         for w in list {
             if self.workers[w].state == WorkerState::Parked {
                 self.workers[w].state = WorkerState::Idle;
                 self.schedule.schedule_now(Event::WorkerIdle(w));
+            }
+        }
+    }
+
+    /// Wakes the lowest-indexed parked worker of `site`, if any — the
+    /// targeted hand-off of a freed replica slot under an active throttle
+    /// (`O(log parked)`, vs re-polling the whole parked population). Stale
+    /// entries (workers that crashed since parking) are dropped along the
+    /// way.
+    fn wake_one_parked(&mut self, site: usize) {
+        while let Some(w) = self.parked[site].pop_first() {
+            if self.workers[w].state == WorkerState::Parked {
+                self.workers[w].state = WorkerState::Idle;
+                self.schedule.schedule_now(Event::WorkerIdle(w));
+                return;
             }
         }
     }
@@ -856,7 +918,18 @@ impl GridSim {
                 let bytes = self.config.workload.file_size_bytes;
                 self.per_site[site].file_transfers += 1;
                 self.per_site[site].bytes_transferred += bytes;
-                self.insert_file(site, file);
+                if self.stores[site].contains(file) {
+                    // A replication push landed this very file while the
+                    // batch fetch was in flight: the fetch still consumed
+                    // bandwidth (accounted above), but the store and the
+                    // scheduler's overlap views already know the file — a
+                    // second `on_file_added` would double-count it and
+                    // corrupt every cached counter. Just refresh recency.
+                    let evicted = self.stores[site].insert(file);
+                    debug_assert!(evicted.is_empty(), "touching evicts nothing");
+                } else {
+                    self.insert_file(site, file);
+                }
                 let w = self.servers[site].active.as_ref().expect("active").worker;
                 self.stores[site].pin(file);
                 self.workers[w]
@@ -939,13 +1012,17 @@ impl GridSim {
     }
 
     /// Inserts a file into a site store, forwarding eviction/addition
-    /// notifications to the scheduler.
+    /// notifications to the scheduler (and to the replication state —
+    /// a lost copy may break the full coverage that exhausted a file).
     fn insert_file(&mut self, site: usize, file: FileId) {
         let evicted = self.stores[site].insert(file);
         for e in evicted {
             self.per_site[site].evictions += 1;
             self.scheduler
                 .on_file_evicted(SiteId(site as u32), e, self.stores[site].ref_count(e));
+            if let Some(rep) = self.replication.as_mut() {
+                rep.on_copy_lost(e);
+            }
         }
         self.scheduler
             .on_file_added(SiteId(site as u32), file, self.stores[site].ref_count(file));
@@ -968,14 +1045,32 @@ impl GridSim {
             }
             // Pick a random site lacking the file (skipping servers that
             // are down — nothing can receive a push during an outage).
-            let candidates: Vec<usize> = (0..self.config.sites)
-                .filter(|&s| {
-                    s != origin_site && !self.servers[s].down && !self.stores[s].contains(f)
-                })
-                .collect();
-            let Some(&target) =
-                candidates.get(self.replication_rng.gen_range(0..candidates.len().max(1)))
-            else {
+            let mut any_down = false;
+            let mut candidates: Vec<usize> = Vec::new();
+            for s in 0..self.config.sites {
+                if s == origin_site {
+                    continue;
+                }
+                if self.servers[s].down {
+                    any_down = true;
+                } else if !self.stores[s].contains(f) {
+                    candidates.push(s);
+                }
+            }
+            let Some(target) = pick_push_target(&mut self.replication_rng, &candidates) else {
+                // Nothing can receive the file right now. If no server is
+                // down, every possible target already holds the file —
+                // coverage is complete, so stop re-scanning (and
+                // re-drawing) on later references until a copy is lost
+                // again (`on_copy_lost` re-arms the file on eviction or
+                // outage). A down server, by contrast, comes back empty
+                // after repair, so outage windows keep the file eligible.
+                if !any_down {
+                    self.replication
+                        .as_mut()
+                        .expect("checked")
+                        .mark_exhausted(f);
+                }
                 continue;
             };
             self.replication.as_mut().expect("checked").mark_pushed(f);
@@ -1000,6 +1095,16 @@ impl GridSim {
 
     // ----- completion & replica cancellation -----------------------------
 
+    /// A replica execution at `site` ended (won, was cancelled, or died):
+    /// its site-budget slot is free again, so hand it to one parked worker
+    /// of that site. No-op for unthrottled runs — their wake-ups stay on
+    /// the legacy everyone-repolls path.
+    fn on_replica_slot_freed(&mut self, site: usize) {
+        if self.throttled {
+            self.wake_one_parked(site);
+        }
+    }
+
     fn handle_compute_done(&mut self, w: usize, task: TaskId, generation: u64) {
         if self.workers[w].generation != generation {
             // Stale event from an aborted execution; the handle should have
@@ -1009,11 +1114,15 @@ impl GridSim {
         let site = self.workers[w].id.site.index();
         let current = self.workers[w].current.take().expect("computing worker");
         debug_assert_eq!(current.task, task);
+        let was_replica = current.is_replica;
         for f in current.pinned {
             self.stores[site].unpin(f);
         }
         self.workers[w].state = WorkerState::Idle;
         self.tasks_completed += 1;
+        if was_replica {
+            self.replicas_completed += 1;
+        }
         self.last_completion = self.now();
 
         // A finished task's image is dead weight; drop it (not a loss).
@@ -1029,17 +1138,30 @@ impl GridSim {
             self.abort_execution(victim, task);
         }
         self.schedule.schedule_now(Event::WorkerIdle(w));
-        self.wake_parked();
+        if self.throttled {
+            // Targeted wake-ups only: the winner's own slot (if it was a
+            // replica) frees here; the cancelled losers freed theirs in
+            // `abort_execution`. Nothing else about a completion makes a
+            // parked worker eligible, so the legacy everyone-repolls pass
+            // (which would re-create the storm at 10⁵ parked workers) is
+            // skipped.
+            if was_replica {
+                self.on_replica_slot_freed(site);
+            }
+        } else {
+            self.wake_parked();
+        }
     }
 
     /// Tears down worker `w`'s execution in progress (queued request,
     /// active batch with its in-flight transfer, or running computation):
     /// detaches it from the data server and network, accounts wasted
-    /// compute, and unpins its files. Returns the task it was executing.
+    /// compute, and unpins its files. Returns the task it was executing
+    /// and whether the execution had been launched as a replica.
     ///
     /// The caller decides what the worker becomes (idle again for replica
     /// cancels, down for crashes) and how the scheduler hears about it.
-    fn teardown_execution(&mut self, w: usize) -> Option<TaskId> {
+    fn teardown_execution(&mut self, w: usize) -> Option<(TaskId, bool)> {
         let site = self.workers[w].id.site.index();
         let state = self.workers[w].state;
         let current = self.workers[w].current.take()?;
@@ -1111,7 +1233,7 @@ impl GridSim {
         for f in current.pinned {
             self.stores[site].unpin(f);
         }
-        Some(current.task)
+        Some((current.task, current.is_replica))
     }
 
     /// Adds the elapsed stall of an aborted image write or restore fetch
@@ -1131,15 +1253,24 @@ impl GridSim {
     fn abort_execution(&mut self, victim: WorkerId, task: TaskId) {
         let w = victim.flat_index(self.config.workers_per_site);
         debug_assert_eq!(self.workers[w].id, victim, "flat index mismatch");
-        let torn = self
+        let (torn, was_replica) = self
             .teardown_execution(w)
             .expect("cancel target is executing");
         assert_eq!(torn, task, "cancel target runs a different task");
-        self.replicas_cancelled += 1;
+        // A losing *primary* (its replica won the race) is not a cancelled
+        // replica flow — keep the speculative-waste accounting honest.
+        if was_replica {
+            self.replicas_cancelled += 1;
+        } else {
+            self.primaries_cancelled += 1;
+        }
         self.workers[w].generation += 1;
         self.workers[w].state = WorkerState::Idle;
         self.scheduler.on_replica_aborted(victim, task);
         self.schedule.schedule_now(Event::WorkerIdle(w));
+        if was_replica {
+            self.on_replica_slot_freed(victim.site.index());
+        }
     }
 
     // ----- fault injection ------------------------------------------------
@@ -1193,7 +1324,12 @@ impl GridSim {
             return;
         }
         let worker_id = self.workers[w].id;
-        let lost = self.teardown_execution(w);
+        let torn = self.teardown_execution(w);
+        let lost = torn.map(|(task, _)| task);
+        let was_replica = torn.is_some_and(|(_, is_replica)| is_replica);
+        if was_replica {
+            self.replicas_lost += 1;
+        }
         self.workers[w].generation += 1;
         self.workers[w].state = WorkerState::Down;
         self.workers[w].down_since = Some(self.now());
@@ -1204,6 +1340,11 @@ impl GridSim {
             self.tasks_lost += 1;
             self.lost_ever[task.index()] = true;
             // The requeued task may be picked up by parked workers.
+            self.wake_parked();
+        } else if self.throttled && was_replica {
+            // The crash freed a replica slot (task cap and/or site budget)
+            // without orphaning anything; crashes are rare enough that the
+            // broad re-poll is the simple, safe hand-off.
             self.wake_parked();
         }
         if let Some(tl) = self.worker_timelines[w].as_mut() {
@@ -1316,6 +1457,9 @@ impl GridSim {
         for f in lost {
             self.scheduler
                 .on_file_evicted(SiteId(site as u32), f, self.stores[site].ref_count(f));
+            if let Some(rep) = self.replication.as_mut() {
+                rep.on_copy_lost(f);
+            }
         }
         if let Some(tl) = self.server_timelines[site].as_mut() {
             let d = tl.time_to_repair();
@@ -1404,6 +1548,13 @@ impl GridSim {
     }
 
     fn report(&self) -> MetricsReport {
+        // Replica books must balance: every launched replica either won,
+        // was cancelled by the winner, or died with its worker.
+        debug_assert_eq!(
+            self.replicas_launched,
+            self.replicas_cancelled + self.replicas_completed + self.replicas_lost,
+            "replica accounting out of balance"
+        );
         let file_transfers: u64 = self.per_site.iter().map(|s| s.file_transfers).sum();
         let bytes: f64 = self.per_site.iter().map(|s| s.bytes_transferred).sum();
         let total_evictions: u64 = self.per_site.iter().map(|s| s.evictions).sum();
@@ -1446,6 +1597,9 @@ impl GridSim {
             tasks_completed: self.tasks_completed,
             replicas_launched: self.replicas_launched,
             replicas_cancelled: self.replicas_cancelled,
+            replicas_completed: self.replicas_completed,
+            primaries_cancelled: self.primaries_cancelled,
+            replicas_lost: self.replicas_lost,
             per_site,
             replication_pushes: self.replication_pushes,
             replication_bytes: self.replication_bytes,
@@ -1465,6 +1619,18 @@ impl GridSim {
             work_saved_s: saved_s,
         }
     }
+}
+
+/// Chooses a replication push target uniformly among `candidates`,
+/// consuming one RNG draw **iff** the slate is non-empty. An empty slate
+/// must leave the replication stream untouched: drawing on it would let
+/// transient store/outage states shift every later placement decision — a
+/// determinism hazard across configurations.
+fn pick_push_target<R: Rng + ?Sized>(rng: &mut R, candidates: &[usize]) -> Option<usize> {
+    if candidates.is_empty() {
+        return None;
+    }
+    Some(candidates[rng.gen_range(0..candidates.len())])
 }
 
 /// Flattens a (site, worker-in-site) pair to the engine's worker index.
@@ -1524,9 +1690,11 @@ fn build_ckpt_state(c: &CheckpointConfig, config: &SimConfig, topology: &Topolog
 fn build_scheduler(config: &SimConfig) -> Box<dyn Scheduler> {
     let wl = config.workload.clone();
     match config.strategy {
-        StrategyKind::StorageAffinity => {
-            Box::new(StorageAffinity::new(wl).with_eval_mode(config.eval_mode))
-        }
+        StrategyKind::StorageAffinity => Box::new(
+            StorageAffinity::new(wl)
+                .with_eval_mode(config.eval_mode)
+                .with_throttle(config.replica_throttle),
+        ),
         StrategyKind::Workqueue => Box::new(Workqueue::new(wl)),
         StrategyKind::Sufferage => Box::new(Sufferage::new(wl).with_eval_mode(config.eval_mode)),
         kind => {
@@ -1580,9 +1748,161 @@ mod tests {
         let report = GridSim::new(small_config(StrategyKind::StorageAffinity)).run();
         assert_eq!(report.tasks_completed, 200);
         assert!(report.makespan_minutes > 0.0);
-        // Replication may or may not trigger on this small setup; the
-        // invariant is that cancels never exceed launches.
-        assert!(report.replicas_cancelled <= report.replicas_launched);
+        // Fault-free: every launched replica either won or was cancelled.
+        assert_eq!(
+            report.replicas_launched,
+            report.replicas_cancelled + report.replicas_completed
+        );
+        assert_eq!(report.replicas_lost, 0);
+    }
+
+    #[test]
+    fn throttled_storage_affinity_completes_with_fewer_replicas() {
+        let uncapped = GridSim::new(small_config(StrategyKind::StorageAffinity)).run();
+        let capped = GridSim::new(
+            small_config(StrategyKind::StorageAffinity)
+                .with_replica_cap(1)
+                .with_site_replica_budget(2),
+        )
+        .run();
+        assert_eq!(capped.tasks_completed, 200);
+        assert!(
+            capped.replicas_launched <= uncapped.replicas_launched,
+            "throttle must not inflate the replica count: {} vs {}",
+            capped.replicas_launched,
+            uncapped.replicas_launched
+        );
+        assert_eq!(
+            capped.replicas_launched,
+            capped.replicas_cancelled + capped.replicas_completed
+        );
+        assert_eq!(capped.config.replica_throttle, "cap=1 site-budget=2");
+        // Throttled runs are just as deterministic.
+        let again = GridSim::new(
+            small_config(StrategyKind::StorageAffinity)
+                .with_replica_cap(1)
+                .with_site_replica_budget(2),
+        )
+        .run();
+        assert_eq!(capped, again);
+    }
+
+    #[test]
+    fn throttled_churned_run_completes() {
+        // Liveness under the throttle's targeted wake-ups: crashes orphan
+        // tasks whose only route back is replication, and parked workers
+        // must be woken to pick them up.
+        let config = small_config(StrategyKind::StorageAffinity)
+            .with_replica_cap(1)
+            .with_site_replica_budget(1)
+            .with_faults(gridsched_faults::FaultConfig::none().with_worker_faults(2_500.0, 400.0));
+        let report = GridSim::new(config).run();
+        assert_eq!(report.tasks_completed, 200);
+        assert_eq!(
+            report.replicas_launched,
+            report.replicas_cancelled + report.replicas_completed + report.replicas_lost
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "only applies to storage-affinity")]
+    fn throttle_with_worker_centric_strategy_panics() {
+        let _ = GridSim::new(small_config(StrategyKind::Rest).with_replica_cap(1));
+    }
+
+    #[test]
+    fn push_attempts_on_empty_slates_leave_rng_and_later_decisions_unchanged() {
+        // Regression for the `maybe_replicate` determinism hazard: a push
+        // attempt during a full-coverage or all-servers-down window must
+        // not consume the placement RNG (so later pushes land exactly
+        // where they would have), full coverage must exhaust the file
+        // (no more O(S) re-scans while coverage holds, re-armed when a
+        // copy is lost), and an outage window must only *defer* the push.
+        use rand::rngs::StdRng;
+        let wl = Arc::new(CoaddConfig::small(0).generate());
+        let config = SimConfig::paper(wl, StrategyKind::Rest)
+            .with_sites(3)
+            .with_replication(crate::replication::ReplicationConfig {
+                popularity_threshold: 1,
+                max_replicas_per_file: 5,
+            });
+        let mut sim = GridSim::new(config);
+        let probe = |rng: &StdRng| rng.clone().gen_range(0..1_000_000u64);
+        let f = FileId(0);
+        // Full coverage: every non-origin store already holds `f`.
+        for s in 1..3 {
+            let evicted = sim.stores[s].insert(f);
+            assert!(evicted.is_empty());
+        }
+        let before = probe(&sim.replication_rng);
+        sim.maybe_replicate(&[f], 0);
+        assert_eq!(sim.replication_pushes, 0, "nowhere to push");
+        assert_eq!(
+            probe(&sim.replication_rng),
+            before,
+            "full-coverage slate must not advance the RNG"
+        );
+        // Exhaustion holds while coverage holds: no re-scan, no draw.
+        sim.maybe_replicate(&[f], 0);
+        assert_eq!(sim.replication_pushes, 0, "exhausted file stays inert");
+        // All-servers-down window: skipped draw, but the file stays
+        // eligible and pushes as soon as a server is back.
+        let g = FileId(1);
+        sim.servers[1].down = true;
+        sim.servers[2].down = true;
+        sim.maybe_replicate(&[g], 0);
+        assert_eq!(sim.replication_pushes, 0, "outage blocks the push");
+        assert_eq!(
+            probe(&sim.replication_rng),
+            before,
+            "outage-window slate must not advance the RNG"
+        );
+        sim.servers[1].down = false;
+        sim.servers[2].down = false;
+        sim.maybe_replicate(&[g], 0);
+        assert_eq!(sim.replication_pushes, 1, "outage only defers the push");
+        assert_ne!(
+            probe(&sim.replication_rng),
+            before,
+            "the deferred push consumes exactly the draw it always would"
+        );
+        // A lost copy re-arms an exhausted file (the engine forwards every
+        // eviction/outage loss through `on_copy_lost`): the next reference
+        // pushes `f` to the now-empty site after all.
+        let lost = sim.stores[2].fail();
+        assert!(lost.contains(&f));
+        for e in lost {
+            sim.replication.as_mut().expect("enabled").on_copy_lost(e);
+        }
+        sim.maybe_replicate(&[f], 0);
+        assert_eq!(sim.replication_pushes, 2, "broken coverage re-arms f");
+    }
+
+    #[test]
+    fn empty_push_slate_leaves_rng_untouched() {
+        // Regression: `maybe_replicate` used to draw from the replication
+        // RNG even when no site could receive the push (full coverage or
+        // an outage window), so transient state shifted every later
+        // placement. The draw must be skipped entirely.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut untouched = rng.clone();
+        assert_eq!(pick_push_target(&mut rng, &[]), None);
+        assert_eq!(pick_push_target(&mut rng, &[]), None);
+        assert_eq!(
+            rng.gen_range(0..1_000_000),
+            untouched.gen_range(0..1_000_000),
+            "empty slates must not advance the stream"
+        );
+        // Non-empty slates still consume exactly one draw each.
+        let picked = pick_push_target(&mut rng, &[3, 5, 9]).expect("non-empty");
+        assert!([3, 5, 9].contains(&picked));
+        assert_ne!(
+            rng.gen_range(0..1_000_000),
+            untouched.gen_range(0..1_000_000),
+            "a real pick consumes the stream"
+        );
     }
 
     #[test]

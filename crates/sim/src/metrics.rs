@@ -71,8 +71,20 @@ pub struct MetricsReport {
     pub tasks_completed: u64,
     /// Replica executions launched (task-centric storage affinity only).
     pub replicas_launched: u64,
-    /// Replica executions aborted because another copy won.
+    /// Replica executions aborted because another copy won. Counts only
+    /// executions that were *launched as replicas* — a primary execution
+    /// cancelled because its replica finished first is in
+    /// [`MetricsReport::primaries_cancelled`] instead, so on fault-free
+    /// runs `replicas_launched == replicas_cancelled + replicas_completed`
+    /// (with faults, add [`MetricsReport::replicas_lost`]).
     pub replicas_cancelled: u64,
+    /// Replica executions that finished first (won their race) — completed
+    /// useful work, as opposed to the cancelled speculative flows.
+    pub replicas_completed: u64,
+    /// Primary executions cancelled because a replica of the same task won.
+    pub primaries_cancelled: u64,
+    /// Replica executions killed by worker crashes (fault injection).
+    pub replicas_lost: u64,
     /// Per-site breakdown, indexed by site id.
     pub per_site: Vec<SiteMetrics>,
     /// Proactive replication pushes issued (ablation extension).

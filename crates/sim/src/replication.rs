@@ -38,6 +38,11 @@ pub struct ReplicationState {
     config: ReplicationConfig,
     refs: Vec<u32>,
     pushed: Vec<u32>,
+    /// Files for which no eligible push target can ever exist again (every
+    /// other site already holds the file). Exhausted files stop matching
+    /// [`ReplicationState::record_reference`], so the engine never repeats
+    /// its `O(S)` candidate scan for them.
+    exhausted: Vec<bool>,
 }
 
 impl ReplicationState {
@@ -48,21 +53,41 @@ impl ReplicationState {
             config,
             refs: vec![0; num_files],
             pushed: vec![0; num_files],
+            exhausted: vec![false; num_files],
         }
     }
 
     /// Records one global reference of `file`; returns `true` when this
-    /// reference makes the file eligible for a proactive push.
+    /// reference makes the file eligible for a proactive push. The
+    /// popularity count is global, so the crossing may well happen on the
+    /// reference that completes the file's *last* use — the scheme pushes
+    /// anyway (it cannot know the future), which the ablation quantifies.
     pub fn record_reference(&mut self, file: FileId) -> bool {
         let r = &mut self.refs[file.index()];
         *r += 1;
         *r >= self.config.popularity_threshold
+            && !self.exhausted[file.index()]
             && self.pushed[file.index()] < self.config.max_replicas_per_file
     }
 
     /// Marks one push of `file` as issued.
     pub fn mark_pushed(&mut self, file: FileId) {
         self.pushed[file.index()] += 1;
+    }
+
+    /// Marks `file` as push-saturated: every site that could receive it
+    /// already holds it, so later references must not re-scan for
+    /// candidates (nor touch the placement RNG). Lasts until
+    /// [`ReplicationState::on_copy_lost`] reports the coverage broken.
+    pub fn mark_exhausted(&mut self, file: FileId) {
+        self.exhausted[file.index()] = true;
+    }
+
+    /// A cached copy of `file` was lost (eviction or data-server outage):
+    /// full coverage no longer holds, so an exhausted file becomes
+    /// eligible again — its unspent push budget can be useful after all.
+    pub fn on_copy_lost(&mut self, file: FileId) {
+        self.exhausted[file.index()] = false;
     }
 
     /// Number of proactive pushes issued so far.
@@ -92,6 +117,54 @@ mod tests {
         st.mark_pushed(f);
         assert!(!st.record_reference(f), "already pushed max replicas");
         assert_eq!(st.pushes_issued(), 1);
+    }
+
+    #[test]
+    fn exhaustion_stops_eligibility_for_good() {
+        let mut st = ReplicationState::new(
+            ReplicationConfig {
+                popularity_threshold: 1,
+                max_replicas_per_file: 5,
+            },
+            2,
+        );
+        let f = FileId(1);
+        assert!(st.record_reference(f));
+        st.mark_exhausted(f);
+        // Pushes left on paper (0 of 5 issued), but no target can exist:
+        // later references must be inert.
+        assert!(!st.record_reference(f));
+        assert!(!st.record_reference(f));
+        assert_eq!(st.pushes_issued(), 0);
+        // Other files are unaffected.
+        assert!(st.record_reference(FileId(0)));
+        // Losing a cached copy breaks the coverage that justified the
+        // exhaustion: the file is eligible again.
+        st.on_copy_lost(f);
+        assert!(st.record_reference(f));
+    }
+
+    #[test]
+    fn threshold_crossing_on_last_reference_still_pushes() {
+        // A file referenced exactly `threshold` times in its whole life:
+        // the crossing happens on the very reference that completes its
+        // last use, and the scheme (which cannot see the future) still
+        // reports it eligible.
+        let mut st = ReplicationState::new(
+            ReplicationConfig {
+                popularity_threshold: 4,
+                max_replicas_per_file: 1,
+            },
+            1,
+        );
+        let f = FileId(0);
+        for _ in 0..3 {
+            assert!(!st.record_reference(f));
+        }
+        assert!(
+            st.record_reference(f),
+            "final reference crosses the threshold and is eligible"
+        );
     }
 
     #[test]

@@ -98,6 +98,9 @@ pub fn average_reports(reports: &[MetricsReport]) -> MetricsReport {
         tasks_completed: avg_u64(reports.iter().map(|r| r.tasks_completed), n),
         replicas_launched: avg_u64(reports.iter().map(|r| r.replicas_launched), n),
         replicas_cancelled: avg_u64(reports.iter().map(|r| r.replicas_cancelled), n),
+        replicas_completed: avg_u64(reports.iter().map(|r| r.replicas_completed), n),
+        primaries_cancelled: avg_u64(reports.iter().map(|r| r.primaries_cancelled), n),
+        replicas_lost: avg_u64(reports.iter().map(|r| r.replicas_lost), n),
         per_site,
         replication_pushes: avg_u64(reports.iter().map(|r| r.replication_pushes), n),
         replication_bytes: avg_f64(reports.iter().map(|r| r.replication_bytes), n),

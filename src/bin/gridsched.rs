@@ -5,6 +5,7 @@
 //!                    [--capacity 6000] [--policy lru] [--tasks 6000]
 //!                    [--file-size-mb 25] [--seed 0] [--topology-seeds 0,1,2,3,4]
 //!                    [--choose-n N] [--replication-threshold T]
+//!                    [--replica-cap N] [--site-replica-budget N]
 //!                    [--mtbf SECS] [--mttr SECS] [--mttr-shape K]
 //!                    [--server-mtbf SECS] [--server-mttr SECS] [--server-mttr-shape K]
 //!                    [--fault-trace FILE]
@@ -82,6 +83,8 @@ usage:
                      [--policy lru|fifo|lfu] [--tasks N] [--file-size-mb X]
                      [--seed N] [--topology-seeds a,b,c] [--choose-n N]
                      [--replication-threshold N] [--trace FILE] [--csv]
+                     [--replica-cap N] [--site-replica-budget N] (storage-affinity
+                       replica throttle; default unbounded)
                      [--eval-mode incremental|indexed|naive] (scheduler internals;
                        identical output, different per-decision cost)
                      [--mtbf SECS] [--mttr SECS] (worker churn, default MTTR 600)
@@ -299,6 +302,25 @@ fn cmd_simulate(opts: &Opts) -> Result<(), String> {
             max_replicas_per_file: 1,
         });
     }
+    for flag in ["replica-cap", "site-replica-budget"] {
+        if opts.values.contains_key(flag) && strategy != StrategyKind::StorageAffinity {
+            return Err(format!(
+                "--{flag} only applies to --strategy storage-affinity (got `{strategy}`)"
+            ));
+        }
+    }
+    if let Some(cap) = opts.get_opt::<u32>("replica-cap")? {
+        if cap == 0 {
+            return Err("--replica-cap must be >= 1".into());
+        }
+        config = config.with_replica_cap(cap);
+    }
+    if let Some(budget) = opts.get_opt::<u32>("site-replica-budget")? {
+        if budget == 0 {
+            return Err("--site-replica-budget must be >= 1".into());
+        }
+        config = config.with_site_replica_budget(budget);
+    }
     let faults = build_fault_config(opts)?;
     let checkpointing = build_checkpoint_config(opts, &faults)?;
     if !faults.is_inert() {
@@ -374,10 +396,14 @@ fn cmd_simulate(opts: &Opts) -> Result<(), String> {
             report.avg_waiting_hours(),
             report.avg_transfer_hours()
         );
+        if report.config.replica_throttle != "none" {
+            println!("replica throttle  : {}", report.config.replica_throttle);
+        }
         if report.replicas_launched > 0 {
             println!(
-                "replication       : {} launched, {} cancelled, {:.1} GB wasted",
+                "replication       : {} launched, {} won, {} cancelled, {:.1} GB wasted",
                 report.replicas_launched,
+                report.replicas_completed,
                 report.replicas_cancelled,
                 report.cancelled_bytes / 1e9
             );

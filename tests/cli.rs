@@ -293,6 +293,77 @@ fn simulate_with_checkpointing_reports_and_is_deterministic() {
 }
 
 #[test]
+fn simulate_with_replica_throttle() {
+    let dir = TestDir::new("throttle");
+    let trace = dir.path("wl.trace");
+    let trace_str = trace.to_str().expect("utf8 path");
+    let out = gridsched(&["workload", "--tasks", "120", "--out", trace_str]);
+    assert!(out.status.success());
+
+    let args = [
+        "simulate",
+        "--trace",
+        trace_str,
+        "--sites",
+        "2",
+        "--topology-seeds",
+        "0",
+        "--strategy",
+        "storage-affinity",
+        "--replica-cap",
+        "2",
+        "--site-replica-budget",
+        "8",
+    ];
+    let out = gridsched(&args);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout.clone()).expect("utf8");
+    assert!(
+        stdout.contains("replica throttle  : cap=2 site-budget=8"),
+        "{stdout}"
+    );
+    // Throttled runs stay deterministic.
+    let again = gridsched(&args);
+    assert_eq!(out.stdout, again.stdout);
+}
+
+#[test]
+fn simulate_rejects_throttle_for_worker_centric_strategies() {
+    let out = gridsched(&[
+        "simulate",
+        "--strategy",
+        "rest.2",
+        "--replica-cap",
+        "2",
+        "--tasks",
+        "50",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(
+        stderr.contains("only applies to --strategy storage-affinity"),
+        "stderr: {stderr}"
+    );
+
+    let out = gridsched(&[
+        "simulate",
+        "--strategy",
+        "storage-affinity",
+        "--replica-cap",
+        "0",
+        "--tasks",
+        "50",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("must be >= 1"), "stderr: {stderr}");
+}
+
+#[test]
 fn simulate_rejects_bad_strategy() {
     let out = gridsched(&["simulate", "--strategy", "magic"]);
     assert!(!out.status.success());

@@ -27,16 +27,24 @@ fn all_strategies_complete() {
             .with_capacity(1000);
         let report = GridSim::new(config).run();
         assert_eq!(report.tasks_completed, 200, "{strategy}");
-        // Every completion had a compute start; replicas aborted *during*
+        // Every completion had a compute start; executions aborted *during*
         // their data wait never start, so `started` is bounded by
-        // completions plus cancelled replicas.
+        // completions plus every cancelled execution (losing replicas and
+        // losing primaries alike).
+        let cancelled = report.replicas_cancelled + report.primaries_cancelled;
         let started: u64 = report.per_site.iter().map(|s| s.tasks_started).sum();
         assert!(started >= 200, "{strategy}: starts cover completions");
         assert!(
-            started <= 200 + report.replicas_cancelled,
+            started <= 200 + cancelled,
             "{strategy}: starts {} exceed completions+cancels {}",
             started,
-            200 + report.replicas_cancelled
+            200 + cancelled
+        );
+        // Fault-free replica books balance.
+        assert_eq!(
+            report.replicas_launched,
+            report.replicas_cancelled + report.replicas_completed,
+            "{strategy}"
         );
     }
 }
@@ -71,8 +79,9 @@ fn bytes_accounting_consistent() {
             expected_min
         );
         // Partial (cancelled) deliveries can only add less than one file
-        // size per cancelled replica.
-        let slack = (report.replicas_cancelled as f64 + 1.0) * file_size;
+        // size per cancelled execution (replica or losing primary).
+        let cancelled = report.replicas_cancelled + report.primaries_cancelled;
+        let slack = (cancelled as f64 + 1.0) * file_size;
         assert!(
             report.bytes_transferred <= expected_min + slack,
             "{strategy}: bytes {} too large",

@@ -95,6 +95,70 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Replica-throttled storage affinity: the capped pick — site-budget
+    /// pre-check plus saturated tasks withdrawn from the overlap index —
+    /// must agree byte-for-byte across all three evaluation paths, with
+    /// and without churn-driven requeues.
+    #[test]
+    fn eval_modes_agree_under_replica_throttle(
+        sites in 2usize..5,
+        workers in 1usize..4,
+        capacity in 120usize..1500,
+        cap in prop_oneof![Just(None), (1u32..4).prop_map(Some)],
+        budget in prop_oneof![Just(None), (1u32..5).prop_map(Some)],
+        mtbf in prop_oneof![Just(None), (2_000.0f64..6_000.0).prop_map(Some)],
+        seed in 0u64..3,
+    ) {
+        let mut throttle = ReplicaThrottle::none();
+        if let Some(c) = cap {
+            throttle = throttle.with_replica_cap(c);
+        }
+        if let Some(b) = budget {
+            throttle = throttle.with_site_budget(b);
+        }
+        let mut cfg = CoaddConfig::small(seed);
+        cfg.tasks = 100;
+        let workload = Arc::new(cfg.generate());
+        let mut config = SimConfig::paper(workload, StrategyKind::StorageAffinity)
+            .with_sites(sites)
+            .with_workers_per_site(workers)
+            .with_capacity(capacity)
+            .with_seed(seed)
+            .with_replica_throttle(throttle);
+        if let Some(mtbf) = mtbf {
+            config = config.with_faults(FaultConfig::none().with_worker_faults(mtbf, 400.0));
+        }
+        let incremental = run_with(&config, EvalMode::Incremental);
+        let indexed = run_with(&config, EvalMode::Indexed);
+        let naive = run_with(&config, EvalMode::Naive);
+        prop_assert_eq!(&incremental, &indexed, "incremental vs indexed ({:?})", throttle);
+        prop_assert_eq!(&incremental, &naive, "incremental vs naive ({:?})", throttle);
+        prop_assert_eq!(incremental.tasks_completed, 100);
+    }
+}
+
+/// The new flags' default-off path: a config that never mentions the
+/// throttle and one that passes `ReplicaThrottle::none()` explicitly (what
+/// the CLI builds when `--replica-cap`/`--site-replica-budget` are absent)
+/// produce byte-identical reports with the throttle summarised as "none".
+#[test]
+fn throttle_default_off_is_inert() {
+    let mut cfg = CoaddConfig::small(0);
+    cfg.tasks = 120;
+    let workload = Arc::new(cfg.generate());
+    let base = SimConfig::paper(workload, StrategyKind::StorageAffinity)
+        .with_sites(3)
+        .with_capacity(500)
+        .with_seed(1);
+    let plain = GridSim::new(base.clone()).run();
+    let explicit = GridSim::new(base.with_replica_throttle(ReplicaThrottle::none())).run();
+    assert_eq!(plain, explicit);
+    assert_eq!(plain.config.replica_throttle, "none");
+}
+
 /// A fixed-shape smoke version that always runs (proptest shrinks its own
 /// cases; this pins one deterministic configuration for quick triage).
 #[test]

@@ -70,6 +70,56 @@ proptest! {
         if strategy != StrategyKind::StorageAffinity {
             prop_assert_eq!(report.replicas_launched, 0);
         }
+        // 8. Replica books balance: on a fault-free run every launched
+        // replica either won its race or was cancelled by the winner —
+        // cancelled speculative flows must never be double-counted as
+        // completed work.
+        prop_assert_eq!(
+            report.replicas_launched,
+            report.replicas_cancelled + report.replicas_completed,
+            "launched != cancelled + completed"
+        );
+        prop_assert_eq!(report.replicas_lost, 0, "no faults, no lost replicas");
+        prop_assert!(report.replicas_completed <= report.tasks_completed);
+        // 9. Cancelled primaries are replica wins, never more.
+        prop_assert!(report.primaries_cancelled <= report.replicas_completed);
+    }
+
+    /// The replica throttle preserves every completion/accounting
+    /// invariant and never inflates the replica fan-out.
+    #[test]
+    fn throttled_storage_affinity_invariants(
+        sites in 1usize..5,
+        workers in 1usize..4,
+        cap in 1u32..4,
+        budget in 1u32..5,
+        wl_seed in 0u64..3,
+        seed in 0u64..3,
+    ) {
+        let mut cfg = CoaddConfig::small(wl_seed);
+        cfg.tasks = 120;
+        let workload = Arc::new(cfg.generate());
+        let base = SimConfig::paper(workload, StrategyKind::StorageAffinity)
+            .with_sites(sites)
+            .with_workers_per_site(workers)
+            .with_capacity(800)
+            .with_seed(seed);
+        let uncapped = GridSim::new(base.clone()).run();
+        let capped = GridSim::new(
+            base.with_replica_cap(cap).with_site_replica_budget(budget),
+        )
+        .run();
+        prop_assert_eq!(capped.tasks_completed, 120);
+        prop_assert_eq!(
+            capped.replicas_launched,
+            capped.replicas_cancelled + capped.replicas_completed
+        );
+        prop_assert!(
+            capped.replicas_launched <= uncapped.replicas_launched,
+            "throttle inflated replicas: {} > {}",
+            capped.replicas_launched,
+            uncapped.replicas_launched
+        );
     }
 
     #[test]
