@@ -13,9 +13,16 @@
 //!   budget 256 — chosen so the 10²–10³ makespans stay within the
 //!   seed-to-seed noise of uncapped) — the replica-storm mitigation whose
 //!   10⁵-worker tail this file regresses against;
-//! * a **sites × workers sweep** at a fixed worker count, exposing the
-//!   `O(S)` terms (sufferage best-two refresh, per-site rank maintenance)
-//!   that the fixed-10-sites sweep cannot see.
+//! * a **sites × workers sweep** at a fixed worker count (S ∈ 5…160),
+//!   exposing any `O(S)` per-decision term (sufferage best-two refresh,
+//!   per-site rank maintenance) that the fixed-10-sites sweep cannot see —
+//!   since the sparse-propagation work landed, wall time must stay ~flat
+//!   in S, and `--check` rejects super-linear growth.
+//!
+//! Configurations the worker sweep already measured are **not re-run** for
+//! the sites sweep (the S = 10 points reuse the worker-sweep rows), and
+//! `--check` rejects duplicate `(workers, sites, strategy, mode,
+//! throttle)` keys in the emitted JSON.
 //!
 //! Results go to `BENCH_scale.json` (machine-readable, one file every
 //! future PR can regress against) and to stdout as a table.
@@ -26,9 +33,10 @@
 //!
 //! * `--smoke` — tiny sweep (10²/4·10² workers) for CI;
 //! * `--check` — exit non-zero unless every run completed, the incremental
-//!   path is ≥ 5× faster than naive at the comparison point, and (at the
+//!   path is ≥ 5× faster than naive at the comparison point, (at the
 //!   full 10⁵ scale) the throttled storage-affinity run dispatches ≤ 1/10
-//!   of the uncapped run's events;
+//!   of the uncapped run's events, no duplicate run key was emitted, and
+//!   no sites-sweep strategy shows super-linear wall-time growth in S;
 //! * `--max-workers N` — truncate the sweep (e.g. `--max-workers 10000`);
 //! * `--out FILE` — where to write the JSON (default `BENCH_scale.json`).
 //!
@@ -149,7 +157,15 @@ fn run_once(
     throttle: Option<ReplicaThrottle>,
     seed: u64,
 ) -> Run {
-    let mut config = SimConfig::paper(Arc::clone(workload), strategy)
+    let mut config = SimConfig::paper(Arc::clone(workload), strategy);
+    // The paper topology has 9 MANs × 10 sites; the top of the sites sweep
+    // (S = 160) needs a wider grid. Widening changes the generated link
+    // draws, so it is applied only where unavoidable — every S ≤ 90 row
+    // keeps the paper topology and stays bit-comparable across PRs.
+    if sites > config.topology.site_count() {
+        config.topology.sites_per_man = sites.div_ceil(config.topology.mans);
+    }
+    let mut config = config
         .with_sites(sites)
         .with_workers_per_site((workers / sites).max(1))
         .with_capacity(workload.file_count().max(1))
@@ -202,9 +218,9 @@ fn main() {
     };
     // The sites × workers sweep: fixed worker count, varying site count.
     let (sites_sweep_workers, sites_sweep): (usize, Vec<usize>) = if args.smoke {
-        (400, vec![2, 5])
+        (400, vec![2, 5, 10])
     } else {
-        (10_000, vec![5, 10, 20, 40])
+        (10_000, vec![5, 10, 20, 40, 80, 160])
     };
     let sites_sweep_workers = args
         .max_workers
@@ -289,10 +305,15 @@ fn main() {
         }
     }
 
-    // Sites × workers: the per-decision cost carries O(S) terms (sufferage
-    // best-two refresh, per-site rank/view maintenance) that a fixed site
-    // count cannot expose. Storage affinity runs throttled here — the
-    // point is the O(S) scaling, not yet another storm measurement.
+    // Sites × workers: the per-decision cost used to carry O(S) terms
+    // (sufferage best-two refresh, per-site rank membership broadcasts)
+    // that a fixed site count cannot expose; the sparse-propagation path
+    // must keep wall time ~flat here. Storage affinity runs throttled —
+    // the point is the O(S) scaling, not yet another storm measurement.
+    // Configurations the worker sweep already measured (the S = 10 points)
+    // reuse that measurement instead of re-running: the sweep reader joins
+    // on the (workers, sites, strategy, mode, throttle) key, which `--check`
+    // keeps unique.
     let sites_workload = scale_workload((sites_sweep_workers * 2).max(200) as u32, args.seed);
     for &sites in &sites_sweep {
         for (strategy, throttle) in [
@@ -300,6 +321,26 @@ fn main() {
             (StrategyKind::Combined2, None),
             (StrategyKind::Sufferage, None),
         ] {
+            let throttle_label =
+                throttle.map_or_else(|| "none".to_string(), |t: ReplicaThrottle| t.summary());
+            if runs.iter().any(|r| {
+                run_key(r)
+                    == (
+                        sites_sweep_workers,
+                        sites,
+                        strategy,
+                        EvalMode::Incremental,
+                        throttle_label.clone(),
+                    )
+            }) {
+                eprintln!(
+                    "  {:>6} workers  {:<16} (reusing worker-sweep row, {} sites)",
+                    sites_sweep_workers,
+                    strategy.to_string(),
+                    sites
+                );
+                continue;
+            }
             let run = run_once(
                 &sites_workload,
                 sites_sweep_workers,
@@ -394,6 +435,72 @@ fn main() {
                 ok = false;
             }
         }
+        // One row per configuration: the sites sweep must reuse the
+        // worker-sweep measurements instead of re-running (and re-timing)
+        // identical configs.
+        let mut seen = std::collections::HashSet::new();
+        for r in &runs {
+            if !seen.insert(run_key(r)) {
+                eprintln!(
+                    "CHECK FAIL: duplicate run key {} @ {} workers / {} sites ({}, {})",
+                    r.strategy, r.workers, r.sites, r.mode, r.throttle
+                );
+                ok = false;
+            }
+        }
+        if seen.len() == runs.len() {
+            println!("CHECK PASS: all {} run keys unique", runs.len());
+        }
+        // Sparse per-site propagation: wall time must not grow
+        // super-linearly in S at fixed workers (it should be ~flat; the
+        // linear bound leaves headroom for fixed per-site costs and timing
+        // noise). Sub-50ms anchors are skipped — smoke-scale wall clocks
+        // are dominated by noise.
+        for (strategy, throttle_is_none) in [
+            (StrategyKind::StorageAffinity, false),
+            (StrategyKind::Combined2, true),
+            (StrategyKind::Sufferage, true),
+        ] {
+            let mut points: Vec<(usize, f64)> = runs
+                .iter()
+                .filter(|r| {
+                    r.workers == sites_sweep_workers
+                        && r.strategy == strategy
+                        && r.mode == EvalMode::Incremental
+                        && (r.throttle == "none") == throttle_is_none
+                        && sites_sweep.contains(&r.sites)
+                })
+                .map(|r| (r.sites, r.wall_s))
+                .collect();
+            points.sort_unstable_by_key(|&(s, _)| s);
+            let (Some(&(s_lo, w_lo)), Some(&(s_hi, w_hi))) = (points.first(), points.last()) else {
+                continue;
+            };
+            if s_lo == s_hi {
+                continue;
+            }
+            if w_lo < 0.05 {
+                println!(
+                    "CHECK SKIP: {strategy} sites-growth guard (anchor {w_lo:.3}s too \
+                     noisy at {s_lo} sites)"
+                );
+                continue;
+            }
+            let ratio = w_hi / w_lo;
+            let linear = s_hi as f64 / s_lo as f64;
+            if ratio > linear {
+                eprintln!(
+                    "CHECK FAIL: {strategy} wall time grows super-linearly in sites: \
+                     {w_lo:.2}s @ {s_lo} -> {w_hi:.2}s @ {s_hi} ({ratio:.1}x > {linear:.1}x)"
+                );
+                ok = false;
+            } else {
+                println!(
+                    "CHECK PASS: {strategy} sites growth {ratio:.2}x over {s_lo}->{s_hi} \
+                     sites (linear bound {linear:.1}x)"
+                );
+            }
+        }
         let throttled_runs = runs.iter().filter(|r| r.throttle != "none").count();
         let sites_rows = runs.iter().filter(|r| r.sites != SITES).count();
         if throttled_runs == 0 {
@@ -469,6 +576,11 @@ fn main() {
             runs.len()
         );
     }
+}
+
+/// The identity of a measured configuration: one JSON row per key.
+fn run_key(r: &Run) -> (usize, usize, StrategyKind, EvalMode, String) {
+    (r.workers, r.sites, r.strategy, r.mode, r.throttle.clone())
 }
 
 fn push_row(table: &mut Table, run: &Run) {

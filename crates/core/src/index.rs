@@ -17,6 +17,33 @@
 //! A scheduling decision then degenerates to reading the best few bucket
 //! heads — `O(log T)` amortized — instead of scanning the pool.
 //!
+//! ## Sparse membership propagation
+//!
+//! With one `TaskRank` per site, *eagerly* mirroring pool membership into
+//! every rank makes each pool insert/remove an `O(S log T)` broadcast —
+//! the dominant cost of a scheduling decision once the site count grows
+//! (the `perf_scale` sites sweep showed wall time ~linear in `S`).
+//! Membership therefore propagates **lazily**:
+//!
+//! * a pool *removal* touches no rank at all — the entry goes stale in
+//!   place, and a read that encounters it skips it via the caller's `live`
+//!   predicate and physically removes it then (each stale entry is
+//!   repaired at most once per site, and only if it ever surfaces near a
+//!   bucket head at that site);
+//! * a pool *insert* (requeue, replica-cap release) appends to a shared
+//!   [`PendingLog`]; each view holds a cursor and replays the suffix on
+//!   its next read ([`SiteView::sync_pending`]) — `O(1)` at event time,
+//!   each (site, insert) pair processed once.
+//!
+//! Storage-change notifications stay eager — they are site-local already —
+//! so every *physical* rank entry always carries current coordinates; only
+//! pool membership can go stale. The `combined` metric's queue-wide
+//! normalisers cannot be read off a rank with stale members, so they move
+//! to [`ComboAggregates`], which maintains them exactly with per-file site
+//! residency lists: a membership change costs `O(Σ_f |sites holding f|)`
+//! over the task's files — flat in `S` for data-local workloads — instead
+//! of `O(S)`.
+//!
 //! None of this changes any scheduling decision — [`weigh_all_indexed`]
 //! and the ranked picks are property-tested to agree exactly with
 //! [`crate::weight::weigh_all_naive`] plus [`crate::choose::ChooseTask`] —
@@ -141,9 +168,11 @@ impl FileIndex {
 /// weight is `+∞` regardless of references.
 ///
 /// The owning [`SiteView`] keeps the bucket coordinates in sync on every
-/// counter change; the scheduler forwards pending-pool membership through
-/// [`SiteView::rank_insert`] / [`SiteView::rank_remove`]. Each maintenance
-/// step is one `BTreeSet` remove + insert — `O(log T)`.
+/// counter change. Pool membership propagates **lazily** (see the module
+/// docs): a member may be stale — no longer pending — until a read at this
+/// site encounters and repairs it, so `len()` bounds the pending
+/// population from above rather than equalling it. Each maintenance step
+/// is one `BTreeSet` remove + insert — `O(log T)`.
 #[derive(Debug, Clone)]
 pub struct TaskRank {
     metric: WeightMetric,
@@ -154,11 +183,8 @@ pub struct TaskRank {
     level_of: Vec<u32>,
     key_of: Vec<u64>,
     /// Member tasks' cached `Σ r_i` (mirrors [`SiteView::refsum`] so key
-    /// changes and `total_ref` deltas need no caller-side bookkeeping).
+    /// changes need no caller-side bookkeeping).
     refsum_of: Vec<u64>,
-    /// Exact `Σ refsum` over members — `Combined`'s `totalRef` (integer
-    /// arithmetic, so incremental maintenance is bit-exact).
-    total_ref: u64,
     len: usize,
 }
 
@@ -172,18 +198,17 @@ impl TaskRank {
             level_of: vec![0; num_tasks],
             key_of: vec![0; num_tasks],
             refsum_of: vec![0; num_tasks],
-            total_ref: 0,
             len: 0,
         }
     }
 
-    /// Number of member (pending) tasks.
+    /// Number of member tasks (pending plus not-yet-repaired stale).
     #[must_use]
     pub fn len(&self) -> usize {
         self.len
     }
 
-    /// Whether no pending task is tracked.
+    /// Whether no task is tracked.
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len == 0
@@ -222,7 +247,6 @@ impl TaskRank {
         self.level_of[t] = level;
         self.key_of[t] = key;
         self.refsum_of[t] = refsum;
-        self.total_ref += refsum;
         self.len += 1;
     }
 
@@ -233,16 +257,7 @@ impl TaskRank {
         let level = self.level_of[t] as usize;
         self.buckets[level].remove(&(self.key_of[t], t as u32));
         self.member[t] = false;
-        self.total_ref -= self.refsum_of[t];
         self.len -= 1;
-    }
-
-    /// `Combined`'s `totalRest` over the members: the bucket sizes fed
-    /// through the one canonical accumulation,
-    /// [`total_rest_from_counts`] — bit-identical to the scan paths by
-    /// construction.
-    fn total_rest(&self) -> f64 {
-        total_rest_from_counts(self.buckets.iter().map(|b| b.len() as u32))
     }
 
     /// Re-files `t` after its cached counters changed.
@@ -250,8 +265,6 @@ impl TaskRank {
         if !self.member[t] {
             return;
         }
-        self.total_ref += refsum;
-        self.total_ref -= self.refsum_of[t];
         self.refsum_of[t] = refsum;
         let key = self.key_for(level, refsum);
         if level == self.level_of[t] && key == self.key_of[t] {
@@ -262,6 +275,64 @@ impl TaskRank {
         self.buckets[level as usize].insert((key, t as u32));
         self.level_of[t] = level;
         self.key_of[t] = key;
+    }
+}
+
+/// Shared journal of *become-live* membership transitions (requeues after
+/// faults, replica-cap releases): the scheduler appends in `O(1)`; each
+/// [`SiteView`] holds a cursor and replays the suffix it has not seen yet
+/// on its next read ([`SiteView::sync_pending`]).
+///
+/// Pool *removals* are never journaled — stale rank entries are filtered
+/// (and repaired) lazily at read time instead.
+#[derive(Debug, Clone, Default)]
+pub struct PendingLog {
+    entries: Vec<u32>,
+}
+
+impl PendingLog {
+    /// Amortization period for [`PendingLog::record`]'s compaction sweep.
+    const COMPACT_EVERY: usize = 4096;
+
+    /// An empty journal.
+    #[must_use]
+    pub fn new() -> Self {
+        PendingLog::default()
+    }
+
+    /// Records that `task` (re-)became live for the per-site ranks, and
+    /// periodically drains the prefix every view has already replayed —
+    /// the journal stays bounded by the in-flight window (entries some
+    /// cursor still trails) instead of growing for the run's lifetime.
+    /// The sweep is `O(views)` once per [`PendingLog::COMPACT_EVERY`]
+    /// appends.
+    pub fn record(&mut self, task: TaskId, views: &mut [SiteView]) {
+        self.entries.push(task.0);
+        if self.entries.len().is_multiple_of(Self::COMPACT_EVERY) {
+            let replayed = views
+                .iter()
+                .map(|v| v.log_cursor)
+                .min()
+                .unwrap_or(self.entries.len());
+            if replayed > 0 {
+                self.entries.drain(..replayed);
+                for v in views {
+                    v.log_cursor -= replayed;
+                }
+            }
+        }
+    }
+
+    /// Number of journaled transitions still retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
     }
 }
 
@@ -280,6 +351,8 @@ pub struct SiteView {
     overlap: Vec<u32>,
     refsum: Vec<u64>,
     rank: Option<TaskRank>,
+    /// How far into the shared [`PendingLog`] this view has replayed.
+    log_cursor: usize,
 }
 
 impl SiteView {
@@ -290,6 +363,33 @@ impl SiteView {
             overlap: vec![0; num_tasks],
             refsum: vec![0; num_tasks],
             rank: None,
+            log_cursor: 0,
+        }
+    }
+
+    /// Replays the [`PendingLog`] suffix this view has not seen yet,
+    /// admitting every journaled task that is still live (per the caller's
+    /// predicate) into the priority index. Call before any ranked read.
+    ///
+    /// `O(new entries)` — each (site, journal entry) pair is processed at
+    /// most once over the run. No-op beyond cursor advancement when no
+    /// rank is attached.
+    pub fn sync_pending<F: FnMut(TaskId) -> bool>(
+        &mut self,
+        index: &FileIndex,
+        log: &PendingLog,
+        mut live: F,
+    ) {
+        if self.rank.is_none() {
+            self.log_cursor = log.entries.len();
+            return;
+        }
+        while self.log_cursor < log.entries.len() {
+            let task = TaskId(log.entries[self.log_cursor]);
+            self.log_cursor += 1;
+            if live(task) {
+                self.rank_insert(index, task);
+            }
         }
     }
 
@@ -329,16 +429,84 @@ impl SiteView {
         }
     }
 
+    /// Bulk-admits `tasks` (ascending, not yet tracked) into a freshly
+    /// enabled priority index: per-bucket sorted runs built in one pass,
+    /// then loaded via `BTreeSet::from_iter` — equivalent to
+    /// [`SiteView::rank_insert`] per task, minus `O(T)` tree inserts per
+    /// site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no rank is attached.
+    pub fn rank_bulk_admit(&mut self, index: &FileIndex, tasks: &[TaskId]) {
+        let rank = self
+            .rank
+            .as_mut()
+            .expect("rank_bulk_admit requires an enabled rank");
+        let mut buckets: Vec<Vec<(u64, u32)>> = vec![Vec::new(); rank.buckets.len()];
+        for &task in tasks {
+            let t = task.index();
+            if rank.member[t] {
+                continue;
+            }
+            let (overlap, refsum) = (self.overlap[t], self.refsum[t]);
+            let level = rank.level_for(index.task_size(task), overlap);
+            let key = rank.key_for(level, refsum);
+            buckets[level as usize].push((key, task.0));
+            rank.member[t] = true;
+            rank.level_of[t] = level;
+            rank.key_of[t] = key;
+            rank.refsum_of[t] = refsum;
+            rank.len += 1;
+        }
+        for (level, entries) in buckets.into_iter().enumerate() {
+            if !entries.is_empty() {
+                // A hard assert: silently overwriting a non-empty bucket
+                // would drop tracked tasks while member[]/len still count
+                // them. Cold path (once per rank enable), so it is free.
+                assert!(
+                    rank.buckets[level].is_empty(),
+                    "rank_bulk_admit into a non-empty bucket (level {level})"
+                );
+                rank.buckets[level] = entries.into_iter().collect();
+            }
+        }
+    }
+
     /// Records that `file` became resident with current reference count
     /// `ref_count`.
     pub fn on_file_added(&mut self, index: &FileIndex, file: FileId, ref_count: u32) {
+        self.on_file_added_pruning(index, file, ref_count, |_| true);
+    }
+
+    /// [`SiteView::on_file_added`] with opportunistic stale repair: a rank
+    /// member failing `live` is physically removed instead of re-filed —
+    /// the event handler is touching the entry anyway, so the repair that
+    /// would otherwise wait for a read at this site comes for free, and
+    /// dead entries stop paying `O(log T)` re-files on every later storage
+    /// event. The predicate must be the owner's rank-liveness (the same
+    /// one its reads pass), or live tasks would vanish from the index.
+    pub fn on_file_added_pruning<F: FnMut(TaskId) -> bool>(
+        &mut self,
+        index: &FileIndex,
+        file: FileId,
+        ref_count: u32,
+        mut live: F,
+    ) {
         for &t in index.tasks_of(file) {
             let ti = t as usize;
             self.overlap[ti] += 1;
             self.refsum[ti] += u64::from(ref_count);
             if let Some(rank) = self.rank.as_mut() {
-                let level = rank.level_for(index.task_size(TaskId(t)), self.overlap[ti]);
-                rank.sync(ti, level, self.refsum[ti]);
+                if !rank.member[ti] {
+                    continue;
+                }
+                if live(TaskId(t)) {
+                    let level = rank.level_for(index.task_size(TaskId(t)), self.overlap[ti]);
+                    rank.sync(ti, level, self.refsum[ti]);
+                } else {
+                    rank.remove(ti);
+                }
             }
         }
     }
@@ -346,25 +514,62 @@ impl SiteView {
     /// Records that `file` was evicted while holding reference count
     /// `ref_count`.
     pub fn on_file_evicted(&mut self, index: &FileIndex, file: FileId, ref_count: u32) {
+        self.on_file_evicted_pruning(index, file, ref_count, |_| true);
+    }
+
+    /// [`SiteView::on_file_evicted`] with opportunistic stale repair (see
+    /// [`SiteView::on_file_added_pruning`]).
+    pub fn on_file_evicted_pruning<F: FnMut(TaskId) -> bool>(
+        &mut self,
+        index: &FileIndex,
+        file: FileId,
+        ref_count: u32,
+        mut live: F,
+    ) {
         for &t in index.tasks_of(file) {
             let ti = t as usize;
             self.overlap[ti] -= 1;
             self.refsum[ti] -= u64::from(ref_count);
             if let Some(rank) = self.rank.as_mut() {
-                let level = rank.level_for(index.task_size(TaskId(t)), self.overlap[ti]);
-                rank.sync(ti, level, self.refsum[ti]);
+                if !rank.member[ti] {
+                    continue;
+                }
+                if live(TaskId(t)) {
+                    let level = rank.level_for(index.task_size(TaskId(t)), self.overlap[ti]);
+                    rank.sync(ti, level, self.refsum[ti]);
+                } else {
+                    rank.remove(ti);
+                }
             }
         }
     }
 
     /// Records that a task referenced resident `file` (`r_i += 1`).
     pub fn on_task_reference(&mut self, index: &FileIndex, file: FileId) {
+        self.on_task_reference_pruning(index, file, |_| true);
+    }
+
+    /// [`SiteView::on_task_reference`] with opportunistic stale repair
+    /// (see [`SiteView::on_file_added_pruning`]).
+    pub fn on_task_reference_pruning<F: FnMut(TaskId) -> bool>(
+        &mut self,
+        index: &FileIndex,
+        file: FileId,
+        mut live: F,
+    ) {
         for &t in index.tasks_of(file) {
             let ti = t as usize;
             self.refsum[ti] += 1;
             if let Some(rank) = self.rank.as_mut() {
-                let level = rank.level_of[ti];
-                rank.sync(ti, level, self.refsum[ti]);
+                if !rank.member[ti] {
+                    continue;
+                }
+                if live(TaskId(t)) {
+                    let level = rank.level_of[ti];
+                    rank.sync(ti, level, self.refsum[ti]);
+                } else {
+                    rank.remove(ti);
+                }
             }
         }
     }
@@ -384,112 +589,174 @@ impl SiteView {
     /// The worker-centric pick straight off the priority index —
     /// equivalent to `chooser.pick(weigh_all(...), rng)` but reading only
     /// the best few bucket heads (`O(log T)` amortized; `Combined`
-    /// additionally scans the `O(levels)` per-level counters for its
-    /// normalisers).
+    /// additionally reads its queue-wide normalisers from the supplied
+    /// `combined_totals`, maintained exactly by [`ComboAggregates`]).
     ///
-    /// The candidate set handed to [`ChooseTask::pick`] provably contains
-    /// the full scan's top-`n` (within a bucket the order matches the
-    /// argmax tie-break; across buckets every bucket contributes its first
-    /// `n`), and the weights are computed with the identical expressions —
-    /// so the pick, including its RNG consumption, is bit-identical.
+    /// Pool membership is lazy: entries failing `live` are skipped *and
+    /// physically removed* (each stale entry is repaired at most once), so
+    /// the candidate set equals what an eagerly-maintained rank would
+    /// hold. It provably contains the full scan's top-`n` (within a bucket
+    /// the order matches the argmax tie-break; across buckets every bucket
+    /// contributes its first `n` live members), and the weights are
+    /// computed with the identical expressions — so the pick, including
+    /// its RNG consumption, is bit-identical. Call
+    /// [`SiteView::sync_pending`] first so journaled re-inserts are
+    /// visible.
     ///
-    /// Returns `None` when no pending task is tracked.
+    /// Returns `None` when no live task is tracked.
     ///
     /// # Panics
     ///
-    /// Panics if no rank is attached (see [`SiteView::enable_rank`]).
-    pub fn pick_ranked<R: Rng + ?Sized>(
-        &self,
+    /// Panics if no rank is attached (see [`SiteView::enable_rank`]), or
+    /// if the rank orders by [`WeightMetric::Combined`] and
+    /// `combined_totals` is `None`.
+    pub fn pick_ranked<R, F>(
+        &mut self,
         chooser: &ChooseTask,
         rng: &mut R,
-    ) -> Option<TaskId> {
-        let rank = self
-            .rank
-            .as_ref()
-            .expect("pick_ranked requires an enabled rank");
-        if rank.is_empty() {
-            return None;
-        }
+        mut live: F,
+        combined_totals: Option<(u64, f64)>,
+    ) -> Option<TaskId>
+    where
+        R: Rng + ?Sized,
+        F: FnMut(TaskId) -> bool,
+    {
         let n = chooser.n();
+        let mut stale: Vec<u32> = Vec::new();
         let mut cands: Vec<(TaskId, f64)> = Vec::with_capacity(n);
-        match rank.metric {
-            WeightMetric::Overlap => {
-                // Strictly decreasing weight per level: the first n tasks
-                // in (level desc, id asc) order are the exact top-n.
-                for level in (0..rank.buckets.len()).rev() {
-                    let need = n - cands.len();
-                    for &(_, t) in rank.buckets[level].iter().take(need) {
-                        cands.push((TaskId(t), level as f64));
-                    }
-                    if cands.len() == n {
-                        break;
-                    }
-                }
-            }
-            WeightMetric::Rest => {
-                // Strictly decreasing weight as missing grows: ascending
-                // levels yield the exact top-n.
-                for (level, bucket) in rank.buckets.iter().enumerate() {
-                    let need = n - cands.len();
-                    for &(_, t) in bucket.iter().take(need) {
-                        cands.push((TaskId(t), rest_weight(level)));
-                    }
-                    if cands.len() == n {
-                        break;
+        {
+            let rank = self
+                .rank
+                .as_ref()
+                .expect("pick_ranked requires an enabled rank");
+            match rank.metric {
+                WeightMetric::Overlap => {
+                    // Strictly decreasing weight per level: the first n
+                    // live tasks in (level desc, id asc) order are the
+                    // exact top-n.
+                    'levels: for level in (0..rank.buckets.len()).rev() {
+                        for &(_, t) in &rank.buckets[level] {
+                            if !live(TaskId(t)) {
+                                stale.push(t);
+                                continue;
+                            }
+                            cands.push((TaskId(t), level as f64));
+                            if cands.len() == n {
+                                break 'levels;
+                            }
+                        }
                     }
                 }
-            }
-            WeightMetric::Combined => {
-                // Weights mix normalised references and rest, so no single
-                // bucket order is globally sorted — but within a bucket the
-                // order is weight-descending, hence the global top-n is
-                // contained in the union of every bucket's first n.
-                let total_ref = rank.total_ref;
-                let total_rest = rank.total_rest();
-                for (level, bucket) in rank.buckets.iter().enumerate() {
-                    for &(_, t) in bucket.iter().take(n) {
-                        let w = combined_weight(
-                            self.refsum[t as usize],
-                            rest_weight(level),
-                            total_ref,
-                            total_rest,
-                        );
-                        cands.push((TaskId(t), w));
+                WeightMetric::Rest => {
+                    // Strictly decreasing weight as missing grows:
+                    // ascending levels yield the exact top-n.
+                    'levels: for (level, bucket) in rank.buckets.iter().enumerate() {
+                        for &(_, t) in bucket {
+                            if !live(TaskId(t)) {
+                                stale.push(t);
+                                continue;
+                            }
+                            cands.push((TaskId(t), rest_weight(level)));
+                            if cands.len() == n {
+                                break 'levels;
+                            }
+                        }
+                    }
+                }
+                WeightMetric::Combined => {
+                    // Weights mix normalised references and rest, so no
+                    // single bucket order is globally sorted — but within
+                    // a bucket the order is weight-descending, hence the
+                    // global top-n is contained in the union of every
+                    // bucket's first n live members.
+                    let (total_ref, total_rest) =
+                        combined_totals.expect("Combined pick needs ComboAggregates totals");
+                    for (level, bucket) in rank.buckets.iter().enumerate() {
+                        let mut taken = 0;
+                        for &(_, t) in bucket {
+                            if !live(TaskId(t)) {
+                                stale.push(t);
+                                continue;
+                            }
+                            let w = combined_weight(
+                                self.refsum[t as usize],
+                                rest_weight(level),
+                                total_ref,
+                                total_rest,
+                            );
+                            cands.push((TaskId(t), w));
+                            taken += 1;
+                            if taken == n {
+                                break;
+                            }
+                        }
                     }
                 }
             }
         }
+        self.repair(&stale);
         chooser.pick(&cands, rng)
     }
 
-    /// The pending task with the largest overlap (ties to the lowest id)
+    /// Physically removes lazily-discovered stale entries from the rank.
+    fn repair(&mut self, stale: &[u32]) {
+        if stale.is_empty() {
+            return;
+        }
+        let rank = self.rank.as_mut().expect("repair follows a ranked read");
+        for &t in stale {
+            rank.remove(t as usize);
+        }
+    }
+
+    /// The live task with the largest overlap (ties to the lowest id)
     /// that satisfies `keep`, walking the index in (overlap desc, id asc)
     /// order — the storage-affinity replica selection and the sufferage
     /// fallback.
+    ///
+    /// `live` is the lazy-membership predicate: entries failing it are
+    /// skipped and physically repaired. `keep` is a *transient* caller
+    /// filter (e.g. "not already executing at this worker") — entries
+    /// failing only `keep` stay in the rank. Call
+    /// [`SiteView::sync_pending`] first.
     ///
     /// # Panics
     ///
     /// Panics if no rank is attached or the rank does not order by
     /// [`WeightMetric::Overlap`].
-    pub fn top_overlap_where<F: FnMut(TaskId) -> bool>(&self, mut keep: F) -> Option<TaskId> {
-        let rank = self
-            .rank
-            .as_ref()
-            .expect("top_overlap_where requires an enabled rank");
-        assert_eq!(
-            rank.metric,
-            WeightMetric::Overlap,
-            "top_overlap_where needs an Overlap-ordered rank"
-        );
-        for level in (0..rank.buckets.len()).rev() {
-            for &(_, t) in &rank.buckets[level] {
-                let task = TaskId(t);
-                if keep(task) {
-                    return Some(task);
+    pub fn top_overlap_where<L, K>(&mut self, mut live: L, mut keep: K) -> Option<TaskId>
+    where
+        L: FnMut(TaskId) -> bool,
+        K: FnMut(TaskId) -> bool,
+    {
+        let mut stale: Vec<u32> = Vec::new();
+        let mut found = None;
+        {
+            let rank = self
+                .rank
+                .as_ref()
+                .expect("top_overlap_where requires an enabled rank");
+            assert_eq!(
+                rank.metric,
+                WeightMetric::Overlap,
+                "top_overlap_where needs an Overlap-ordered rank"
+            );
+            'levels: for level in (0..rank.buckets.len()).rev() {
+                for &(_, t) in &rank.buckets[level] {
+                    let task = TaskId(t);
+                    if !live(task) {
+                        stale.push(t);
+                        continue;
+                    }
+                    if keep(task) {
+                        found = Some(task);
+                        break 'levels;
+                    }
                 }
             }
         }
-        None
+        self.repair(&stale);
+        found
     }
 
     /// Debug helper: checks this view against ground truth from the store.
@@ -521,7 +788,9 @@ impl SiteView {
 
 /// Attaches a `metric`-ordered priority index to every view and admits the
 /// current pending pool — the shared initialize-time step of every
-/// incremental-mode scheduler.
+/// incremental-mode scheduler. Admission is bulk: per-bucket sorted runs
+/// handed to `BTreeSet::from_iter` (which bulk-builds), instead of
+/// `S × T` individual tree inserts.
 pub fn enable_ranks(
     views: &mut [SiteView],
     metric: WeightMetric,
@@ -531,25 +800,233 @@ pub fn enable_ranks(
     let pending: Vec<TaskId> = pool.iter().collect();
     for view in views {
         view.enable_rank(metric, index);
-        for &t in &pending {
-            view.rank_insert(index, t);
+        view.rank_bulk_admit(index, &pending);
+    }
+}
+
+/// Exact, sparsely-maintained queue-wide normalisers for the `combined`
+/// metric — `totalRef` and the per-missing-count histogram behind
+/// `totalRest` — for **every** site at once.
+///
+/// The naive definition is per-site and per-membership:
+/// `totalRef(s) = Σ_{t pending} refsum_s(t)` and
+/// `counts_s[m] = #{t pending : missing_s(t) = m}` — maintaining these
+/// eagerly costs `O(S)` per pool insert/remove, the broadcast this module
+/// eliminates. Two observations make the maintenance sparse:
+///
+/// * a task with **zero overlap** at a site contributes `refsum = 0` and
+///   `missing = |t|` there — so a global `pending_by_size` histogram is a
+///   correct baseline for every site, and each site only needs a
+///   *correction* for its nonzero-overlap pending tasks;
+/// * a task has nonzero overlap exactly at the sites holding at least one
+///   of its files — enumerable from per-file **residency lists** in
+///   `O(Σ_f |sites holding f|)`, independent of `S` for data-local
+///   workloads.
+///
+/// Storage events stay site-local (`O(tasks reading the file)`), exactly
+/// like the [`SiteView`] counter maintenance they piggyback on. All
+/// arithmetic is integer, so the totals are bit-exact; `totalRest` is
+/// produced by feeding the reconstructed histogram through the canonical
+/// [`total_rest_from_counts`] accumulation.
+///
+/// Event routing (the owner must keep this in lock-step with the views;
+/// all hooks take the *already updated* [`SiteView`] of the event's site):
+/// [`ComboAggregates::on_file_added`] / [`ComboAggregates::on_file_evicted`]
+/// / [`ComboAggregates::on_task_reference`] after the view update, and
+/// [`ComboAggregates::on_pool_remove`] / [`ComboAggregates::on_pool_insert`]
+/// on membership changes.
+#[derive(Debug, Clone)]
+pub struct ComboAggregates {
+    /// Baseline histogram: `#pending tasks with |t| = k` (global).
+    pending_by_size: Vec<i64>,
+    /// Per-site corrections, flattened `site * levels + m`: for each
+    /// pending task with nonzero overlap at the site,
+    /// `[missing = m] − [|t| = m]`.
+    corr: Vec<i64>,
+    /// Per-site `Σ refsum` over pending tasks (zero-overlap tasks
+    /// contribute zero, so only nonzero-overlap sites ever adjust this).
+    total_ref: Vec<u64>,
+    /// `residency[f]` — sites currently holding file `f`.
+    residency: Vec<Vec<u32>>,
+    /// Site-dedup scratch for membership sweeps (stamp pattern).
+    seen: Vec<u64>,
+    stamp: u64,
+    levels: usize,
+}
+
+impl ComboAggregates {
+    /// Aggregates for `sites` initially-**empty** site stores over the
+    /// current pending pool. Pre-populated stores must be seeded through
+    /// [`ComboAggregates::on_file_added`], file by file, after the
+    /// corresponding view update.
+    #[must_use]
+    pub fn new(index: &FileIndex, pool: &TaskPool, sites: usize) -> Self {
+        let levels = index.max_task_size() as usize + 1;
+        let mut pending_by_size = vec![0i64; levels];
+        for t in pool.iter() {
+            pending_by_size[index.task_size(t) as usize] += 1;
+        }
+        ComboAggregates {
+            pending_by_size,
+            corr: vec![0; sites * levels],
+            total_ref: vec![0; sites],
+            residency: vec![Vec::new(); index.file_count()],
+            seen: vec![0; sites],
+            stamp: 0,
+            levels,
         }
     }
-}
 
-/// Withdraws `task` from every view's priority index (pool removal).
-/// No-op for views without a rank.
-pub fn rank_remove_all(views: &mut [SiteView], task: TaskId) {
-    for view in views {
-        view.rank_remove(task);
+    /// The exact `(totalRef, totalRest)` pair for `site`, over the current
+    /// pending pool — `O(levels)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if a reconstructed count is negative — an event was
+    /// routed out of lock-step.
+    #[must_use]
+    pub fn totals(&self, site: usize) -> (u64, f64) {
+        let corr = &self.corr[site * self.levels..(site + 1) * self.levels];
+        let total_rest = total_rest_from_counts((0..self.levels).map(|m| {
+            let count = self.pending_by_size[m] + corr[m];
+            debug_assert!(count >= 0, "negative count at level {m}");
+            count as u32
+        }));
+        (self.total_ref[site], total_rest)
     }
-}
 
-/// Admits `task` into every view's priority index (pool requeue).
-/// No-op for views without a rank.
-pub fn rank_insert_all(views: &mut [SiteView], index: &FileIndex, task: TaskId) {
-    for view in views {
-        view.rank_insert(index, task);
+    /// `file` became resident at `site` with reference count `ref_count`;
+    /// `view` is the site's view, already updated.
+    pub fn on_file_added(
+        &mut self,
+        site: usize,
+        index: &FileIndex,
+        view: &SiteView,
+        file: FileId,
+        ref_count: u32,
+        pool: &TaskPool,
+    ) {
+        self.residency[file.index()].push(site as u32);
+        let corr = &mut self.corr[site * self.levels..(site + 1) * self.levels];
+        for &t in index.tasks_of(file) {
+            let task = TaskId(t);
+            if !pool.contains(task) {
+                continue;
+            }
+            // Overlap rose by one, so the task misses one file fewer. When
+            // it just joined the nonzero-overlap set, the old "missing"
+            // equals |t| — exactly the baseline slot its correction must
+            // now cancel, so the uniform two-slot update covers both cases.
+            let m_new = (index.task_size(task) - view.overlap(task)) as usize;
+            corr[m_new + 1] -= 1;
+            corr[m_new] += 1;
+            self.total_ref[site] += u64::from(ref_count);
+        }
+    }
+
+    /// `file` was evicted at `site` while holding `ref_count`; `view` is
+    /// the site's view, already updated.
+    pub fn on_file_evicted(
+        &mut self,
+        site: usize,
+        index: &FileIndex,
+        view: &SiteView,
+        file: FileId,
+        ref_count: u32,
+        pool: &TaskPool,
+    ) {
+        let slot = self.residency[file.index()]
+            .iter()
+            .position(|&s| s == site as u32)
+            .expect("evicted file was resident");
+        self.residency[file.index()].swap_remove(slot);
+        let corr = &mut self.corr[site * self.levels..(site + 1) * self.levels];
+        for &t in index.tasks_of(file) {
+            let task = TaskId(t);
+            if !pool.contains(task) {
+                continue;
+            }
+            let m_new = (index.task_size(task) - view.overlap(task)) as usize;
+            corr[m_new - 1] -= 1;
+            corr[m_new] += 1;
+            self.total_ref[site] -= u64::from(ref_count);
+        }
+    }
+
+    /// A task at `site` referenced resident `file` (`r_i += 1`): every
+    /// pending reader's refsum rose by one.
+    pub fn on_task_reference(
+        &mut self,
+        site: usize,
+        index: &FileIndex,
+        file: FileId,
+        pool: &TaskPool,
+    ) {
+        let pending_readers = index
+            .tasks_of(file)
+            .iter()
+            .filter(|&&t| pool.contains(TaskId(t)))
+            .count() as u64;
+        self.total_ref[site] += pending_readers;
+    }
+
+    /// `task` (input set `files`) left the pending pool. Touches only the
+    /// sites where the task has nonzero overlap, via the residency lists.
+    pub fn on_pool_remove(
+        &mut self,
+        index: &FileIndex,
+        task: TaskId,
+        files: &[FileId],
+        views: &[SiteView],
+    ) {
+        let size = index.task_size(task) as usize;
+        self.pending_by_size[size] -= 1;
+        self.for_each_overlap_site(files, |aggr, site| {
+            let view = &views[site];
+            let m = size - view.overlap(task) as usize;
+            let corr = &mut aggr.corr[site * aggr.levels..(site + 1) * aggr.levels];
+            corr[m] -= 1;
+            corr[size] += 1;
+            aggr.total_ref[site] -= view.refsum(task);
+        });
+    }
+
+    /// `task` (input set `files`) re-joined the pending pool.
+    pub fn on_pool_insert(
+        &mut self,
+        index: &FileIndex,
+        task: TaskId,
+        files: &[FileId],
+        views: &[SiteView],
+    ) {
+        let size = index.task_size(task) as usize;
+        self.pending_by_size[size] += 1;
+        self.for_each_overlap_site(files, |aggr, site| {
+            let view = &views[site];
+            let m = size - view.overlap(task) as usize;
+            let corr = &mut aggr.corr[site * aggr.levels..(site + 1) * aggr.levels];
+            corr[m] += 1;
+            corr[size] -= 1;
+            aggr.total_ref[site] += view.refsum(task);
+        });
+    }
+
+    /// Visits each distinct site holding at least one of `files` — exactly
+    /// the sites where the owning task's overlap is nonzero.
+    fn for_each_overlap_site<F: FnMut(&mut Self, usize)>(&mut self, files: &[FileId], mut f: F) {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        for &file in files {
+            let sites = std::mem::take(&mut self.residency[file.index()]);
+            for &s in &sites {
+                let s = s as usize;
+                if self.seen[s] != stamp {
+                    self.seen[s] = stamp;
+                    f(self, s);
+                }
+            }
+            self.residency[file.index()] = sites;
+        }
     }
 }
 
@@ -739,78 +1216,152 @@ mod rank_tests {
 
     #[test]
     fn ranked_overlap_pick_is_argmax() {
-        let (_, view, _) = ranked_view(WeightMetric::Overlap, &[2, 3]);
+        let (_, mut view, _) = ranked_view(WeightMetric::Overlap, &[2, 3]);
         let mut rng = StdRng::seed_from_u64(0);
         // Task 2 overlaps {2,3} fully; deterministic argmax.
         assert_eq!(
-            view.pick_ranked(&ChooseTask::new(1), &mut rng),
+            view.pick_ranked(&ChooseTask::new(1), &mut rng, |_| true, None),
             Some(TaskId(2))
         );
     }
 
     #[test]
     fn ranked_rest_prefers_zero_missing() {
-        let (_, view, _) = ranked_view(WeightMetric::Rest, &[0, 1]);
+        let (_, mut view, _) = ranked_view(WeightMetric::Rest, &[0, 1]);
         let mut rng = StdRng::seed_from_u64(0);
         assert_eq!(
-            view.pick_ranked(&ChooseTask::new(1), &mut rng),
+            view.pick_ranked(&ChooseTask::new(1), &mut rng, |_| true, None),
             Some(TaskId(0)),
             "task 0 needs zero transfers"
         );
     }
 
     #[test]
-    fn ranked_tracks_pool_membership() {
+    fn ranked_tracks_lazy_membership() {
+        // Membership is conveyed through the `live` predicate + the
+        // PendingLog, never by touching the rank directly.
         let (idx, mut view, _) = ranked_view(WeightMetric::Overlap, &[0, 1]);
         let mut rng = StdRng::seed_from_u64(0);
         let chooser = ChooseTask::new(1);
-        assert_eq!(view.pick_ranked(&chooser, &mut rng), Some(TaskId(0)));
-        view.rank_remove(TaskId(0));
-        assert_eq!(view.pick_ranked(&chooser, &mut rng), Some(TaskId(1)));
-        view.rank_insert(&idx, TaskId(0));
-        assert_eq!(view.pick_ranked(&chooser, &mut rng), Some(TaskId(0)));
+        let mut pool = TaskPool::full(4);
+        let mut log = PendingLog::new();
+        let mut pick = |view: &mut SiteView, pool: &TaskPool, log: &PendingLog| {
+            view.sync_pending(&idx, log, |t| pool.contains(t));
+            view.pick_ranked(&chooser, &mut rng, |t| pool.contains(t), None)
+        };
+        assert_eq!(pick(&mut view, &pool, &log), Some(TaskId(0)));
+        pool.remove(TaskId(0));
+        assert_eq!(pick(&mut view, &pool, &log), Some(TaskId(1)));
+        // The stale entry was physically repaired during the read.
+        assert_eq!(view.rank().expect("enabled").len(), 3);
+        pool.insert(TaskId(0));
+        log.record(TaskId(0), std::slice::from_mut(&mut view));
+        assert_eq!(pick(&mut view, &pool, &log), Some(TaskId(0)));
         for t in 0..4 {
-            view.rank_remove(TaskId(t));
+            pool.remove(TaskId(t));
         }
-        assert_eq!(view.pick_ranked(&chooser, &mut rng), None);
+        assert_eq!(pick(&mut view, &pool, &log), None);
+        assert!(view.rank().expect("enabled").is_empty(), "all repaired");
     }
 
     #[test]
     fn top_overlap_where_filters() {
-        let (_, view, _) = ranked_view(WeightMetric::Overlap, &[2, 3]);
-        assert_eq!(view.top_overlap_where(|_| true), Some(TaskId(2)));
+        let (_, mut view, _) = ranked_view(WeightMetric::Overlap, &[2, 3]);
+        assert_eq!(view.top_overlap_where(|_| true, |_| true), Some(TaskId(2)));
         assert_eq!(
-            view.top_overlap_where(|t| t != TaskId(2)),
+            view.top_overlap_where(|_| true, |t| t != TaskId(2)),
             Some(TaskId(1)),
             "next-best overlap after filtering the argmax"
         );
-        assert_eq!(view.top_overlap_where(|_| false), None);
+        assert_eq!(view.top_overlap_where(|_| true, |_| false), None);
+        // A transient `keep` filter must not shrink the rank...
+        assert_eq!(view.rank().expect("enabled").len(), 4);
+        // ...but a failing `live` predicate repairs the walked entries.
+        assert_eq!(view.top_overlap_where(|_| false, |_| true), None);
+        assert!(view.rank().expect("enabled").is_empty());
     }
 
     #[test]
-    fn rank_totals_track_members() {
-        let (idx, mut view, mut store) = ranked_view(WeightMetric::Combined, &[1, 2]);
-        store.record_task_reference(FileId(1));
-        view.on_task_reference(&idx, FileId(1));
-        view.rank_remove(TaskId(3));
-        let rank = view.rank().expect("rank enabled");
-        assert_eq!(rank.len(), 3);
-        let total: usize = rank.buckets.iter().map(BTreeSet::len).sum();
-        assert_eq!(total, rank.len());
-        assert_eq!(
-            rank.total_ref,
-            view.refsum(TaskId(0)) + view.refsum(TaskId(1)) + view.refsum(TaskId(2))
-        );
-        // total_rest mirrors the canonical grouped accumulation.
-        let mut counts = vec![0u32; rank.buckets.len()];
-        for (m, bucket) in rank.buckets.iter().enumerate() {
-            counts[m] = bucket.len() as u32;
+    fn combo_aggregates_track_membership_and_storage() {
+        let workload = wl();
+        let idx = FileIndex::build(&workload);
+        let mut pool = TaskPool::full(4);
+        let mut combo = ComboAggregates::new(&idx, &pool, 2);
+        let mut views = vec![SiteView::new(4), SiteView::new(4)];
+        let mut store = SiteStore::new(2, EvictionPolicy::Lru);
+
+        // Baseline (empty stores): totalRef 0, counts all at |t| = 2.
+        let naive_totals = |pool: &TaskPool, store: &SiteStore| {
+            let mut total_ref = 0u64;
+            let mut counts: Vec<u32> = Vec::new();
+            for t in pool.iter() {
+                let files = workload.task(t).files();
+                let missing = files.len() - store.overlap(files);
+                total_ref += store.overlap_ref_sum(files);
+                if missing >= counts.len() {
+                    counts.resize(missing + 1, 0);
+                }
+                counts[missing] += 1;
+            }
+            (total_ref, total_rest_from_counts(counts))
+        };
+        let check = |combo: &ComboAggregates, pool: &TaskPool, store: &SiteStore| {
+            let (r, rest) = combo.totals(0);
+            let (nr, nrest) = naive_totals(pool, store);
+            assert_eq!(r, nr);
+            assert_eq!(rest.to_bits(), nrest.to_bits(), "bit-identical totalRest");
+        };
+        check(&combo, &pool, &store);
+
+        // File events at site 0.
+        for f in [1u32, 2] {
+            store.insert(FileId(f));
+            views[0].on_file_added(&idx, FileId(f), store.ref_count(FileId(f)));
+            combo.on_file_added(
+                0,
+                &idx,
+                &views[0],
+                FileId(f),
+                store.ref_count(FileId(f)),
+                &pool,
+            );
         }
-        assert_eq!(
-            rank.total_rest().to_bits(),
-            total_rest_from_counts(counts).to_bits(),
-            "bit-identical to the scan paths' normaliser"
+        store.record_task_reference(FileId(1));
+        views[0].on_task_reference(&idx, FileId(1));
+        combo.on_task_reference(0, &idx, FileId(1), &pool);
+        check(&combo, &pool, &store);
+
+        // Membership: remove a nonzero-overlap task, then re-admit it.
+        let files1: Vec<FileId> = workload.task(TaskId(1)).files().to_vec();
+        pool.remove(TaskId(1));
+        combo.on_pool_remove(&idx, TaskId(1), &files1, &views);
+        check(&combo, &pool, &store);
+        pool.insert(TaskId(1));
+        combo.on_pool_insert(&idx, TaskId(1), &files1, &views);
+        check(&combo, &pool, &store);
+
+        // Eviction (capacity 2, LRU) rolls the correction back.
+        let evicted = store.insert(FileId(3));
+        assert_eq!(evicted.len(), 1, "capacity 2 forces one eviction");
+        for e in evicted {
+            let rc = store.ref_count(e);
+            views[0].on_file_evicted(&idx, e, rc);
+            combo.on_file_evicted(0, &idx, &views[0], e, rc, &pool);
+        }
+        views[0].on_file_added(&idx, FileId(3), store.ref_count(FileId(3)));
+        combo.on_file_added(
+            0,
+            &idx,
+            &views[0],
+            FileId(3),
+            store.ref_count(FileId(3)),
+            &pool,
         );
+        check(&combo, &pool, &store);
+
+        // Site 1 never saw a file: its totals stay at the baseline.
+        let (r1, _) = combo.totals(1);
+        assert_eq!(r1, 0);
     }
 }
 
@@ -899,10 +1450,11 @@ mod proptests {
             }
         }
 
-        /// The ranked pick — candidate selection off the bucket heads —
-        /// makes the same choice as the full naive scan + `ChooseTask`,
-        /// consuming the RNG identically, across storage churn and pool
-        /// membership changes.
+        /// The ranked pick — lazy membership (stale filtering + PendingLog
+        /// replay), `ComboAggregates` normalisers, candidate selection off
+        /// the bucket heads — makes the same choice as the full naive scan
+        /// + `ChooseTask`, consuming the RNG identically, across storage
+        /// churn and pool membership changes.
         #[test]
         fn ranked_pick_matches_naive_scan(
             workload in arb_workload(),
@@ -925,6 +1477,8 @@ mod proptests {
             for t in pool.iter().collect::<Vec<_>>() {
                 view.rank_insert(&idx, t);
             }
+            let mut combo = ComboAggregates::new(&idx, &pool, 1);
+            let mut log = PendingLog::new();
             let mut rng_naive = StdRng::seed_from_u64(seed);
             let mut rng_ranked = StdRng::seed_from_u64(seed);
             for op in ops {
@@ -935,8 +1489,10 @@ mod proptests {
                             let evicted = store.insert(f);
                             for e in evicted {
                                 view.on_file_evicted(&idx, e, store.ref_count(e));
+                                combo.on_file_evicted(0, &idx, &view, e, store.ref_count(e), &pool);
                             }
                             view.on_file_added(&idx, f, store.ref_count(f));
+                            combo.on_file_added(0, &idx, &view, f, store.ref_count(f), &pool);
                         }
                     }
                     Op::Reference(f) => {
@@ -944,25 +1500,32 @@ mod proptests {
                         if store.contains(f) {
                             store.record_task_reference(f);
                             view.on_task_reference(&idx, f);
+                            combo.on_task_reference(0, &idx, f, &pool);
                         }
                     }
                     Op::RemoveTask(t) => {
-                        // Toggle pool membership to exercise requeues.
+                        // Toggle pool membership to exercise requeues: a
+                        // removal touches no rank (lazy), an insert goes
+                        // through the journal.
                         if (t as usize) < workload.task_count() {
                             let t = TaskId(t);
+                            let files: Vec<FileId> = workload.task(t).files().to_vec();
                             if pool.contains(t) {
                                 pool.remove(t);
-                                view.rank_remove(t);
+                                combo.on_pool_remove(&idx, t, &files, std::slice::from_ref(&view));
                             } else {
                                 pool.insert(t);
-                                view.rank_insert(&idx, t);
+                                combo.on_pool_insert(&idx, t, &files, std::slice::from_ref(&view));
+                                log.record(t, std::slice::from_mut(&mut view));
                             }
                         }
                     }
                 }
                 let weights = crate::weight::weigh_all_naive(metric, &workload, &pool, &store);
                 let naive = chooser.pick(&weights, &mut rng_naive);
-                let ranked = view.pick_ranked(&chooser, &mut rng_ranked);
+                let totals = (metric == WeightMetric::Combined).then(|| combo.totals(0));
+                view.sync_pending(&idx, &log, |t| pool.contains(t));
+                let ranked = view.pick_ranked(&chooser, &mut rng_ranked, |t| pool.contains(t), totals);
                 prop_assert_eq!(naive, ranked, "metric {} n {}", metric, n);
             }
         }

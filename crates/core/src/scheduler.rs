@@ -29,7 +29,7 @@ use crate::weight::WeightMetric;
 /// sequences (and therefore identical simulation output); they differ only
 /// in per-decision cost. See `tests/scheduler_equivalence.rs` and the
 /// `perf_scale` harness.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum EvalMode {
     /// Incrementally-maintained per-site priority indexes
     /// ([`crate::index::TaskRank`]): `O(log T)` amortized per decision.

@@ -42,7 +42,7 @@ use gridsched_storage::{FileMask, FileSet, SiteStore};
 use gridsched_workload::{FileId, TaskId, Workload};
 
 use crate::ids::{GridEnv, SiteId, WorkerId};
-use crate::index::{enable_ranks, rank_insert_all, rank_remove_all, FileIndex, SiteView};
+use crate::index::{enable_ranks, FileIndex, PendingLog, SiteView};
 use crate::pool::TaskPool;
 use crate::scheduler::{Assignment, CompletionOutcome, EvalMode, ReplicaThrottle, Scheduler};
 use crate::weight::WeightMetric;
@@ -128,13 +128,17 @@ pub struct StorageAffinity {
     throttle: ReplicaThrottle,
     /// Active replica executions: worker → the task it replicates.
     replica_at: HashMap<WorkerId, TaskId>,
-    /// Concurrent replica executions per task. A task at the cap is
-    /// withdrawn from every site's overlap index so the `O(log T)` ranked
-    /// walk skips saturated tasks structurally instead of filtering them
-    /// out after the fact.
+    /// Concurrent replica executions per task. A task at the cap simply
+    /// stops satisfying the ranked walk's `live` predicate — its index
+    /// entries go stale in place and are repaired lazily on encounter,
+    /// `O(1)` at saturation time instead of an `O(S log T)` withdrawal
+    /// broadcast.
     task_replicas: Vec<u32>,
     /// Concurrent replica executions launched by each site's workers.
     site_inflight: Vec<u32>,
+    /// Become-live journal: cap releases of still-pending tasks append
+    /// here; each site's rank re-admits them on its next read.
+    log: PendingLog,
 }
 
 impl StorageAffinity {
@@ -161,6 +165,7 @@ impl StorageAffinity {
             replica_at: HashMap::new(),
             task_replicas: vec![0; tasks],
             site_inflight: Vec::new(),
+            log: PendingLog::new(),
         }
     }
 
@@ -222,23 +227,40 @@ impl StorageAffinity {
     /// Picks the unfinished task (queued or running, assigned to some other
     /// worker) with the largest overlap against the idle worker's current
     /// site storage. Tasks at their replica cap are skipped — in
-    /// incremental mode they are not even in the overlap index.
-    fn pick_replica(&self, worker: WorkerId, store: &SiteStore) -> Option<TaskId> {
-        let excluded = |t: &TaskId| {
-            self.capped(*t)
-                || self
-                    .running
-                    .get(t)
-                    .is_some_and(|workers| workers.contains(&worker))
-        };
+    /// incremental mode their stale index entries are repaired on
+    /// encounter.
+    fn pick_replica(&mut self, worker: WorkerId, store: &SiteStore) -> Option<TaskId> {
         match self.mode {
             // O(log T): walk the overlap-ordered index until a task not
-            // already executing at this very worker appears.
+            // already executing at this very worker appears. Completed or
+            // cap-saturated tasks fail the `live` predicate (and are
+            // physically repaired); "already running here" is transient,
+            // so it is only a `keep` filter.
             EvalMode::Incremental => {
-                self.views[worker.site.index()].top_overlap_where(|t| !excluded(&t))
+                let pending = &self.pending;
+                let cap = self.throttle.replica_cap;
+                let task_replicas = &self.task_replicas;
+                let running = &self.running;
+                let live = |t: TaskId| {
+                    pending.contains(t) && cap.is_none_or(|c| task_replicas[t.index()] < c)
+                };
+                let view = &mut self.views[worker.site.index()];
+                view.sync_pending(&self.index, &self.log, live);
+                view.top_overlap_where(live, |t| {
+                    !running
+                        .get(&t)
+                        .is_some_and(|workers| workers.contains(&worker))
+                })
             }
             // O(T): scan the cached per-site counters.
             EvalMode::Indexed => {
+                let excluded = |t: &TaskId| {
+                    self.capped(*t)
+                        || self
+                            .running
+                            .get(t)
+                            .is_some_and(|workers| workers.contains(&worker))
+                };
                 let view = &self.views[worker.site.index()];
                 self.pending
                     .iter()
@@ -249,45 +271,49 @@ impl StorageAffinity {
             }
             // O(T·I): probe the store directly, the paper's task-centric
             // per-decision cost.
-            EvalMode::Naive => self
-                .pending
-                .iter()
-                .filter(|t| !excluded(t))
-                .map(|t| {
-                    let files = self.workload.task(t).files();
-                    (store.overlap(files) as u32, std::cmp::Reverse(t))
-                })
-                .max()
-                .map(|(_, std::cmp::Reverse(t))| t),
+            EvalMode::Naive => {
+                let excluded = |t: &TaskId| {
+                    self.capped(*t)
+                        || self
+                            .running
+                            .get(t)
+                            .is_some_and(|workers| workers.contains(&worker))
+                };
+                self.pending
+                    .iter()
+                    .filter(|t| !excluded(t))
+                    .map(|t| {
+                        let files = self.workload.task(t).files();
+                        (store.overlap(files) as u32, std::cmp::Reverse(t))
+                    })
+                    .max()
+                    .map(|(_, std::cmp::Reverse(t))| t)
+            }
         }
     }
 
-    /// Marks a task completed: out of the pending pool and every site's
-    /// priority index.
+    /// Marks a task completed: out of the pending pool in `O(1)` — its
+    /// rank entries go stale in place and are repaired lazily on read.
     fn pool_remove(&mut self, task: TaskId) {
         self.pending.remove(task);
-        rank_remove_all(&mut self.views, task);
     }
 
     /// Throttle bookkeeping for a replica execution starting at `worker`.
-    /// Saturating a task's cap withdraws it from every overlap index.
+    /// Saturating a task's cap flips its `live` predicate — `O(1)`, no
+    /// index is touched.
     fn note_replica_started(&mut self, worker: WorkerId, task: TaskId) {
         if !self.throttle.is_active() {
             return;
         }
         self.replica_at.insert(worker, task);
         self.site_inflight[worker.site.index()] += 1;
-        let n = &mut self.task_replicas[task.index()];
-        *n += 1;
-        if Some(*n) == self.throttle.replica_cap {
-            rank_remove_all(&mut self.views, task);
-        }
+        self.task_replicas[task.index()] += 1;
     }
 
     /// Throttle bookkeeping for an execution ending at `worker` (won,
     /// cancelled, or fault-killed). A no-op for primary executions. A task
-    /// dropping back below its cap rejoins the overlap indexes if it is
-    /// still pending.
+    /// dropping back below its cap while still pending becomes live again:
+    /// one journal append, replayed by each site's rank on its next read.
     fn note_execution_ended(&mut self, worker: WorkerId) {
         if !self.throttle.is_active() {
             return;
@@ -298,8 +324,11 @@ impl StorageAffinity {
         self.site_inflight[worker.site.index()] -= 1;
         let n = &mut self.task_replicas[task.index()];
         *n -= 1;
-        if Some(*n + 1) == self.throttle.replica_cap && self.pending.contains(task) {
-            rank_insert_all(&mut self.views, &self.index, task);
+        if Some(*n + 1) == self.throttle.replica_cap
+            && self.pending.contains(task)
+            && self.mode == EvalMode::Incremental
+        {
+            self.log.record(task, &mut self.views);
         }
     }
 }
@@ -423,9 +452,9 @@ impl Scheduler for StorageAffinity {
         self.completed += 1;
         // The winning execution may itself be a replica. Its slots are
         // released only now, after the pool removal, so a cap-saturated
-        // winner is not pointlessly re-admitted into every site's overlap
-        // index just to be withdrawn again (2·S wasted rank edits on the
-        // completion hot path).
+        // winner is not pointlessly journaled as become-live (the task is
+        // done — sites would re-admit it just to repair the entry on
+        // their next read).
         self.note_execution_ended(worker);
         let mut others = self.running.remove(&task).unwrap_or_default();
         others.retain(|w| *w != worker);
@@ -463,19 +492,34 @@ impl Scheduler for StorageAffinity {
 
     fn on_file_added(&mut self, site: SiteId, file: FileId, ref_count: u32) {
         if let Some(view) = self.views.get_mut(site.index()) {
-            view.on_file_added(&self.index, file, ref_count);
+            let pending = &self.pending;
+            let cap = self.throttle.replica_cap;
+            let task_replicas = &self.task_replicas;
+            view.on_file_added_pruning(&self.index, file, ref_count, |t| {
+                pending.contains(t) && cap.is_none_or(|c| task_replicas[t.index()] < c)
+            });
         }
     }
 
     fn on_file_evicted(&mut self, site: SiteId, file: FileId, ref_count: u32) {
         if let Some(view) = self.views.get_mut(site.index()) {
-            view.on_file_evicted(&self.index, file, ref_count);
+            let pending = &self.pending;
+            let cap = self.throttle.replica_cap;
+            let task_replicas = &self.task_replicas;
+            view.on_file_evicted_pruning(&self.index, file, ref_count, |t| {
+                pending.contains(t) && cap.is_none_or(|c| task_replicas[t.index()] < c)
+            });
         }
     }
 
     fn on_task_reference(&mut self, site: SiteId, file: FileId) {
         if let Some(view) = self.views.get_mut(site.index()) {
-            view.on_task_reference(&self.index, file);
+            let pending = &self.pending;
+            let cap = self.throttle.replica_cap;
+            let task_replicas = &self.task_replicas;
+            view.on_task_reference_pruning(&self.index, file, |t| {
+                pending.contains(t) && cap.is_none_or(|c| task_replicas[t.index()] < c)
+            });
         }
     }
 

@@ -29,14 +29,19 @@
 //! attributes to task-centric strategies.
 //!
 //! In [`EvalMode::Incremental`] (the default) that per-decision cost goes
-//! away: the per-task `(best, second, best site)` triples are recomputed
-//! only when some site's overlap of the task changes (`O(S)` per affected
-//! task per storage event), and feed two incrementally-maintained ordered
-//! structures — a per-site *contest* set keyed by `(sufferage desc, id
-//! asc)` over the pending tasks whose best site it is, and a per-site
-//! overlap [`TaskRank`] for the fallback. A decision then reads one set
-//! head, `O(log T)`; the scan modes are kept for validation and
-//! benchmarking and are property-tested to pick identically.
+//! away: each task carries an ordered set of its **nonzero-overlap sites**
+//! keyed `(overlap, ¬site)`, so a storage event re-files one `(task,
+//! site)` entry in `O(log S)` and the `(best, second, best site)` triple
+//! is read off the set's tail in `O(1)` — no all-sites rescan anywhere.
+//! The triples feed two incrementally-maintained ordered structures — a
+//! per-site *contest* set keyed by `(sufferage desc, id asc)` over the
+//! pending tasks whose best site it is, and a per-site overlap
+//! [`TaskRank`] for the fallback, with pool membership propagated lazily
+//! (see [`crate::index`]): a pool removal is `O(log T)` (one contest
+//! entry), a requeue additionally appends to the [`PendingLog`]. A
+//! decision then reads one set head, `O(log T)`; the scan modes are kept
+//! for validation and benchmarking and are property-tested to pick
+//! identically.
 //!
 //! [`TaskRank`]: crate::index::TaskRank
 
@@ -47,7 +52,7 @@ use gridsched_storage::SiteStore;
 use gridsched_workload::{FileId, TaskId, Workload};
 
 use crate::ids::{GridEnv, SiteId, WorkerId};
-use crate::index::{enable_ranks, rank_insert_all, rank_remove_all, FileIndex, SiteView};
+use crate::index::{enable_ranks, FileIndex, PendingLog, SiteView};
 use crate::pool::TaskPool;
 use crate::scheduler::{Assignment, CompletionOutcome, EvalMode, Scheduler};
 use crate::weight::WeightMetric;
@@ -71,6 +76,11 @@ pub struct Sufferage {
     index: Arc<FileIndex>,
     views: Vec<SiteView>,
     mode: EvalMode,
+    /// Per-task ordered set of the sites with nonzero overlap, keyed
+    /// `(overlap, u32::MAX − site)` so the tail yields the best-two in
+    /// scan order: max overlap with ties to the lowest site id
+    /// (incremental mode only; empty otherwise).
+    site_rank: Vec<BTreeSet<(u32, u32)>>,
     /// Per-task `(best, second, best_site)` triples, maintained for every
     /// task (incremental mode only; empty otherwise).
     best: Vec<(u32, u32, u32)>,
@@ -78,7 +88,24 @@ pub struct Sufferage {
     /// `best > 0`), ordered `(sufferage desc, id asc)` via the key
     /// `(u64::MAX − sufferage, id)`.
     contest: Vec<BTreeSet<(u64, u32)>>,
+    /// Become-live journal for the lazy fallback ranks.
+    log: PendingLog,
     completed: usize,
+}
+
+/// Reads `(best, second, best_site)` off a task's nonzero-overlap site
+/// set — identical to the ascending-site scan: best = max overlap, ties to
+/// the lowest site; second = next-largest overlap counting duplicates
+/// (zero-overlap sites contribute the implicit floor of 0).
+fn best_two_from(set: &BTreeSet<(u32, u32)>) -> (u32, u32, u32) {
+    let mut tail = set.iter().rev();
+    match tail.next() {
+        None => (0, 0, 0),
+        Some(&(best, inv_site)) => {
+            let second = tail.next().map_or(0, |&(ov, _)| ov);
+            (best, second, u32::MAX - inv_site)
+        }
+    }
 }
 
 impl Sufferage {
@@ -93,8 +120,10 @@ impl Sufferage {
             index,
             views: Vec::new(),
             mode: EvalMode::default(),
+            site_rank: Vec::new(),
             best: Vec::new(),
             contest: Vec::new(),
+            log: PendingLog::new(),
             completed: 0,
         }
     }
@@ -110,8 +139,9 @@ impl Sufferage {
     }
 
     /// Best and second-best overlap of `task` across all sites, plus the
-    /// best site's id (ties to the lower site id).
-    fn best_two(&self, task: TaskId) -> (u32, u32, usize) {
+    /// best site's id (ties to the lower site id) — the `O(S)` scan the
+    /// non-incremental modes use per decision.
+    fn best_two_scan(&self, task: TaskId) -> (u32, u32, usize) {
         let mut best = 0u32;
         let mut second = 0u32;
         let mut best_site = 0usize;
@@ -148,40 +178,52 @@ impl Sufferage {
         }
     }
 
-    /// Recomputes the best-two triples of every task reading `file` after
-    /// `file`'s residency changed at some site, keeping contest membership
-    /// in step.
-    fn refresh_best_for_file(&mut self, file: FileId) {
+    /// One site's overlap of every task reading `file` moved by `delta`
+    /// (+1 add, −1 evict): re-files the single `(task, site)` entry in
+    /// each affected task's nonzero-overlap site set — `O(log S)` — and
+    /// refreshes the triple off the set's tail, keeping contest membership
+    /// in step. This replaces the all-sites best-two rescan: no other
+    /// site's value moved, so no other entry needs touching.
+    fn on_site_overlap_changed(&mut self, site: usize, file: FileId, delta: i32) {
         let index = Arc::clone(&self.index);
+        let inv_site = u32::MAX - site as u32;
         for &t in index.tasks_of(file) {
             let task = TaskId(t);
+            let new_ov = self.views[site].overlap(task);
+            let old_ov = (i64::from(new_ov) - i64::from(delta)) as u32;
+            let set = &mut self.site_rank[task.index()];
+            if old_ov > 0 {
+                set.remove(&(old_ov, inv_site));
+            }
+            if new_ov > 0 {
+                set.insert((new_ov, inv_site));
+            }
             let pending = self.pool.contains(task);
             if pending {
                 self.contest_remove(task);
             }
-            let (best, second, site) = self.best_two(task);
-            self.best[task.index()] = (best, second, site as u32);
+            self.best[task.index()] = best_two_from(&self.site_rank[task.index()]);
             if pending {
                 self.contest_insert(task);
             }
         }
     }
 
-    /// Removes an assigned/completed task from the incremental structures.
+    /// Removes an assigned/completed task from the incremental structures:
+    /// one contest-set removal — the fallback ranks are repaired lazily.
     fn pool_remove(&mut self, task: TaskId) {
         self.pool.remove(task);
         if self.mode == EvalMode::Incremental {
             self.contest_remove(task);
-            rank_remove_all(&mut self.views, task);
         }
     }
 
-    /// Requeues a task (fault recovery) into the incremental structures.
+    /// Requeues a task (fault recovery) into the incremental structures:
+    /// one contest-set insert plus a journal append.
     fn pool_insert(&mut self, task: TaskId) {
         if self.pool.insert(task) && self.mode == EvalMode::Incremental {
             self.contest_insert(task);
-            let index = Arc::clone(&self.index);
-            rank_insert_all(&mut self.views, &index, task);
+            self.log.record(task, &mut self.views);
         }
     }
 
@@ -191,7 +233,7 @@ impl Sufferage {
         let mut best_suff: Option<(u32, std::cmp::Reverse<TaskId>, TaskId)> = None;
         let mut best_local: Option<(u32, std::cmp::Reverse<TaskId>, TaskId)> = None;
         for t in self.pool.iter() {
-            let (best, second, best_site) = self.best_two(t);
+            let (best, second, best_site) = self.best_two_scan(t);
             if best_site == my_site && best > 0 {
                 let key = (best - second, std::cmp::Reverse(t), t);
                 if best_suff.as_ref().is_none_or(|b| key > *b) {
@@ -218,12 +260,23 @@ impl Scheduler for Sufferage {
 
     fn initialize(&mut self, env: &GridEnv, stores: &[SiteStore]) {
         assert_eq!(env.sites, stores.len(), "one store per site");
-        self.views = (0..env.sites)
-            .map(|_| SiteView::new(self.workload.task_count()))
-            .collect();
+        let tasks = self.workload.task_count();
+        self.views = (0..env.sites).map(|_| SiteView::new(tasks)).collect();
+        if self.mode == EvalMode::Incremental {
+            // Allocate the incremental structures *before* seeding so the
+            // seed loop routes through the same sparse update path as the
+            // run-time notifications. Empty stores ⇒ all-zero triples, so
+            // initialization is O(T), not O(T·S).
+            self.site_rank = vec![BTreeSet::new(); tasks];
+            self.best = vec![(0, 0, 0); tasks];
+            self.contest = vec![BTreeSet::new(); env.sites];
+        }
         for (site, store) in stores.iter().enumerate() {
             for f in store.resident() {
                 self.views[site].on_file_added(&self.index, f, store.ref_count(f));
+                if self.mode == EvalMode::Incremental {
+                    self.on_site_overlap_changed(site, f, 1);
+                }
             }
         }
         if self.mode == EvalMode::Incremental {
@@ -233,16 +286,6 @@ impl Scheduler for Sufferage {
                 &self.index,
                 &self.pool,
             );
-            self.best = (0..self.workload.task_count())
-                .map(|t| {
-                    let (b, s, site) = self.best_two(TaskId(t as u32));
-                    (b, s, site as u32)
-                })
-                .collect();
-            self.contest = vec![BTreeSet::new(); env.sites];
-            for t in self.pool.iter().collect::<Vec<_>>() {
-                self.contest_insert(t);
-            }
         }
     }
 
@@ -254,11 +297,16 @@ impl Scheduler for Sufferage {
         // Highest sufferage among tasks whose best site is mine; fallback:
         // highest local overlap.
         let task = if self.mode == EvalMode::Incremental {
-            self.contest[my_site]
-                .first()
-                .map(|&(_, t)| TaskId(t))
-                .or_else(|| self.views[my_site].top_overlap_where(|_| true))
-                .expect("pool is non-empty")
+            match self.contest[my_site].first() {
+                Some(&(_, t)) => TaskId(t),
+                None => {
+                    let pool = &self.pool;
+                    let view = &mut self.views[my_site];
+                    view.sync_pending(&self.index, &self.log, |t| pool.contains(t));
+                    view.top_overlap_where(|t| pool.contains(t), |_| true)
+                        .expect("pool is non-empty")
+                }
+            }
         } else {
             self.pick_scan(my_site)
         };
@@ -285,25 +333,28 @@ impl Scheduler for Sufferage {
 
     fn on_file_added(&mut self, site: SiteId, file: FileId, ref_count: u32) {
         if let Some(view) = self.views.get_mut(site.index()) {
-            view.on_file_added(&self.index, file, ref_count);
+            let pool = &self.pool;
+            view.on_file_added_pruning(&self.index, file, ref_count, |t| pool.contains(t));
             if self.mode == EvalMode::Incremental {
-                self.refresh_best_for_file(file);
+                self.on_site_overlap_changed(site.index(), file, 1);
             }
         }
     }
 
     fn on_file_evicted(&mut self, site: SiteId, file: FileId, ref_count: u32) {
         if let Some(view) = self.views.get_mut(site.index()) {
-            view.on_file_evicted(&self.index, file, ref_count);
+            let pool = &self.pool;
+            view.on_file_evicted_pruning(&self.index, file, ref_count, |t| pool.contains(t));
             if self.mode == EvalMode::Incremental {
-                self.refresh_best_for_file(file);
+                self.on_site_overlap_changed(site.index(), file, -1);
             }
         }
     }
 
     fn on_task_reference(&mut self, site: SiteId, file: FileId) {
         if let Some(view) = self.views.get_mut(site.index()) {
-            view.on_task_reference(&self.index, file);
+            let pool = &self.pool;
+            view.on_task_reference_pruning(&self.index, file, |t| pool.contains(t));
         }
     }
 

@@ -27,7 +27,7 @@ use gridsched_workload::{FileId, TaskId, Workload};
 use crate::choose::ChooseTask;
 use crate::ids::{GridEnv, SiteId, WorkerId};
 use crate::index::{
-    enable_ranks, rank_insert_all, rank_remove_all, weigh_all_indexed, FileIndex, SiteView,
+    enable_ranks, weigh_all_indexed, ComboAggregates, FileIndex, PendingLog, SiteView,
 };
 use crate::pool::TaskPool;
 use crate::scheduler::{Assignment, CompletionOutcome, EvalMode, Scheduler};
@@ -55,6 +55,12 @@ pub struct WorkerCentric {
     pool: TaskPool,
     index: Arc<FileIndex>,
     views: Vec<SiteView>,
+    /// Become-live journal for the lazy per-site ranks (incremental mode):
+    /// requeues append here instead of broadcasting into every view.
+    log: PendingLog,
+    /// Exact `combined` normalisers, maintained sparsely (incremental mode
+    /// with [`WeightMetric::Combined`] only).
+    combo: Option<ComboAggregates>,
     rng: StdRng,
     running: usize,
     completed: usize,
@@ -76,6 +82,8 @@ impl WorkerCentric {
             pool: TaskPool::full(tasks),
             index,
             views: Vec::new(),
+            log: PendingLog::new(),
+            combo: None,
             rng: StdRng::seed_from_u64(derive_seed(seed, Stream::Scheduler)),
             running: 0,
             completed: 0,
@@ -101,6 +109,8 @@ impl WorkerCentric {
             pool: TaskPool::full(tasks),
             index,
             views: Vec::new(),
+            log: PendingLog::new(),
+            combo: None,
             rng: StdRng::seed_from_u64(derive_seed(seed, Stream::Scheduler)),
             running: 0,
             completed: 0,
@@ -144,17 +154,36 @@ impl WorkerCentric {
         }
     }
 
-    /// Removes an assigned task from the pending pool (and every site's
-    /// priority index).
+    /// Removes an assigned task from the pending pool. `O(1)` plus the
+    /// sparse `combined`-normaliser sweep: no rank is touched — the ranks'
+    /// entries go stale in place and are repaired lazily at read time.
     fn pool_remove(&mut self, task: TaskId) {
         self.pool.remove(task);
-        rank_remove_all(&mut self.views, task);
+        if let Some(combo) = self.combo.as_mut() {
+            combo.on_pool_remove(
+                &self.index,
+                task,
+                self.workload.task(task).files(),
+                &self.views,
+            );
+        }
     }
 
-    /// Requeues a task (fault recovery) into the pool and indexes.
+    /// Requeues a task (fault recovery): `O(1)` journal append plus the
+    /// sparse normaliser sweep; each view re-admits it on its next read.
     fn pool_insert(&mut self, task: TaskId) {
         self.pool.insert(task);
-        rank_insert_all(&mut self.views, &self.index, task);
+        if let Some(combo) = self.combo.as_mut() {
+            combo.on_pool_insert(
+                &self.index,
+                task,
+                self.workload.task(task).files(),
+                &self.views,
+            );
+        }
+        if self.mode == EvalMode::Incremental {
+            self.log.record(task, &mut self.views);
+        }
     }
 }
 
@@ -172,10 +201,18 @@ impl Scheduler for WorkerCentric {
         self.views = (0..env.sites)
             .map(|_| SiteView::new(self.workload.task_count()))
             .collect();
-        // Seed views from any pre-populated storage (normally empty).
+        if self.mode == EvalMode::Incremental && self.metric == WeightMetric::Combined {
+            self.combo = Some(ComboAggregates::new(&self.index, &self.pool, env.sites));
+        }
+        // Seed views (and normalisers) from any pre-populated storage
+        // (normally empty).
         for (s, store) in stores.iter().enumerate() {
             for f in store.resident() {
-                self.views[s].on_file_added(&self.index, f, store.ref_count(f));
+                let view = &mut self.views[s];
+                view.on_file_added(&self.index, f, store.ref_count(f));
+                if let Some(combo) = self.combo.as_mut() {
+                    combo.on_file_added(s, &self.index, view, f, store.ref_count(f), &self.pool);
+                }
             }
         }
         if self.mode == EvalMode::Incremental {
@@ -190,8 +227,11 @@ impl Scheduler for WorkerCentric {
             return Assignment::Finished;
         }
         let task = if self.mode == EvalMode::Incremental {
-            self.views[worker.site.index()]
-                .pick_ranked(&self.chooser, &mut self.rng)
+            let totals = self.combo.as_ref().map(|c| c.totals(worker.site.index()));
+            let pool = &self.pool;
+            let view = &mut self.views[worker.site.index()];
+            view.sync_pending(&self.index, &self.log, |t| pool.contains(t));
+            view.pick_ranked(&self.chooser, &mut self.rng, |t| pool.contains(t), totals)
                 .expect("pool is non-empty")
         } else {
             let weights = self.weigh(worker.site, store);
@@ -225,19 +265,31 @@ impl Scheduler for WorkerCentric {
 
     fn on_file_added(&mut self, site: SiteId, file: FileId, ref_count: u32) {
         if let Some(view) = self.views.get_mut(site.index()) {
-            view.on_file_added(&self.index, file, ref_count);
+            let pool = &self.pool;
+            view.on_file_added_pruning(&self.index, file, ref_count, |t| pool.contains(t));
+            if let Some(combo) = self.combo.as_mut() {
+                combo.on_file_added(site.index(), &self.index, view, file, ref_count, &self.pool);
+            }
         }
     }
 
     fn on_file_evicted(&mut self, site: SiteId, file: FileId, ref_count: u32) {
         if let Some(view) = self.views.get_mut(site.index()) {
-            view.on_file_evicted(&self.index, file, ref_count);
+            let pool = &self.pool;
+            view.on_file_evicted_pruning(&self.index, file, ref_count, |t| pool.contains(t));
+            if let Some(combo) = self.combo.as_mut() {
+                combo.on_file_evicted(site.index(), &self.index, view, file, ref_count, &self.pool);
+            }
         }
     }
 
     fn on_task_reference(&mut self, site: SiteId, file: FileId) {
         if let Some(view) = self.views.get_mut(site.index()) {
-            view.on_task_reference(&self.index, file);
+            let pool = &self.pool;
+            view.on_task_reference_pruning(&self.index, file, |t| pool.contains(t));
+            if let Some(combo) = self.combo.as_mut() {
+                combo.on_task_reference(site.index(), &self.index, file, &self.pool);
+            }
         }
     }
 

@@ -5,7 +5,8 @@
 //!
 //! 1. [`NetSim::start_flow`] / [`NetSim::cancel_flow`] / [`NetSim::finish_flow`]
 //!    mutate the flow set (each call first advances fluid state to `now`,
-//!    then recomputes rates),
+//!    then marks the allocation dirty — rates are recomputed lazily at the
+//!    next observation point),
 //! 2. [`NetSim::next_completion`] reports when the earliest active flow will
 //!    finish if nothing else changes — the owner schedules exactly one DES
 //!    event for that instant and re-queries after every mutation.
@@ -14,12 +15,12 @@
 //! elapses first (propagation), then bytes drain at the flow's current
 //! max–min rate.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use gridsched_des::{SimDuration, SimTime};
 use gridsched_topology::EdgeId;
 
-use crate::fair::max_min_rates;
+use crate::fair::MaxMinSolver;
 
 /// Identifier of an active (or completed) flow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -27,7 +28,8 @@ pub struct FlowId(u64);
 
 #[derive(Debug, Clone)]
 struct FlowState {
-    route: Vec<usize>,
+    /// The flow's registration slot in the max–min solver.
+    slot: u32,
     remaining_latency_s: f64,
     remaining_bytes: f64,
     rate_bps: f64,
@@ -50,13 +52,33 @@ impl FlowState {
 
 /// Fluid network simulator with max–min fair bandwidth sharing.
 ///
+/// Rates are recomputed **lazily**: flow mutations only mark the
+/// allocation dirty, and the recompute runs at the next point the rates
+/// are observable — a time advance that must drain bytes, or a
+/// [`NetSim::next_completion`] / [`NetSim::rate_of`] query. Same-instant
+/// mutation bursts (a batch finishing one fetch and starting the next)
+/// therefore cost one recompute instead of one per mutation, with
+/// bit-identical results: rates are a pure function of the flow set and
+/// the drained state, both of which are unchanged while the clock stands
+/// still.
+///
 /// See the [crate docs](crate) for an end-to-end example.
 #[derive(Debug)]
 pub struct NetSim {
-    capacities: Vec<f64>,
-    flows: HashMap<u64, FlowState>,
+    /// Active flows, ordered by id — the deterministic recompute order
+    /// (previously achieved by sorting a key snapshot per recompute).
+    flows: BTreeMap<u64, FlowState>,
     next_id: u64,
     last_update: SimTime,
+    /// Whether the flow set changed since the last rate recompute.
+    dirty: bool,
+    /// Earliest completion cached by the last recompute; invalidated by
+    /// time advances (the ETA expression would be re-evaluated from
+    /// drained state with different rounding).
+    cached_next: Option<(SimTime, FlowId)>,
+    /// Incremental max–min solver: flows register on start and deregister
+    /// on finish/cancel, so a recompute rebuilds nothing.
+    solver: MaxMinSolver,
     /// Total bytes fully delivered by finished flows (stats).
     bytes_delivered: f64,
     /// Number of flows finished (stats).
@@ -72,14 +94,13 @@ impl NetSim {
     /// Panics if any capacity is non-positive or non-finite.
     #[must_use]
     pub fn new(capacities: Vec<f64>) -> Self {
-        for &c in &capacities {
-            assert!(c.is_finite() && c > 0.0, "capacity must be positive: {c}");
-        }
         NetSim {
-            capacities,
-            flows: HashMap::new(),
+            solver: MaxMinSolver::new(capacities),
+            flows: BTreeMap::new(),
             next_id: 0,
             last_update: SimTime::ZERO,
+            dirty: false,
+            cached_next: None,
             bytes_delivered: 0.0,
             flows_finished: 0,
         }
@@ -112,19 +133,17 @@ impl NetSim {
         let id = self.next_id;
         self.next_id += 1;
         let route_idx: Vec<usize> = route.iter().map(|e| e.index()).collect();
-        for &l in &route_idx {
-            assert!(l < self.capacities.len(), "route references unknown link");
-        }
+        let slot = self.solver.add_flow(&route_idx);
         self.flows.insert(
             id,
             FlowState {
-                route: route_idx,
+                slot,
                 remaining_latency_s: latency_s,
                 remaining_bytes: bytes,
                 rate_bps: 0.0,
             },
         );
-        self.recompute_rates();
+        self.mark_dirty();
         FlowId(id)
     }
 
@@ -134,7 +153,8 @@ impl NetSim {
     pub fn cancel_flow(&mut self, now: SimTime, id: FlowId) -> Option<f64> {
         self.advance_to(now);
         let state = self.flows.remove(&id.0)?;
-        self.recompute_rates();
+        self.solver.remove_flow(state.slot);
+        self.mark_dirty();
         Some(state.remaining_bytes)
     }
 
@@ -152,6 +172,7 @@ impl NetSim {
             .flows
             .remove(&id.0)
             .unwrap_or_else(|| panic!("finish_flow: unknown flow {id:?}"));
+        self.solver.remove_flow(state.slot);
         let slack = state.remaining_bytes.max(0.0);
         assert!(
             state.remaining_latency_s <= 1e-9 && slack <= 1e-3,
@@ -160,24 +181,41 @@ impl NetSim {
         );
         self.bytes_delivered += slack; // account the numerically-lost tail
         self.flows_finished += 1;
-        self.recompute_rates();
+        self.mark_dirty();
     }
 
     /// The earliest `(time, flow)` completion among active flows, assuming
     /// no further changes. `None` when no flows are active.
-    #[must_use]
-    pub fn next_completion(&self) -> Option<(SimTime, FlowId)> {
+    pub fn next_completion(&mut self) -> Option<(SimTime, FlowId)> {
+        if self.dirty {
+            self.recompute_rates();
+        }
+        if self.cached_next.is_none() {
+            self.cached_next = self.scan_next_completion();
+        }
+        self.cached_next
+    }
+
+    /// Current max–min rate of a flow in bytes/second, if active.
+    pub fn rate_of(&mut self, id: FlowId) -> Option<f64> {
+        if self.dirty {
+            self.recompute_rates();
+        }
+        self.flows.get(&id.0).map(|f| f.rate_bps)
+    }
+
+    fn mark_dirty(&mut self) {
+        self.dirty = true;
+        self.cached_next = None;
+    }
+
+    fn scan_next_completion(&self) -> Option<(SimTime, FlowId)> {
+        debug_assert!(!self.dirty, "scan over unreconciled rates");
         self.flows
             .iter()
             .map(|(&id, f)| (f.eta(self.last_update), FlowId(id)))
             // Deterministic tie-break on flow id.
             .min_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)))
-    }
-
-    /// Current max–min rate of a flow in bytes/second, if active.
-    #[must_use]
-    pub fn rate_of(&self, id: FlowId) -> Option<f64> {
-        self.flows.get(&id.0).map(|f| f.rate_bps)
     }
 
     /// Number of active flows.
@@ -214,6 +252,14 @@ impl NetSim {
         if dt == 0.0 || self.flows.is_empty() {
             return;
         }
+        // Rates deferred by a same-instant mutation burst become
+        // observable now: the interval being drained starts at the burst's
+        // instant, so reconciling here drains with exactly the rates an
+        // eager recompute would have assigned then.
+        if self.dirty {
+            self.recompute_rates();
+        }
+        self.cached_next = None;
         for f in self.flows.values_mut() {
             let mut local_dt = dt;
             if f.remaining_latency_s > 0.0 {
@@ -237,19 +283,30 @@ impl NetSim {
         let _ = dt;
     }
 
-    /// Recomputes the max–min fair allocation for the current flow set.
+    /// Recomputes the max–min fair allocation for the current flow set
+    /// (ascending flow id — the `BTreeMap` iteration order — matching the
+    /// sorted-snapshot order of the original implementation), without
+    /// allocating.
     fn recompute_rates(&mut self) {
+        self.dirty = false;
         if self.flows.is_empty() {
             return;
         }
-        // Stable order for determinism.
-        let mut ids: Vec<u64> = self.flows.keys().copied().collect();
-        ids.sort_unstable();
-        let routes: Vec<Vec<usize>> = ids.iter().map(|id| self.flows[id].route.clone()).collect();
-        let rates = max_min_rates(&self.capacities, &routes);
-        for (id, rate) in ids.into_iter().zip(rates) {
-            self.flows.get_mut(&id).expect("id from keys").rate_bps = rate;
+        self.solver.solve();
+        // Fold the earliest-completion search into the readback pass: the
+        // same (eta, id) minimum the scan would take, over the same
+        // ascending-id order, computed while the flows are already being
+        // visited.
+        let now = self.last_update;
+        let mut next: Option<(SimTime, FlowId)> = None;
+        for (&id, state) in self.flows.iter_mut() {
+            state.rate_bps = self.solver.rate(state.slot);
+            let eta = state.eta(now);
+            if next.is_none_or(|(t, fid)| (eta, FlowId(id)) < (t, fid)) {
+                next = Some((eta, FlowId(id)));
+            }
         }
+        self.cached_next = next;
     }
 }
 

@@ -8,6 +8,22 @@
 //!
 //! This is the allocation model SimGrid's fluid network engine uses (up to
 //! SimGrid's optional RTT weighting, which the paper does not rely on).
+//!
+//! Two implementations share the algorithm:
+//!
+//! * [`max_min_rates`] — the executable specification: simple, allocates
+//!   per call, scans every link per round;
+//! * [`MaxMinSolver`] — the hot-path implementation `NetSim` uses for its
+//!   per-flow-event recomputes. It is **bit-identical** to the
+//!   specification (property-tested via `to_bits`) while touching only the
+//!   links flows actually cross: a shared rate accumulator replaces the
+//!   per-flow additions (all unsaturated flows accumulate the *same* share
+//!   sequence, so one fold reproduces every flow's fold exactly), per-link
+//!   repeated subtraction replaces the per-flow route walks (a link's
+//!   `remaining` is decremented once per unsaturated crossing flow with
+//!   the same value either way), and per-link flow lists make the freeze
+//!   step `O(crossing flows)` instead of a full flow scan. Scratch buffers
+//!   persist across calls, so a recompute allocates nothing.
 
 /// Computes max–min fair rates.
 ///
@@ -97,6 +113,340 @@ pub fn max_min_rates(capacities: &[f64], flow_routes: &[Vec<usize>]) -> Vec<f64>
         remaining[bottleneck] = remaining[bottleneck].max(0.0);
     }
     rates
+}
+
+/// Allocation-free, incrementally-registered progressive filling,
+/// bit-identical to [`max_min_rates`]. Keep one solver per
+/// [`crate::NetSim`]; flows register once ([`MaxMinSolver::add_flow`] /
+/// [`MaxMinSolver::remove_flow`]) instead of being re-described on every
+/// recompute, so a [`MaxMinSolver::solve`] call touches only per-call
+/// state (no CSR rebuild, no sort, no allocation).
+///
+/// Every transformation preserves the specification's float operations:
+///
+/// * all unsaturated flows accumulate the *same* share sequence from the
+///   same starting `0.0`, so one shared fold (`acc`) reproduces each
+///   flow's per-round additions bit for bit;
+/// * a link's `remaining` is decremented once per unsaturated crossing
+///   flow with the same share either way, so per-link repeated
+///   subtraction yields the same bits (links are mutually independent,
+///   order across links immaterial);
+/// * `x / 1.0 == x` exactly, so single-flow links skip the division;
+/// * links carrying exactly one flow all receive identical per-round
+///   subtraction chains, which preserves their relative order (f64
+///   subtraction of a common value is weakly monotone) — so the
+///   single-flow bottleneck candidate comes from a cursor over a
+///   **static** capacity-sorted link order instead of a per-round scan,
+///   with an equal-value run walk reproducing the specification's
+///   lowest-link-id tie-break when rounding merges adjacent values. Only
+///   genuinely shared links (the backbone, a handful per topology) are
+///   scanned per round.
+#[derive(Debug)]
+pub struct MaxMinSolver {
+    capacities: Vec<f64>,
+    /// Link ids sorted by `(capacity, id)` — static.
+    caps_order: Vec<u32>,
+    /// Per link: registered flows crossing it.
+    crossing: Vec<u32>,
+    /// Per link: the slots of its crossing flows (unordered — the freeze
+    /// step's effects commute bitwise).
+    link_flows: Vec<Vec<u32>>,
+    /// Per slot: the links the flow crosses (with multiplicity).
+    routes: Vec<Vec<u32>>,
+    free_slots: Vec<u32>,
+    live_slots: Vec<u32>,
+    live_pos: Vec<u32>,
+    /// Ascending link ids with `crossing > 0`.
+    touched: Vec<u32>,
+    // --- per-call scratch ---
+    remaining: Vec<f64>,
+    active: Vec<u32>,
+    /// Links with ≥ 2 crossing flows at call start, ascending (compacted
+    /// as they empty).
+    multi: Vec<u32>,
+    /// This call's per-round shares — the drain history single-flow links
+    /// replay lazily.
+    shares: Vec<f64>,
+    /// Per link: how many rounds of `shares` have been applied to
+    /// `remaining` (single-flow links only; shared links drain eagerly).
+    applied: Vec<u32>,
+    saturated: Vec<bool>,
+    rates: Vec<f64>,
+}
+
+/// Applies the outstanding drain history to a lazily-drained link: the
+/// same per-round subtractions the specification performs, just deferred
+/// until the value is actually read (most single-flow links are never read
+/// in a given round — only the head of the capacity order and its
+/// equal-value run are).
+#[inline]
+fn materialize(remaining: &mut [f64], applied: &mut [u32], shares: &[f64], l: usize) {
+    let mut k = applied[l] as usize;
+    while k < shares.len() {
+        remaining[l] -= shares[k];
+        k += 1;
+    }
+    applied[l] = shares.len() as u32;
+}
+
+impl MaxMinSolver {
+    /// A solver over links with the given capacities (bytes/second).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any capacity is non-positive or non-finite.
+    #[must_use]
+    pub fn new(capacities: Vec<f64>) -> Self {
+        for &c in &capacities {
+            assert!(c.is_finite() && c > 0.0, "capacity must be positive: {c}");
+        }
+        let n = capacities.len();
+        let mut caps_order: Vec<u32> = (0..n as u32).collect();
+        caps_order.sort_unstable_by(|&a, &b| {
+            capacities[a as usize]
+                .partial_cmp(&capacities[b as usize])
+                .expect("finite capacities")
+                .then(a.cmp(&b))
+        });
+        MaxMinSolver {
+            capacities,
+            caps_order,
+            crossing: vec![0; n],
+            link_flows: vec![Vec::new(); n],
+            routes: Vec::new(),
+            free_slots: Vec::new(),
+            live_slots: Vec::new(),
+            live_pos: Vec::new(),
+            touched: Vec::new(),
+            remaining: vec![0.0; n],
+            active: vec![0; n],
+            multi: Vec::new(),
+            shares: Vec::new(),
+            applied: vec![0; n],
+            saturated: Vec::new(),
+            rates: Vec::new(),
+        }
+    }
+
+    /// Registers a flow crossing `route` (empty = co-located endpoints,
+    /// rate `+∞`). Returns the flow's slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the route references a link `>= capacities.len()`.
+    pub fn add_flow(&mut self, route: &[usize]) -> u32 {
+        let slot = self.free_slots.pop().unwrap_or_else(|| {
+            let s = self.routes.len() as u32;
+            self.routes.push(Vec::new());
+            self.saturated.push(false);
+            self.rates.push(0.0);
+            self.live_pos.push(0);
+            s
+        });
+        let s = slot as usize;
+        self.routes[s].clear();
+        for &l in route {
+            assert!(
+                l < self.capacities.len(),
+                "route references unknown link {l}"
+            );
+            self.routes[s].push(l as u32);
+            if self.crossing[l] == 0 {
+                let pos = self
+                    .touched
+                    .binary_search(&(l as u32))
+                    .expect_err("link was untouched");
+                self.touched.insert(pos, l as u32);
+            }
+            self.crossing[l] += 1;
+            self.link_flows[l].push(slot);
+        }
+        self.live_pos[s] = self.live_slots.len() as u32;
+        self.live_slots.push(slot);
+        slot
+    }
+
+    /// Unregisters a flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is not a registered flow.
+    pub fn remove_flow(&mut self, slot: u32) {
+        let s = slot as usize;
+        for j in 0..self.routes[s].len() {
+            let l = self.routes[s][j] as usize;
+            self.crossing[l] -= 1;
+            let lf = &mut self.link_flows[l];
+            let pos = lf.iter().position(|&x| x == slot).expect("flow registered");
+            lf.swap_remove(pos);
+            if self.crossing[l] == 0 {
+                let pos = self
+                    .touched
+                    .binary_search(&(l as u32))
+                    .expect("touched link listed");
+                self.touched.remove(pos);
+            }
+        }
+        let pos = self.live_pos[s] as usize;
+        let last = self.live_slots.pop().expect("slot is live");
+        if last != slot {
+            self.live_slots[pos] = last;
+            self.live_pos[last as usize] = pos as u32;
+        }
+        self.free_slots.push(slot);
+    }
+
+    /// Number of registered flows.
+    #[must_use]
+    pub fn flow_count(&self) -> usize {
+        self.live_slots.len()
+    }
+
+    /// The rate computed for `slot` by the last [`MaxMinSolver::solve`].
+    #[must_use]
+    pub fn rate(&self, slot: u32) -> f64 {
+        self.rates[slot as usize]
+    }
+
+    /// Computes max–min fair rates for the registered flows (read back
+    /// with [`MaxMinSolver::rate`]).
+    pub fn solve(&mut self) {
+        for i in 0..self.live_slots.len() {
+            let s = self.live_slots[i] as usize;
+            if self.routes[s].is_empty() {
+                self.saturated[s] = true;
+                self.rates[s] = f64::INFINITY;
+            } else {
+                self.saturated[s] = false;
+                self.rates[s] = 0.0;
+            }
+        }
+        self.multi.clear();
+        self.shares.clear();
+        for i in 0..self.touched.len() {
+            let l = self.touched[i] as usize;
+            self.active[l] = self.crossing[l];
+            self.remaining[l] = self.capacities[l];
+            if self.crossing[l] == 1 {
+                self.applied[l] = 0;
+            } else {
+                self.multi.push(l as u32);
+            }
+        }
+        // Progressive filling; `acc` is the shared accumulated rate of
+        // every still-unsaturated flow.
+        let mut cursor = 0usize;
+        let mut acc = 0.0f64;
+        loop {
+            // Single-flow candidate: the first still-active entry in the
+            // static (capacity, id) order; rounding can merge adjacent
+            // values, and the specification breaks value ties by the
+            // lowest link id, so walk the equal-value run.
+            while cursor < self.caps_order.len() {
+                let l = self.caps_order[cursor] as usize;
+                if self.crossing[l] == 1 && self.active[l] == 1 {
+                    break;
+                }
+                cursor += 1;
+            }
+            let single = if cursor < self.caps_order.len() {
+                let head = self.caps_order[cursor] as usize;
+                materialize(&mut self.remaining, &mut self.applied, &self.shares, head);
+                let value = self.remaining[head];
+                let mut best_l = head;
+                let mut j = cursor + 1;
+                while j < self.caps_order.len() {
+                    let l = self.caps_order[j] as usize;
+                    j += 1;
+                    if self.crossing[l] != 1 || self.active[l] != 1 {
+                        continue;
+                    }
+                    materialize(&mut self.remaining, &mut self.applied, &self.shares, l);
+                    if self.remaining[l] == value {
+                        best_l = best_l.min(l);
+                        continue;
+                    }
+                    break;
+                }
+                Some((value, best_l))
+            } else {
+                None
+            };
+            // Shared-link candidate: ascending scan (first strictly
+            // smaller kept, matching the specification's tie-break),
+            // compacting emptied links.
+            let mut m_best: Option<(f64, usize)> = None;
+            let mut w = 0;
+            for i in 0..self.multi.len() {
+                let l = self.multi[i] as usize;
+                if self.active[l] == 0 {
+                    continue;
+                }
+                self.multi[w] = l as u32;
+                w += 1;
+                // `x / 1.0 == x` exactly (IEEE 754).
+                let share = if self.active[l] == 1 {
+                    self.remaining[l]
+                } else {
+                    self.remaining[l] / f64::from(self.active[l])
+                };
+                match m_best {
+                    Some((s, _)) if share >= s => {}
+                    _ => m_best = Some((share, l)),
+                }
+            }
+            self.multi.truncate(w);
+            // Combine: strictly smaller wins; equal values go to the
+            // lowest link id, exactly like the specification's ascending
+            // first-strictly-smaller scan.
+            let (share, bottleneck) = match (single, m_best) {
+                (None, None) => break,
+                (Some((v, l)), None) | (None, Some((v, l))) => (v, l),
+                (Some((sv, sl)), Some((mv, ml))) => {
+                    if sv < mv {
+                        (sv, sl)
+                    } else if mv < sv {
+                        (mv, ml)
+                    } else {
+                        (sv, sl.min(ml))
+                    }
+                }
+            };
+            acc += share;
+            // Drain: one subtraction per unsaturated crossing flow per
+            // link (bit-identical to the specification's per-flow route
+            // walks; see the type docs). Single-flow links record the
+            // share in the history and replay it on their next read;
+            // shared links drain eagerly (their values are read every
+            // round by the candidate scan).
+            self.shares.push(share);
+            for i in 0..self.multi.len() {
+                let l = self.multi[i] as usize;
+                let mut n = self.active[l];
+                while n > 0 {
+                    self.remaining[l] -= share;
+                    n -= 1;
+                }
+            }
+            // Freeze the bottleneck's unsaturated flows at the shared
+            // accumulated rate (order within the freeze commutes bitwise:
+            // same rate value, integer decrements).
+            for i in 0..self.link_flows[bottleneck].len() {
+                let f = self.link_flows[bottleneck][i] as usize;
+                if self.saturated[f] {
+                    continue;
+                }
+                self.saturated[f] = true;
+                self.rates[f] = acc;
+                for j in 0..self.routes[f].len() {
+                    let l = self.routes[f][j] as usize;
+                    self.active[l] -= 1;
+                }
+            }
+            // Numerical hygiene: clamp tiny negatives from float error.
+            self.remaining[bottleneck] = self.remaining[bottleneck].max(0.0);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -283,6 +633,56 @@ mod proptests {
             let a = max_min_rates(&caps, &routes);
             let b = max_min_rates(&caps, &routes);
             prop_assert_eq!(a, b);
+        }
+
+        /// The hot-path solver is bit-identical to the specification —
+        /// compared via `to_bits`, not approximately — across flow
+        /// add/remove churn on one registration state (stale-state
+        /// hazards: slot reuse, touched-list maintenance, scratch reuse).
+        #[test]
+        fn solver_matches_spec_bitwise(
+            (caps, routes) in (2usize..8).prop_flat_map(|n_links| {
+                let caps = proptest::collection::vec(0.5f64..100.0, n_links);
+                let route = proptest::collection::btree_set(0..n_links, 1..=n_links)
+                    .prop_map(|s| s.into_iter().collect::<Vec<_>>());
+                let flows = proptest::collection::vec(route, 0..24);
+                (caps, flows)
+            }),
+            removals in proptest::collection::vec(0u8..2, 24),
+        ) {
+            let mut solver = MaxMinSolver::new(caps.clone());
+            let mut live: Vec<(u32, Vec<usize>)> = Vec::new();
+            let check = |solver: &mut MaxMinSolver, live: &[(u32, Vec<usize>)]| {
+                let spec_routes: Vec<Vec<usize>> =
+                    live.iter().map(|(_, r)| r.clone()).collect();
+                let spec = max_min_rates(&caps, &spec_routes);
+                solver.solve();
+                for (f, (slot, _)) in live.iter().enumerate() {
+                    let got = solver.rate(*slot);
+                    assert_eq!(
+                        spec[f].to_bits(),
+                        got.to_bits(),
+                        "flow {f} differs: {} vs {got}",
+                        spec[f]
+                    );
+                }
+            };
+            for (i, route) in routes.iter().enumerate() {
+                let slot = solver.add_flow(route);
+                live.push((slot, route.clone()));
+                check(&mut solver, &live);
+                // Interleave removals so slots get reused mid-sequence.
+                if removals[i % removals.len()] == 1 && !live.is_empty() {
+                    let victim = i % live.len();
+                    let (slot, _) = live.remove(victim);
+                    solver.remove_flow(slot);
+                    check(&mut solver, &live);
+                }
+            }
+            while let Some((slot, _)) = live.pop() {
+                solver.remove_flow(slot);
+                check(&mut solver, &live);
+            }
         }
     }
 }

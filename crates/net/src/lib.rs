@@ -7,7 +7,9 @@
 //! total propagation latency `L` finishes after `L + S / rate(t)` where the
 //! rate is the (time-varying) max–min share of the flow.
 //!
-//! * [`fair::max_min_rates`] — the pure progressive-filling solver,
+//! * [`fair::max_min_rates`] — the progressive-filling specification,
+//! * [`fair::MaxMinSolver`] — its bit-identical hot-path implementation
+//!   (incremental flow registration, no per-recompute allocation),
 //! * [`NetSim`] — the stateful engine: start/cancel flows, advance fluid
 //!   state, query the next completion instant.
 //!

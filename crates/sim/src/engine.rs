@@ -278,6 +278,12 @@ pub struct GridSim {
     /// of that site ([`GridSim::wake_one_parked`]) instead of re-polling
     /// the entire parked population (ruinous at 10⁵ workers).
     parked: Vec<BTreeSet<usize>>,
+    /// Total entries across `parked` (stale entries included): the `== 0`
+    /// fast path keeps [`GridSim::wake_parked`] from walking all S per-site
+    /// sets on every assignment/completion when nothing is parked — the
+    /// common case for the never-waiting worker-centric strategies, whose
+    /// wake-up cost would otherwise grow `O(S)` per event.
+    parked_count: usize,
     /// Whether the replica throttle governs this run (storage affinity
     /// with an active [`gridsched_core::ReplicaThrottle`]). Throttled runs
     /// use targeted wake-ups; unthrottled runs keep the legacy
@@ -429,6 +435,7 @@ impl GridSim {
             workers,
             servers,
             parked,
+            parked_count: 0,
             throttled,
             flow_purpose: HashMap::new(),
             replication,
@@ -568,21 +575,24 @@ impl GridSim {
     fn park(&mut self, w: usize) {
         self.workers[w].state = WorkerState::Parked;
         let site = self.workers[w].id.site.index();
-        self.parked[site].insert(w);
+        if self.parked[site].insert(w) {
+            self.parked_count += 1;
+        }
     }
 
     /// Wakes every parked worker, in ascending index order (matching the
     /// former full scan, so event order — and hence every downstream
     /// decision — is unchanged). Entries whose worker has since crashed
-    /// are silently dropped.
+    /// are silently dropped. `O(1)` when nothing is parked.
     fn wake_parked(&mut self) {
+        if self.parked_count == 0 {
+            return;
+        }
         let mut list: Vec<usize> = Vec::new();
         for site in &mut self.parked {
             list.extend(std::mem::take(site));
         }
-        if list.is_empty() {
-            return;
-        }
+        self.parked_count = 0;
         list.sort_unstable();
         for w in list {
             if self.workers[w].state == WorkerState::Parked {
@@ -599,6 +609,7 @@ impl GridSim {
     /// way.
     fn wake_one_parked(&mut self, site: usize) {
         while let Some(w) = self.parked[site].pop_first() {
+            self.parked_count -= 1;
             if self.workers[w].state == WorkerState::Parked {
                 self.workers[w].state = WorkerState::Idle;
                 self.schedule.schedule_now(Event::WorkerIdle(w));
@@ -938,7 +949,47 @@ impl GridSim {
                     .expect("active batch worker is running")
                     .pinned
                     .push(file);
-                self.resync_net();
+                // When another fetch flow will certainly start at this very
+                // instant, the resync here would arm a flow event that the
+                // fetch's own resync immediately cancels — skip the dead
+                // pair, so the finish(+start) burst costs one rate
+                // recompute instead of two. That certainty holds in two
+                // cases: the batch itself still has a missing file to
+                // fetch, or the batch is done and the server's next
+                // serviceable request (first queue entry with a live
+                // generation) needs a file the store lacks — nothing
+                // between here and `maybe_start_service` changes this
+                // site's residency or any generation. Any other
+                // continuation may end this event without touching the net
+                // again, so the resync must stay.
+                let fetch_starts_now = self.servers[site]
+                    .active
+                    .as_ref()
+                    .expect("still active")
+                    .to_fetch
+                    .iter()
+                    .any(|f| !self.stores[site].contains(*f));
+                let next_request_fetches = !fetch_starts_now
+                    && self.servers[site]
+                        .queue
+                        .iter()
+                        .find(|r| self.workers[r.worker].generation == r.generation)
+                        .is_some_and(|r| {
+                            let task = self.workers[r.worker]
+                                .current
+                                .as_ref()
+                                .expect("queued worker has a current task")
+                                .task;
+                            self.config
+                                .workload
+                                .task(task)
+                                .files()
+                                .iter()
+                                .any(|f| !self.stores[site].contains(*f))
+                        });
+                if !(fetch_starts_now || next_request_fetches) {
+                    self.resync_net();
+                }
                 self.advance_batch(site);
             }
             FlowPurpose::Replication { site, file } => {

@@ -159,6 +159,69 @@ fn throttle_default_off_is_inert() {
     assert_eq!(plain.config.replica_throttle, "none");
 }
 
+/// The sparse-propagation path at the site counts where it actually
+/// matters: with S ≥ 32 every pool insert/remove used to broadcast into
+/// 32+ rank indexes, and sufferage's best-two refresh rescanned 32+ sites
+/// per storage event — the lazy journal/repair machinery and the
+/// per-task site sets replace all of that, and must stay byte-identical
+/// to the scan paths for **all** strategies with churn and checkpointing
+/// requeuing tasks mid-run (plus a replica-throttled storage-affinity
+/// variant, whose cap releases exercise the become-live journal under a
+/// wide fan-out).
+#[test]
+fn eval_modes_agree_large_s() {
+    let mut cfg = CoaddConfig::small(7);
+    cfg.tasks = 120;
+    let workload = Arc::new(cfg.generate());
+    let strategies = [
+        StrategyKind::StorageAffinity,
+        StrategyKind::Overlap,
+        StrategyKind::Rest,
+        StrategyKind::Combined,
+        StrategyKind::Rest2,
+        StrategyKind::Combined2,
+        StrategyKind::Workqueue,
+        StrategyKind::Sufferage,
+    ];
+    for strategy in strategies {
+        let config = SimConfig::paper(Arc::clone(&workload), strategy)
+            .with_sites(32)
+            .with_capacity(400)
+            .with_seed(2)
+            .with_faults(
+                FaultConfig::none()
+                    .with_worker_faults(3_000.0, 400.0)
+                    .with_server_faults(25_000.0, 700.0),
+            )
+            .with_checkpointing(CheckpointConfig::fixed(300.0));
+        let incremental = run_with(&config, EvalMode::Incremental);
+        let indexed = run_with(&config, EvalMode::Indexed);
+        let naive = run_with(&config, EvalMode::Naive);
+        assert_eq!(incremental, indexed, "incremental vs indexed ({strategy})");
+        assert_eq!(incremental, naive, "incremental vs naive ({strategy})");
+        assert_eq!(incremental.tasks_completed, 120, "{strategy}");
+    }
+    // Replica-throttled storage affinity at 32 sites: a tight cap keeps
+    // tasks cycling through saturation/release, so the lazy re-admission
+    // journal is exercised across many sites.
+    let config = SimConfig::paper(workload, StrategyKind::StorageAffinity)
+        .with_sites(32)
+        .with_capacity(400)
+        .with_seed(2)
+        .with_replica_throttle(
+            ReplicaThrottle::none()
+                .with_replica_cap(1)
+                .with_site_budget(2),
+        )
+        .with_faults(FaultConfig::none().with_worker_faults(3_000.0, 400.0));
+    let incremental = run_with(&config, EvalMode::Incremental);
+    let indexed = run_with(&config, EvalMode::Indexed);
+    let naive = run_with(&config, EvalMode::Naive);
+    assert_eq!(incremental, indexed, "throttled incremental vs indexed");
+    assert_eq!(incremental, naive, "throttled incremental vs naive");
+    assert_eq!(incremental.tasks_completed, 120);
+}
+
 /// A fixed-shape smoke version that always runs (proptest shrinks its own
 /// cases; this pins one deterministic configuration for quick triage).
 #[test]
