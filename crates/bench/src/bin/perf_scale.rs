@@ -35,8 +35,13 @@
 //! * `--check` — exit non-zero unless every run completed, the incremental
 //!   path is ≥ 5× faster than naive at the comparison point, (at the
 //!   full 10⁵ scale) the throttled storage-affinity run dispatches ≤ 1/10
-//!   of the uncapped run's events, no duplicate run key was emitted, and
-//!   no sites-sweep strategy shows super-linear wall-time growth in S;
+//!   of the uncapped run's events, no duplicate run key was emitted, no
+//!   sites-sweep strategy shows super-linear wall-time growth in S, the
+//!   traced re-run dispatches bit-identical events (telemetry inertness),
+//!   the instrumented complexity sweep confirms repairs-per-pick stays
+//!   flat in S and solver touched-flows track concurrency, and the total
+//!   disabled-telemetry wall time stays within budget of the previous
+//!   `BENCH_scale.json` (3% full, 1.5× smoke — CI runners are noisy);
 //! * `--max-workers N` — truncate the sweep (e.g. `--max-workers 10000`);
 //! * `--out FILE` — where to write the JSON (default `BENCH_scale.json`).
 //!
@@ -53,7 +58,8 @@ use std::time::Instant;
 
 use gridsched_bench::Table;
 use gridsched_core::{EvalMode, ReplicaThrottle, StrategyKind};
-use gridsched_sim::{GridSim, SimConfig};
+use gridsched_sim::telemetry::InstrumentValue;
+use gridsched_sim::{GridSim, SimConfig, Telemetry};
 use gridsched_workload::coadd::CoaddConfig;
 use gridsched_workload::Workload;
 
@@ -148,7 +154,7 @@ fn scale_workload(tasks: u32, seed: u64) -> Arc<Workload> {
     Arc::new(cfg.generate())
 }
 
-fn run_once(
+fn build_config(
     workload: &Arc<Workload>,
     workers: usize,
     sites: usize,
@@ -156,7 +162,7 @@ fn run_once(
     mode: EvalMode,
     throttle: Option<ReplicaThrottle>,
     seed: u64,
-) -> Run {
+) -> SimConfig {
     let mut config = SimConfig::paper(Arc::clone(workload), strategy);
     // The paper topology has 9 MANs × 10 sites; the top of the sites sweep
     // (S = 160) needs a wider grid. Widening changes the generated link
@@ -174,6 +180,19 @@ fn run_once(
     if let Some(throttle) = throttle {
         config = config.with_replica_throttle(throttle);
     }
+    config
+}
+
+fn run_once(
+    workload: &Arc<Workload>,
+    workers: usize,
+    sites: usize,
+    strategy: StrategyKind,
+    mode: EvalMode,
+    throttle: Option<ReplicaThrottle>,
+    seed: u64,
+) -> Run {
+    let config = build_config(workload, workers, sites, strategy, mode, throttle, seed);
     let started = Instant::now();
     let report = GridSim::new(config).run();
     let wall_s = started.elapsed().as_secs_f64();
@@ -417,7 +436,150 @@ fn main() {
         );
     }
 
-    let json = to_json(&runs, &speedups, &sweep, &sites_sweep, compare_at, &args);
+    // ── Instrumented complexity sweep ───────────────────────────────────
+    // Re-runs combined2 at every site count with telemetry live and reads
+    // the hot-path instruments back. Instrument values count *decisions*,
+    // not time, so they are bit-deterministic for a given seed and `--check`
+    // can assert the complexity claims exactly, immune to machine noise:
+    //
+    //   * ranked picks repair O(1) stale entries per pick, independent of
+    //     S (the sparse-propagation claim from the per-site update work);
+    //   * the max–min solver visits exactly the concurrent flows per
+    //     recompute, so its per-recompute maximum dominates the sampled
+    //     in-flight peak — work tracks concurrency, not flow history.
+    //
+    // The worker count is modest: the claims are about per-decision ratios,
+    // which do not need the 10⁴-worker timing scale.
+    let complexity_workers = if args.smoke { 400 } else { 2_000 };
+    let complexity_workload = scale_workload((complexity_workers * 2).max(200) as u32, args.seed);
+    let mut complexity: Vec<ComplexityPoint> = Vec::new();
+    for &sites in &sites_sweep {
+        let config = build_config(
+            &complexity_workload,
+            complexity_workers,
+            sites,
+            StrategyKind::Combined2,
+            EvalMode::Incremental,
+            None,
+            args.seed,
+        )
+        .with_probe_interval(600.0);
+        let telemetry = Telemetry::enabled();
+        let report = GridSim::new(config).with_telemetry(telemetry.clone()).run();
+        let mut picks = 0;
+        let mut repairs = 0;
+        let mut recomputes = 0;
+        let mut touched = (0u64, 0u64, 0u64); // (count, sum, max)
+        for snap in telemetry.snapshot() {
+            match (snap.name, &snap.value) {
+                ("scheduler.rank.picks", InstrumentValue::Counter { value }) => picks = *value,
+                ("scheduler.rank.repairs", InstrumentValue::Counter { value }) => repairs = *value,
+                ("net.solver.recomputes", InstrumentValue::Counter { value }) => {
+                    recomputes = *value;
+                }
+                (
+                    "net.solver.touched_flows",
+                    InstrumentValue::Histogram {
+                        count, sum, max, ..
+                    },
+                ) => touched = (*count, *sum, *max),
+                _ => {}
+            }
+        }
+        let probe_max_flows = telemetry
+            .probes()
+            .iter()
+            .map(|p| p.in_flight_flows)
+            .max()
+            .unwrap_or(0);
+        let point = ComplexityPoint {
+            sites,
+            events: report.events_dispatched,
+            picks,
+            repairs,
+            recomputes,
+            touched_count: touched.0,
+            touched_sum: touched.1,
+            touched_max: touched.2,
+            probe_max_flows,
+        };
+        eprintln!(
+            "  complexity @ {complexity_workers} workers / {sites:>3} sites: \
+             {:.3} repairs/pick ({picks} picks), {:.1} touched flows/recompute \
+             (max {}, sampled peak {probe_max_flows})",
+            point.repairs_per_pick(),
+            point.touched_mean(),
+            point.touched_max,
+        );
+        complexity.push(point);
+    }
+
+    // ── Telemetry overhead ──────────────────────────────────────────────
+    // The worker-sweep rows time the *disabled* path (one branch per
+    // instrument site). This section re-runs the naive-comparison config
+    // with every instrument, span and probe recording live, so the cost of
+    // turning telemetry on is a published number — and `--check` asserts
+    // the traced run dispatched bit-identical events (inertness at bench
+    // scale, deterministic and noise-free).
+    let overhead = {
+        let workload = scale_workload((compare_at * 2).max(200) as u32, args.seed);
+        let config = build_config(
+            &workload,
+            compare_at,
+            SITES,
+            StrategyKind::Combined2,
+            EvalMode::Incremental,
+            None,
+            args.seed,
+        )
+        .with_probe_interval(600.0);
+        let started = Instant::now();
+        let report = GridSim::new(config)
+            .with_telemetry(Telemetry::enabled())
+            .run();
+        let traced_wall_s = started.elapsed().as_secs_f64();
+        let disabled = runs
+            .iter()
+            .find(|r| {
+                r.workers == compare_at
+                    && r.sites == SITES
+                    && r.strategy == StrategyKind::Combined2
+                    && r.mode == EvalMode::Incremental
+                    && r.throttle == "none"
+            })
+            .expect("the worker sweep always measures combined2 at the comparison point");
+        println!(
+            "telemetry overhead @ {compare_at} workers (combined2): disabled \
+             {:.2}s -> traced {traced_wall_s:.2}s ({:+.1}%)",
+            disabled.wall_s,
+            (traced_wall_s / disabled.wall_s.max(1e-9) - 1.0) * 100.0
+        );
+        (
+            traced_wall_s,
+            disabled.wall_s,
+            report.events_dispatched,
+            disabled.events,
+        )
+    };
+
+    let total_wall_s: f64 = runs.iter().map(|r| r.wall_s).sum();
+    // Read the previous baseline *before* overwriting it: the regression
+    // guard compares like-for-like (same sweep shape, same seed) totals.
+    let baseline = std::fs::read_to_string(&args.out)
+        .ok()
+        .and_then(|s| parse_baseline(&s));
+
+    let json = to_json(
+        &runs,
+        &speedups,
+        &complexity,
+        overhead,
+        total_wall_s,
+        &sweep,
+        &sites_sweep,
+        compare_at,
+        &args,
+    );
     if let Err(e) = std::fs::write(&args.out, json) {
         eprintln!("error: could not write {}: {e}", args.out.display());
         std::process::exit(1);
@@ -568,6 +730,120 @@ fn main() {
                 }
             }
         }
+        // Telemetry inertness at bench scale: the traced run must have
+        // dispatched bit-identical events. Deterministic — no noise.
+        let (_, _, traced_events, disabled_events) = overhead;
+        if traced_events == disabled_events {
+            println!("CHECK PASS: traced run events match disabled run ({traced_events})");
+        } else {
+            eprintln!(
+                "CHECK FAIL: telemetry perturbed the run: {disabled_events} events \
+                 disabled vs {traced_events} traced"
+            );
+            ok = false;
+        }
+        // Rank maintenance stays amortized-O(1) per rank entry: lazy
+        // deletion evicts each completed task from each of the S per-site
+        // ranks exactly once, so total repairs are bounded by rank
+        // insertions (tasks × S) and the per-(pick × site) rate stays flat
+        // as S grows — no stale entry is ever re-scanned after repair.
+        // Instrument counts are deterministic, so this cannot flake.
+        let complexity_tasks = complexity_workload.task_count() as u64;
+        if let (Some(lo), Some(hi)) = (complexity.first(), complexity.last()) {
+            if lo.sites != hi.sites {
+                let norm = |p: &ComplexityPoint| p.repairs_per_pick() / p.sites as f64;
+                let (n_lo, n_hi) = (norm(lo), norm(hi));
+                if hi.picks == 0 || lo.picks == 0 {
+                    eprintln!("CHECK FAIL: complexity sweep recorded no ranked picks");
+                    ok = false;
+                } else if n_hi > 2.0 * n_lo + 0.5 {
+                    eprintln!(
+                        "CHECK FAIL: repairs per (pick x site) grows with sites: \
+                         {n_lo:.3} @ {} -> {n_hi:.3} @ {} sites",
+                        lo.sites, hi.sites
+                    );
+                    ok = false;
+                } else {
+                    println!(
+                        "CHECK PASS: repairs per (pick x site) flat ({n_lo:.3} @ {} -> \
+                         {n_hi:.3} @ {} sites)",
+                        lo.sites, hi.sites
+                    );
+                }
+            }
+        }
+        for p in &complexity {
+            if p.repairs > complexity_tasks * p.sites as u64 {
+                eprintln!(
+                    "CHECK FAIL: {} repairs exceed the insertion bound {} at {} sites \
+                     (a stale entry was repaired twice)",
+                    p.repairs,
+                    complexity_tasks * p.sites as u64,
+                    p.sites
+                );
+                ok = false;
+            }
+        }
+        // Solver work tracks concurrency: recomputes fire on every flow
+        // arrival/departure, so the per-recompute flow count must reach at
+        // least the probe-sampled in-flight peak at every site count.
+        for p in &complexity {
+            if p.recomputes == 0 {
+                eprintln!("CHECK FAIL: no solver recomputes at {} sites", p.sites);
+                ok = false;
+            } else if p.touched_max < p.probe_max_flows {
+                eprintln!(
+                    "CHECK FAIL: solver touched-flow max {} below sampled in-flight \
+                     peak {} at {} sites",
+                    p.touched_max, p.probe_max_flows, p.sites
+                );
+                ok = false;
+            }
+        }
+        if complexity
+            .iter()
+            .all(|p| p.recomputes > 0 && p.touched_max >= p.probe_max_flows)
+        {
+            println!(
+                "CHECK PASS: solver touched flows track concurrency at all {} site counts",
+                complexity.len()
+            );
+        }
+        // Disabled-telemetry wall-time guard: total sweep time vs the
+        // previous BENCH_scale.json, compared only like-for-like (same
+        // sweep shape and seed). Shared CI runners are noisy, so the smoke
+        // gate is loose (1.5x — still catches accidentally always-on
+        // telemetry, which costs far more than noise) while the full run
+        // enforces the 3% budget.
+        match baseline {
+            Some(ref b) if b.worker_sweep == list_string(&sweep) && b.seed == args.seed => {
+                let ratio = total_wall_s / b.total_wall_s.max(1e-9);
+                let limit = if args.smoke { 1.5 } else { 1.03 };
+                if ratio > limit {
+                    eprintln!(
+                        "CHECK FAIL: total wall {total_wall_s:.2}s is {ratio:.2}x the \
+                         previous baseline {:.2}s (limit {limit:.2}x)",
+                        b.total_wall_s
+                    );
+                    ok = false;
+                } else {
+                    println!(
+                        "CHECK PASS: total wall {total_wall_s:.2}s within {limit:.2}x of \
+                         baseline {:.2}s ({ratio:.2}x)",
+                        b.total_wall_s
+                    );
+                }
+            }
+            Some(_) => {
+                println!("CHECK SKIP: baseline has a different sweep shape or seed");
+            }
+            None => {
+                println!(
+                    "CHECK SKIP: no comparable total_wall_s baseline in {}",
+                    args.out.display()
+                );
+            }
+        }
         if !ok {
             std::process::exit(1);
         }
@@ -576,6 +852,68 @@ fn main() {
             runs.len()
         );
     }
+}
+
+/// One point of the instrumented sites sweep: deterministic hot-path
+/// instrument readings at a fixed worker count.
+struct ComplexityPoint {
+    sites: usize,
+    events: u64,
+    picks: u64,
+    repairs: u64,
+    recomputes: u64,
+    touched_count: u64,
+    touched_sum: u64,
+    touched_max: u64,
+    probe_max_flows: u64,
+}
+
+impl ComplexityPoint {
+    fn repairs_per_pick(&self) -> f64 {
+        self.repairs as f64 / (self.picks as f64).max(1.0)
+    }
+
+    fn touched_mean(&self) -> f64 {
+        self.touched_sum as f64 / (self.touched_count as f64).max(1.0)
+    }
+}
+
+/// The fields of a previous `BENCH_scale.json` the regression guard needs.
+struct Baseline {
+    total_wall_s: f64,
+    seed: u64,
+    worker_sweep: String,
+}
+
+/// Extracts the guard fields from a previous report. Hand-rolled (the
+/// workspace carries no JSON dependency); returns `None` when any field is
+/// missing — e.g. a baseline written before `total_wall_s` existed.
+fn parse_baseline(json: &str) -> Option<Baseline> {
+    fn field<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+        let start = json.find(key)? + key.len();
+        let rest = &json[start..];
+        let end = rest.find([',', '\n', '}'])?;
+        Some(rest[..end].trim())
+    }
+    let worker_sweep = {
+        let key = "\"worker_sweep\": [";
+        let start = json.find(key)? + key.len();
+        let rest = &json[start..];
+        rest[..rest.find(']')?].trim().to_string()
+    };
+    Some(Baseline {
+        total_wall_s: field(json, "\"total_wall_s\": ")?.parse().ok()?,
+        seed: field(json, "\"seed\": ")?.parse().ok()?,
+        worker_sweep,
+    })
+}
+
+fn list_string(values: &[usize]) -> String {
+    values
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 /// The identity of a measured configuration: one JSON row per key.
@@ -597,25 +935,24 @@ fn push_row(table: &mut Table, run: &Run) {
     ]);
 }
 
+#[allow(clippy::too_many_arguments)]
 fn to_json(
     runs: &[Run],
     speedups: &[(StrategyKind, f64, f64, f64)],
+    complexity: &[ComplexityPoint],
+    overhead: (f64, f64, u64, u64),
+    total_wall_s: f64,
     sweep: &[usize],
     sites_sweep: &[usize],
     compare_at: usize,
     args: &Args,
 ) -> String {
-    let list = |values: &[usize]| {
-        values
-            .iter()
-            .map(ToString::to_string)
-            .collect::<Vec<_>>()
-            .join(", ")
-    };
+    let list = list_string;
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"bench\": \"perf_scale\",");
     let _ = writeln!(out, "  \"sites\": {SITES},");
     let _ = writeln!(out, "  \"seed\": {},", args.seed);
+    let _ = writeln!(out, "  \"total_wall_s\": {total_wall_s:.6},");
     let _ = writeln!(out, "  \"worker_sweep\": [{}],", list(sweep));
     let _ = writeln!(out, "  \"sites_sweep\": [{}],", list(sites_sweep));
     let _ = writeln!(
@@ -655,7 +992,35 @@ fn to_json(
              \"speedup\": {speedup:.2}}}{comma}"
         );
     }
-    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"complexity\": [");
+    for (i, p) in complexity.iter().enumerate() {
+        let comma = if i + 1 < complexity.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"sites\": {}, \"events\": {}, \"rank_picks\": {}, \
+             \"rank_repairs\": {}, \"repairs_per_pick\": {:.4}, \
+             \"solver_recomputes\": {}, \"touched_flows_mean\": {:.2}, \
+             \"touched_flows_max\": {}, \"probe_max_in_flight\": {}}}{comma}",
+            p.sites,
+            p.events,
+            p.picks,
+            p.repairs,
+            p.repairs_per_pick(),
+            p.recomputes,
+            p.touched_mean(),
+            p.touched_max,
+            p.probe_max_flows,
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let (traced_wall_s, disabled_wall_s, traced_events, disabled_events) = overhead;
+    let _ = writeln!(
+        out,
+        "  \"telemetry_overhead\": {{\"workers\": {compare_at}, \
+         \"disabled_wall_s\": {disabled_wall_s:.6}, \"traced_wall_s\": {traced_wall_s:.6}, \
+         \"disabled_events\": {disabled_events}, \"traced_events\": {traced_events}}}"
+    );
     out.push_str("}\n");
     out
 }

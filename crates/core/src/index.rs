@@ -55,6 +55,7 @@ use std::collections::BTreeSet;
 use rand::Rng;
 
 use gridsched_storage::SiteStore;
+use gridsched_telemetry::{Counter, Histogram, Telemetry};
 use gridsched_workload::{FileId, TaskId, Workload};
 
 use crate::choose::ChooseTask;
@@ -278,6 +279,45 @@ impl TaskRank {
     }
 }
 
+/// Hot-path instruments of the lazy-membership machinery, shared by every
+/// [`SiteView`] of one scheduler (cloning shares the underlying cells).
+///
+/// The default handles are inert — recording costs one branch — so the
+/// instrumented paths are byte-identical with telemetry off, and the
+/// numbers confirm the complexity claims with it on: mean repairs per pick
+/// should stay flat as the site count grows (each stale entry is repaired
+/// at most once per site), and replay lengths track the requeue window,
+/// not the run length.
+#[derive(Debug, Clone, Default)]
+pub struct RankStats {
+    /// Ranked reads ([`SiteView::pick_ranked`] /
+    /// [`SiteView::top_overlap_where`]) — `scheduler.rank.picks`.
+    pub picks: Counter,
+    /// Stale entries physically removed during ranked reads —
+    /// `scheduler.rank.repairs`.
+    pub repairs: Counter,
+    /// [`SiteView::sync_pending`] calls with a rank attached —
+    /// `scheduler.pending_log.replays`.
+    pub replays: Counter,
+    /// Journal entries replayed per sync —
+    /// `scheduler.pending_log.replay_len`.
+    pub replay_len: Histogram,
+}
+
+impl RankStats {
+    /// Handles registered on `telemetry` under the canonical instrument
+    /// names (inert handles when the collector is disabled).
+    #[must_use]
+    pub fn attach(telemetry: &Telemetry) -> Self {
+        RankStats {
+            picks: telemetry.counter("scheduler.rank.picks"),
+            repairs: telemetry.counter("scheduler.rank.repairs"),
+            replays: telemetry.counter("scheduler.pending_log.replays"),
+            replay_len: telemetry.histogram("scheduler.pending_log.replay_len"),
+        }
+    }
+}
+
 /// Shared journal of *become-live* membership transitions (requeues after
 /// faults, replica-cap releases): the scheduler appends in `O(1)`; each
 /// [`SiteView`] holds a cursor and replays the suffix it has not seen yet
@@ -353,6 +393,8 @@ pub struct SiteView {
     rank: Option<TaskRank>,
     /// How far into the shared [`PendingLog`] this view has replayed.
     log_cursor: usize,
+    /// Hot-path instruments (inert by default; see [`RankStats`]).
+    stats: RankStats,
 }
 
 impl SiteView {
@@ -364,7 +406,15 @@ impl SiteView {
             refsum: vec![0; num_tasks],
             rank: None,
             log_cursor: 0,
+            stats: RankStats::default(),
         }
+    }
+
+    /// Installs hot-path instrument handles (typically shared across all
+    /// of a scheduler's views). Recording through inert handles — the
+    /// default — is a no-op, so this never changes scheduling behaviour.
+    pub fn set_stats(&mut self, stats: RankStats) {
+        self.stats = stats;
     }
 
     /// Replays the [`PendingLog`] suffix this view has not seen yet,
@@ -384,6 +434,10 @@ impl SiteView {
             self.log_cursor = log.entries.len();
             return;
         }
+        self.stats.replays.incr();
+        self.stats
+            .replay_len
+            .record((log.entries.len() - self.log_cursor) as u64);
         while self.log_cursor < log.entries.len() {
             let task = TaskId(log.entries[self.log_cursor]);
             self.log_cursor += 1;
@@ -621,6 +675,7 @@ impl SiteView {
         R: Rng + ?Sized,
         F: FnMut(TaskId) -> bool,
     {
+        self.stats.picks.incr();
         let n = chooser.n();
         let mut stale: Vec<u32> = Vec::new();
         let mut cands: Vec<(TaskId, f64)> = Vec::with_capacity(n);
@@ -703,6 +758,7 @@ impl SiteView {
         if stale.is_empty() {
             return;
         }
+        self.stats.repairs.add(stale.len() as u64);
         let rank = self.rank.as_mut().expect("repair follows a ranked read");
         for &t in stale {
             rank.remove(t as usize);
@@ -729,6 +785,7 @@ impl SiteView {
         L: FnMut(TaskId) -> bool,
         K: FnMut(TaskId) -> bool,
     {
+        self.stats.picks.incr();
         let mut stale: Vec<u32> = Vec::new();
         let mut found = None;
         {
@@ -1262,6 +1319,28 @@ mod rank_tests {
         }
         assert_eq!(pick(&mut view, &pool, &log), None);
         assert!(view.rank().expect("enabled").is_empty(), "all repaired");
+    }
+
+    #[test]
+    fn rank_stats_count_picks_replays_and_repairs() {
+        let (idx, mut view, _) = ranked_view(WeightMetric::Overlap, &[0, 1]);
+        let telemetry = Telemetry::enabled();
+        view.set_stats(RankStats::attach(&telemetry));
+        let mut pool = TaskPool::full(4);
+        let log = PendingLog::new();
+        view.sync_pending(&idx, &log, |t| pool.contains(t));
+        // Task 0 (overlap 2, the bucket head) goes stale in place; the next
+        // ranked read must skip and physically repair it.
+        pool.remove(TaskId(0));
+        let mut rng = StdRng::seed_from_u64(0);
+        let picked = view.pick_ranked(&ChooseTask::new(1), &mut rng, |t| pool.contains(t), None);
+        assert_eq!(picked, Some(TaskId(1)));
+        assert_eq!(telemetry.counter("scheduler.rank.picks").get(), 1);
+        assert_eq!(telemetry.counter("scheduler.rank.repairs").get(), 1);
+        assert_eq!(telemetry.counter("scheduler.pending_log.replays").get(), 1);
+        let lens = telemetry.histogram("scheduler.pending_log.replay_len");
+        assert_eq!(lens.count(), 1, "one sync call, zero entries replayed");
+        assert_eq!(lens.sum(), 0);
     }
 
     #[test]

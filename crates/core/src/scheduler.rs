@@ -18,6 +18,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use gridsched_storage::SiteStore;
+use gridsched_telemetry::Telemetry;
 use gridsched_workload::{FileId, TaskId};
 
 use crate::ids::{GridEnv, SiteId, WorkerId};
@@ -193,6 +194,16 @@ pub trait Scheduler {
     /// Called once before the simulation starts.
     fn initialize(&mut self, env: &GridEnv, stores: &[SiteStore]) {
         let _ = (env, stores);
+    }
+
+    /// Installs hot-path instrument handles from the run's telemetry
+    /// collector. Called by the engine before
+    /// [`initialize`](Scheduler::initialize); the default is a no-op.
+    /// Implementations must only *record* through the handles — attaching
+    /// telemetry must not change any scheduling decision (property-tested
+    /// in `tests/scheduler_equivalence.rs`).
+    fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        let _ = telemetry;
     }
 
     /// A worker is idle and requests work. `store` is the current storage

@@ -39,10 +39,11 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use gridsched_storage::{FileMask, FileSet, SiteStore};
+use gridsched_telemetry::{Counter, Telemetry};
 use gridsched_workload::{FileId, TaskId, Workload};
 
 use crate::ids::{GridEnv, SiteId, WorkerId};
-use crate::index::{enable_ranks, FileIndex, PendingLog, SiteView};
+use crate::index::{enable_ranks, FileIndex, PendingLog, RankStats, SiteView};
 use crate::pool::TaskPool;
 use crate::scheduler::{Assignment, CompletionOutcome, EvalMode, ReplicaThrottle, Scheduler};
 use crate::weight::WeightMetric;
@@ -139,6 +140,16 @@ pub struct StorageAffinity {
     /// Become-live journal: cap releases of still-pending tasks append
     /// here; each site's rank re-admits them on its next read.
     log: PendingLog,
+    /// Hot-path instruments for the ranked replica walks (inert unless
+    /// telemetry is attached).
+    stats: RankStats,
+    /// `throttle.admits` — replica executions launched.
+    admits: Counter,
+    /// `throttle.parks` — idle workers parked by a saturated site budget.
+    parks: Counter,
+    /// `throttle.releases` — replica slots released (won, cancelled, or
+    /// fault-killed executions).
+    releases: Counter,
 }
 
 impl StorageAffinity {
@@ -166,6 +177,10 @@ impl StorageAffinity {
             task_replicas: vec![0; tasks],
             site_inflight: Vec::new(),
             log: PendingLog::new(),
+            stats: RankStats::default(),
+            admits: Counter::disabled(),
+            parks: Counter::disabled(),
+            releases: Counter::disabled(),
         }
     }
 
@@ -305,6 +320,7 @@ impl StorageAffinity {
         if !self.throttle.is_active() {
             return;
         }
+        self.admits.incr();
         self.replica_at.insert(worker, task);
         self.site_inflight[worker.site.index()] += 1;
         self.task_replicas[task.index()] += 1;
@@ -321,6 +337,7 @@ impl StorageAffinity {
         let Some(task) = self.replica_at.remove(&worker) else {
             return;
         };
+        self.releases.incr();
         self.site_inflight[worker.site.index()] -= 1;
         let n = &mut self.task_replicas[task.index()];
         *n -= 1;
@@ -338,13 +355,24 @@ impl Scheduler for StorageAffinity {
         "storage-affinity".to_string()
     }
 
+    fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.stats = RankStats::attach(telemetry);
+        self.admits = telemetry.counter("throttle.admits");
+        self.parks = telemetry.counter("throttle.parks");
+        self.releases = telemetry.counter("throttle.releases");
+    }
+
     fn initialize(&mut self, env: &GridEnv, stores: &[SiteStore]) {
         assert_eq!(env.sites, stores.len(), "one store per site");
         self.workers_per_site = env.workers_per_site;
         self.queues = vec![VecDeque::new(); env.total_workers()];
         self.site_inflight = vec![0; env.sites];
         self.views = (0..env.sites)
-            .map(|_| SiteView::new(self.workload.task_count()))
+            .map(|_| {
+                let mut v = SiteView::new(self.workload.task_count());
+                v.set_stats(self.stats.clone());
+                v
+            })
             .collect();
         for (site, store) in stores.iter().enumerate() {
             for f in store.resident() {
@@ -424,6 +452,7 @@ impl Scheduler for StorageAffinity {
         // its in-flight replicas resolves (O(1), before any pick).
         if let Some(budget) = self.throttle.site_budget {
             if self.site_inflight[worker.site.index()] >= budget {
+                self.parks.incr();
                 return Assignment::Wait;
             }
         }

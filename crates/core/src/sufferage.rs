@@ -49,10 +49,11 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use gridsched_storage::SiteStore;
+use gridsched_telemetry::Telemetry;
 use gridsched_workload::{FileId, TaskId, Workload};
 
 use crate::ids::{GridEnv, SiteId, WorkerId};
-use crate::index::{enable_ranks, FileIndex, PendingLog, SiteView};
+use crate::index::{enable_ranks, FileIndex, PendingLog, RankStats, SiteView};
 use crate::pool::TaskPool;
 use crate::scheduler::{Assignment, CompletionOutcome, EvalMode, Scheduler};
 use crate::weight::WeightMetric;
@@ -91,6 +92,9 @@ pub struct Sufferage {
     /// Become-live journal for the lazy fallback ranks.
     log: PendingLog,
     completed: usize,
+    /// Hot-path instruments for the fallback ranked walks (inert unless
+    /// telemetry is attached).
+    stats: RankStats,
 }
 
 /// Reads `(best, second, best_site)` off a task's nonzero-overlap site
@@ -125,6 +129,7 @@ impl Sufferage {
             contest: Vec::new(),
             log: PendingLog::new(),
             completed: 0,
+            stats: RankStats::default(),
         }
     }
 
@@ -258,10 +263,20 @@ impl Scheduler for Sufferage {
         "xsufferage".to_string()
     }
 
+    fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.stats = RankStats::attach(telemetry);
+    }
+
     fn initialize(&mut self, env: &GridEnv, stores: &[SiteStore]) {
         assert_eq!(env.sites, stores.len(), "one store per site");
         let tasks = self.workload.task_count();
-        self.views = (0..env.sites).map(|_| SiteView::new(tasks)).collect();
+        self.views = (0..env.sites)
+            .map(|_| {
+                let mut v = SiteView::new(tasks);
+                v.set_stats(self.stats.clone());
+                v
+            })
+            .collect();
         if self.mode == EvalMode::Incremental {
             // Allocate the incremental structures *before* seeding so the
             // seed loop routes through the same sparse update path as the

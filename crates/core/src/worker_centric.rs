@@ -24,10 +24,12 @@ use gridsched_des::rng::{derive_seed, Stream};
 use gridsched_storage::SiteStore;
 use gridsched_workload::{FileId, TaskId, Workload};
 
+use gridsched_telemetry::Telemetry;
+
 use crate::choose::ChooseTask;
 use crate::ids::{GridEnv, SiteId, WorkerId};
 use crate::index::{
-    enable_ranks, weigh_all_indexed, ComboAggregates, FileIndex, PendingLog, SiteView,
+    enable_ranks, weigh_all_indexed, ComboAggregates, FileIndex, PendingLog, RankStats, SiteView,
 };
 use crate::pool::TaskPool;
 use crate::scheduler::{Assignment, CompletionOutcome, EvalMode, Scheduler};
@@ -64,6 +66,9 @@ pub struct WorkerCentric {
     rng: StdRng,
     running: usize,
     completed: usize,
+    /// Hot-path instruments, installed into every view at initialize time
+    /// (inert unless [`Scheduler::attach_telemetry`] ran).
+    stats: RankStats,
 }
 
 impl WorkerCentric {
@@ -87,6 +92,7 @@ impl WorkerCentric {
             rng: StdRng::seed_from_u64(derive_seed(seed, Stream::Scheduler)),
             running: 0,
             completed: 0,
+            stats: RankStats::default(),
         }
     }
 
@@ -114,6 +120,7 @@ impl WorkerCentric {
             rng: StdRng::seed_from_u64(derive_seed(seed, Stream::Scheduler)),
             running: 0,
             completed: 0,
+            stats: RankStats::default(),
         }
     }
 
@@ -196,10 +203,18 @@ impl Scheduler for WorkerCentric {
         }
     }
 
+    fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.stats = RankStats::attach(telemetry);
+    }
+
     fn initialize(&mut self, env: &GridEnv, stores: &[SiteStore]) {
         assert_eq!(env.sites, stores.len(), "one store per site");
         self.views = (0..env.sites)
-            .map(|_| SiteView::new(self.workload.task_count()))
+            .map(|_| {
+                let mut v = SiteView::new(self.workload.task_count());
+                v.set_stats(self.stats.clone());
+                v
+            })
             .collect();
         if self.mode == EvalMode::Incremental && self.metric == WeightMetric::Combined {
             self.combo = Some(ComboAggregates::new(&self.index, &self.pool, env.sites));

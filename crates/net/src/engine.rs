@@ -18,6 +18,7 @@
 use std::collections::BTreeMap;
 
 use gridsched_des::{SimDuration, SimTime};
+use gridsched_telemetry::{Counter, Histogram, Telemetry};
 use gridsched_topology::EdgeId;
 
 use crate::fair::MaxMinSolver;
@@ -83,6 +84,11 @@ pub struct NetSim {
     bytes_delivered: f64,
     /// Number of flows finished (stats).
     flows_finished: u64,
+    /// `net.solver.recomputes` — lazy rate recomputations actually run
+    /// (inert unless telemetry is attached).
+    recomputes: Counter,
+    /// `net.solver.touched_flows` — flows visited per recompute.
+    touched_flows: Histogram,
 }
 
 impl NetSim {
@@ -103,7 +109,29 @@ impl NetSim {
             cached_next: None,
             bytes_delivered: 0.0,
             flows_finished: 0,
+            recomputes: Counter::disabled(),
+            touched_flows: Histogram::disabled(),
         }
+    }
+
+    /// Installs hot-path instrument handles (recompute count, flows
+    /// touched per recompute). Recording through inert handles — the
+    /// default — is a no-op; attaching never changes any rate or ETA.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.recomputes = telemetry.counter("net.solver.recomputes");
+        self.touched_flows = telemetry.histogram("net.solver.touched_flows");
+    }
+
+    /// Number of links crossed by at least one active flow.
+    #[must_use]
+    pub fn busy_links(&self) -> usize {
+        self.solver.busy_links()
+    }
+
+    /// Total number of links in the topology.
+    #[must_use]
+    pub fn link_count(&self) -> usize {
+        self.solver.link_count()
     }
 
     /// Starts a flow of `bytes` bytes across `route` with propagation
@@ -292,6 +320,8 @@ impl NetSim {
         if self.flows.is_empty() {
             return;
         }
+        self.recomputes.incr();
+        self.touched_flows.record(self.flows.len() as u64);
         self.solver.solve();
         // Fold the earliest-completion search into the readback pass: the
         // same (eta, id) minimum the scan would take, over the same

@@ -302,6 +302,19 @@ impl MaxMinSolver {
         self.live_slots.len()
     }
 
+    /// Number of links crossed by at least one registered flow (the
+    /// touched-link working set a [`MaxMinSolver::solve`] visits).
+    #[must_use]
+    pub fn busy_links(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// Total number of links (registered capacities).
+    #[must_use]
+    pub fn link_count(&self) -> usize {
+        self.capacities.len()
+    }
+
     /// The rate computed for `slot` by the last [`MaxMinSolver::solve`].
     #[must_use]
     pub fn rate(&self, slot: u32) -> f64 {

@@ -68,6 +68,21 @@ pub struct SimConfig {
     /// implementation detail, deliberately excluded from
     /// [`ConfigSummary`] so reports from different modes compare equal.
     pub eval_mode: EvalMode,
+    /// Chrome Trace Event Format output path (`--trace-out`): per-task
+    /// lifecycle spans and fault/outage windows, loadable in Perfetto.
+    /// `None` disables span export. Telemetry is provably inert — the
+    /// [`MetricsReport`](crate::MetricsReport) is byte-identical with it
+    /// on or off (property-tested) — and, like `eval_mode`, excluded from
+    /// [`ConfigSummary`].
+    pub trace_out: Option<String>,
+    /// JSONL metrics output path (`--metrics-out`): one line per named
+    /// instrument, then one per probe sample. `None` disables.
+    pub metrics_out: Option<String>,
+    /// Sim-time probe sampling interval in seconds (`--probe-interval`):
+    /// per-site queue depth / worker-state / link-occupancy time series,
+    /// sampled between dispatched events (never *as* an event). `None`
+    /// disables probing.
+    pub probe_interval_s: Option<f64>,
 }
 
 /// Serializable summary of a configuration (embedded in reports).
@@ -120,6 +135,9 @@ impl SimConfig {
             checkpointing: None,
             replica_throttle: ReplicaThrottle::none(),
             eval_mode: EvalMode::default(),
+            trace_out: None,
+            metrics_out: None,
+            probe_interval_s: None,
         }
     }
 
@@ -269,6 +287,44 @@ impl SimConfig {
         self
     }
 
+    /// Writes per-task lifecycle spans as Chrome Trace Event Format JSON
+    /// (open with Perfetto or `chrome://tracing`).
+    #[must_use]
+    pub fn with_trace_out(mut self, path: impl Into<String>) -> Self {
+        self.trace_out = Some(path.into());
+        self
+    }
+
+    /// Writes instrument snapshots and probe samples as JSONL.
+    #[must_use]
+    pub fn with_metrics_out(mut self, path: impl Into<String>) -> Self {
+        self.metrics_out = Some(path.into());
+        self
+    }
+
+    /// Samples per-site occupancy time series every `interval_s` sim
+    /// seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_s` is not positive and finite.
+    #[must_use]
+    pub fn with_probe_interval(mut self, interval_s: f64) -> Self {
+        assert!(
+            interval_s > 0.0 && interval_s.is_finite(),
+            "probe interval must be positive"
+        );
+        self.probe_interval_s = Some(interval_s);
+        self
+    }
+
+    /// True when any telemetry output is requested, so the engine enables
+    /// its instruments; otherwise every record is a single dead branch.
+    #[must_use]
+    pub fn telemetry_requested(&self) -> bool {
+        self.trace_out.is_some() || self.metrics_out.is_some() || self.probe_interval_s.is_some()
+    }
+
     /// The serializable summary embedded in reports.
     #[must_use]
     pub fn summary(&self) -> ConfigSummary {
@@ -347,5 +403,29 @@ mod tests {
     #[should_panic(expected = "topology only has")]
     fn too_many_sites_panics() {
         let _ = SimConfig::paper(wl(), StrategyKind::Rest).with_sites(91);
+    }
+
+    #[test]
+    fn telemetry_builders() {
+        let c = SimConfig::paper(wl(), StrategyKind::Rest);
+        assert!(!c.telemetry_requested());
+        let c = c
+            .with_trace_out("/tmp/trace.json")
+            .with_metrics_out("/tmp/metrics.jsonl")
+            .with_probe_interval(5.0);
+        assert!(c.telemetry_requested());
+        assert_eq!(c.trace_out.as_deref(), Some("/tmp/trace.json"));
+        assert_eq!(c.metrics_out.as_deref(), Some("/tmp/metrics.jsonl"));
+        assert_eq!(c.probe_interval_s, Some(5.0));
+        // Deliberately excluded from the summary, like eval_mode: telemetry
+        // must never change what reports compare equal to.
+        let plain = SimConfig::paper(wl(), StrategyKind::Rest);
+        assert_eq!(c.summary(), plain.summary());
+    }
+
+    #[test]
+    #[should_panic(expected = "probe interval must be positive")]
+    fn zero_probe_interval_panics() {
+        let _ = SimConfig::paper(wl(), StrategyKind::Rest).with_probe_interval(0.0);
     }
 }

@@ -72,6 +72,7 @@ use gridsched_des::{EventHandle, Schedule, SimDuration, SimTime};
 use gridsched_faults::{Entity, FaultKind, FaultTimeline};
 use gridsched_net::{FlowId, NetSim};
 use gridsched_storage::{CheckpointImage, ImageVault, SiteStore};
+use gridsched_telemetry::{Counter, Histogram, ProbeSample, SiteProbe, Telemetry, Track};
 use gridsched_topology::{generate, EdgeId, Route, Topology};
 use gridsched_workload::{FileId, TaskId};
 
@@ -289,6 +290,16 @@ pub struct GridSim {
     /// use targeted wake-ups; unthrottled runs keep the legacy
     /// wake-everyone behaviour byte for byte.
     throttled: bool,
+    /// The observability collector. Disabled unless the config requests
+    /// an output (or a test injects one via [`GridSim::with_telemetry`]);
+    /// recording through it is provably inert either way — no RNG draw, no
+    /// event, no effect on any scheduling decision.
+    telemetry: Telemetry,
+    /// Cached wake-path instruments (the facade's registry lookup is a
+    /// `BTreeMap` walk — too slow for a per-completion hot path).
+    wake_calls: Counter,
+    wake_fanout: Histogram,
+    wake_targeted: Counter,
     flow_purpose: HashMap<FlowId, FlowPurpose>,
     replication: Option<ReplicationState>,
     replication_rng: rand::rngs::StdRng,
@@ -359,7 +370,13 @@ impl GridSim {
                 && config.replica_throttle.site_budget != Some(0),
             "replica cap and site replica budget must be >= 1"
         );
-        let net = NetSim::new(topology.graph.bandwidths());
+        let telemetry = if config.telemetry_requested() {
+            Telemetry::enabled()
+        } else {
+            Telemetry::disabled()
+        };
+        let mut net = NetSim::new(topology.graph.bandwidths());
+        net.attach_telemetry(&telemetry);
         let stores: Vec<SiteStore> = (0..config.sites)
             .map(|_| SiteStore::new(config.capacity_files, config.policy))
             .collect();
@@ -379,7 +396,8 @@ impl GridSim {
             }
         }
         let servers = (0..config.sites).map(|_| DataServer::default()).collect();
-        let scheduler = build_scheduler(&config);
+        let mut scheduler = build_scheduler(&config);
+        scheduler.attach_telemetry(&telemetry);
         let faults_active = config.faults.as_ref().is_some_and(|f| !f.is_inert());
         if let Some(trace) = config.faults.as_ref().and_then(|f| f.trace.as_ref()) {
             if let Err(e) = trace.validate(config.sites, config.workers_per_site) {
@@ -437,6 +455,10 @@ impl GridSim {
             parked,
             parked_count: 0,
             throttled,
+            wake_calls: telemetry.counter("engine.wake.calls"),
+            wake_fanout: telemetry.histogram("engine.wake.fanout"),
+            wake_targeted: telemetry.counter("engine.wake.targeted"),
+            telemetry,
             flow_purpose: HashMap::new(),
             replication,
             faults_active,
@@ -463,12 +485,35 @@ impl GridSim {
         }
     }
 
+    /// Replaces the telemetry collector. [`Telemetry`] is a shared handle:
+    /// tests and examples keep a clone, run the simulation, and inspect
+    /// everything it recorded afterwards. Must be called before
+    /// [`GridSim::run`] (instrument handles are re-distributed here, ahead
+    /// of the scheduler's `initialize`).
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.scheduler.attach_telemetry(&telemetry);
+        self.net.attach_telemetry(&telemetry);
+        self.wake_calls = telemetry.counter("engine.wake.calls");
+        self.wake_fanout = telemetry.histogram("engine.wake.fanout");
+        self.wake_targeted = telemetry.counter("engine.wake.targeted");
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The run's telemetry collector (disabled unless requested).
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
     /// Runs the simulation to completion and returns the metrics.
     ///
     /// # Panics
     ///
     /// Panics if the simulation deadlocks (events drain while tasks remain
-    /// unfinished) — this would indicate a scheduler bug.
+    /// unfinished) — this would indicate a scheduler bug — or if a
+    /// configured telemetry output path cannot be written.
     #[must_use]
     pub fn run(mut self) -> MetricsReport {
         let env = GridEnv {
@@ -481,7 +526,26 @@ impl GridSim {
             self.schedule.schedule_now(Event::WorkerIdle(w));
         }
         self.arm_faults();
-        while let Some((_now, event)) = self.schedule.next() {
+        // The probe sampler runs between dispatched events, never *as* an
+        // event: boundaries are computed as k·dt (not accumulated) so the
+        // series is exact and strictly increasing, and the event queue —
+        // including `events_dispatched` — never sees it.
+        let probe_dt = self
+            .config
+            .probe_interval_s
+            .filter(|_| self.telemetry.is_enabled());
+        let mut probes_emitted: u64 = 0;
+        while let Some((now, event)) = self.schedule.next() {
+            if let Some(dt) = probe_dt {
+                loop {
+                    let at = SimTime::from_secs(dt * (probes_emitted + 1) as f64);
+                    if at > now {
+                        break;
+                    }
+                    self.record_probe(at);
+                    probes_emitted += 1;
+                }
+            }
             match event {
                 Event::WorkerIdle(w) => self.handle_worker_idle(w),
                 Event::FlowDone(fid) => self.handle_flow_done(fid),
@@ -506,7 +570,69 @@ impl GridSim {
             self.scheduler.unfinished(),
             self.scheduler.name()
         );
-        self.report()
+        self.close_open_fault_spans();
+        let report = self.report();
+        self.flush_telemetry();
+        report
+    }
+
+    /// Samples the grid's state at probe boundary `at` — queue depths,
+    /// worker states, store occupancy, network load — into the telemetry
+    /// time series.
+    fn record_probe(&self, at: SimTime) {
+        let mut sites = vec![SiteProbe::default(); self.config.sites];
+        for (s, server) in self.servers.iter().enumerate() {
+            sites[s].queue_depth = server.queue.len() as u64;
+            sites[s].server_down = server.down;
+            sites[s].server_files = self.stores[s].len() as u64;
+        }
+        for w in &self.workers {
+            let site = &mut sites[w.id.site.index()];
+            match w.state {
+                WorkerState::WaitingData | WorkerState::Restoring | WorkerState::Computing => {
+                    site.busy_workers += 1;
+                }
+                WorkerState::Parked => site.parked_workers += 1,
+                WorkerState::Down => site.dead_workers += 1,
+                WorkerState::Idle | WorkerState::Done => {}
+            }
+        }
+        self.telemetry.record_probe(ProbeSample {
+            t_s: at.as_secs(),
+            sites,
+            in_flight_flows: self.net.active_flows() as u64,
+            links_busy: self.net.busy_links() as u64,
+            links_total: self.net.link_count() as u64,
+        });
+    }
+
+    /// Closes the fault spans still open when the event queue drains
+    /// (scripted crashes/outages with no scripted recovery never see a
+    /// recover event).
+    fn close_open_fault_spans(&self) {
+        let t = self.now().as_secs();
+        for (w, worker) in self.workers.iter().enumerate() {
+            if worker.down_since.is_some() {
+                self.telemetry.span_end(Track::worker(w), "down", t);
+            }
+        }
+        for (s, server) in self.servers.iter().enumerate() {
+            if server.down_since.is_some() {
+                self.telemetry.span_end(Track::server(s), "outage", t);
+            }
+        }
+    }
+
+    /// Writes the configured telemetry outputs, if any.
+    fn flush_telemetry(&self) {
+        if let Some(path) = &self.config.trace_out {
+            std::fs::write(path, self.telemetry.to_chrome_trace())
+                .unwrap_or_else(|e| panic!("cannot write trace to {path}: {e}"));
+        }
+        if let Some(path) = &self.config.metrics_out {
+            std::fs::write(path, self.telemetry.to_jsonl())
+                .unwrap_or_else(|e| panic!("cannot write metrics to {path}: {e}"));
+        }
     }
 
     fn now(&self) -> SimTime {
@@ -540,6 +666,8 @@ impl GridSim {
                 }
                 self.workers[w].state = WorkerState::WaitingData;
                 self.workers[w].current = Some(RunningTask::new(task, is_replica));
+                self.telemetry
+                    .span_begin(Track::worker(w), "queued", self.now().as_secs());
                 let enqueued_at = self.now();
                 let generation = self.workers[w].generation;
                 self.servers[site].queue.push_back(BatchRequest {
@@ -585,7 +713,9 @@ impl GridSim {
     /// decision — is unchanged). Entries whose worker has since crashed
     /// are silently dropped. `O(1)` when nothing is parked.
     fn wake_parked(&mut self) {
+        self.wake_calls.incr();
         if self.parked_count == 0 {
+            self.wake_fanout.record(0);
             return;
         }
         let mut list: Vec<usize> = Vec::new();
@@ -594,6 +724,7 @@ impl GridSim {
         }
         self.parked_count = 0;
         list.sort_unstable();
+        self.wake_fanout.record(list.len() as u64);
         for w in list {
             if self.workers[w].state == WorkerState::Parked {
                 self.workers[w].state = WorkerState::Idle;
@@ -608,6 +739,7 @@ impl GridSim {
     /// entries (workers that crashed since parking) are dropped along the
     /// way.
     fn wake_one_parked(&mut self, site: usize) {
+        self.wake_targeted.incr();
         while let Some(w) = self.parked[site].pop_first() {
             self.parked_count -= 1;
             if self.workers[w].state == WorkerState::Parked {
@@ -635,6 +767,9 @@ impl GridSim {
             }
         };
         let w = request.worker;
+        let t = self.now().as_secs();
+        self.telemetry.span_end(Track::worker(w), "queued", t);
+        self.telemetry.span_begin(Track::worker(w), "staging", t);
         let task = self.workers[w]
             .current
             .as_ref()
@@ -718,6 +853,8 @@ impl GridSim {
     fn finish_batch(&mut self, site: usize) {
         let batch = self.servers[site].active.take().expect("active batch");
         let w = batch.worker;
+        self.telemetry
+            .span_end(Track::worker(w), "staging", self.now().as_secs());
         let transfer_time = (self.now() - batch.service_start).as_secs();
         self.per_site[site].transfer_time_s += transfer_time;
         self.per_site[site].tasks_started += 1;
@@ -806,6 +943,8 @@ impl GridSim {
         current.ckpt_flow = Some(fid);
         current.ckpt_flow_started = Some(started);
         self.workers[w].state = WorkerState::Restoring;
+        self.telemetry
+            .span_begin(Track::worker(w), "restore", started.as_secs());
         self.resync_net();
         true
     }
@@ -852,6 +991,8 @@ impl GridSim {
         current.compute_handle = Some(handle);
         current.compute_started = Some(started);
         self.workers[w].state = WorkerState::Computing;
+        self.telemetry
+            .span_begin(Track::worker(w), "compute", started.as_secs());
     }
 
     /// A compute segment ended: commit its progress and write a checkpoint
@@ -876,6 +1017,8 @@ impl GridSim {
         current.progress_flops += seg_s * speed;
         current.progress_s += seg_s;
         current.compute_handle = None;
+        self.telemetry
+            .span_end(Track::worker(w), "compute", now.as_secs());
         if self.servers[site].down {
             self.begin_compute_segment(w);
             return;
@@ -893,6 +1036,8 @@ impl GridSim {
         current.ckpt_flow = Some(fid);
         current.ckpt_flow_started = Some(now);
         current.pending_image = Some((current.progress_flops, current.progress_s));
+        self.telemetry
+            .span_begin(Track::worker(w), "checkpoint", now.as_secs());
         self.resync_net();
     }
 
@@ -1039,6 +1184,8 @@ impl GridSim {
                     current.durable_flops = flops;
                     current.durable_s = invested;
                 }
+                self.telemetry
+                    .span_end(Track::worker(worker), "checkpoint", now.as_secs());
                 self.resync_net();
                 self.begin_compute_segment(worker);
             }
@@ -1056,6 +1203,8 @@ impl GridSim {
                 ckpt.overhead_s += (now - started).as_secs();
                 ckpt.restores += 1;
                 ckpt.work_saved_s += saved;
+                self.telemetry
+                    .span_end(Track::worker(worker), "restore", now.as_secs());
                 self.resync_net();
                 self.begin_compute_segment(worker);
             }
@@ -1165,6 +1314,9 @@ impl GridSim {
         let site = self.workers[w].id.site.index();
         let current = self.workers[w].current.take().expect("computing worker");
         debug_assert_eq!(current.task, task);
+        let t = self.now().as_secs();
+        self.telemetry.span_end(Track::worker(w), "compute", t);
+        self.telemetry.instant(Track::worker(w), "complete", t);
         let was_replica = current.is_replica;
         for f in current.pinned {
             self.stores[site].unpin(f);
@@ -1216,6 +1368,31 @@ impl GridSim {
         let site = self.workers[w].id.site.index();
         let state = self.workers[w].state;
         let current = self.workers[w].current.take()?;
+        // Close the lifecycle span the execution died in (the match below
+        // panics for states with no execution, so "" never reaches the
+        // tracer).
+        let open_phase = match state {
+            WorkerState::WaitingData => {
+                if self.servers[site]
+                    .active
+                    .as_ref()
+                    .is_some_and(|b| b.worker == w)
+                {
+                    "staging"
+                } else {
+                    "queued"
+                }
+            }
+            WorkerState::Restoring => "restore",
+            WorkerState::Computing if current.ckpt_flow.is_some() => "checkpoint",
+            WorkerState::Computing => "compute",
+            _ => "",
+        };
+        if !open_phase.is_empty() {
+            let t = self.now().as_secs();
+            self.telemetry.span_end(Track::worker(w), open_phase, t);
+            self.telemetry.instant(Track::worker(w), "aborted", t);
+        }
         match state {
             WorkerState::WaitingData => {
                 // Either still queued at the data server (left in place —
@@ -1385,6 +1562,8 @@ impl GridSim {
         self.workers[w].state = WorkerState::Down;
         self.workers[w].down_since = Some(self.now());
         self.worker_crashes += 1;
+        self.telemetry
+            .span_begin(Track::worker(w), "down", self.now().as_secs());
         let orphaned = self.scheduler.on_worker_lost(worker_id, lost);
         if orphaned {
             let task = lost.expect("orphaned implies an in-flight task");
@@ -1413,6 +1592,8 @@ impl GridSim {
             let end = self.downtime_end().max(since);
             self.per_site[site].worker_downtime_s += (end - since).as_secs();
         }
+        self.telemetry
+            .span_end(Track::worker(w), "down", self.now().as_secs());
         self.workers[w].state = WorkerState::Idle;
         self.scheduler.on_worker_recovered(self.workers[w].id);
         if self.scheduler.unfinished() == 0 {
@@ -1435,6 +1616,8 @@ impl GridSim {
         self.servers[site].down = true;
         self.servers[site].down_since = Some(self.now());
         self.server_outages += 1;
+        self.telemetry
+            .span_begin(Track::server(site), "outage", self.now().as_secs());
         // The active batch dissolves: its in-flight transfer is aborted
         // and the request goes back to the head of the queue, to be
         // re-served (re-fetching whatever the outage lost) after repair.
@@ -1465,6 +1648,10 @@ impl GridSim {
                 generation,
                 enqueued_at,
             });
+            // The dissolved batch's worker goes back to waiting in queue.
+            let t = self.now().as_secs();
+            self.telemetry.span_end(Track::worker(w), "staging", t);
+            self.telemetry.span_begin(Track::worker(w), "queued", t);
         }
         // Inbound replication pushes have no destination anymore.
         let mut inbound: Vec<FlowId> = self
@@ -1553,10 +1740,13 @@ impl GridSim {
             self.account_aborted_ckpt_stall(stall_started);
         }
         self.resync_net();
+        let t = self.now().as_secs();
         for &(_, w) in &writes {
+            self.telemetry.span_end(Track::worker(w), "checkpoint", t);
             self.begin_compute_segment(w);
         }
         for &(_, w) in &restores {
+            self.telemetry.span_end(Track::worker(w), "restore", t);
             let current = self.workers[w].current.as_mut().expect("restorer runs");
             current.progress_flops = 0.0;
             current.progress_s = 0.0;
@@ -1575,6 +1765,8 @@ impl GridSim {
             let end = self.downtime_end().max(since);
             self.per_site[site].server_downtime_s += (end - since).as_secs();
         }
+        self.telemetry
+            .span_end(Track::server(site), "outage", self.now().as_secs());
         self.maybe_start_service(site);
         if self.scheduler.unfinished() == 0 {
             return;

@@ -54,8 +54,15 @@ pub use config::SimConfig;
 pub use engine::GridSim;
 pub use metrics::{MetricsReport, SiteMetrics};
 pub use replication::ReplicationConfig;
-pub use runner::{average_reports, run_averaged, ExperimentPoint};
+pub use runner::{
+    average_reports, report_spread, run_averaged, run_averaged_with_spread, ExperimentPoint,
+    ReportSpread,
+};
 pub use speeds::SpeedModel;
+
+// The observability layer: re-export so simulator users can inject a
+// `Telemetry` handle (tests, examples) without an extra dependency line.
+pub use gridsched_telemetry::{self as telemetry, Telemetry};
 
 // The fault and checkpoint models live in their own crates; re-export the
 // configuration surface so simulator users need only `gridsched_sim`.

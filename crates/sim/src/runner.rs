@@ -21,6 +21,29 @@ pub struct ExperimentPoint {
     pub report: MetricsReport,
 }
 
+/// Per-replicate extrema of the key scalar metrics — the spread around the
+/// mean that [`run_averaged`] alone would discard. A mean makespan is only
+/// as trustworthy as the band the replicates actually span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportSpread {
+    /// How many replicates the extrema cover.
+    pub replicates: usize,
+    /// (min, max) makespan in minutes.
+    pub makespan_minutes: (f64, f64),
+    /// (min, max) file-transfer count.
+    pub file_transfers: (u64, u64),
+    /// (min, max) bytes on the wire.
+    pub bytes_transferred: (f64, f64),
+    /// (min, max) events dispatched.
+    pub events_dispatched: (u64, u64),
+    /// (min, max) replicas launched.
+    pub replicas_launched: (u64, u64),
+    /// (min, max) tasks fault-orphaned.
+    pub tasks_lost: (u64, u64),
+    /// (min, max) wasted compute-seconds.
+    pub wasted_compute_s: (f64, f64),
+}
+
 /// Runs `base` once per topology seed (in parallel) and averages.
 ///
 /// The master seed is varied together with the topology seed so worker
@@ -32,15 +55,41 @@ pub struct ExperimentPoint {
 /// Panics if `topology_seeds` is empty or a worker thread panics.
 #[must_use]
 pub fn run_averaged(base: &SimConfig, topology_seeds: &[u64]) -> MetricsReport {
+    average_reports(&run_replicates(base, topology_seeds))
+}
+
+/// Like [`run_averaged`], but also returns the per-replicate extrema.
+///
+/// # Panics
+///
+/// Panics if `topology_seeds` is empty or a worker thread panics.
+#[must_use]
+pub fn run_averaged_with_spread(
+    base: &SimConfig,
+    topology_seeds: &[u64],
+) -> (MetricsReport, ReportSpread) {
+    let reports = run_replicates(base, topology_seeds);
+    (average_reports(&reports), report_spread(&reports))
+}
+
+fn run_replicates(base: &SimConfig, topology_seeds: &[u64]) -> Vec<MetricsReport> {
     assert!(!topology_seeds.is_empty(), "need at least one replicate");
-    let reports: Vec<MetricsReport> = std::thread::scope(|scope| {
+    let multi = topology_seeds.len() > 1;
+    std::thread::scope(|scope| {
         let handles: Vec<_> = topology_seeds
             .iter()
             .map(|&ts| {
-                let config = base
+                let mut config = base
                     .clone()
                     .with_topology_seed(ts)
                     .with_seed(base.seed.wrapping_add(ts));
+                // Replicates run concurrently: with several seeds writing,
+                // a shared output path would be a data race on disk —
+                // suffix per seed so every replicate keeps its own files.
+                if multi {
+                    config.trace_out = config.trace_out.map(|p| format!("{p}.seed{ts}"));
+                    config.metrics_out = config.metrics_out.map(|p| format!("{p}.seed{ts}"));
+                }
                 scope.spawn(move || GridSim::new(config).run())
             })
             .collect();
@@ -48,8 +97,40 @@ pub fn run_averaged(base: &SimConfig, topology_seeds: &[u64]) -> MetricsReport {
             .into_iter()
             .map(|h| h.join().expect("simulation thread panicked"))
             .collect()
-    });
-    average_reports(&reports)
+    })
+}
+
+fn minmax_u64(mut values: impl Iterator<Item = u64>) -> (u64, u64) {
+    let first = values.next().expect("at least one report");
+    values.fold((first, first), |(lo, hi), v| (lo.min(v), hi.max(v)))
+}
+
+fn minmax_f64(mut values: impl Iterator<Item = f64>) -> (f64, f64) {
+    let first = values.next().expect("at least one report");
+    values.fold((first, first), |(lo, hi), v| (lo.min(v), hi.max(v)))
+}
+
+/// Element-wise (min, max) extrema over several reports.
+///
+/// # Panics
+///
+/// Panics if `reports` is empty.
+#[must_use]
+pub fn report_spread(reports: &[MetricsReport]) -> ReportSpread {
+    assert!(
+        !reports.is_empty(),
+        "cannot take the spread of zero reports"
+    );
+    ReportSpread {
+        replicates: reports.len(),
+        makespan_minutes: minmax_f64(reports.iter().map(|r| r.makespan_minutes)),
+        file_transfers: minmax_u64(reports.iter().map(|r| r.file_transfers)),
+        bytes_transferred: minmax_f64(reports.iter().map(|r| r.bytes_transferred)),
+        events_dispatched: minmax_u64(reports.iter().map(|r| r.events_dispatched)),
+        replicas_launched: minmax_u64(reports.iter().map(|r| r.replicas_launched)),
+        tasks_lost: minmax_u64(reports.iter().map(|r| r.tasks_lost)),
+        wasted_compute_s: minmax_f64(reports.iter().map(|r| r.wasted_compute_s)),
+    }
 }
 
 fn avg_u64(values: impl Iterator<Item = u64>, n: usize) -> u64 {
@@ -159,5 +240,29 @@ mod tests {
         let wl = Arc::new(CoaddConfig::small(0).generate());
         let cfg = SimConfig::paper(wl, StrategyKind::Rest);
         let _ = run_averaged(&cfg, &[]);
+    }
+
+    #[test]
+    fn spread_brackets_the_mean() {
+        let wl = Arc::new(CoaddConfig::small(0).generate());
+        let cfg = SimConfig::paper(wl, StrategyKind::Rest)
+            .with_sites(2)
+            .with_seed(0);
+        let (avg, spread) = run_averaged_with_spread(&cfg, &[0, 1, 2]);
+        assert_eq!(spread.replicates, 3);
+        let (lo, hi) = spread.makespan_minutes;
+        assert!(lo <= avg.makespan_minutes && avg.makespan_minutes <= hi);
+        assert!(lo > 0.0);
+        let (flo, fhi) = spread.file_transfers;
+        assert!(flo <= avg.file_transfers || avg.file_transfers <= fhi);
+        assert!(flo <= fhi);
+        // Distinct topologies should actually disagree somewhere.
+        assert!(
+            spread.makespan_minutes.0 < spread.makespan_minutes.1,
+            "three topologies with identical makespans is vanishingly unlikely"
+        );
+        // Single-replicate spread degenerates to the report itself.
+        let one = report_spread(&[GridSim::new(cfg.clone().with_topology_seed(0)).run()]);
+        assert_eq!(one.makespan_minutes.0, one.makespan_minutes.1);
     }
 }

@@ -1,0 +1,355 @@
+//! Named instruments: counters and fixed-bucket histograms.
+//!
+//! Handles are `Option<Rc<…>>` so a disabled instrument costs one branch
+//! per record. The [`Registry`] dedupes handles by name: two layers asking
+//! for the same instrument share one cell, and the snapshot is stable
+//! (sorted by name) for deterministic export.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// Number of power-of-two histogram buckets: bucket `k` counts values `v`
+/// with `v.ilog2() == k` (bucket 0 additionally holds `v == 0` and
+/// `v == 1`), so bucket `k` spans `[2^k, 2^(k+1))`.
+pub(crate) const BUCKETS: usize = 33;
+
+/// A monotone counter handle. Cloning shares the underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Option<Rc<Cell<u64>>>,
+}
+
+impl Counter {
+    /// The inert handle: records are no-ops.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Counter { cell: None }
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.cell {
+            c.set(c.get() + n);
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 when disabled).
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.cell.as_ref().map_or(0, |c| c.get())
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    count: Cell<u64>,
+    sum: Cell<u64>,
+    max: Cell<u64>,
+    buckets: [Cell<u64>; BUCKETS],
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        HistogramCore {
+            count: Cell::new(0),
+            sum: Cell::new(0),
+            max: Cell::new(0),
+            buckets: [(); BUCKETS].map(|()| Cell::new(0)),
+        }
+    }
+}
+
+/// A fixed-bucket (power-of-two) histogram handle. Cloning shares the
+/// underlying cells.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    core: Option<Rc<HistogramCore>>,
+}
+
+impl Histogram {
+    /// The inert handle: records are no-ops.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Histogram { core: None }
+    }
+
+    /// Records one observation of `value`.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if let Some(h) = &self.core {
+            h.count.set(h.count.get() + 1);
+            h.sum.set(h.sum.get().saturating_add(value));
+            if value > h.max.get() {
+                h.max.set(value);
+            }
+            let bucket = if value <= 1 {
+                0
+            } else {
+                (value.ilog2() as usize).min(BUCKETS - 1)
+            };
+            let b = &h.buckets[bucket];
+            b.set(b.get() + 1);
+        }
+    }
+
+    /// Number of observations (0 when disabled).
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.core.as_ref().map_or(0, |h| h.count.get())
+    }
+
+    /// Sum of all observed values.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.core.as_ref().map_or(0, |h| h.sum.get())
+    }
+
+    /// Largest observed value.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.core.as_ref().map_or(0, |h| h.max.get())
+    }
+
+    /// Mean observed value (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    fn bucket_counts(&self) -> Vec<u64> {
+        self.core
+            .as_ref()
+            .map_or_else(Vec::new, |h| h.buckets.iter().map(Cell::get).collect())
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Handle {
+    Counter(Counter),
+    Histogram(Histogram),
+}
+
+/// The deduplicating instrument registry backing a [`crate::Telemetry`].
+#[derive(Debug, Default)]
+pub struct Registry {
+    by_name: RefCell<BTreeMap<&'static str, Handle>>,
+}
+
+impl Registry {
+    /// Returns the counter named `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a histogram.
+    #[must_use]
+    pub fn counter(&self, name: &'static str) -> Counter {
+        let mut map = self.by_name.borrow_mut();
+        let h = map.entry(name).or_insert_with(|| {
+            Handle::Counter(Counter {
+                cell: Some(Rc::new(Cell::new(0))),
+            })
+        });
+        match h {
+            Handle::Counter(c) => c.clone(),
+            Handle::Histogram(_) => panic!("instrument {name} is a histogram, not a counter"),
+        }
+    }
+
+    /// Returns the histogram named `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a counter.
+    #[must_use]
+    pub fn histogram(&self, name: &'static str) -> Histogram {
+        let mut map = self.by_name.borrow_mut();
+        let h = map.entry(name).or_insert_with(|| {
+            Handle::Histogram(Histogram {
+                core: Some(Rc::new(HistogramCore::default())),
+            })
+        });
+        match h {
+            Handle::Histogram(hist) => hist.clone(),
+            Handle::Counter(_) => panic!("instrument {name} is a counter, not a histogram"),
+        }
+    }
+
+    /// Snapshot of every instrument, sorted by name (BTreeMap order).
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<InstrumentSnapshot> {
+        self.by_name
+            .borrow()
+            .iter()
+            .map(|(&name, h)| InstrumentSnapshot {
+                name,
+                value: match h {
+                    Handle::Counter(c) => InstrumentValue::Counter { value: c.get() },
+                    Handle::Histogram(h) => InstrumentValue::Histogram {
+                        count: h.count(),
+                        sum: h.sum(),
+                        max: h.max(),
+                        buckets: h.bucket_counts(),
+                    },
+                },
+            })
+            .collect()
+    }
+}
+
+/// A point-in-time copy of one instrument's state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstrumentSnapshot {
+    /// The instrument's registered name.
+    pub name: &'static str,
+    /// Its value at snapshot time.
+    pub value: InstrumentValue,
+}
+
+/// The value variants of [`InstrumentSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstrumentValue {
+    /// A monotone counter.
+    Counter {
+        /// Accumulated count.
+        value: u64,
+    },
+    /// A power-of-two-bucket histogram.
+    Histogram {
+        /// Number of observations.
+        count: u64,
+        /// Sum of observed values.
+        sum: u64,
+        /// Largest observed value.
+        max: u64,
+        /// Per-bucket observation counts; bucket `k` spans `[2^k, 2^(k+1))`
+        /// (bucket 0 also holds zeros).
+        buckets: Vec<u64>,
+    },
+}
+
+impl InstrumentSnapshot {
+    /// Activity rank: counter value, or histogram observation count.
+    #[must_use]
+    pub fn activity(&self) -> u64 {
+        match &self.value {
+            InstrumentValue::Counter { value } => *value,
+            InstrumentValue::Histogram { count, .. } => *count,
+        }
+    }
+
+    /// Appends this snapshot as one JSONL line (`{"type":"instrument",…}`).
+    pub fn write_jsonl_line(&self, out: &mut String) {
+        match &self.value {
+            InstrumentValue::Counter { value } => {
+                let _ = writeln!(
+                    out,
+                    "{{\"type\":\"instrument\",\"kind\":\"counter\",\"name\":\"{}\",\
+                     \"value\":{value}}}",
+                    self.name
+                );
+            }
+            InstrumentValue::Histogram {
+                count,
+                sum,
+                max,
+                buckets,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"type\":\"instrument\",\"kind\":\"histogram\",\"name\":\"{}\",\
+                     \"count\":{count},\"sum\":{sum},\"max\":{max},\"buckets\":[",
+                    self.name
+                );
+                // Sparse emission: only non-empty buckets, as [lo, n] pairs.
+                let mut first = true;
+                for (k, &n) in buckets.iter().enumerate() {
+                    if n == 0 {
+                        continue;
+                    }
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    let lo: u64 = if k == 0 { 0 } else { 1 << k };
+                    let _ = write!(out, "[{lo},{n}]");
+                }
+                out.push_str("]}\n");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_total_equals_count() {
+        let r = Registry::default();
+        let h = r.histogram("lens");
+        for v in [0, 1, 2, 3, 4, 7, 8, 1000, u64::MAX] {
+            h.record(v);
+        }
+        let snap = r.snapshot();
+        let InstrumentValue::Histogram { count, buckets, .. } = &snap[0].value else {
+            panic!("expected histogram");
+        };
+        assert_eq!(*count, 9);
+        assert_eq!(buckets.iter().sum::<u64>(), *count);
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        let h = Registry::default().histogram("b");
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(4);
+        let b = h.bucket_counts();
+        assert_eq!(b[0], 2, "0 and 1 share bucket 0");
+        assert_eq!(b[1], 2, "2 and 3 in [2,4)");
+        assert_eq!(b[2], 1, "4 in [4,8)");
+    }
+
+    #[test]
+    fn mean_and_sum() {
+        let h = Registry::default().histogram("m");
+        h.record(2);
+        h.record(4);
+        assert_eq!(h.sum(), 6);
+        assert!((h.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "is a counter")]
+    fn kind_mismatch_panics() {
+        let r = Registry::default();
+        let _ = r.counter("x");
+        let _ = r.histogram("x");
+    }
+
+    #[test]
+    fn snapshot_is_name_sorted() {
+        let r = Registry::default();
+        let _ = r.counter("zeta");
+        let _ = r.counter("alpha");
+        let names: Vec<_> = r.snapshot().iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+}

@@ -1,0 +1,101 @@
+//! The sim-time probe sampler's data model.
+//!
+//! The engine samples its own state at fixed sim-time intervals — between
+//! dispatched events, never *as* an event, so the sampler cannot perturb
+//! the run — and records one [`ProbeSample`] per boundary. The series is
+//! the context feed the ROADMAP's adaptive controllers (throttle tuning,
+//! churn-aware placement) consume.
+
+use std::fmt::Write as _;
+
+/// Per-site state at one probe instant.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SiteProbe {
+    /// Batch requests queued at the site's data server (stale entries
+    /// included — they are what the server will actually scan).
+    pub queue_depth: u64,
+    /// Workers staging data, restoring, or computing.
+    pub busy_workers: u64,
+    /// Workers parked on `Assignment::Wait` verdicts.
+    pub parked_workers: u64,
+    /// Workers currently down (fault injection).
+    pub dead_workers: u64,
+    /// Files resident in the site's data server.
+    pub server_files: u64,
+    /// Whether the data server is down.
+    pub server_down: bool,
+}
+
+/// One sample of the whole grid's state at a probe boundary.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProbeSample {
+    /// Simulation time of the boundary, seconds.
+    pub t_s: f64,
+    /// Per-site state, indexed by site.
+    pub sites: Vec<SiteProbe>,
+    /// Active flows in the fluid network.
+    pub in_flight_flows: u64,
+    /// Links crossed by at least one active flow.
+    pub links_busy: u64,
+    /// Total links in the topology (for utilisation ratios).
+    pub links_total: u64,
+}
+
+impl ProbeSample {
+    /// Appends this sample as one JSONL line (`{"type":"probe",…}`).
+    pub fn write_jsonl_line(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"type\":\"probe\",\"t_s\":{:.3},\"flows\":{},\"links_busy\":{},\
+             \"links_total\":{},\"sites\":[",
+            self.t_s, self.in_flight_flows, self.links_busy, self.links_total
+        );
+        for (i, s) in self.sites.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"site\":{i},\"queue\":{},\"busy\":{},\"parked\":{},\"dead\":{},\
+                 \"files\":{},\"down\":{}}}",
+                s.queue_depth,
+                s.busy_workers,
+                s.parked_workers,
+                s.dead_workers,
+                s.server_files,
+                s.server_down,
+            );
+        }
+        out.push_str("]}\n");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_line_shape() {
+        let p = ProbeSample {
+            t_s: 300.0,
+            sites: vec![
+                SiteProbe {
+                    queue_depth: 2,
+                    busy_workers: 1,
+                    ..SiteProbe::default()
+                },
+                SiteProbe::default(),
+            ],
+            in_flight_flows: 3,
+            links_busy: 4,
+            links_total: 10,
+        };
+        let mut s = String::new();
+        p.write_jsonl_line(&mut s);
+        let line = s.trim_end();
+        assert!(line.starts_with("{\"type\":\"probe\",\"t_s\":300.000"));
+        assert!(line.contains("\"sites\":[{\"site\":0,\"queue\":2,\"busy\":1"));
+        assert!(line.contains("\"down\":false"));
+        assert!(line.ends_with("]}"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Span recording and Chrome Trace Event Format export.
+//!
+//! Spans live on *tracks*: one track per worker (task lifecycle phases and
+//! down-time) and one per data server (outage windows). Within a track,
+//! spans are emitted strictly sequentially by the engine, so the Chrome
+//! `B`/`E` duration-event pairing is trivially well-formed — a property
+//! `tests/simulation_invariants.rs` asserts for whole simulations.
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+
+/// Chrome-trace process id of worker tracks (lifecycle + down spans).
+pub(crate) const PID_WORKERS: u32 = 1;
+/// Chrome-trace process id of data-server tracks (outage spans).
+pub(crate) const PID_SERVERS: u32 = 2;
+/// Chrome-trace process id of the probe counter series.
+pub(crate) const PID_PROBES: u32 = 3;
+
+/// A span track: one sequential timeline in the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Track {
+    /// Chrome-trace process id (groups tracks in the viewer).
+    pub pid: u32,
+    /// Chrome-trace thread id (one per entity).
+    pub tid: u32,
+}
+
+impl Track {
+    /// The track of flat-indexed worker `w`.
+    #[must_use]
+    pub fn worker(w: usize) -> Self {
+        Track {
+            pid: PID_WORKERS,
+            tid: w as u32,
+        }
+    }
+
+    /// The track of site `s`'s data server.
+    #[must_use]
+    pub fn server(s: usize) -> Self {
+        Track {
+            pid: PID_SERVERS,
+            tid: s as u32,
+        }
+    }
+}
+
+/// Chrome trace event phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanPhase {
+    /// Duration begin (`"B"`).
+    Begin,
+    /// Duration end (`"E"`).
+    End,
+    /// Instantaneous event (`"i"`).
+    Instant,
+}
+
+impl SpanPhase {
+    fn chrome(self) -> &'static str {
+        match self {
+            SpanPhase::Begin => "B",
+            SpanPhase::End => "E",
+            SpanPhase::Instant => "i",
+        }
+    }
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// The track the event belongs to.
+    pub track: Track,
+    /// Event name (a lifecycle phase, `"down"`, `"outage"`, …).
+    pub name: &'static str,
+    /// Phase marker.
+    pub phase: SpanPhase,
+    /// Simulation timestamp, seconds.
+    pub ts_s: f64,
+}
+
+impl TraceEvent {
+    /// Appends this event as one Chrome-trace JSON object (no trailing
+    /// separator). Timestamps are microseconds, as the format requires.
+    pub fn write_chrome_json(&self, out: &mut String) {
+        let ts_us = (self.ts_s * 1e6).round() as u64;
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"sim\",\"ph\":\"{}\",\"ts\":{ts_us},\
+             \"pid\":{},\"tid\":{}",
+            self.name,
+            self.phase.chrome(),
+            self.track.pid,
+            self.track.tid,
+        );
+        if self.phase == SpanPhase::Instant {
+            out.push_str(",\"s\":\"t\"");
+        }
+        out.push('}');
+    }
+}
+
+/// The span recorder backing a [`crate::Telemetry`].
+#[derive(Debug, Default)]
+pub(crate) struct Tracer {
+    events: RefCell<Vec<TraceEvent>>,
+}
+
+impl Tracer {
+    pub(crate) fn begin(&self, track: Track, name: &'static str, ts_s: f64) {
+        self.events.borrow_mut().push(TraceEvent {
+            track,
+            name,
+            phase: SpanPhase::Begin,
+            ts_s,
+        });
+    }
+
+    pub(crate) fn end(&self, track: Track, name: &'static str, ts_s: f64) {
+        self.events.borrow_mut().push(TraceEvent {
+            track,
+            name,
+            phase: SpanPhase::End,
+            ts_s,
+        });
+    }
+
+    pub(crate) fn instant(&self, track: Track, name: &'static str, ts_s: f64) {
+        self.events.borrow_mut().push(TraceEvent {
+            track,
+            name,
+            phase: SpanPhase::Instant,
+            ts_s,
+        });
+    }
+
+    pub(crate) fn events(&self) -> Vec<TraceEvent> {
+        self.events.borrow().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chrome_json_microsecond_timestamps() {
+        let e = TraceEvent {
+            track: Track::worker(4),
+            name: "compute",
+            phase: SpanPhase::Begin,
+            ts_s: 1.5,
+        };
+        let mut s = String::new();
+        e.write_chrome_json(&mut s);
+        assert_eq!(
+            s,
+            "{\"name\":\"compute\",\"cat\":\"sim\",\"ph\":\"B\",\"ts\":1500000,\
+             \"pid\":1,\"tid\":4}"
+        );
+    }
+
+    #[test]
+    fn instant_events_carry_scope() {
+        let e = TraceEvent {
+            track: Track::server(2),
+            name: "complete",
+            phase: SpanPhase::Instant,
+            ts_s: 0.0,
+        };
+        let mut s = String::new();
+        e.write_chrome_json(&mut s);
+        assert!(s.contains("\"s\":\"t\""));
+        assert!(s.contains("\"pid\":2"));
+    }
+}

@@ -12,6 +12,8 @@
 //!                    [--checkpoint-policy none|fixed|young-daly]
 //!                    [--checkpoint-interval SECS] [--checkpoint-size MB]
 //!                    [--trace FILE] [--csv]
+//!                    [--trace-out FILE] [--metrics-out FILE]
+//!                    [--probe-interval SECS]
 //! gridsched workload [--tasks 6000] [--seed 0] [--out FILE]
 //! gridsched topology [--seed 0] [--sites 90] [--dot FILE]
 //! gridsched strategies
@@ -95,6 +97,10 @@ usage:
                      [--checkpoint-policy none|fixed|young-daly]
                      [--checkpoint-interval SECS] (fixed policy's interval)
                      [--checkpoint-size MB] (image size, default 25)
+                     [--trace-out FILE] (Chrome Trace Event JSON of task
+                       lifecycle spans; open in Perfetto / chrome://tracing)
+                     [--metrics-out FILE] (JSONL instrument + probe stream)
+                     [--probe-interval SECS] (per-site occupancy sampling)
   gridsched workload [--tasks N] [--seed N] [--file-size-mb X] [--out FILE]
   gridsched topology [--seed N] [--sites N] [--dot FILE]
   gridsched strategies";
@@ -321,6 +327,23 @@ fn cmd_simulate(opts: &Opts) -> Result<(), String> {
         }
         config = config.with_site_replica_budget(budget);
     }
+    if let Some(interval) = opts.get_opt::<f64>("probe-interval")? {
+        if interval <= 0.0 || !interval.is_finite() {
+            return Err("--probe-interval must be positive seconds".into());
+        }
+        config = config.with_probe_interval(interval);
+    }
+    for flag in ["trace-out", "metrics-out"] {
+        if let Some(path) = opts.values.get(flag) {
+            validate_out_path(flag, path)?;
+        }
+    }
+    if let Some(path) = opts.values.get("trace-out") {
+        config = config.with_trace_out(path.clone());
+    }
+    if let Some(path) = opts.values.get("metrics-out") {
+        config = config.with_metrics_out(path.clone());
+    }
     let faults = build_fault_config(opts)?;
     let checkpointing = build_checkpoint_config(opts, &faults)?;
     if !faults.is_inert() {
@@ -337,14 +360,15 @@ fn cmd_simulate(opts: &Opts) -> Result<(), String> {
             .get("topology-seeds")
             .map_or("0,1,2,3,4", String::as_str),
     )?;
-    let report = run_averaged(&config, &seeds);
+    let telemetry_requested = config.telemetry_requested();
+    let (report, spread) = run_averaged_with_spread(&config, &seeds);
 
     if opts.has("csv") {
         println!(
-            "strategy,sites,workers,capacity,policy,tasks,makespan_min,file_transfers,bytes,avg_wait_h,avg_xfer_h,replicas,tasks_lost,re_executions,worker_availability,server_availability,ckpt_written,ckpt_lost,ckpt_restores,ckpt_overhead_h,work_saved_h"
+            "strategy,sites,workers,capacity,policy,tasks,makespan_min,file_transfers,bytes,avg_wait_h,avg_xfer_h,replicas,tasks_lost,re_executions,worker_availability,server_availability,ckpt_written,ckpt_lost,ckpt_restores,ckpt_overhead_h,work_saved_h,makespan_min_lo,makespan_min_hi"
         );
         println!(
-            "{},{},{},{},{},{},{:.1},{},{:.0},{:.4},{:.4},{},{},{},{:.4},{:.4},{},{},{},{:.4},{:.4}",
+            "{},{},{},{},{},{},{:.1},{},{:.0},{:.4},{:.4},{},{},{},{:.4},{:.4},{},{},{},{:.4},{:.4},{:.1},{:.1}",
             report.config.strategy,
             report.config.sites,
             report.config.workers_per_site,
@@ -366,6 +390,8 @@ fn cmd_simulate(opts: &Opts) -> Result<(), String> {
             report.checkpoint_restores,
             report.checkpoint_overhead_s / 3600.0,
             report.work_saved_s / 3600.0,
+            spread.makespan_minutes.0,
+            spread.makespan_minutes.1,
         );
     } else {
         println!("strategy          : {}", report.config.strategy);
@@ -386,6 +412,12 @@ fn cmd_simulate(opts: &Opts) -> Result<(), String> {
             report.makespan_minutes,
             report.makespan_minutes / 1440.0
         );
+        if spread.replicates > 1 {
+            println!(
+                "makespan spread   : {:.0}–{:.0} min across {} replicates",
+                spread.makespan_minutes.0, spread.makespan_minutes.1, spread.replicates
+            );
+        }
         println!("file transfers    : {}", report.file_transfers);
         println!(
             "bytes transferred : {:.1} GB",
@@ -445,6 +477,34 @@ fn cmd_simulate(opts: &Opts) -> Result<(), String> {
                 report.work_saved_s / 3600.0
             );
         }
+        if telemetry_requested {
+            // Replicates run concurrently, so multi-seed runs suffix the
+            // output paths per seed (see the runner).
+            let suffix = if seeds.len() > 1 { ".seed<N>" } else { "" };
+            if let Some(path) = &config.trace_out {
+                println!("trace written     : {path}{suffix}");
+            }
+            if let Some(path) = &config.metrics_out {
+                println!("metrics written   : {path}{suffix}");
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Rejects a telemetry output path whose parent directory does not exist —
+/// catching the typo up front instead of panicking after a long run.
+fn validate_out_path(flag: &str, path: &str) -> Result<(), String> {
+    let parent = std::path::Path::new(path).parent();
+    let parent = match parent {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    if !parent.is_dir() {
+        return Err(format!(
+            "--{flag}: parent directory `{}` does not exist",
+            parent.display()
+        ));
     }
     Ok(())
 }

@@ -15,6 +15,7 @@
 //! | [`core`] | `gridsched-core` | the scheduling strategies (the paper's contribution) |
 //! | [`faults`] | `gridsched-faults` | fault injection: MTBF/MTTR churn processes + scripted fault traces |
 //! | [`checkpoint`] | `gridsched-checkpoint` | checkpoint/restart policies (fixed interval, Young/Daly) + image tracking |
+//! | [`telemetry`] | `gridsched-telemetry` | deterministic observability: instruments, lifecycle spans, probe sampler |
 //! | [`sim`] | `gridsched-sim` | the grid simulator + experiment runner |
 //!
 //! ## Quickstart
@@ -44,6 +45,7 @@ pub use gridsched_des as des;
 pub use gridsched_faults as faults;
 pub use gridsched_net as net;
 pub use gridsched_storage as storage;
+pub use gridsched_telemetry as telemetry;
 pub use gridsched_topology as topology;
 pub use gridsched_workload as workload;
 
@@ -62,7 +64,8 @@ pub mod prelude {
     };
     pub use gridsched_faults::{FaultConfig, FaultEvent, FaultKind, FaultTrace};
     pub use gridsched_sim::{
-        run_averaged, GridSim, MetricsReport, ReplicationConfig, SimConfig, SpeedModel,
+        run_averaged, run_averaged_with_spread, GridSim, MetricsReport, ReplicationConfig,
+        ReportSpread, SimConfig, SpeedModel, Telemetry,
     };
     pub use gridsched_storage::{EvictionPolicy, SiteStore};
     pub use gridsched_topology::{generate as generate_topology, TiersConfig};

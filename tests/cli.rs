@@ -364,6 +364,152 @@ fn simulate_rejects_throttle_for_worker_centric_strategies() {
 }
 
 #[test]
+fn simulate_writes_trace_and_metrics_outputs() {
+    let dir = TestDir::new("telemetry");
+    let trace_json = dir.path("run.trace.json");
+    let metrics = dir.path("run.metrics.jsonl");
+    let args = [
+        "simulate",
+        "--tasks",
+        "120",
+        "--sites",
+        "2",
+        "--topology-seeds",
+        "0",
+        "--trace-out",
+        trace_json.to_str().expect("utf8 path"),
+        "--metrics-out",
+        metrics.to_str().expect("utf8 path"),
+        "--probe-interval",
+        "300",
+    ];
+    let out = gridsched(&args);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("trace written"), "{stdout}");
+    assert!(stdout.contains("metrics written"), "{stdout}");
+
+    // Chrome Trace Event Format shape: one traceEvents array with B/E
+    // duration pairs and the process-name metadata Perfetto keys on.
+    let trace = std::fs::read_to_string(&trace_json).expect("trace file written");
+    assert!(
+        trace.starts_with("{\"traceEvents\":["),
+        "trace: {trace:.80}"
+    );
+    assert!(trace.contains("\"ph\":\"B\""));
+    assert!(trace.contains("\"ph\":\"E\""));
+    assert!(trace.contains("\"process_name\""));
+    assert!(trace.trim_end().ends_with("]}"));
+
+    // JSONL: instrument lines then probe lines, one object per line.
+    let metrics_text = std::fs::read_to_string(&metrics).expect("metrics file written");
+    assert!(metrics_text.contains("\"type\":\"instrument\""));
+    assert!(metrics_text.contains("\"type\":\"probe\""));
+    for line in metrics_text.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "not one JSON object per line: {line}"
+        );
+    }
+}
+
+#[test]
+fn simulate_suffixes_telemetry_outputs_per_replicate() {
+    let dir = TestDir::new("telemetry-multi");
+    let metrics = dir.path("multi.metrics.jsonl");
+    let metrics_str = metrics.to_str().expect("utf8 path");
+    let out = gridsched(&[
+        "simulate",
+        "--tasks",
+        "120",
+        "--sites",
+        "2",
+        "--topology-seeds",
+        "0,1",
+        "--metrics-out",
+        metrics_str,
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(!metrics.exists(), "multi-seed runs write per-seed files");
+    assert!(dir.path("multi.metrics.jsonl.seed0").exists());
+    assert!(dir.path("multi.metrics.jsonl.seed1").exists());
+}
+
+#[test]
+fn simulate_rejects_bad_telemetry_flags() {
+    let out = gridsched(&["simulate", "--probe-interval", "0"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("must be positive"), "stderr: {stderr}");
+
+    let out = gridsched(&["simulate", "--probe-interval", "-60"]);
+    assert!(!out.status.success());
+
+    let out = gridsched(&[
+        "simulate",
+        "--trace-out",
+        "/no/such/directory/anywhere/run.json",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("parent"), "stderr: {stderr}");
+
+    let out = gridsched(&[
+        "simulate",
+        "--metrics-out",
+        "/no/such/directory/anywhere/run.jsonl",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("parent"), "stderr: {stderr}");
+}
+
+#[test]
+fn simulate_reports_spread_across_replicates() {
+    let out = gridsched(&[
+        "simulate",
+        "--tasks",
+        "120",
+        "--sites",
+        "2",
+        "--topology-seeds",
+        "0,1",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(
+        stdout.contains("makespan spread   :") && stdout.contains("across 2 replicates"),
+        "{stdout}"
+    );
+
+    // Single replicate: no spread line (it would be vacuous).
+    let out = gridsched(&[
+        "simulate",
+        "--tasks",
+        "120",
+        "--sites",
+        "2",
+        "--topology-seeds",
+        "0",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(!stdout.contains("makespan spread"), "{stdout}");
+}
+
+#[test]
 fn simulate_rejects_bad_strategy() {
     let out = gridsched(&["simulate", "--strategy", "magic"]);
     assert!(!out.status.success());

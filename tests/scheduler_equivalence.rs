@@ -33,6 +33,14 @@ fn run_with(config: &SimConfig, mode: EvalMode) -> MetricsReport {
     GridSim::new(config.clone().with_eval_mode(mode)).run()
 }
 
+/// Like [`run_with`], but with every instrument, span and probe recording
+/// live (no file outputs — the collector is injected directly).
+fn run_traced(config: &SimConfig, mode: EvalMode) -> MetricsReport {
+    GridSim::new(config.clone().with_eval_mode(mode))
+        .with_telemetry(Telemetry::enabled())
+        .run()
+}
+
 proptest! {
     // Whole-simulation cases are expensive; keep the case count moderate.
     #![proptest_config(ProptestConfig::with_cases(16))]
@@ -137,6 +145,99 @@ proptest! {
         prop_assert_eq!(&incremental, &indexed, "incremental vs indexed ({:?})", throttle);
         prop_assert_eq!(&incremental, &naive, "incremental vs naive ({:?})", throttle);
         prop_assert_eq!(incremental.tasks_completed, 100);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The telemetry inertness contract: a run with every instrument, span
+    /// and probe recording live produces a byte-identical `MetricsReport`
+    /// to a run with telemetry off — no RNG draw, no event reordering, no
+    /// float drift — across strategies, grid shapes and churn.
+    #[test]
+    fn telemetry_is_provably_inert(
+        strategy in arb_strategy(),
+        sites in 1usize..5,
+        workers in 1usize..4,
+        capacity in 120usize..1500,
+        seed in 0u64..3,
+        churn in 0u8..2,
+    ) {
+        let mut cfg = CoaddConfig::small(seed);
+        cfg.tasks = 80;
+        let workload = Arc::new(cfg.generate());
+        let mut config = SimConfig::paper(workload, strategy)
+            .with_sites(sites)
+            .with_workers_per_site(workers)
+            .with_capacity(capacity)
+            .with_seed(seed);
+        if churn == 1 && sites >= 2 {
+            config = config
+                .with_faults(
+                    FaultConfig::none()
+                        .with_worker_faults(3_000.0, 400.0)
+                        .with_server_faults(25_000.0, 700.0),
+                )
+                .with_checkpointing(CheckpointConfig::fixed(300.0));
+        }
+        let off = run_with(&config, EvalMode::Incremental);
+        let on = run_traced(&config, EvalMode::Incremental);
+        prop_assert_eq!(&off, &on, "telemetry perturbed the run ({})", strategy);
+    }
+}
+
+/// The acceptance matrix pinned deterministically: telemetry on vs off is
+/// byte-identical for **all 8 strategies × all 3 eval modes** under churn
+/// and checkpointing, plus throttled storage affinity.
+#[test]
+fn telemetry_on_off_identical_all_strategies_and_modes() {
+    let mut cfg = CoaddConfig::small(3);
+    cfg.tasks = 80;
+    let workload = Arc::new(cfg.generate());
+    let strategies = [
+        StrategyKind::StorageAffinity,
+        StrategyKind::Overlap,
+        StrategyKind::Rest,
+        StrategyKind::Combined,
+        StrategyKind::Rest2,
+        StrategyKind::Combined2,
+        StrategyKind::Workqueue,
+        StrategyKind::Sufferage,
+    ];
+    for strategy in strategies {
+        let config = SimConfig::paper(Arc::clone(&workload), strategy)
+            .with_sites(3)
+            .with_capacity(400)
+            .with_seed(2)
+            .with_faults(
+                FaultConfig::none()
+                    .with_worker_faults(3_000.0, 400.0)
+                    .with_server_faults(25_000.0, 700.0),
+            )
+            .with_checkpointing(CheckpointConfig::fixed(300.0));
+        for mode in [EvalMode::Incremental, EvalMode::Indexed, EvalMode::Naive] {
+            let off = run_with(&config, mode);
+            let on = run_traced(&config, mode);
+            assert_eq!(off, on, "telemetry perturbed {strategy} in {mode:?}");
+        }
+    }
+    // Throttled storage affinity: the throttle instruments record on the
+    // admit/park/release hot path — they must still change nothing.
+    let config = SimConfig::paper(workload, StrategyKind::StorageAffinity)
+        .with_sites(3)
+        .with_capacity(400)
+        .with_seed(2)
+        .with_replica_throttle(
+            ReplicaThrottle::none()
+                .with_replica_cap(1)
+                .with_site_budget(2),
+        )
+        .with_faults(FaultConfig::none().with_worker_faults(3_000.0, 400.0));
+    for mode in [EvalMode::Incremental, EvalMode::Indexed, EvalMode::Naive] {
+        let off = run_with(&config, mode);
+        let on = run_traced(&config, mode);
+        assert_eq!(off, on, "telemetry perturbed the throttled run in {mode:?}");
     }
 }
 

@@ -1,11 +1,13 @@
 //! Property-based invariants of whole simulations: random small grids and
 //! workloads, every strategy, checked through the public API.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use proptest::prelude::*;
 
 use gridsched::prelude::*;
+use gridsched::telemetry::{InstrumentValue, SpanPhase, Track};
 
 fn arb_strategy() -> impl Strategy<Value = StrategyKind> {
     prop_oneof![
@@ -120,6 +122,124 @@ proptest! {
             capped.replicas_launched,
             uncapped.replicas_launched
         );
+    }
+
+    /// Telemetry self-consistency on arbitrary runs: spans pair up, probe
+    /// timestamps strictly increase, and histogram observation counts
+    /// match their sibling counters exactly.
+    #[test]
+    fn telemetry_invariants_hold(
+        strategy in arb_strategy(),
+        sites in 2usize..5,
+        workers in 1usize..4,
+        seed in 0u64..3,
+        churn in 0u8..2,
+    ) {
+        let mut cfg = CoaddConfig::small(seed);
+        cfg.tasks = 80;
+        let workload = Arc::new(cfg.generate());
+        let mut config = SimConfig::paper(workload, strategy)
+            .with_sites(sites)
+            .with_workers_per_site(workers)
+            .with_capacity(400)
+            .with_seed(seed)
+            .with_probe_interval(600.0);
+        if churn == 1 {
+            config = config
+                .with_faults(
+                    FaultConfig::none()
+                        .with_worker_faults(3_000.0, 400.0)
+                        .with_server_faults(25_000.0, 700.0),
+                )
+                .with_checkpointing(CheckpointConfig::fixed(300.0));
+        }
+        let telemetry = Telemetry::enabled();
+        let report = GridSim::new(config)
+            .with_telemetry(telemetry.clone())
+            .run();
+        prop_assert_eq!(report.tasks_completed, 80);
+
+        // 1. Span pairing: on every track, every `B` has a matching later
+        // `E` of the same name — depth never goes negative and every
+        // opened span is closed exactly once by end of run.
+        let mut depth: HashMap<(Track, &str), i64> = HashMap::new();
+        let mut last_ts: HashMap<Track, f64> = HashMap::new();
+        for ev in telemetry.trace_events() {
+            // 2. Per-track timestamps never go backwards.
+            let prev = last_ts.entry(ev.track).or_insert(ev.ts_s);
+            prop_assert!(
+                ev.ts_s >= *prev,
+                "track {:?}: ts went backwards ({} < {})", ev.track, ev.ts_s, *prev
+            );
+            *prev = ev.ts_s;
+            let d = depth.entry((ev.track, ev.name)).or_insert(0);
+            match ev.phase {
+                SpanPhase::Begin => *d += 1,
+                SpanPhase::End => {
+                    *d -= 1;
+                    prop_assert!(
+                        *d >= 0,
+                        "track {:?}: `{}` closed more often than opened", ev.track, ev.name
+                    );
+                }
+                SpanPhase::Instant => {}
+            }
+        }
+        for ((track, name), d) in &depth {
+            prop_assert_eq!(
+                *d, 0,
+                "track {:?}: `{}` left {} span(s) open at end of run", track, name, d
+            );
+        }
+
+        // 3. Probe timestamps strictly increase and the shape is stable.
+        let probes = telemetry.probes();
+        prop_assert!(!probes.is_empty(), "probe sampler produced no samples");
+        let mut prev_t = f64::NEG_INFINITY;
+        for p in &probes {
+            prop_assert!(
+                p.t_s > prev_t,
+                "probe timestamps not strictly increasing: {} after {}", p.t_s, prev_t
+            );
+            prev_t = p.t_s;
+            prop_assert_eq!(p.sites.len(), sites);
+            prop_assert_eq!(p.links_total, probes[0].links_total);
+            prop_assert!(p.links_busy <= p.links_total);
+            for s in &p.sites {
+                prop_assert!(
+                    s.busy_workers + s.parked_workers + s.dead_workers <= workers as u64
+                );
+            }
+        }
+
+        // 4. Histogram observation counts equal their sibling counters:
+        // every wake call records exactly one fanout sample, and every
+        // pending-log replay records exactly one replay length.
+        let snaps: HashMap<&str, InstrumentValue> = telemetry
+            .snapshot()
+            .into_iter()
+            .map(|s| (s.name, s.value))
+            .collect();
+        let counter = |name: &str| match snaps.get(name) {
+            Some(InstrumentValue::Counter { value }) => *value,
+            other => panic!("{name}: expected counter, got {other:?}"),
+        };
+        let histogram = |name: &str| match snaps.get(name) {
+            Some(InstrumentValue::Histogram { count, buckets, .. }) => {
+                (*count, buckets.iter().sum::<u64>())
+            }
+            other => panic!("{name}: expected histogram, got {other:?}"),
+        };
+        let (fanout_count, fanout_buckets) = histogram("engine.wake.fanout");
+        prop_assert_eq!(fanout_count, counter("engine.wake.calls"));
+        prop_assert_eq!(fanout_buckets, fanout_count, "bucket totals != count");
+        // Only worker-centric strategies keep a pending log.
+        if snaps.contains_key("scheduler.pending_log.replays") {
+            let (replay_count, replay_buckets) =
+                histogram("scheduler.pending_log.replay_len");
+            prop_assert_eq!(replay_count, counter("scheduler.pending_log.replays"));
+            prop_assert_eq!(replay_buckets, replay_count, "bucket totals != count");
+        }
     }
 
     #[test]
