@@ -38,6 +38,8 @@
 //!   of the uncapped run's events, no duplicate run key was emitted, no
 //!   sites-sweep strategy shows super-linear wall-time growth in S, the
 //!   traced re-run dispatches bit-identical events (telemetry inertness),
+//!   repeat runs fold byte-identical windowed event digests (dispatch
+//!   *order* determinism, not just the count),
 //!   the instrumented complexity sweep confirms repairs-per-pick stays
 //!   flat in S and solver touched-flows track concurrency, and the total
 //!   disabled-telemetry wall time stays within budget of the previous
@@ -562,6 +564,56 @@ fn main() {
         )
     };
 
+    // ── Digest determinism witness ──────────────────────────────────────
+    // Repeats a modest combined2 run twice with the windowed event-stream
+    // digest folding and compares the files byte-for-byte. The traced
+    // event-count equality above cannot see a *reordering* that keeps the
+    // count; the digest hashes every dispatched event in order, so any
+    // nondeterminism in the hot path flips it.
+    let digest_identical = {
+        let workload = scale_workload(800, args.seed);
+        let dir = std::env::temp_dir();
+        let paths: Vec<PathBuf> = ["a", "b"]
+            .iter()
+            .map(|tag| {
+                dir.join(format!(
+                    "perf-scale-digest-{}-{tag}.jsonl",
+                    std::process::id()
+                ))
+            })
+            .collect();
+        for p in &paths {
+            let config = build_config(
+                &workload,
+                400,
+                SITES,
+                StrategyKind::Combined2,
+                EvalMode::Incremental,
+                None,
+                args.seed,
+            )
+            .with_digest_out(p.to_str().expect("utf-8 temp path"));
+            let _ = GridSim::new(config).run();
+        }
+        let bytes: Vec<Vec<u8>> = paths
+            .iter()
+            .map(|p| std::fs::read(p).expect("digest file written"))
+            .collect();
+        for p in &paths {
+            let _ = std::fs::remove_file(p);
+        }
+        let identical = bytes[0] == bytes[1];
+        println!(
+            "digest witness @ 400 workers (combined2): repeat runs {}",
+            if identical {
+                "byte-identical"
+            } else {
+                "DIVERGED"
+            }
+        );
+        identical
+    };
+
     let total_wall_s: f64 = runs.iter().map(|r| r.wall_s).sum();
     // Read the previous baseline *before* overwriting it: the regression
     // guard compares like-for-like (same sweep shape, same seed) totals.
@@ -574,6 +626,7 @@ fn main() {
         &speedups,
         &complexity,
         overhead,
+        digest_identical,
         total_wall_s,
         &sweep,
         &sites_sweep,
@@ -740,6 +793,13 @@ fn main() {
                 "CHECK FAIL: telemetry perturbed the run: {disabled_events} events \
                  disabled vs {traced_events} traced"
             );
+            ok = false;
+        }
+        // The digest witnesses dispatch *order*, not just the count.
+        if digest_identical {
+            println!("CHECK PASS: repeat-run event digests byte-identical");
+        } else {
+            eprintln!("CHECK FAIL: repeat runs produced different event digests");
             ok = false;
         }
         // Rank maintenance stays amortized-O(1) per rank entry: lazy
@@ -941,6 +1001,7 @@ fn to_json(
     speedups: &[(StrategyKind, f64, f64, f64)],
     complexity: &[ComplexityPoint],
     overhead: (f64, f64, u64, u64),
+    digest_identical: bool,
     total_wall_s: f64,
     sweep: &[usize],
     sites_sweep: &[usize],
@@ -1019,7 +1080,8 @@ fn to_json(
         out,
         "  \"telemetry_overhead\": {{\"workers\": {compare_at}, \
          \"disabled_wall_s\": {disabled_wall_s:.6}, \"traced_wall_s\": {traced_wall_s:.6}, \
-         \"disabled_events\": {disabled_events}, \"traced_events\": {traced_events}}}"
+         \"disabled_events\": {disabled_events}, \"traced_events\": {traced_events}, \
+         \"digest_identical\": {digest_identical}}}"
     );
     out.push_str("}\n");
     out

@@ -27,6 +27,15 @@ use crate::fair::MaxMinSolver;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FlowId(u64);
 
+impl FlowId {
+    /// The flow's creation ordinal, a deterministic run-stable word (used
+    /// by the engine's determinism digest to encode flow events).
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
 #[derive(Debug, Clone)]
 struct FlowState {
     /// The flow's registration slot in the max–min solver.

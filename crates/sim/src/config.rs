@@ -83,6 +83,23 @@ pub struct SimConfig {
     /// sampled between dispatched events (never *as* an event). `None`
     /// disables probing.
     pub probe_interval_s: Option<f64>,
+    /// Determinism-digest output path (`--digest-out`): windowed rolling
+    /// hashes of the dispatched event stream as JSONL, bisectable with
+    /// `gridsched diff-digests`. Folded between events in the run loop
+    /// (never *as* an event), so — like the rest of telemetry — provably
+    /// inert and excluded from [`ConfigSummary`]. `None` disables.
+    pub digest_out: Option<String>,
+    /// Sim-time window width of the digest stream, seconds
+    /// (`--digest-window`; default one sim hour). Only read when
+    /// [`SimConfig::digest_out`] is set.
+    pub digest_window_s: f64,
+    /// Serve `/metrics` (Prometheus text format over the instrument
+    /// registry) and `/healthz` from a background thread during the run
+    /// (`--serve-metrics 127.0.0.1:9090`). `None` disables.
+    pub serve_metrics: Option<String>,
+    /// Seconds of wall time to keep serving after the run finishes
+    /// (`--serve-linger`; lets scrapers collect the final snapshot).
+    pub serve_linger_s: f64,
 }
 
 /// Serializable summary of a configuration (embedded in reports).
@@ -138,6 +155,10 @@ impl SimConfig {
             trace_out: None,
             metrics_out: None,
             probe_interval_s: None,
+            digest_out: None,
+            digest_window_s: 3600.0,
+            serve_metrics: None,
+            serve_linger_s: 0.0,
         }
     }
 
@@ -318,11 +339,77 @@ impl SimConfig {
         self
     }
 
+    /// Writes windowed determinism digests of the event stream as JSONL.
+    #[must_use]
+    pub fn with_digest_out(mut self, path: impl Into<String>) -> Self {
+        self.digest_out = Some(path.into());
+        self
+    }
+
+    /// Sets the digest window width (sim seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_s` is not positive and finite.
+    #[must_use]
+    pub fn with_digest_window(mut self, window_s: f64) -> Self {
+        assert!(
+            window_s > 0.0 && window_s.is_finite(),
+            "digest window must be positive"
+        );
+        self.digest_window_s = window_s;
+        self
+    }
+
+    /// Serves `/metrics` + `/healthz` at `addr` during the run.
+    #[must_use]
+    pub fn with_serve_metrics(mut self, addr: impl Into<String>) -> Self {
+        self.serve_metrics = Some(addr.into());
+        self
+    }
+
+    /// Keeps serving for `linger_s` wall seconds after the run finishes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `linger_s` is negative or not finite.
+    #[must_use]
+    pub fn with_serve_linger(mut self, linger_s: f64) -> Self {
+        assert!(
+            linger_s >= 0.0 && linger_s.is_finite(),
+            "serve linger must be non-negative"
+        );
+        self.serve_linger_s = linger_s;
+        self
+    }
+
     /// True when any telemetry output is requested, so the engine enables
     /// its instruments; otherwise every record is a single dead branch.
+    /// The determinism digest is deliberately *not* included: it hashes
+    /// the event stream directly and needs no instruments.
     #[must_use]
     pub fn telemetry_requested(&self) -> bool {
-        self.trace_out.is_some() || self.metrics_out.is_some() || self.probe_interval_s.is_some()
+        self.trace_out.is_some()
+            || self.metrics_out.is_some()
+            || self.probe_interval_s.is_some()
+            || self.serve_metrics.is_some()
+    }
+
+    /// Applies the per-replicate `.seed<N>` suffix to every configured
+    /// output path — the one shared helper behind `--trace-out`,
+    /// `--metrics-out` and `--digest-out` when a run fans out over several
+    /// topology seeds (each replicate must write its own files).
+    pub fn suffix_outputs_for_seed(&mut self, seed: u64) {
+        for path in [
+            self.trace_out.as_mut(),
+            self.metrics_out.as_mut(),
+            self.digest_out.as_mut(),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            *path = seeded_output_path(path, seed);
+        }
     }
 
     /// The serializable summary embedded in reports.
@@ -349,6 +436,13 @@ impl SimConfig {
             replica_throttle: self.replica_throttle.summary(),
         }
     }
+}
+
+/// The `.seed<N>` suffix convention for per-replicate output files:
+/// `runs/trace.json` → `runs/trace.json.seed3`.
+#[must_use]
+pub fn seeded_output_path(path: &str, seed: u64) -> String {
+    format!("{path}.seed{seed}")
 }
 
 #[cfg(test)]
@@ -427,5 +521,45 @@ mod tests {
     #[should_panic(expected = "probe interval must be positive")]
     fn zero_probe_interval_panics() {
         let _ = SimConfig::paper(wl(), StrategyKind::Rest).with_probe_interval(0.0);
+    }
+
+    #[test]
+    fn digest_and_exposition_builders_stay_out_of_summary() {
+        let c = SimConfig::paper(wl(), StrategyKind::Rest);
+        assert!(!c.telemetry_requested());
+        let c = c
+            .with_digest_out("/tmp/run.digest.jsonl")
+            .with_digest_window(600.0)
+            .with_serve_metrics("127.0.0.1:9090")
+            .with_serve_linger(2.0);
+        // The digest alone needs no instruments, but serving does.
+        assert!(c.telemetry_requested());
+        assert_eq!(c.digest_out.as_deref(), Some("/tmp/run.digest.jsonl"));
+        assert_eq!(c.digest_window_s, 600.0);
+        assert_eq!(c.serve_metrics.as_deref(), Some("127.0.0.1:9090"));
+        assert_eq!(c.serve_linger_s, 2.0);
+        let plain = SimConfig::paper(wl(), StrategyKind::Rest);
+        assert_eq!(c.summary(), plain.summary());
+        let digest_only = SimConfig::paper(wl(), StrategyKind::Rest).with_digest_out("/tmp/d");
+        assert!(!digest_only.telemetry_requested());
+    }
+
+    #[test]
+    fn seed_suffix_helper_applies_to_every_output() {
+        assert_eq!(seeded_output_path("runs/t.json", 3), "runs/t.json.seed3");
+        let mut c = SimConfig::paper(wl(), StrategyKind::Rest)
+            .with_trace_out("t.json")
+            .with_metrics_out("m.jsonl")
+            .with_digest_out("d.jsonl");
+        c.suffix_outputs_for_seed(4);
+        assert_eq!(c.trace_out.as_deref(), Some("t.json.seed4"));
+        assert_eq!(c.metrics_out.as_deref(), Some("m.jsonl.seed4"));
+        assert_eq!(c.digest_out.as_deref(), Some("d.jsonl.seed4"));
+    }
+
+    #[test]
+    #[should_panic(expected = "digest window must be positive")]
+    fn zero_digest_window_panics() {
+        let _ = SimConfig::paper(wl(), StrategyKind::Rest).with_digest_window(0.0);
     }
 }

@@ -72,7 +72,9 @@ use gridsched_des::{EventHandle, Schedule, SimDuration, SimTime};
 use gridsched_faults::{Entity, FaultKind, FaultTimeline};
 use gridsched_net::{FlowId, NetSim};
 use gridsched_storage::{CheckpointImage, ImageVault, SiteStore};
-use gridsched_telemetry::{Counter, Histogram, ProbeSample, SiteProbe, Telemetry, Track};
+use gridsched_telemetry::{
+    expose, Counter, DigestFold, Histogram, MetricsServer, ProbeSample, SiteProbe, Telemetry, Track,
+};
 use gridsched_topology::{generate, EdgeId, Route, Topology};
 use gridsched_workload::{FileId, TaskId};
 
@@ -535,6 +537,19 @@ impl GridSim {
             .probe_interval_s
             .filter(|_| self.telemetry.is_enabled());
         let mut probes_emitted: u64 = 0;
+        // The determinism digest follows the same discipline: it folds
+        // each popped event into a rolling hash right here, between
+        // dispatches — never scheduling anything, drawing no randomness.
+        let mut digest = self
+            .config
+            .digest_out
+            .as_ref()
+            .map(|_| DigestFold::new(self.config.digest_window_s));
+        let server = self.config.serve_metrics.as_deref().map(|addr| {
+            MetricsServer::start(addr)
+                .unwrap_or_else(|e| panic!("cannot serve metrics at {addr}: {e}"))
+        });
+        let mut dispatched: u64 = 0;
         while let Some((now, event)) = self.schedule.next() {
             if let Some(dt) = probe_dt {
                 loop {
@@ -544,6 +559,17 @@ impl GridSim {
                     }
                     self.record_probe(at);
                     probes_emitted += 1;
+                }
+            }
+            if let Some(d) = digest.as_mut() {
+                Self::fold_event(d, now, &event);
+            }
+            dispatched += 1;
+            if let Some(server) = &server {
+                // Refresh the served snapshot at a coarse event cadence
+                // (wall-clock timers would be nondeterministic state).
+                if dispatched.is_multiple_of(65_536) {
+                    server.publish(self.render_exposition(dispatched));
                 }
             }
             match event {
@@ -573,7 +599,89 @@ impl GridSim {
         self.close_open_fault_spans();
         let report = self.report();
         self.flush_telemetry();
+        if let Some(d) = digest {
+            let stream = d.finish();
+            if let Some(path) = &self.config.digest_out {
+                std::fs::write(path, stream.to_jsonl())
+                    .unwrap_or_else(|e| panic!("cannot write digest to {path}: {e}"));
+            }
+        }
+        if let Some(server) = &server {
+            server.publish(self.render_exposition(dispatched));
+            if self.config.serve_linger_s > 0.0 {
+                std::thread::sleep(std::time::Duration::from_secs_f64(
+                    self.config.serve_linger_s,
+                ));
+            }
+        }
         report
+    }
+
+    /// Encodes one dispatched event into the digest fold: the timestamp
+    /// bits, an event tag, then the payload words. Any change to what the
+    /// engine dispatches — ordering, timing or payload — changes the
+    /// chain.
+    fn fold_event(digest: &mut DigestFold, now: SimTime, event: &Event) {
+        let t = now.as_secs();
+        match *event {
+            Event::WorkerIdle(w) => digest.record(t, &[0, w as u64]),
+            Event::FlowDone(fid) => digest.record(t, &[1, fid.raw()]),
+            Event::ComputeDone {
+                worker,
+                task,
+                generation,
+            } => digest.record(t, &[2, worker as u64, task.index() as u64, generation]),
+            Event::WorkerCrash(w) => digest.record(t, &[3, w as u64]),
+            Event::WorkerRecover(w) => digest.record(t, &[4, w as u64]),
+            Event::ServerFail(s) => digest.record(t, &[5, s as u64]),
+            Event::ServerRecover(s) => digest.record(t, &[6, s as u64]),
+            Event::CheckpointDue { worker, generation } => {
+                digest.record(t, &[7, worker as u64, generation]);
+            }
+        }
+    }
+
+    /// Renders the live `/metrics` body: the instrument registry in
+    /// Prometheus text format plus run-level gauges.
+    fn render_exposition(&self, events_dispatched: u64) -> String {
+        let mut out = gridsched_telemetry::render_prometheus(&self.telemetry.snapshot());
+        out.push_str("# TYPE gridsched_sim_time_seconds gauge\n");
+        expose::write_sample(
+            &mut out,
+            "gridsched_sim_time_seconds",
+            &[],
+            self.now().as_secs(),
+        );
+        out.push_str("# TYPE gridsched_events_dispatched_total counter\n");
+        expose::write_sample(
+            &mut out,
+            "gridsched_events_dispatched_total",
+            &[],
+            events_dispatched as f64,
+        );
+        out.push_str("# TYPE gridsched_tasks_completed_total counter\n");
+        expose::write_sample(
+            &mut out,
+            "gridsched_tasks_completed_total",
+            &[],
+            self.tasks_completed as f64,
+        );
+        out.push_str("# TYPE gridsched_run_info gauge\n");
+        expose::write_sample(
+            &mut out,
+            "gridsched_run_info",
+            &[
+                ("strategy", &self.config.strategy.to_string()),
+                ("sites", &self.config.sites.to_string()),
+                (
+                    "workers_per_site",
+                    &self.config.workers_per_site.to_string(),
+                ),
+                ("seed", &self.config.seed.to_string()),
+            ],
+            1.0,
+        );
+        out
     }
 
     /// Samples the grid's state at probe boundary `at` — queue depths,
@@ -666,8 +774,12 @@ impl GridSim {
                 }
                 self.workers[w].state = WorkerState::WaitingData;
                 self.workers[w].current = Some(RunningTask::new(task, is_replica));
-                self.telemetry
-                    .span_begin(Track::worker(w), "queued", self.now().as_secs());
+                self.telemetry.span_begin_for_task(
+                    Track::worker(w),
+                    "queued",
+                    self.now().as_secs(),
+                    task.index() as u64,
+                );
                 let enqueued_at = self.now();
                 let generation = self.workers[w].generation;
                 self.servers[site].queue.push_back(BatchRequest {
@@ -768,13 +880,14 @@ impl GridSim {
         };
         let w = request.worker;
         let t = self.now().as_secs();
-        self.telemetry.span_end(Track::worker(w), "queued", t);
-        self.telemetry.span_begin(Track::worker(w), "staging", t);
         let task = self.workers[w]
             .current
             .as_ref()
             .expect("queued worker has a current task")
             .task;
+        self.telemetry.span_end(Track::worker(w), "queued", t);
+        self.telemetry
+            .span_begin_for_task(Track::worker(w), "staging", t, task.index() as u64);
         let files: Vec<FileId> = self.config.workload.task(task).files().to_vec();
         // Waiting time: enqueue → service start (Table 3 column 1).
         let waited = (self.now() - request.enqueued_at).as_secs();
@@ -942,9 +1055,10 @@ impl GridSim {
         let current = self.workers[w].current.as_mut().expect("running");
         current.ckpt_flow = Some(fid);
         current.ckpt_flow_started = Some(started);
+        let task_id = current.task.index() as u64;
         self.workers[w].state = WorkerState::Restoring;
         self.telemetry
-            .span_begin(Track::worker(w), "restore", started.as_secs());
+            .span_begin_for_task(Track::worker(w), "restore", started.as_secs(), task_id);
         self.resync_net();
         true
     }
@@ -991,8 +1105,12 @@ impl GridSim {
         current.compute_handle = Some(handle);
         current.compute_started = Some(started);
         self.workers[w].state = WorkerState::Computing;
-        self.telemetry
-            .span_begin(Track::worker(w), "compute", started.as_secs());
+        self.telemetry.span_begin_for_task(
+            Track::worker(w),
+            "compute",
+            started.as_secs(),
+            task.index() as u64,
+        );
     }
 
     /// A compute segment ended: commit its progress and write a checkpoint
@@ -1036,8 +1154,9 @@ impl GridSim {
         current.ckpt_flow = Some(fid);
         current.ckpt_flow_started = Some(now);
         current.pending_image = Some((current.progress_flops, current.progress_s));
+        let task_id = current.task.index() as u64;
         self.telemetry
-            .span_begin(Track::worker(w), "checkpoint", now.as_secs());
+            .span_begin_for_task(Track::worker(w), "checkpoint", now.as_secs(), task_id);
         self.resync_net();
     }
 
@@ -1316,7 +1435,8 @@ impl GridSim {
         debug_assert_eq!(current.task, task);
         let t = self.now().as_secs();
         self.telemetry.span_end(Track::worker(w), "compute", t);
-        self.telemetry.instant(Track::worker(w), "complete", t);
+        self.telemetry
+            .instant_for_task(Track::worker(w), "complete", t, task.index() as u64);
         let was_replica = current.is_replica;
         for f in current.pinned {
             self.stores[site].unpin(f);
@@ -1391,7 +1511,12 @@ impl GridSim {
         if !open_phase.is_empty() {
             let t = self.now().as_secs();
             self.telemetry.span_end(Track::worker(w), open_phase, t);
-            self.telemetry.instant(Track::worker(w), "aborted", t);
+            self.telemetry.instant_for_task(
+                Track::worker(w),
+                "aborted",
+                t,
+                current.task.index() as u64,
+            );
         }
         match state {
             WorkerState::WaitingData => {
@@ -1650,8 +1775,15 @@ impl GridSim {
             });
             // The dissolved batch's worker goes back to waiting in queue.
             let t = self.now().as_secs();
+            let task_id = self.workers[w]
+                .current
+                .as_ref()
+                .expect("active batch worker is running")
+                .task
+                .index() as u64;
             self.telemetry.span_end(Track::worker(w), "staging", t);
-            self.telemetry.span_begin(Track::worker(w), "queued", t);
+            self.telemetry
+                .span_begin_for_task(Track::worker(w), "queued", t, task_id);
         }
         // Inbound replication pushes have no destination anymore.
         let mut inbound: Vec<FlowId> = self

@@ -87,8 +87,7 @@ fn run_replicates(base: &SimConfig, topology_seeds: &[u64]) -> Vec<MetricsReport
                 // a shared output path would be a data race on disk —
                 // suffix per seed so every replicate keeps its own files.
                 if multi {
-                    config.trace_out = config.trace_out.map(|p| format!("{p}.seed{ts}"));
-                    config.metrics_out = config.metrics_out.map(|p| format!("{p}.seed{ts}"));
+                    config.suffix_outputs_for_seed(ts);
                 }
                 scope.spawn(move || GridSim::new(config).run())
             })

@@ -1,0 +1,657 @@
+//! Run forensics: post-hoc blame decomposition and critical-path
+//! extraction over a recorded Chrome trace.
+//!
+//! The engine's worker tracks carry each task attempt as a strictly
+//! sequential run of lifecycle phase spans — `queued`, `staging`,
+//! `restore`, `compute`, `checkpoint` — terminated by a `complete` or
+//! `aborted` instant. Phase boundaries share timestamps (one phase ends
+//! exactly where the next begins), so, per *execution*, the phase
+//! durations tile the attempt's extent exactly, and the analyzer's
+//! integer-microsecond arithmetic makes "components sum to the span" an
+//! identity it asserts rather than an approximation.
+//!
+//! Per task, the completing execution contributes its phase breakdown
+//! (queue-wait / staging / compute / checkpoint overhead / restore); every
+//! other attempt — crashed and rescheduled work, or a speculative replica
+//! that lost the race — is charged as *re-executed* time. The critical
+//! path is extracted by walking blocking spans backward from the last
+//! completion: at each step the span covering the current frontier with
+//! the earliest start wins (falling back to the latest-ending earlier span
+//! across idle gaps), so the path's segments are disjoint and its length
+//! lower-bounds the makespan by construction.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::json::{self, JsonValue};
+
+/// Lifecycle phases that participate in blame and the critical path.
+pub const LIFECYCLE_PHASES: [&str; 5] = ["queued", "staging", "restore", "compute", "checkpoint"];
+
+/// One span/instant event parsed back from a Chrome trace document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedEvent {
+    /// Chrome process id (1 = workers, 2 = data servers).
+    pub pid: u32,
+    /// Chrome thread id (the worker / server index).
+    pub tid: u32,
+    /// Event name.
+    pub name: String,
+    /// `'B'`, `'E'` or `'i'`.
+    pub phase: char,
+    /// Timestamp, microseconds.
+    pub ts_us: u64,
+    /// Task id from `args.task`, when present.
+    pub task: Option<u64>,
+}
+
+/// Parses the span/instant events out of a Chrome Trace Event Format
+/// document produced by [`crate::Telemetry::to_chrome_trace`] (metadata
+/// and counter events are skipped).
+///
+/// # Errors
+///
+/// Returns a message on malformed JSON or a missing `traceEvents` array.
+pub fn parse_chrome_trace(text: &str) -> Result<Vec<ParsedEvent>, String> {
+    let doc = json::parse(text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .ok_or("document has no traceEvents array")?;
+    let mut out = Vec::with_capacity(events.len());
+    for e in events {
+        let ph = e
+            .get("ph")
+            .and_then(JsonValue::as_str)
+            .ok_or("event missing ph")?;
+        let phase = match ph {
+            "B" => 'B',
+            "E" => 'E',
+            "i" => 'i',
+            _ => continue, // metadata (M) and counter (C) events
+        };
+        let field = |name: &str| {
+            e.get(name)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("event missing {name}"))
+        };
+        out.push(ParsedEvent {
+            pid: field("pid")? as u32,
+            tid: field("tid")? as u32,
+            name: e
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .ok_or("event missing name")?
+                .to_string(),
+            phase,
+            ts_us: field("ts")?,
+            task: e
+                .get("args")
+                .and_then(|a| a.get("task"))
+                .and_then(JsonValue::as_u64),
+        });
+    }
+    Ok(out)
+}
+
+/// Blame decomposition of one task's lifetime. All durations are
+/// microseconds of sim time; the five phase components plus
+/// [`TaskBlame::re_executed_us`] sum to [`TaskBlame::span_us`] exactly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TaskBlame {
+    /// Task id.
+    pub task: u64,
+    /// Queue-wait (assigned, waiting for service) in the winning attempt.
+    pub queue_wait_us: u64,
+    /// Input staging transfers in the winning attempt.
+    pub staging_us: u64,
+    /// Checkpoint-image restore fetches in the winning attempt.
+    pub restore_us: u64,
+    /// Pure compute in the winning attempt.
+    pub compute_us: u64,
+    /// Checkpoint-write overhead in the winning attempt.
+    pub checkpoint_us: u64,
+    /// Total time of attempts that did not complete (crashed and
+    /// rescheduled work, losing speculative replicas).
+    pub re_executed_us: u64,
+    /// Sum of all attempt extents (first span begin to terminating
+    /// instant, per attempt).
+    pub span_us: u64,
+    /// Number of attempts observed.
+    pub executions: u32,
+    /// Whether any attempt completed.
+    pub completed: bool,
+}
+
+impl TaskBlame {
+    /// The five winning-attempt phase components plus re-executed time.
+    #[must_use]
+    pub fn components_sum_us(&self) -> u64 {
+        self.queue_wait_us
+            + self.staging_us
+            + self.restore_us
+            + self.compute_us
+            + self.checkpoint_us
+            + self.re_executed_us
+    }
+}
+
+/// One segment of the extracted critical path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathSegment {
+    /// Lifecycle phase name.
+    pub phase: String,
+    /// Flat worker index the span ran on.
+    pub worker: u32,
+    /// Task the span belonged to, when recorded.
+    pub task: Option<u64>,
+    /// Segment start, microseconds.
+    pub start_us: u64,
+    /// Segment end, microseconds (clipped to the walk frontier).
+    pub end_us: u64,
+}
+
+/// The full forensics report over one recorded run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlameReport {
+    /// Time of the last task completion, microseconds.
+    pub makespan_us: u64,
+    /// Per-task blame, ascending by task id.
+    pub tasks: Vec<TaskBlame>,
+    /// Critical-path segments, ascending by time (disjoint).
+    pub critical_path: Vec<PathSegment>,
+}
+
+#[derive(Debug)]
+struct Execution {
+    task: Option<u64>,
+    start_us: u64,
+    end_us: u64,
+    completed: bool,
+    phase_us: BTreeMap<String, u64>,
+    spans: Vec<PathSegment>,
+}
+
+impl BlameReport {
+    /// Builds the report from parsed trace events (emission order).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the worker tracks are not well-formed
+    /// (unmatched span ends, a phase left open at a terminating instant
+    /// boundary mismatch, or a task attempt with no task id).
+    pub fn from_events(events: &[ParsedEvent]) -> Result<BlameReport, String> {
+        let mut open: BTreeMap<u32, OpenExecution> = BTreeMap::new();
+        let mut executions: Vec<Execution> = Vec::new();
+        let mut makespan_us = 0u64;
+
+        for e in events {
+            if e.pid != 1 || !is_lifecycle(&e.name) && e.phase != 'i' {
+                continue;
+            }
+            match e.phase {
+                'B' if is_lifecycle(&e.name) => {
+                    let exec = open.entry(e.tid).or_insert_with(|| OpenExecution {
+                        task: None,
+                        start_us: e.ts_us,
+                        phase_us: BTreeMap::new(),
+                        spans: Vec::new(),
+                        open_phase: None,
+                    });
+                    if exec.open_phase.is_some() {
+                        return Err(format!(
+                            "worker {} begins '{}' inside an open phase at {} us",
+                            e.tid, e.name, e.ts_us
+                        ));
+                    }
+                    if exec.task.is_none() {
+                        exec.task = e.task;
+                    }
+                    exec.open_phase = Some((e.name.clone(), e.ts_us));
+                }
+                'E' if is_lifecycle(&e.name) => {
+                    let exec = open.get_mut(&e.tid).ok_or_else(|| {
+                        format!("worker {} ends '{}' with no open attempt", e.tid, e.name)
+                    })?;
+                    let (phase, began) = exec.open_phase.take().ok_or_else(|| {
+                        format!("worker {} ends '{}' with no open phase", e.tid, e.name)
+                    })?;
+                    if phase != e.name {
+                        return Err(format!(
+                            "worker {} ends '{}' but '{phase}' is open",
+                            e.tid, e.name
+                        ));
+                    }
+                    *exec.phase_us.entry(phase.clone()).or_insert(0) += e.ts_us - began;
+                    exec.spans.push(PathSegment {
+                        phase,
+                        worker: e.tid,
+                        task: exec.task,
+                        start_us: began,
+                        end_us: e.ts_us,
+                    });
+                }
+                'i' if e.name == "complete" || e.name == "aborted" => {
+                    let Some(mut exec) = open.remove(&e.tid) else {
+                        continue; // instants we don't attribute (none today)
+                    };
+                    if let Some((phase, began)) = exec.open_phase.take() {
+                        // Defensive: close a dangling phase at the instant.
+                        *exec.phase_us.entry(phase.clone()).or_insert(0) += e.ts_us - began;
+                        exec.spans.push(PathSegment {
+                            phase,
+                            worker: e.tid,
+                            task: exec.task,
+                            start_us: began,
+                            end_us: e.ts_us,
+                        });
+                    }
+                    let completed = e.name == "complete";
+                    if completed {
+                        makespan_us = makespan_us.max(e.ts_us);
+                    }
+                    executions.push(Execution {
+                        task: exec.task.or(e.task),
+                        start_us: exec.start_us,
+                        end_us: e.ts_us,
+                        completed,
+                        phase_us: exec.phase_us,
+                        spans: exec.spans,
+                    });
+                }
+                _ => {}
+            }
+        }
+        // A well-formed run trace terminates every attempt; tolerate an
+        // interrupted trace by charging open attempts as incomplete.
+        for (_tid, mut exec) in open {
+            let end = exec.open_phase.take().map_or_else(
+                || exec.spans.last().map_or(exec.start_us, |s| s.end_us),
+                |(_, b)| b,
+            );
+            executions.push(Execution {
+                task: exec.task,
+                start_us: exec.start_us,
+                end_us: end,
+                completed: false,
+                phase_us: exec.phase_us,
+                spans: exec.spans,
+            });
+        }
+
+        let mut by_task: BTreeMap<u64, Vec<&Execution>> = BTreeMap::new();
+        for exec in &executions {
+            let task = exec
+                .task
+                .ok_or("task attempt without a task id (trace predates args.task?)")?;
+            by_task.entry(task).or_default().push(exec);
+        }
+
+        let mut tasks = Vec::with_capacity(by_task.len());
+        for (task, execs) in &by_task {
+            let mut blame = TaskBlame {
+                task: *task,
+                executions: execs.len() as u32,
+                ..TaskBlame::default()
+            };
+            for exec in execs {
+                blame.span_us += exec.end_us - exec.start_us;
+                if exec.completed && !blame.completed {
+                    blame.completed = true;
+                    let get = |name: &str| exec.phase_us.get(name).copied().unwrap_or(0);
+                    blame.queue_wait_us = get("queued");
+                    blame.staging_us = get("staging");
+                    blame.restore_us = get("restore");
+                    blame.compute_us = get("compute");
+                    blame.checkpoint_us = get("checkpoint");
+                } else {
+                    blame.re_executed_us += exec.end_us - exec.start_us;
+                }
+            }
+            debug_assert_eq!(blame.components_sum_us(), blame.span_us);
+            tasks.push(blame);
+        }
+
+        let all_spans: Vec<&PathSegment> = executions.iter().flat_map(|e| &e.spans).collect();
+        let critical_path = extract_critical_path(&all_spans, makespan_us);
+
+        Ok(BlameReport {
+            makespan_us,
+            tasks,
+            critical_path,
+        })
+    }
+
+    /// Builds the report straight from a Chrome trace document.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse and structural errors.
+    pub fn from_chrome_trace(text: &str) -> Result<BlameReport, String> {
+        Self::from_events(&parse_chrome_trace(text)?)
+    }
+
+    /// Total critical-path length, microseconds (≤ makespan: segments are
+    /// disjoint within `[0, makespan]`).
+    #[must_use]
+    pub fn critical_path_us(&self) -> u64 {
+        self.critical_path
+            .iter()
+            .map(|s| s.end_us - s.start_us)
+            .sum()
+    }
+
+    /// Critical-path time per phase name.
+    #[must_use]
+    pub fn path_by_phase(&self) -> BTreeMap<String, u64> {
+        let mut by = BTreeMap::new();
+        for s in &self.critical_path {
+            *by.entry(s.phase.clone()).or_insert(0) += s.end_us - s.start_us;
+        }
+        by
+    }
+
+    /// Renders the machine-readable blame report (one JSON document).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let secs = |us: u64| us as f64 / 1e6;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"type\":\"blame-report\",\"makespan_s\":{:.6},\"task_count\":{},\
+             \"completed\":{},\n\"tasks\":[",
+            secs(self.makespan_us),
+            self.tasks.len(),
+            self.tasks.iter().filter(|t| t.completed).count(),
+        );
+        for (i, t) in self.tasks.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n{{\"task\":{},\"span_s\":{:.6},\"queue_wait_s\":{:.6},\
+                 \"staging_s\":{:.6},\"restore_s\":{:.6},\"compute_s\":{:.6},\
+                 \"checkpoint_s\":{:.6},\"re_executed_s\":{:.6},\
+                 \"executions\":{},\"completed\":{}}}",
+                if i == 0 { "" } else { "," },
+                t.task,
+                secs(t.span_us),
+                secs(t.queue_wait_us),
+                secs(t.staging_us),
+                secs(t.restore_us),
+                secs(t.compute_us),
+                secs(t.checkpoint_us),
+                secs(t.re_executed_us),
+                t.executions,
+                t.completed,
+            );
+        }
+        let _ = write!(
+            out,
+            "],\n\"critical_path\":{{\"length_s\":{:.6},\"segments\":[",
+            secs(self.critical_path_us()),
+        );
+        for (i, s) in self.critical_path.iter().enumerate() {
+            let _ = write!(out, "{}\n{{\"phase\":", if i == 0 { "" } else { "," });
+            json::write_json_string(&mut out, &s.phase);
+            let _ = write!(
+                out,
+                ",\"worker\":{},\"task\":{},\"start_s\":{:.6},\"end_s\":{:.6}}}",
+                s.worker,
+                s.task.map_or_else(|| "null".to_string(), |t| t.to_string()),
+                secs(s.start_us),
+                secs(s.end_us),
+            );
+        }
+        out.push_str("],\n\"by_phase\":{");
+        for (i, (phase, us)) in self.path_by_phase().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_json_string(&mut out, phase);
+            let _ = write!(out, ":{:.6}", secs(*us));
+        }
+        out.push_str("}}}\n");
+        out
+    }
+
+    /// Renders the human top-`k` bottleneck summary.
+    #[must_use]
+    pub fn summary(&self, top: usize) -> String {
+        let secs = |us: u64| us as f64 / 1e6;
+        let mut out = String::new();
+        let completed = self.tasks.iter().filter(|t| t.completed).count();
+        let _ = writeln!(
+            out,
+            "run forensics: makespan {:.3} s, {} tasks ({completed} completed)",
+            secs(self.makespan_us),
+            self.tasks.len(),
+        );
+        let path_us = self.critical_path_us();
+        let pct = if self.makespan_us == 0 {
+            0.0
+        } else {
+            100.0 * path_us as f64 / self.makespan_us as f64
+        };
+        let _ = writeln!(
+            out,
+            "critical path: {:.3} s across {} segments ({pct:.1}% of makespan)",
+            secs(path_us),
+            self.critical_path.len(),
+        );
+        let by_phase = self.path_by_phase();
+        let mut phases: Vec<_> = by_phase.iter().collect();
+        phases.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+        for (phase, us) in phases {
+            let share = if path_us == 0 {
+                0.0
+            } else {
+                100.0 * *us as f64 / path_us as f64
+            };
+            let _ = writeln!(
+                out,
+                "  path {phase:<10} {:>10.3} s  ({share:.1}%)",
+                secs(*us)
+            );
+        }
+        let mut ranked: Vec<&TaskBlame> = self.tasks.iter().collect();
+        ranked.sort_by(|a, b| b.span_us.cmp(&a.span_us).then(a.task.cmp(&b.task)));
+        ranked.truncate(top);
+        let _ = writeln!(out, "top {} tasks by lifetime:", ranked.len());
+        for t in ranked {
+            let _ = writeln!(
+                out,
+                "  task {:>5}: span {:>9.3} s = queue {:.3} + staging {:.3} + restore {:.3} \
+                 + compute {:.3} + ckpt {:.3} + re-exec {:.3}  ({} attempt{})",
+                t.task,
+                secs(t.span_us),
+                secs(t.queue_wait_us),
+                secs(t.staging_us),
+                secs(t.restore_us),
+                secs(t.compute_us),
+                secs(t.checkpoint_us),
+                secs(t.re_executed_us),
+                t.executions,
+                if t.executions == 1 { "" } else { "s" },
+            );
+        }
+        out
+    }
+}
+
+#[derive(Debug)]
+struct OpenExecution {
+    task: Option<u64>,
+    start_us: u64,
+    phase_us: BTreeMap<String, u64>,
+    spans: Vec<PathSegment>,
+    open_phase: Option<(String, u64)>,
+}
+
+fn is_lifecycle(name: &str) -> bool {
+    LIFECYCLE_PHASES.contains(&name)
+}
+
+/// Backward greedy walk from `makespan_us` toward 0: at each frontier pick
+/// the span covering it with the earliest start (jumping across idle gaps
+/// to the latest-ending earlier span when nothing covers the frontier).
+/// Segments come out disjoint, so the path length lower-bounds the
+/// makespan.
+fn extract_critical_path(spans: &[&PathSegment], makespan_us: u64) -> Vec<PathSegment> {
+    let mut path = Vec::new();
+    let mut cur = makespan_us;
+    while cur > 0 {
+        let mut best: Option<&PathSegment> = None;
+        for s in spans {
+            if s.start_us >= cur || s.end_us <= s.start_us {
+                continue;
+            }
+            best = Some(match best {
+                None => s,
+                Some(b) => {
+                    let cover_s = s.end_us.min(cur);
+                    let cover_b = b.end_us.min(cur);
+                    // Prefer the span reaching the frontier; then the
+                    // earliest start; then a deterministic tie-break.
+                    if (
+                        cover_s,
+                        std::cmp::Reverse(s.start_us),
+                        std::cmp::Reverse(s.worker),
+                    ) > (
+                        cover_b,
+                        std::cmp::Reverse(b.start_us),
+                        std::cmp::Reverse(b.worker),
+                    ) {
+                        s
+                    } else {
+                        b
+                    }
+                }
+            });
+        }
+        let Some(s) = best else { break };
+        path.push(PathSegment {
+            phase: s.phase.clone(),
+            worker: s.worker,
+            task: s.task,
+            start_us: s.start_us,
+            end_us: s.end_us.min(cur),
+        });
+        cur = s.start_us;
+    }
+    path.reverse();
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Telemetry, Track};
+
+    fn report_from(t: &Telemetry) -> BlameReport {
+        BlameReport::from_chrome_trace(&t.to_chrome_trace()).unwrap()
+    }
+
+    #[test]
+    fn single_task_blame_tiles_exactly() {
+        let t = Telemetry::enabled();
+        let w = Track::worker(0);
+        t.span_begin_for_task(w, "queued", 0.0, 7);
+        t.span_end(w, "queued", 1.5);
+        t.span_begin_for_task(w, "staging", 1.5, 7);
+        t.span_end(w, "staging", 4.0);
+        t.span_begin_for_task(w, "compute", 4.0, 7);
+        t.span_end(w, "compute", 10.0);
+        t.instant_for_task(w, "complete", 10.0, 7);
+        let r = report_from(&t);
+        assert_eq!(r.makespan_us, 10_000_000);
+        assert_eq!(r.tasks.len(), 1);
+        let b = &r.tasks[0];
+        assert!(b.completed);
+        assert_eq!(b.queue_wait_us, 1_500_000);
+        assert_eq!(b.staging_us, 2_500_000);
+        assert_eq!(b.compute_us, 6_000_000);
+        assert_eq!(b.span_us, 10_000_000);
+        assert_eq!(b.components_sum_us(), b.span_us);
+        // The whole run is one worker's chain: path length == makespan.
+        assert_eq!(r.critical_path_us(), 10_000_000);
+        assert_eq!(r.critical_path.len(), 3);
+    }
+
+    #[test]
+    fn losing_attempts_are_charged_as_reexecution() {
+        let t = Telemetry::enabled();
+        let a = Track::worker(0);
+        let b = Track::worker(1);
+        // Worker 0 crashes mid-compute; worker 1 re-runs and completes.
+        t.span_begin_for_task(a, "queued", 0.0, 3);
+        t.span_end(a, "queued", 1.0);
+        t.span_begin_for_task(a, "compute", 1.0, 3);
+        t.span_end(a, "compute", 5.0);
+        t.instant_for_task(a, "aborted", 5.0, 3);
+        t.span_begin_for_task(b, "queued", 5.0, 3);
+        t.span_end(b, "queued", 6.0);
+        t.span_begin_for_task(b, "compute", 6.0, 3);
+        t.span_end(b, "compute", 9.0);
+        t.instant_for_task(b, "complete", 9.0, 3);
+        let r = report_from(&t);
+        let blame = &r.tasks[0];
+        assert_eq!(blame.executions, 2);
+        assert_eq!(blame.re_executed_us, 5_000_000);
+        assert_eq!(blame.queue_wait_us, 1_000_000);
+        assert_eq!(blame.compute_us, 3_000_000);
+        assert_eq!(blame.span_us, 9_000_000);
+        assert_eq!(blame.components_sum_us(), blame.span_us);
+        assert_eq!(r.critical_path_us(), r.makespan_us);
+    }
+
+    #[test]
+    fn critical_path_jumps_idle_gaps_and_lower_bounds_makespan() {
+        let t = Telemetry::enabled();
+        let w = Track::worker(2);
+        t.span_begin_for_task(w, "compute", 1.0, 0);
+        t.span_end(w, "compute", 4.0);
+        t.instant_for_task(w, "complete", 4.0, 0);
+        // Idle gap [4, 6); second task computes [6, 9).
+        t.span_begin_for_task(w, "compute", 6.0, 1);
+        t.span_end(w, "compute", 9.0);
+        t.instant_for_task(w, "complete", 9.0, 1);
+        let r = report_from(&t);
+        assert_eq!(r.makespan_us, 9_000_000);
+        assert_eq!(r.critical_path_us(), 6_000_000);
+        assert!(r.critical_path_us() <= r.makespan_us);
+        assert_eq!(r.critical_path.len(), 2);
+    }
+
+    #[test]
+    fn json_and_summary_render() {
+        let t = Telemetry::enabled();
+        let w = Track::worker(0);
+        t.span_begin_for_task(w, "queued", 0.0, 1);
+        t.span_end(w, "queued", 2.0);
+        t.instant_for_task(w, "complete", 2.0, 1);
+        let r = report_from(&t);
+        let jsonified = r.to_json();
+        let doc = json::parse(&jsonified).unwrap();
+        assert_eq!(
+            doc.get("type").and_then(JsonValue::as_str),
+            Some("blame-report")
+        );
+        assert_eq!(
+            doc.get("tasks")
+                .and_then(JsonValue::as_array)
+                .unwrap()
+                .len(),
+            1
+        );
+        let human = r.summary(5);
+        assert!(human.contains("run forensics"));
+        assert!(human.contains("critical path"));
+    }
+
+    #[test]
+    fn malformed_tracks_are_rejected() {
+        let t = Telemetry::enabled();
+        t.span_end(Track::worker(0), "compute", 1.0);
+        let events = parse_chrome_trace(&t.to_chrome_trace()).unwrap();
+        assert!(BlameReport::from_events(&events).is_err());
+    }
+}

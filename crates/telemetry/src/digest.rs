@@ -1,0 +1,514 @@
+//! Windowed determinism digests of the dispatched event stream.
+//!
+//! A [`DigestFold`] maintains one rolling FNV-1a 64-bit hash over every
+//! event the engine dispatches (timestamp bits plus an encoding of the
+//! event payload), folded *between* events in the run loop — never as DES
+//! events, the same discipline as the probe sampler — so a digest-enabled
+//! run is provably inert. The chain hash is snapshotted once per sim-time
+//! window, together with intra-window *milestones* (the chain value every
+//! `stride` events, `stride` doubling so a window never stores more than
+//! [`MAX_MILESTONES`] of them).
+//!
+//! Two digest streams from runs that should be identical can then be
+//! bisected with [`diff_digests`]: the first window whose end-of-window
+//! chain differs is the first divergent window, and the first differing
+//! milestone inside it narrows the divergence to a `stride`-wide ordinal
+//! range — exact (`lo == hi`) while the stride is still 1. This is the
+//! byte-identity witness the planned sharded engine validates against,
+//! far cheaper than diffing full reports or traces.
+
+use std::fmt::Write as _;
+
+use crate::json::{self, JsonValue};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Milestone cap per window: when a window accumulates this many, every
+/// second one is dropped and the stride doubles.
+pub const MAX_MILESTONES: usize = 128;
+
+#[inline]
+fn fnv1a_word(mut h: u64, word: u64) -> u64 {
+    for b in word.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The in-run digest accumulator. One per simulation; the engine calls
+/// [`DigestFold::record`] right after popping each event and
+/// [`DigestFold::finish`] when the schedule drains.
+#[derive(Debug)]
+pub struct DigestFold {
+    window_s: f64,
+    chain: u64,
+    ordinal: u64,
+    cur: Option<WindowBuild>,
+    done: Vec<WindowDigest>,
+}
+
+#[derive(Debug)]
+struct WindowBuild {
+    index: u64,
+    start_ordinal: u64,
+    count: u64,
+    stride: u64,
+    pending: u64,
+    milestones: Vec<u64>,
+}
+
+impl DigestFold {
+    /// A fold with the given sim-time window width (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_s` is not positive and finite.
+    #[must_use]
+    pub fn new(window_s: f64) -> Self {
+        assert!(
+            window_s > 0.0 && window_s.is_finite(),
+            "digest window must be positive"
+        );
+        DigestFold {
+            window_s,
+            chain: FNV_OFFSET,
+            ordinal: 0,
+            cur: None,
+            done: Vec::new(),
+        }
+    }
+
+    /// Folds one dispatched event: its timestamp bits, then each payload
+    /// word. `t_s` must be non-decreasing (simulation time).
+    pub fn record(&mut self, t_s: f64, words: &[u64]) {
+        let index = (t_s / self.window_s) as u64;
+        if self.cur.as_ref().is_some_and(|w| w.index != index) {
+            self.flush_window();
+        }
+        self.chain = fnv1a_word(self.chain, t_s.to_bits());
+        for &w in words {
+            self.chain = fnv1a_word(self.chain, w);
+        }
+        let start_ordinal = self.ordinal;
+        let chain = self.chain;
+        let w = self.cur.get_or_insert_with(|| WindowBuild {
+            index,
+            start_ordinal,
+            count: 0,
+            stride: 1,
+            pending: 0,
+            milestones: Vec::new(),
+        });
+        self.ordinal += 1;
+        w.count += 1;
+        w.pending += 1;
+        if w.pending == w.stride {
+            w.milestones.push(chain);
+            w.pending = 0;
+            if w.milestones.len() == MAX_MILESTONES {
+                // Halve the resolution: keep every second milestone. The
+                // cap is even, so the last kept milestone still marks the
+                // most recent event and `pending` stays valid.
+                w.milestones = w.milestones.iter().copied().skip(1).step_by(2).collect();
+                w.stride *= 2;
+            }
+        }
+    }
+
+    fn flush_window(&mut self) {
+        if let Some(w) = self.cur.take() {
+            self.done.push(WindowDigest {
+                index: w.index,
+                t0_s: w.index as f64 * self.window_s,
+                start_ordinal: w.start_ordinal,
+                count: w.count,
+                stride: w.stride,
+                hash: self.chain,
+                milestones: w.milestones,
+            });
+        }
+    }
+
+    /// Total events folded so far.
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.ordinal
+    }
+
+    /// Seals the fold into its final stream (flushes the open window).
+    #[must_use]
+    pub fn finish(mut self) -> DigestStream {
+        self.flush_window();
+        DigestStream {
+            window_s: self.window_s,
+            events: self.ordinal,
+            final_hash: self.chain,
+            windows: self.done,
+        }
+    }
+}
+
+/// One sealed window of the digest stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowDigest {
+    /// Window index `k` (the window spans `[k·window_s, (k+1)·window_s)`).
+    pub index: u64,
+    /// Window start, sim seconds.
+    pub t0_s: f64,
+    /// Ordinal (0-based, run-global) of the window's first event.
+    pub start_ordinal: u64,
+    /// Events folded in this window.
+    pub count: u64,
+    /// Events per milestone (a power of two).
+    pub stride: u64,
+    /// Chain hash after the window's last event.
+    pub hash: u64,
+    /// Chain hash after each `stride`-th event of the window.
+    pub milestones: Vec<u64>,
+}
+
+/// A complete digest stream: the sealed windows plus run totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DigestStream {
+    /// Window width, sim seconds.
+    pub window_s: f64,
+    /// Total events folded.
+    pub events: u64,
+    /// Chain hash after the last event.
+    pub final_hash: u64,
+    /// Sealed windows, ascending by index (empty windows are skipped).
+    pub windows: Vec<WindowDigest>,
+}
+
+impl DigestStream {
+    /// Renders the stream as JSONL: one header line, one line per window.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"digest-header\",\"window_s\":{},\"events\":{},\"hash\":\"{:016x}\"}}",
+            self.window_s, self.events, self.final_hash
+        );
+        for w in &self.windows {
+            let _ = write!(
+                out,
+                "{{\"type\":\"digest\",\"w\":{},\"t0\":{},\"start\":{},\"n\":{},\
+                 \"stride\":{},\"hash\":\"{:016x}\",\"m\":[",
+                w.index, w.t0_s, w.start_ordinal, w.count, w.stride, w.hash
+            );
+            for (i, m) in w.milestones.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{m:016x}\"");
+            }
+            out.push_str("]}\n");
+        }
+        out
+    }
+
+    /// Parses a stream previously written by [`DigestStream::to_jsonl`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line on malformed input.
+    pub fn parse_jsonl(text: &str) -> Result<Self, String> {
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty());
+        let (_, header) = lines.next().ok_or("empty digest file")?;
+        let header = json::parse(header).map_err(|e| format!("header: {e}"))?;
+        if header.get("type").and_then(JsonValue::as_str) != Some("digest-header") {
+            return Err("first line is not a digest-header".to_string());
+        }
+        let window_s = header
+            .get("window_s")
+            .and_then(JsonValue::as_f64)
+            .ok_or("header missing window_s")?;
+        let events = header
+            .get("events")
+            .and_then(JsonValue::as_u64)
+            .ok_or("header missing events")?;
+        let final_hash = parse_hash(&header, "hash").ok_or("header missing hash")?;
+        let mut windows = Vec::new();
+        for (lineno, line) in lines {
+            let v = json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            if v.get("type").and_then(JsonValue::as_str) != Some("digest") {
+                return Err(format!("line {}: not a digest line", lineno + 1));
+            }
+            let field = |name: &str| {
+                v.get(name)
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| format!("line {}: missing {name}", lineno + 1))
+            };
+            let milestones = v
+                .get("m")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| format!("line {}: missing m", lineno + 1))?
+                .iter()
+                .map(|m| {
+                    m.as_str()
+                        .and_then(|s| u64::from_str_radix(s, 16).ok())
+                        .ok_or_else(|| format!("line {}: bad milestone", lineno + 1))
+                })
+                .collect::<Result<Vec<u64>, String>>()?;
+            windows.push(WindowDigest {
+                index: field("w")?,
+                t0_s: v
+                    .get("t0")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| format!("line {}: missing t0", lineno + 1))?,
+                start_ordinal: field("start")?,
+                count: field("n")?,
+                stride: field("stride")?,
+                hash: parse_hash(&v, "hash")
+                    .ok_or_else(|| format!("line {}: missing hash", lineno + 1))?,
+                milestones,
+            });
+        }
+        Ok(DigestStream {
+            window_s,
+            events,
+            final_hash,
+            windows,
+        })
+    }
+}
+
+fn parse_hash(v: &JsonValue, key: &str) -> Option<u64> {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+}
+
+/// Where two digest streams first disagree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// Index of the first divergent window.
+    pub window: u64,
+    /// That window's start, sim seconds.
+    pub t0_s: f64,
+    /// First event ordinal that may differ (0-based, run-global).
+    pub ordinal_lo: u64,
+    /// Last event ordinal that may differ. `lo == hi` is an exact pinpoint.
+    pub ordinal_hi: u64,
+    /// Human-readable detail for the CLI.
+    pub detail: String,
+}
+
+/// Bisects two digest streams: `Ok(None)` when identical, the first
+/// divergence otherwise.
+///
+/// # Errors
+///
+/// Returns an error when the streams are not comparable (different window
+/// widths).
+pub fn diff_digests(a: &DigestStream, b: &DigestStream) -> Result<Option<Divergence>, String> {
+    if a.window_s != b.window_s {
+        return Err(format!(
+            "streams are not comparable: window {} s vs {} s",
+            a.window_s, b.window_s
+        ));
+    }
+    for k in 0..a.windows.len().max(b.windows.len()) {
+        match (a.windows.get(k), b.windows.get(k)) {
+            (Some(wa), Some(wb)) => {
+                if wa.index != wb.index {
+                    let (first, ordinal) = if wa.index < wb.index {
+                        (wa, wa.start_ordinal)
+                    } else {
+                        (wb, wb.start_ordinal)
+                    };
+                    return Ok(Some(Divergence {
+                        window: first.index,
+                        t0_s: first.t0_s,
+                        ordinal_lo: ordinal,
+                        ordinal_hi: ordinal,
+                        detail: format!(
+                            "window {} exists in only one stream (indices {} vs {})",
+                            first.index, wa.index, wb.index
+                        ),
+                    }));
+                }
+                if wa.hash == wb.hash && wa.count == wb.count {
+                    continue;
+                }
+                return Ok(Some(pinpoint(wa, wb)));
+            }
+            (Some(w), None) | (None, Some(w)) => {
+                return Ok(Some(Divergence {
+                    window: w.index,
+                    t0_s: w.t0_s,
+                    ordinal_lo: w.start_ordinal,
+                    ordinal_hi: w.start_ordinal + w.count.saturating_sub(1),
+                    detail: format!("window {} present in only one stream", w.index),
+                }));
+            }
+            (None, None) => break,
+        }
+    }
+    if a.events != b.events || a.final_hash != b.final_hash {
+        // All windows matched but the totals disagree (e.g. truncation).
+        let last = a.windows.last().map_or(0, |w| w.index);
+        return Ok(Some(Divergence {
+            window: last,
+            t0_s: a.windows.last().map_or(0.0, |w| w.t0_s),
+            ordinal_lo: a.events.min(b.events),
+            ordinal_hi: a.events.max(b.events).saturating_sub(1),
+            detail: format!(
+                "window set identical but totals differ: {} vs {} events",
+                a.events, b.events
+            ),
+        }));
+    }
+    Ok(None)
+}
+
+fn pinpoint(wa: &WindowDigest, wb: &WindowDigest) -> Divergence {
+    let start = wa.start_ordinal;
+    let max_count = wa.count.max(wb.count);
+    if wa.stride == wb.stride {
+        let shared = wa.milestones.len().min(wb.milestones.len());
+        for j in 0..shared {
+            if wa.milestones[j] != wb.milestones[j] {
+                let lo = start + j as u64 * wa.stride;
+                let hi = start + (j as u64 + 1) * wa.stride - 1;
+                return Divergence {
+                    window: wa.index,
+                    t0_s: wa.t0_s,
+                    ordinal_lo: lo,
+                    ordinal_hi: hi,
+                    detail: format!(
+                        "first divergent milestone {} of window {} (stride {})",
+                        j, wa.index, wa.stride
+                    ),
+                };
+            }
+        }
+        // Shared milestones agree: the divergence sits in the tail.
+        let covered = shared as u64 * wa.stride;
+        Divergence {
+            window: wa.index,
+            t0_s: wa.t0_s,
+            ordinal_lo: start + covered,
+            ordinal_hi: start + max_count.saturating_sub(1).max(covered),
+            detail: format!(
+                "divergence after the last common milestone of window {}",
+                wa.index
+            ),
+        }
+    } else {
+        Divergence {
+            window: wa.index,
+            t0_s: wa.t0_s,
+            ordinal_lo: start,
+            ordinal_hi: start + max_count.saturating_sub(1),
+            detail: format!(
+                "window {} strides differ ({} vs {}); cannot narrow further",
+                wa.index, wa.stride, wb.stride
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fold_events(n: u64, window_s: f64, perturb: Option<u64>) -> DigestStream {
+        let mut f = DigestFold::new(window_s);
+        for i in 0..n {
+            let word = if perturb == Some(i) { i ^ 0xdead } else { i };
+            f.record(i as f64, &[7, word]);
+        }
+        f.finish()
+    }
+
+    #[test]
+    fn identical_inputs_identical_streams() {
+        let a = fold_events(5000, 100.0, None);
+        let b = fold_events(5000, 100.0, None);
+        assert_eq!(a, b);
+        assert_eq!(diff_digests(&a, &b).unwrap(), None);
+        assert_eq!(a.events, 5000);
+        assert_eq!(a.windows.len(), 50);
+    }
+
+    #[test]
+    fn single_event_perturbation_is_pinpointed_exactly() {
+        // 100 events per window keeps the stride at 1 → exact ordinals.
+        let a = fold_events(5000, 100.0, None);
+        let b = fold_events(5000, 100.0, Some(2345));
+        let d = diff_digests(&a, &b).unwrap().expect("must diverge");
+        assert_eq!(d.window, 23);
+        assert_eq!(d.ordinal_lo, 2345);
+        assert_eq!(d.ordinal_hi, 2345);
+    }
+
+    #[test]
+    fn perturbation_in_big_window_narrows_to_stride_range() {
+        // One giant window: stride grows past 1, pinpoint is a range that
+        // still contains the perturbed ordinal.
+        let a = fold_events(5000, 1e9, None);
+        let b = fold_events(5000, 1e9, Some(2345));
+        let d = diff_digests(&a, &b).unwrap().expect("must diverge");
+        assert_eq!(d.window, 0);
+        assert!(d.ordinal_lo <= 2345 && 2345 <= d.ordinal_hi);
+        assert!(d.ordinal_hi - d.ordinal_lo < 5000);
+    }
+
+    #[test]
+    fn milestones_stay_capped_and_stride_is_power_of_two() {
+        let s = fold_events(100_000, 1e9, None);
+        assert_eq!(s.windows.len(), 1);
+        let w = &s.windows[0];
+        assert!(w.milestones.len() <= MAX_MILESTONES);
+        assert!(w.stride.is_power_of_two());
+        assert!(w.stride > 1);
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let s = fold_events(777, 50.0, None);
+        let text = s.to_jsonl();
+        let back = DigestStream::parse_jsonl(&text).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn truncated_stream_reports_divergence() {
+        let a = fold_events(500, 100.0, None);
+        let mut b = a.clone();
+        b.windows.pop();
+        b.events = 400;
+        let d = diff_digests(&a, &b).unwrap().expect("must diverge");
+        assert_eq!(d.window, 4);
+    }
+
+    #[test]
+    fn incompatible_windows_error() {
+        let a = fold_events(10, 100.0, None);
+        let b = fold_events(10, 50.0, None);
+        assert!(diff_digests(&a, &b).is_err());
+    }
+
+    #[test]
+    fn empty_windows_are_skipped() {
+        let mut f = DigestFold::new(10.0);
+        f.record(5.0, &[1]);
+        f.record(95.0, &[2]);
+        let s = f.finish();
+        let idx: Vec<u64> = s.windows.iter().map(|w| w.index).collect();
+        assert_eq!(idx, vec![0, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "digest window must be positive")]
+    fn zero_window_panics() {
+        let _ = DigestFold::new(0.0);
+    }
+}

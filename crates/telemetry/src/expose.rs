@@ -1,0 +1,344 @@
+//! Prometheus text exposition of the instrument registry, and a std-only
+//! `/metrics` + `/healthz` server.
+//!
+//! [`render_prometheus`] turns an instrument snapshot into the Prometheus
+//! text format 0.0.4: counters gain the conventional `_total` suffix,
+//! power-of-two histograms become cumulative `_bucket{le="…"}` series
+//! (bucket `k` spans `[2^k, 2^(k+1))`, so its inclusive upper bound is
+//! `2^(k+1)-1`; the saturation bucket folds into `+Inf`) plus `_sum` and
+//! `_count`.
+//!
+//! [`MetricsServer`] serves the most recently published rendering from a
+//! background thread over a plain `TcpListener`. The simulation (and its
+//! `Rc`-based registry) stays single-threaded: the engine renders a
+//! snapshot to a `String` and [`MetricsServer::publish`]es it through an
+//! `Arc<Mutex<String>>`; the serving thread never touches live
+//! instruments. This is deliberately the first brick of the future
+//! `gridsched-server` control plane.
+
+use std::fmt::Write as _;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::instruments::{InstrumentSnapshot, InstrumentValue, BUCKETS};
+
+/// Escapes a Prometheus label value (`\` → `\\`, `"` → `\"`, newline →
+/// `\n`), per the text exposition format.
+#[must_use]
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Maps an instrument name to a Prometheus metric name: `gridsched_`
+/// prefix, dots (and any other non-alphanumeric byte) to underscores.
+#[must_use]
+pub fn metric_name(instrument: &str) -> String {
+    let mut out = String::with_capacity(instrument.len() + 10);
+    out.push_str("gridsched_");
+    for ch in instrument.chars() {
+        if ch.is_ascii_alphanumeric() {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Appends one sample line: `name{k="v",…} value`. Label values are
+/// escaped; integral values print without a fraction.
+pub fn write_sample(out: &mut String, name: &str, labels: &[(&str, &str)], value: f64) {
+    out.push_str(name);
+    if !labels.is_empty() {
+        out.push('{');
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
+        }
+        out.push('}');
+    }
+    if value.fract() == 0.0 && value.abs() < 9.007_199_254_740_992e15 {
+        let _ = writeln!(out, " {}", value as i64);
+    } else {
+        let _ = writeln!(out, " {value}");
+    }
+}
+
+/// Renders an instrument snapshot as Prometheus text format 0.0.4.
+#[must_use]
+pub fn render_prometheus(snapshots: &[InstrumentSnapshot]) -> String {
+    let mut out = String::new();
+    for snap in snapshots {
+        let base = metric_name(snap.name);
+        match &snap.value {
+            InstrumentValue::Counter { value } => {
+                let name = format!("{base}_total");
+                let _ = writeln!(out, "# HELP {name} gridsched instrument {}", snap.name);
+                let _ = writeln!(out, "# TYPE {name} counter");
+                write_sample(&mut out, &name, &[], *value as f64);
+            }
+            InstrumentValue::Histogram {
+                count,
+                sum,
+                buckets,
+                ..
+            } => {
+                let _ = writeln!(out, "# HELP {base} gridsched instrument {}", snap.name);
+                let _ = writeln!(out, "# TYPE {base} histogram");
+                let bucket_name = format!("{base}_bucket");
+                // Cumulative counts; the last numeric bound is 2^32-1 and
+                // the saturation bucket (k = BUCKETS-1) folds into +Inf.
+                let highest = buckets[..BUCKETS - 1]
+                    .iter()
+                    .rposition(|&n| n > 0)
+                    .unwrap_or(0);
+                let mut cumulative = 0u64;
+                for (k, &n) in buckets.iter().enumerate().take(highest + 1) {
+                    cumulative += n;
+                    let le = format!("{}", (2u64 << k) - 1);
+                    write_sample(&mut out, &bucket_name, &[("le", &le)], cumulative as f64);
+                }
+                write_sample(&mut out, &bucket_name, &[("le", "+Inf")], *count as f64);
+                write_sample(&mut out, &format!("{base}_sum"), &[], *sum as f64);
+                write_sample(&mut out, &format!("{base}_count"), &[], *count as f64);
+            }
+        }
+    }
+    out
+}
+
+/// A background `/metrics` + `/healthz` server over the last published
+/// rendering. Dropping the handle shuts the serving thread down.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    body: Arc<Mutex<String>>,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9090`; port 0 picks a free port) and
+    /// starts the serving thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind or spawn error.
+    pub fn start(addr: &str) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let body = Arc::new(Mutex::new(String::from(
+            "# gridsched run starting; no snapshot published yet\n",
+        )));
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let body = Arc::clone(&body);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("gridsched-metrics".to_string())
+                .spawn(move || serve_loop(&listener, &body, &stop))?
+        };
+        Ok(MetricsServer {
+            addr: local,
+            body,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Replaces the served `/metrics` body.
+    pub fn publish(&self, rendered: String) {
+        let mut guard = self
+            .body
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *guard = rendered;
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Poke the accept loop so it observes the stop flag.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn serve_loop(listener: &TcpListener, body: &Mutex<String>, stop: &AtomicBool) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        if let Ok(stream) = stream {
+            handle_conn(stream, body);
+        }
+    }
+}
+
+fn handle_conn(mut stream: TcpStream, body: &Mutex<String>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let mut buf = [0u8; 1024];
+    let mut len = 0usize;
+    while len < buf.len() {
+        match stream.read(&mut buf[len..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                len += n;
+                if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let request = String::from_utf8_lossy(&buf[..len]);
+    let path = request
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .map(|p| p.split('?').next().unwrap_or(p).to_string());
+    let (status, content_type, payload) = match path.as_deref() {
+        Some("/metrics") => {
+            let snapshot = body
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .clone();
+            (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                snapshot,
+            )
+        }
+        Some("/healthz") => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_string(),
+        ),
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        payload.len()
+    );
+    let _ = stream.write_all(payload.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Telemetry;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn label_escaping() {
+        assert_eq!(
+            escape_label_value("a\"b\\c\nd"),
+            "a\\\"b\\\\c\\nd".to_string()
+        );
+    }
+
+    #[test]
+    fn counter_names_gain_total_suffix() {
+        let t = Telemetry::enabled();
+        t.counter("sched.wake.calls").add(42);
+        let text = render_prometheus(&t.snapshot());
+        assert!(text.contains("# TYPE gridsched_sched_wake_calls_total counter"));
+        assert!(text.contains("\ngridsched_sched_wake_calls_total 42\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_with_le_labels() {
+        let t = Telemetry::enabled();
+        let h = t.histogram("scan.len");
+        h.record(0); // bucket 0, le="1"
+        h.record(1); // bucket 0
+        h.record(2); // bucket 1, le="3"
+        h.record(5); // bucket 2, le="7"
+        let text = render_prometheus(&t.snapshot());
+        assert!(text.contains("# TYPE gridsched_scan_len histogram"));
+        assert!(text.contains("gridsched_scan_len_bucket{le=\"1\"} 2\n"));
+        assert!(text.contains("gridsched_scan_len_bucket{le=\"3\"} 3\n"));
+        assert!(text.contains("gridsched_scan_len_bucket{le=\"7\"} 4\n"));
+        assert!(text.contains("gridsched_scan_len_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("gridsched_scan_len_sum 8\n"));
+        assert!(text.contains("gridsched_scan_len_count 4\n"));
+    }
+
+    #[test]
+    fn saturated_observations_fold_into_inf_bucket() {
+        let t = Telemetry::enabled();
+        t.histogram("big").record(u64::MAX);
+        let text = render_prometheus(&t.snapshot());
+        // The saturation bucket has no finite le bound of its own.
+        assert!(text.contains("gridsched_big_bucket{le=\"+Inf\"} 1\n"));
+        assert!(!text.contains("le=\"18446744073709551615\""));
+    }
+
+    #[test]
+    fn write_sample_escapes_labels() {
+        let mut out = String::new();
+        write_sample(&mut out, "m", &[("strategy", "a\"b\\c")], 1.0);
+        assert_eq!(out, "m{strategy=\"a\\\"b\\\\c\"} 1\n");
+    }
+
+    #[test]
+    fn server_serves_metrics_healthz_and_404() {
+        let server = MetricsServer::start("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        server.publish("gridsched_up 1\n".to_string());
+
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK"), "{metrics}");
+        assert!(metrics.contains("version=0.0.4"));
+        assert!(metrics.ends_with("gridsched_up 1\n"));
+
+        let health = get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.1 200 OK"));
+        assert!(health.ends_with("ok\n"));
+
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"));
+
+        server.publish("gridsched_up 2\n".to_string());
+        assert!(get(addr, "/metrics").ends_with("gridsched_up 2\n"));
+        drop(server);
+        // The port is released after drop: a fresh bind to it succeeds.
+        let rebound = TcpListener::bind(addr);
+        assert!(rebound.is_ok());
+    }
+}

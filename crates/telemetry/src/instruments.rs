@@ -328,6 +328,54 @@ mod tests {
     }
 
     #[test]
+    fn exact_powers_of_two_land_in_their_own_bucket() {
+        // Bucket k spans [2^k, 2^(k+1)), so an exact power 2^k opens
+        // bucket k and 2^k - 1 still belongs to bucket k-1 (k = 32 is the
+        // saturation bucket, entered exactly at 2^32).
+        for k in 1..=32u32 {
+            let h = Registry::default().histogram("p");
+            h.record(1u64 << k);
+            h.record((1u64 << k) - 1);
+            let b = h.bucket_counts();
+            assert_eq!(b[k as usize], 1, "2^{k} must open bucket {k}");
+            assert_eq!(b[k as usize - 1], 1, "2^{k} - 1 must stay one bucket below");
+        }
+    }
+
+    #[test]
+    fn extreme_values_saturate_the_top_bucket() {
+        let h = Registry::default().histogram("x");
+        // Everything with ilog2 >= 32 collapses into the saturation
+        // bucket; the sum saturates instead of wrapping.
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        h.record(1u64 << 63);
+        h.record(1u64 << 32);
+        let b = h.bucket_counts();
+        assert_eq!(b[BUCKETS - 1], 4);
+        assert_eq!(b.iter().sum::<u64>(), 4);
+        assert_eq!(h.sum(), u64::MAX, "sum must saturate, not wrap");
+        assert_eq!(h.max(), u64::MAX);
+        // The largest value still inside the second-to-top bucket.
+        let h = Registry::default().histogram("y");
+        h.record((1u64 << 32) - 1);
+        assert_eq!(h.bucket_counts()[BUCKETS - 2], 1);
+    }
+
+    #[test]
+    fn zero_only_histogram_stays_in_bucket_zero() {
+        let h = Registry::default().histogram("z");
+        h.record(0);
+        h.record(0);
+        let b = h.bucket_counts();
+        assert_eq!(b[0], 2);
+        assert_eq!(b.iter().sum::<u64>(), 2);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
     fn mean_and_sum() {
         let h = Registry::default().histogram("m");
         h.record(2);

@@ -33,10 +33,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
+pub mod digest;
+pub mod expose;
 mod instruments;
+pub mod json;
 mod probe;
 mod trace;
 
+pub use analyze::{BlameReport, ParsedEvent, PathSegment, TaskBlame};
+pub use digest::{diff_digests, DigestFold, DigestStream, Divergence, WindowDigest};
+pub use expose::{render_prometheus, MetricsServer};
 pub use instruments::{Counter, Histogram, InstrumentSnapshot, InstrumentValue, Registry};
 pub use probe::{ProbeSample, SiteProbe};
 pub use trace::{SpanPhase, TraceEvent, Track};
@@ -106,7 +113,15 @@ impl Telemetry {
     /// Opens a span on `track` at simulation time `ts_s` (seconds).
     pub fn span_begin(&self, track: Track, name: &'static str, ts_s: f64) {
         if let Some(i) = &self.inner {
-            i.tracer.begin(track, name, ts_s);
+            i.tracer.begin(track, name, ts_s, None);
+        }
+    }
+
+    /// Opens a span attributed to `task` (emitted as `args.task`, which
+    /// the forensics analyzer uses to group attempts by task).
+    pub fn span_begin_for_task(&self, track: Track, name: &'static str, ts_s: f64, task: u64) {
+        if let Some(i) = &self.inner {
+            i.tracer.begin(track, name, ts_s, Some(task));
         }
     }
 
@@ -120,7 +135,14 @@ impl Telemetry {
     /// Records an instantaneous event on `track`.
     pub fn instant(&self, track: Track, name: &'static str, ts_s: f64) {
         if let Some(i) = &self.inner {
-            i.tracer.instant(track, name, ts_s);
+            i.tracer.instant(track, name, ts_s, None);
+        }
+    }
+
+    /// Records an instantaneous event attributed to `task`.
+    pub fn instant_for_task(&self, track: Track, name: &'static str, ts_s: f64, task: u64) {
+        if let Some(i) = &self.inner {
+            i.tracer.instant(track, name, ts_s, Some(task));
         }
     }
 

@@ -77,6 +77,10 @@ pub struct TraceEvent {
     pub phase: SpanPhase,
     /// Simulation timestamp, seconds.
     pub ts_s: f64,
+    /// Task id for lifecycle spans (`None` on fault/outage spans), emitted
+    /// as `"args":{"task":N}` so the forensics analyzer can group spans by
+    /// task.
+    pub task: Option<u64>,
 }
 
 impl TraceEvent {
@@ -96,6 +100,9 @@ impl TraceEvent {
         if self.phase == SpanPhase::Instant {
             out.push_str(",\"s\":\"t\"");
         }
+        if let Some(task) = self.task {
+            let _ = write!(out, ",\"args\":{{\"task\":{task}}}");
+        }
         out.push('}');
     }
 }
@@ -107,12 +114,13 @@ pub(crate) struct Tracer {
 }
 
 impl Tracer {
-    pub(crate) fn begin(&self, track: Track, name: &'static str, ts_s: f64) {
+    pub(crate) fn begin(&self, track: Track, name: &'static str, ts_s: f64, task: Option<u64>) {
         self.events.borrow_mut().push(TraceEvent {
             track,
             name,
             phase: SpanPhase::Begin,
             ts_s,
+            task,
         });
     }
 
@@ -122,15 +130,17 @@ impl Tracer {
             name,
             phase: SpanPhase::End,
             ts_s,
+            task: None,
         });
     }
 
-    pub(crate) fn instant(&self, track: Track, name: &'static str, ts_s: f64) {
+    pub(crate) fn instant(&self, track: Track, name: &'static str, ts_s: f64, task: Option<u64>) {
         self.events.borrow_mut().push(TraceEvent {
             track,
             name,
             phase: SpanPhase::Instant,
             ts_s,
+            task,
         });
     }
 
@@ -150,6 +160,7 @@ mod tests {
             name: "compute",
             phase: SpanPhase::Begin,
             ts_s: 1.5,
+            task: None,
         };
         let mut s = String::new();
         e.write_chrome_json(&mut s);
@@ -167,10 +178,25 @@ mod tests {
             name: "complete",
             phase: SpanPhase::Instant,
             ts_s: 0.0,
+            task: None,
         };
         let mut s = String::new();
         e.write_chrome_json(&mut s);
         assert!(s.contains("\"s\":\"t\""));
         assert!(s.contains("\"pid\":2"));
+    }
+
+    #[test]
+    fn task_ids_emit_as_args() {
+        let e = TraceEvent {
+            track: Track::worker(0),
+            name: "queued",
+            phase: SpanPhase::Begin,
+            ts_s: 2.0,
+            task: Some(17),
+        };
+        let mut s = String::new();
+        e.write_chrome_json(&mut s);
+        assert!(s.ends_with(",\"args\":{\"task\":17}}"), "{s}");
     }
 }

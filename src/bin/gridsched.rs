@@ -14,15 +14,23 @@
 //!                    [--trace FILE] [--csv]
 //!                    [--trace-out FILE] [--metrics-out FILE]
 //!                    [--probe-interval SECS]
+//!                    [--digest-out FILE] [--digest-window SECS]
+//!                    [--serve-metrics ADDR] [--serve-linger SECS]
+//! gridsched analyze --trace run.json [--blame-out blame.json] [--top K]
+//! gridsched diff-digests a.jsonl b.jsonl
 //! gridsched workload [--tasks 6000] [--seed 0] [--out FILE]
 //! gridsched topology [--seed 0] [--sites 90] [--dot FILE]
 //! gridsched strategies
 //! ```
 //!
 //! `simulate` runs one experiment point (averaged over the topology
-//! seeds), `workload` generates and optionally saves a Coadd trace,
-//! `topology` summarises a generated network (optionally exporting
-//! Graphviz DOT), `strategies` lists the available algorithms.
+//! seeds), `analyze` runs post-hoc forensics over a recorded trace
+//! (per-task blame decomposition, critical path, top-k bottlenecks),
+//! `diff-digests` bisects two determinism-digest streams to the first
+//! divergent window and event ordinal, `workload` generates and
+//! optionally saves a Coadd trace, `topology` summarises a generated
+//! network (optionally exporting Graphviz DOT), `strategies` lists the
+//! available algorithms.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -45,8 +53,22 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // Only diff-digests takes positional operands; everywhere else a bare
+    // word is a typo worth rejecting up front.
+    if command != "diff-digests" && !opts.positionals.is_empty() {
+        eprintln!(
+            "error: unexpected argument `{}`\n{USAGE}",
+            opts.positionals[0]
+        );
+        return ExitCode::from(2);
+    }
     let result = match command.as_str() {
         "simulate" => cmd_simulate(&opts),
+        "analyze" => cmd_analyze(&opts),
+        "diff-digests" => match cmd_diff_digests(&opts) {
+            Ok(code) => return code,
+            Err(e) => Err(e),
+        },
         "workload" => cmd_workload(&opts),
         "topology" => cmd_topology(&opts),
         "strategies" => {
@@ -101,14 +123,28 @@ usage:
                        lifecycle spans; open in Perfetto / chrome://tracing)
                      [--metrics-out FILE] (JSONL instrument + probe stream)
                      [--probe-interval SECS] (per-site occupancy sampling)
+                     [--digest-out FILE] (windowed determinism digests of the
+                       event stream, JSONL; bisect with diff-digests)
+                     [--digest-window SECS] (digest window, default 3600 sim s)
+                     [--serve-metrics ADDR] (serve Prometheus /metrics and
+                       /healthz at ADDR, e.g. 127.0.0.1:9090; single replicate)
+                     [--serve-linger SECS] (keep serving after the run ends)
+  gridsched analyze --trace run.json [--blame-out blame.json] [--top K]
+                     (per-task blame decomposition, critical path, top-k
+                      bottlenecks over a --trace-out recording)
+  gridsched diff-digests a.jsonl b.jsonl
+                     (first divergent window + event ordinal; exit 0 when
+                      identical, 3 on divergence)
   gridsched workload [--tasks N] [--seed N] [--file-size-mb X] [--out FILE]
   gridsched topology [--seed N] [--sites N] [--dot FILE]
   gridsched strategies";
 
-/// `--flag value` pairs plus boolean flags (`--csv`).
+/// `--flag value` pairs, boolean flags (`--csv`) and positional operands
+/// (`diff-digests a.jsonl b.jsonl`).
 struct Opts {
     values: HashMap<String, String>,
     switches: Vec<String>,
+    positionals: Vec<String>,
 }
 
 impl Opts {
@@ -147,10 +183,12 @@ const SWITCHES: &[&str] = &["csv"];
 fn parse_flags(args: &[String]) -> Result<Opts, String> {
     let mut values = HashMap::new();
     let mut switches = Vec::new();
+    let mut positionals = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         let Some(key) = arg.strip_prefix("--") else {
-            return Err(format!("expected a --flag, got `{arg}`"));
+            positionals.push(arg.clone());
+            continue;
         };
         if SWITCHES.contains(&key) {
             switches.push(key.to_string());
@@ -161,7 +199,11 @@ fn parse_flags(args: &[String]) -> Result<Opts, String> {
             values.insert(key.to_string(), value.clone());
         }
     }
-    Ok(Opts { values, switches })
+    Ok(Opts {
+        values,
+        switches,
+        positionals,
+    })
 }
 
 fn parse_seed_list(raw: &str) -> Result<Vec<u64>, String> {
@@ -333,7 +375,7 @@ fn cmd_simulate(opts: &Opts) -> Result<(), String> {
         }
         config = config.with_probe_interval(interval);
     }
-    for flag in ["trace-out", "metrics-out"] {
+    for flag in ["trace-out", "metrics-out", "digest-out"] {
         if let Some(path) = opts.values.get(flag) {
             validate_out_path(flag, path)?;
         }
@@ -343,6 +385,32 @@ fn cmd_simulate(opts: &Opts) -> Result<(), String> {
     }
     if let Some(path) = opts.values.get("metrics-out") {
         config = config.with_metrics_out(path.clone());
+    }
+    if let Some(path) = opts.values.get("digest-out") {
+        config = config.with_digest_out(path.clone());
+    }
+    if let Some(window) = opts.get_opt::<f64>("digest-window")? {
+        if !opts.values.contains_key("digest-out") {
+            return Err("--digest-window requires --digest-out".into());
+        }
+        if window <= 0.0 || !window.is_finite() {
+            return Err("--digest-window must be positive sim seconds".into());
+        }
+        config = config.with_digest_window(window);
+    }
+    if let Some(linger) = opts.get_opt::<f64>("serve-linger")? {
+        if !opts.values.contains_key("serve-metrics") {
+            return Err("--serve-linger requires --serve-metrics".into());
+        }
+        if linger < 0.0 || !linger.is_finite() {
+            return Err("--serve-linger must be non-negative seconds".into());
+        }
+        config = config.with_serve_linger(linger);
+    }
+    if let Some(addr) = opts.values.get("serve-metrics") {
+        addr.parse::<std::net::SocketAddr>()
+            .map_err(|e| format!("--serve-metrics: bad address `{addr}`: {e}"))?;
+        config = config.with_serve_metrics(addr.clone());
     }
     let faults = build_fault_config(opts)?;
     let checkpointing = build_checkpoint_config(opts, &faults)?;
@@ -360,6 +428,13 @@ fn cmd_simulate(opts: &Opts) -> Result<(), String> {
             .get("topology-seeds")
             .map_or("0,1,2,3,4", String::as_str),
     )?;
+    if config.serve_metrics.is_some() && seeds.len() > 1 {
+        return Err(
+            "--serve-metrics needs a single replicate (replicates run concurrently and \
+             would contend for the port); pass one --topology-seeds entry"
+                .into(),
+        );
+    }
     let telemetry_requested = config.telemetry_requested();
     let (report, spread) = run_averaged_with_spread(&config, &seeds);
 
@@ -477,10 +552,10 @@ fn cmd_simulate(opts: &Opts) -> Result<(), String> {
                 report.work_saved_s / 3600.0
             );
         }
+        // Replicates run concurrently, so multi-seed runs suffix the
+        // output paths per seed (see `SimConfig::suffix_outputs_for_seed`).
+        let suffix = if seeds.len() > 1 { ".seed<N>" } else { "" };
         if telemetry_requested {
-            // Replicates run concurrently, so multi-seed runs suffix the
-            // output paths per seed (see the runner).
-            let suffix = if seeds.len() > 1 { ".seed<N>" } else { "" };
             if let Some(path) = &config.trace_out {
                 println!("trace written     : {path}{suffix}");
             }
@@ -488,8 +563,72 @@ fn cmd_simulate(opts: &Opts) -> Result<(), String> {
                 println!("metrics written   : {path}{suffix}");
             }
         }
+        if let Some(path) = &config.digest_out {
+            println!("digest written    : {path}{suffix}");
+        }
+        if let Some(addr) = &config.serve_metrics {
+            println!("metrics served    : http://{addr}/metrics (run finished)");
+        }
     }
     Ok(())
+}
+
+fn cmd_analyze(opts: &Opts) -> Result<(), String> {
+    let path = opts
+        .values
+        .get("trace")
+        .ok_or("analyze requires --trace FILE (a Chrome trace written by simulate --trace-out)")?;
+    let top: usize = opts.get("top", 5usize)?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let report =
+        BlameReport::from_chrome_trace(&text).map_err(|e| format!("analyze {path}: {e}"))?;
+    if let Some(out) = opts.values.get("blame-out") {
+        validate_out_path("blame-out", out)?;
+        std::fs::write(out, report.to_json()).map_err(|e| format!("write {out}: {e}"))?;
+    }
+    print!("{}", report.summary(top));
+    if let Some(out) = opts.values.get("blame-out") {
+        println!("blame written     : {out}");
+    }
+    Ok(())
+}
+
+fn cmd_diff_digests(opts: &Opts) -> Result<ExitCode, String> {
+    let [a_path, b_path] = opts.positionals.as_slice() else {
+        return Err(
+            "diff-digests takes exactly two digest files: gridsched diff-digests a.jsonl b.jsonl"
+                .into(),
+        );
+    };
+    let load = |p: &str| -> Result<DigestStream, String> {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("read {p}: {e}"))?;
+        DigestStream::parse_jsonl(&text).map_err(|e| format!("parse {p}: {e}"))
+    };
+    let a = load(a_path)?;
+    let b = load(b_path)?;
+    match diff_digests(&a, &b)? {
+        None => {
+            println!(
+                "digests identical: {} events, final hash {:016x}",
+                a.events, a.final_hash
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        Some(d) => {
+            println!(
+                "digests diverge at window {} (t0 {} sim s): event ordinals {}..={}",
+                d.window, d.t0_s, d.ordinal_lo, d.ordinal_hi
+            );
+            println!("  {}", d.detail);
+            if d.ordinal_lo == d.ordinal_hi {
+                println!(
+                    "  exact: the first divergent event is ordinal {}",
+                    d.ordinal_lo
+                );
+            }
+            Ok(ExitCode::from(3))
+        }
+    }
 }
 
 /// Rejects a telemetry output path whose parent directory does not exist —

@@ -68,6 +68,9 @@ pub mod prelude {
         ReportSpread, SimConfig, SpeedModel, Telemetry,
     };
     pub use gridsched_storage::{EvictionPolicy, SiteStore};
+    pub use gridsched_telemetry::{
+        diff_digests, BlameReport, DigestFold, DigestStream, Divergence, MetricsServer,
+    };
     pub use gridsched_topology::{generate as generate_topology, TiersConfig};
     pub use gridsched_workload::builder::{Popularity, WorkloadBuilder};
     pub use gridsched_workload::coadd::CoaddConfig;

@@ -473,6 +473,202 @@ fn simulate_rejects_bad_telemetry_flags() {
 }
 
 #[test]
+fn analyze_blames_a_recorded_trace() {
+    let dir = TestDir::new("analyze");
+    let trace_json = dir.path("run.trace.json");
+    let trace_str = trace_json.to_str().expect("utf8 path");
+    let out = gridsched(&[
+        "simulate",
+        "--tasks",
+        "120",
+        "--sites",
+        "2",
+        "--topology-seeds",
+        "0",
+        "--trace-out",
+        trace_str,
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let blame = dir.path("blame.json");
+    let out = gridsched(&[
+        "analyze",
+        "--trace",
+        trace_str,
+        "--blame-out",
+        blame.to_str().expect("utf8 path"),
+        "--top",
+        "3",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("run forensics: makespan"), "{stdout}");
+    assert!(stdout.contains("critical path:"), "{stdout}");
+    assert!(stdout.contains("top 3 tasks by lifetime"), "{stdout}");
+
+    let json = std::fs::read_to_string(&blame).expect("blame file written");
+    assert!(json.contains("\"type\":\"blame-report\""), "{json:.120}");
+    assert!(json.contains("\"critical_path\""), "{json:.120}");
+    assert!(json.contains("\"task_count\":120"), "{json:.120}");
+
+    // analyze without its input is a usage error, not a panic.
+    let out = gridsched(&["analyze"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("--trace"), "stderr: {stderr}");
+}
+
+#[test]
+fn diff_digests_exit_codes_and_seed_suffix() {
+    let dir = TestDir::new("digests");
+    let a = dir.path("a.jsonl");
+    let b = dir.path("b.jsonl");
+    let c = dir.path("c.jsonl");
+    let run = |seed: &str, path: &std::path::Path| {
+        let out = gridsched(&[
+            "simulate",
+            "--tasks",
+            "120",
+            "--sites",
+            "2",
+            "--topology-seeds",
+            "0",
+            "--seed",
+            seed,
+            "--digest-out",
+            path.to_str().expect("utf8 path"),
+            "--digest-window",
+            "600",
+        ]);
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8(out.stdout).expect("utf8");
+        assert!(stdout.contains("digest written"), "{stdout}");
+    };
+    run("1", &a);
+    run("1", &b);
+    run("2", &c);
+
+    // Identical runs: exit 0 and a final-hash report.
+    let out = gridsched(&[
+        "diff-digests",
+        a.to_str().expect("utf8"),
+        b.to_str().expect("utf8"),
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("digests identical"), "{stdout}");
+
+    // Seed change: exit 3 with the first divergent window + ordinals.
+    let out = gridsched(&[
+        "diff-digests",
+        a.to_str().expect("utf8"),
+        c.to_str().expect("utf8"),
+    ]);
+    assert_eq!(out.status.code(), Some(3));
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("digests diverge at window"), "{stdout}");
+    assert!(stdout.contains("event ordinals"), "{stdout}");
+
+    // Wrong arity is a usage failure (exit 1 with a message), not 3.
+    let out = gridsched(&["diff-digests", a.to_str().expect("utf8")]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("exactly two"), "stderr: {stderr}");
+
+    // Multi-replicate runs suffix the digest per seed like the other
+    // telemetry outputs.
+    let multi = dir.path("multi.jsonl");
+    let out = gridsched(&[
+        "simulate",
+        "--tasks",
+        "120",
+        "--sites",
+        "2",
+        "--topology-seeds",
+        "0,1",
+        "--digest-out",
+        multi.to_str().expect("utf8 path"),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(!multi.exists(), "multi-seed runs write per-seed digests");
+    assert!(dir.path("multi.jsonl.seed0").exists());
+    assert!(dir.path("multi.jsonl.seed1").exists());
+}
+
+#[test]
+fn simulate_rejects_bad_digest_and_serve_flags() {
+    // Window without its output file would be silently ignored.
+    let out = gridsched(&["simulate", "--digest-window", "600"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(
+        stderr.contains("--digest-window requires --digest-out"),
+        "stderr: {stderr}"
+    );
+
+    let out = gridsched(&[
+        "simulate",
+        "--digest-out",
+        "/tmp/d.jsonl",
+        "--digest-window",
+        "0",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("must be positive"), "stderr: {stderr}");
+
+    let out = gridsched(&[
+        "simulate",
+        "--digest-out",
+        "/no/such/directory/anywhere/d.jsonl",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("parent"), "stderr: {stderr}");
+
+    // Serve flags: bad address, linger without server, multi-replicate.
+    let out = gridsched(&["simulate", "--serve-metrics", "not-an-addr"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("--serve-metrics"), "stderr: {stderr}");
+
+    let out = gridsched(&["simulate", "--serve-linger", "5"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(
+        stderr.contains("--serve-linger requires --serve-metrics"),
+        "stderr: {stderr}"
+    );
+
+    let out = gridsched(&[
+        "simulate",
+        "--serve-metrics",
+        "127.0.0.1:0",
+        "--topology-seeds",
+        "0,1",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("single replicate"), "stderr: {stderr}");
+}
+
+#[test]
 fn simulate_reports_spread_across_replicates() {
     let out = gridsched(&[
         "simulate",

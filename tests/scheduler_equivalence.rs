@@ -241,6 +241,58 @@ fn telemetry_on_off_identical_all_strategies_and_modes() {
     }
 }
 
+/// Determinism digests and the /metrics exposition ride the dispatch
+/// loop itself (the digest folds every popped event; the server publishes
+/// rendered snapshots) — they must be exactly as inert as the rest of the
+/// telemetry stack: byte-identical `MetricsReport`, identical
+/// `events_dispatched`, whether or not a digest is being folded and an
+/// HTTP thread is serving.
+#[test]
+fn digests_and_exposition_are_inert() {
+    let mut cfg = CoaddConfig::small(5);
+    cfg.tasks = 80;
+    let workload = Arc::new(cfg.generate());
+    let digest_path = std::env::temp_dir().join(format!(
+        "gridsched-inertness-{}.digest.jsonl",
+        std::process::id()
+    ));
+    let digest_path = digest_path.to_str().expect("utf-8 temp path").to_string();
+    for strategy in [
+        StrategyKind::StorageAffinity,
+        StrategyKind::Combined2,
+        StrategyKind::Sufferage,
+    ] {
+        let base = SimConfig::paper(Arc::clone(&workload), strategy)
+            .with_sites(3)
+            .with_capacity(400)
+            .with_seed(2)
+            .with_faults(
+                FaultConfig::none()
+                    .with_worker_faults(3_000.0, 400.0)
+                    .with_server_faults(25_000.0, 700.0),
+            )
+            .with_checkpointing(CheckpointConfig::fixed(300.0));
+        let plain = GridSim::new(base.clone()).run();
+        let observed = GridSim::new(
+            base.clone()
+                .with_digest_out(&digest_path)
+                .with_digest_window(600.0)
+                .with_serve_metrics("127.0.0.1:0"),
+        )
+        .with_telemetry(Telemetry::enabled())
+        .run();
+        assert_eq!(plain, observed, "digest/exposition perturbed {strategy}");
+        assert_eq!(plain.events_dispatched, observed.events_dispatched);
+        // The digest really was written, and covers every dispatched event.
+        let stream = DigestStream::parse_jsonl(
+            &std::fs::read_to_string(&digest_path).expect("digest file written"),
+        )
+        .expect("digest parses");
+        assert_eq!(stream.events, plain.events_dispatched, "{strategy}");
+    }
+    let _ = std::fs::remove_file(&digest_path);
+}
+
 /// The new flags' default-off path: a config that never mentions the
 /// throttle and one that passes `ReplicaThrottle::none()` explicitly (what
 /// the CLI builds when `--replica-cap`/`--site-replica-budget` are absent)
