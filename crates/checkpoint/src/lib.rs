@@ -63,6 +63,14 @@ pub enum CheckpointPolicy {
     /// writing one image (derived per site from its access-link bandwidth)
     /// and MTBF comes from the fault model's worker churn process.
     YoungDaly,
+    /// Self-tuning Young/Daly: same formula, but the MTBF is *estimated
+    /// online* from the observed per-site failure interarrival process by
+    /// the control plane (`gridsched_core::control`) — no declared MTBF
+    /// needed, so it also works under fault traces and correlated bursts
+    /// whose effective MTBF the declared figure misses. Until the first
+    /// failures are observed the interval is unbounded (no checkpoints: a
+    /// grid that has never failed has nothing to protect against yet).
+    YoungDalyAdaptive,
 }
 
 /// The checkpoint environment of one simulation run.
@@ -115,6 +123,19 @@ impl CheckpointConfig {
         }
     }
 
+    /// Self-tuning Young/Daly checkpointing: the MTBF is estimated online
+    /// by the control plane instead of declared, so no fault-model MTBF is
+    /// required. The engine requires the adaptive-checkpoint control loop
+    /// to be enabled alongside this policy (otherwise nothing would ever
+    /// set an interval).
+    #[must_use]
+    pub fn young_daly_adaptive() -> Self {
+        CheckpointConfig {
+            policy: CheckpointPolicy::YoungDalyAdaptive,
+            size_bytes: DEFAULT_IMAGE_BYTES,
+        }
+    }
+
     /// Overrides the checkpoint image size.
     ///
     /// # Panics
@@ -157,6 +178,10 @@ impl CheckpointConfig {
                     .expect("young-daly checkpointing needs a worker MTBF (fault model)");
                 Some(young_daly_interval(mtbf, write_cost_s))
             }
+            // Bootstrap: unbounded until the control plane has observed
+            // failures and re-derives the interval at tick time. The
+            // declared MTBF, even if present, is deliberately not peeked.
+            CheckpointPolicy::YoungDalyAdaptive => Some(f64::INFINITY),
         }
     }
 
@@ -173,6 +198,9 @@ impl CheckpointConfig {
             }
             CheckpointPolicy::YoungDaly => {
                 format!("young-daly image={:.0}MB", self.size_bytes / 1e6)
+            }
+            CheckpointPolicy::YoungDalyAdaptive => {
+                format!("young-daly-adaptive image={:.0}MB", self.size_bytes / 1e6)
             }
         }
     }
@@ -300,6 +328,16 @@ mod tests {
     #[should_panic(expected = "needs a worker MTBF")]
     fn young_daly_without_mtbf_panics() {
         let _ = CheckpointConfig::young_daly().interval_s(None, 1.0);
+    }
+
+    #[test]
+    fn adaptive_young_daly_bootstraps_unbounded_without_mtbf() {
+        let c = CheckpointConfig::young_daly_adaptive();
+        assert!(!c.is_inert());
+        // No MTBF needed — and even a declared one is not peeked.
+        assert_eq!(c.interval_s(None, 2.0), Some(f64::INFINITY));
+        assert_eq!(c.interval_s(Some(3600.0), 2.0), Some(f64::INFINITY));
+        assert!(c.summary().contains("young-daly-adaptive image=25MB"));
     }
 
     #[test]

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod choose;
+pub mod control;
 pub mod ids;
 pub mod index;
 pub mod pool;
@@ -41,6 +42,10 @@ pub mod worker_centric;
 pub mod workqueue;
 
 pub use choose::ChooseTask;
+pub use control::{
+    AvailabilityTracker, BreakerState, CapController, CircuitBreaker, ControlConfig,
+    ControlDirective, ControlPlane, Ewma, InterarrivalTracker, TickOutcome,
+};
 pub use ids::{GridEnv, SiteId, WorkerId};
 pub use pool::TaskPool;
 pub use scheduler::{

@@ -21,6 +21,7 @@ use gridsched_storage::SiteStore;
 use gridsched_telemetry::Telemetry;
 use gridsched_workload::{FileId, TaskId};
 
+use crate::control::ControlDirective;
 use crate::ids::{GridEnv, SiteId, WorkerId};
 use crate::weight::WeightMetric;
 
@@ -204,6 +205,17 @@ pub trait Scheduler {
     /// in `tests/scheduler_equivalence.rs`).
     fn attach_telemetry(&mut self, telemetry: &Telemetry) {
         let _ = telemetry;
+    }
+
+    /// A control-plane directive arrived (adaptive cap moves, fresh
+    /// per-site placement scores). Delivered at controller-tick time —
+    /// never inside an event dispatch — so implementations may mutate
+    /// internal setpoints freely. The default ignores directives: every
+    /// strategy keeps working unchanged with the control loops on, and
+    /// with them off this is never called (byte-identity with the
+    /// uncontrolled engine is property-tested).
+    fn on_control(&mut self, directive: &ControlDirective) {
+        let _ = directive;
     }
 
     /// A worker is idle and requests work. `store` is the current storage

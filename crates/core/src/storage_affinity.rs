@@ -42,6 +42,7 @@ use gridsched_storage::{FileMask, FileSet, SiteStore};
 use gridsched_telemetry::{Counter, Telemetry};
 use gridsched_workload::{FileId, TaskId, Workload};
 
+use crate::control::ControlDirective;
 use crate::ids::{GridEnv, SiteId, WorkerId};
 use crate::index::{enable_ranks, FileIndex, PendingLog, RankStats, SiteView};
 use crate::pool::TaskPool;
@@ -360,6 +361,50 @@ impl Scheduler for StorageAffinity {
         self.admits = telemetry.counter("throttle.admits");
         self.parks = telemetry.counter("throttle.parks");
         self.releases = telemetry.counter("throttle.releases");
+    }
+
+    fn on_control(&mut self, directive: &ControlDirective) {
+        match directive {
+            ControlDirective::SetReplicaCap(cap) => {
+                // The adaptive throttle only runs on throttled schedulers
+                // (the engine seeds a starting cap), so the replica
+                // bookkeeping below is always live when a move arrives.
+                if !self.throttle.is_active() {
+                    return;
+                }
+                let old = self.throttle.replica_cap;
+                if old == Some(*cap) {
+                    return;
+                }
+                self.throttle.replica_cap = Some(*cap);
+                // Lowering is free: saturated tasks simply stop satisfying
+                // the `live` predicate and their rank entries are repaired
+                // lazily. Raising must re-admit tasks that were saturated
+                // under the old cap — their entries were already repaired
+                // *out* of the ranks, so journal them back in.
+                if self.mode == EvalMode::Incremental && old.is_some_and(|o| *cap > o) {
+                    let o = old.expect("checked above");
+                    let revived: Vec<TaskId> = self
+                        .pending
+                        .iter()
+                        .filter(|t| {
+                            let n = self.task_replicas[t.index()];
+                            n >= o && n < *cap
+                        })
+                        .collect();
+                    for t in revived {
+                        self.log.record(t, &mut self.views);
+                    }
+                }
+            }
+            ControlDirective::SiteScores(_) => {
+                // Per-site placement scores cannot change a *per-site*
+                // task argmax (a positive multiplier on one site's weights
+                // is scale-invariant within that site); the engine applies
+                // them where a cross-site choice exists (dispatch gating,
+                // replication push targeting).
+            }
+        }
     }
 
     fn initialize(&mut self, env: &GridEnv, stores: &[SiteStore]) {

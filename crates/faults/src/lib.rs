@@ -72,6 +72,16 @@ pub struct FaultConfig {
     /// Scripted fault events, applied in addition to the stochastic
     /// processes.
     pub trace: Option<FaultTrace>,
+    /// Mean time between correlated crash *bursts*, seconds (`None` =
+    /// independent crashes only). Each burst strikes one uniformly-drawn
+    /// site and crashes up to [`burst_size`](FaultConfig::burst_size) of
+    /// its live workers at once — the crash-storm scenario where static
+    /// tuning loses. Requires worker faults (the burst victims repair
+    /// through their own MTTR process).
+    pub burst_rate_s: Option<f64>,
+    /// Workers crashed per burst (meaningful only with
+    /// [`burst_rate_s`](FaultConfig::burst_rate_s)).
+    pub burst_size: u32,
 }
 
 impl FaultConfig {
@@ -86,6 +96,8 @@ impl FaultConfig {
             server_mttr_s: 0.0,
             server_mttr_shape: 1.0,
             trace: None,
+            burst_rate_s: None,
+            burst_size: 0,
         }
     }
 
@@ -172,6 +184,28 @@ impl FaultConfig {
         self
     }
 
+    /// Enables correlated site-scoped crash bursts: every `Exp(rate_s)` a
+    /// uniformly-drawn site loses up to `size` live workers at once.
+    /// Burst victims repair through the normal worker-MTTR process, so
+    /// worker faults must also be enabled (the engine asserts this).
+    /// Disabled bursts are byte-identical to the independent model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate_s` is strictly positive and finite and
+    /// `size >= 1`.
+    #[must_use]
+    pub fn with_worker_bursts(mut self, rate_s: f64, size: u32) -> Self {
+        assert!(
+            rate_s > 0.0 && rate_s.is_finite(),
+            "burst rate must be positive"
+        );
+        assert!(size >= 1, "burst size must be >= 1");
+        self.burst_rate_s = Some(rate_s);
+        self.burst_size = size;
+        self
+    }
+
     /// Whether this configuration injects no faults at all. An inert config
     /// must leave the simulation bit-identical to running without any fault
     /// config.
@@ -209,6 +243,9 @@ impl FaultConfig {
                 self.server_mttr_s,
                 shape(self.server_mttr_shape)
             ));
+        }
+        if let Some(rate) = self.burst_rate_s {
+            parts.push(format!("bursts rate={rate:.0}s size={}", self.burst_size));
         }
         if let Some(t) = &self.trace {
             if !t.events.is_empty() {
@@ -277,5 +314,33 @@ mod tests {
     #[should_panic(expected = "repair shape must be positive")]
     fn negative_shape_rejected() {
         let _ = FaultConfig::none().with_worker_repair_shape(-1.0);
+    }
+
+    #[test]
+    fn bursts_surface_in_summary() {
+        let cfg = FaultConfig::none()
+            .with_worker_faults(3600.0, 600.0)
+            .with_worker_bursts(1800.0, 4);
+        assert!(!cfg.is_inert());
+        assert!(
+            cfg.summary().contains("bursts rate=1800s size=4"),
+            "{}",
+            cfg.summary()
+        );
+        // No bursts: no burst summary part, and none() stays inert.
+        let plain = FaultConfig::none().with_worker_faults(3600.0, 600.0);
+        assert!(!plain.summary().contains("bursts"));
+    }
+
+    #[test]
+    #[should_panic(expected = "burst rate must be positive")]
+    fn zero_burst_rate_rejected() {
+        let _ = FaultConfig::none().with_worker_bursts(0.0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst size must be >= 1")]
+    fn zero_burst_size_rejected() {
+        let _ = FaultConfig::none().with_worker_bursts(1800.0, 0);
     }
 }

@@ -5,7 +5,7 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 
 use gridsched_checkpoint::CheckpointConfig;
-use gridsched_core::{EvalMode, ReplicaThrottle, StrategyKind};
+use gridsched_core::{ControlConfig, EvalMode, ReplicaThrottle, StrategyKind};
 use gridsched_faults::FaultConfig;
 use gridsched_storage::EvictionPolicy;
 use gridsched_topology::TiersConfig;
@@ -62,6 +62,11 @@ pub struct SimConfig {
     /// byte for byte; only meaningful for
     /// [`StrategyKind::StorageAffinity`].
     pub replica_throttle: ReplicaThrottle,
+    /// Closed-loop controllers (adaptive throttle, churn-aware placement,
+    /// self-tuning Young–Daly). The default — [`ControlConfig::none`] —
+    /// disables every loop and reproduces the open-loop engine byte for
+    /// byte (property-tested in `tests/scheduler_equivalence.rs`).
+    pub control: ControlConfig,
     /// How schedulers evaluate their per-decision scans. All modes yield
     /// byte-identical simulations (property-tested); they differ only in
     /// wall-clock cost. Defaults to [`EvalMode::Incremental`]; an
@@ -129,6 +134,8 @@ pub struct ConfigSummary {
     pub checkpointing: String,
     /// Replica throttle (`"none"` when unbounded).
     pub replica_throttle: String,
+    /// Enabled control loops (`"none"` when every controller is off).
+    pub control: String,
 }
 
 impl SimConfig {
@@ -151,6 +158,7 @@ impl SimConfig {
             faults: None,
             checkpointing: None,
             replica_throttle: ReplicaThrottle::none(),
+            control: ControlConfig::none(),
             eval_mode: EvalMode::default(),
             trace_out: None,
             metrics_out: None,
@@ -300,6 +308,13 @@ impl SimConfig {
         self
     }
 
+    /// Enables closed-loop controllers (see [`ControlConfig`]).
+    #[must_use]
+    pub fn with_control(mut self, control: ControlConfig) -> Self {
+        self.control = control;
+        self
+    }
+
     /// Selects the scheduler evaluation path (validation/benchmarking; the
     /// simulation output is identical across modes).
     #[must_use]
@@ -434,6 +449,7 @@ impl SimConfig {
                 .as_ref()
                 .map_or_else(|| "none".to_string(), CheckpointConfig::summary),
             replica_throttle: self.replica_throttle.summary(),
+            control: self.control.summary(),
         }
     }
 }
@@ -491,6 +507,18 @@ mod tests {
         assert_eq!(c.replica_throttle.replica_cap, Some(1));
         assert_eq!(c.replica_throttle.site_budget, Some(32));
         assert_eq!(c.summary().replica_throttle, "cap=1 site-budget=32");
+    }
+
+    #[test]
+    fn control_builder_and_summary() {
+        let c = SimConfig::paper(wl(), StrategyKind::StorageAffinity);
+        assert!(c.control.is_inert());
+        assert_eq!(c.summary().control, "none");
+        // Explicitly disabling every loop is the same as the default.
+        let explicit = c.clone().with_control(ControlConfig::none());
+        assert_eq!(explicit.summary(), c.summary());
+        let c = c.with_control(ControlConfig::none().with_adaptive_throttle());
+        assert_eq!(c.summary().control, "throttle tick=60s");
     }
 
     #[test]

@@ -59,15 +59,16 @@
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::Arc;
 
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-use gridsched_checkpoint::{CheckpointConfig, ImageTracker};
+use gridsched_checkpoint::{young_daly_interval, CheckpointConfig, CheckpointPolicy, ImageTracker};
 use gridsched_core::GridEnv;
 use gridsched_core::{
-    Assignment, Scheduler, SiteId, StorageAffinity, StrategyKind, Sufferage, WorkerCentric,
-    WorkerId, Workqueue,
+    Assignment, CapController, ControlDirective, ControlPlane, ReplicaThrottle, Scheduler, SiteId,
+    StorageAffinity, StrategyKind, Sufferage, WorkerCentric, WorkerId, Workqueue,
 };
-use gridsched_des::rng::{rng_for, Stream};
+use gridsched_des::rng::{derive_seed, rng_for, Stream};
 use gridsched_des::{EventHandle, Schedule, SimDuration, SimTime};
 use gridsched_faults::{Entity, FaultKind, FaultTimeline};
 use gridsched_net::{FlowId, NetSim};
@@ -105,6 +106,9 @@ enum Event {
     /// Checkpointing: this worker's compute segment ended — commit the
     /// progress and write an image.
     CheckpointDue { worker: usize, generation: u64 },
+    /// Fault injection: a correlated crash burst strikes one site (drawn
+    /// at dispatch time from the burst process's own RNG stream).
+    BurstStrike,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -256,6 +260,54 @@ struct CkptState {
     overhead_s: f64,
     /// Compute-seconds restores rescued from re-execution.
     work_saved_s: f64,
+    /// Per-site access-link write cost of one image, seconds — kept so
+    /// the adaptive Young/Daly loop can re-derive `interval_s` at tick
+    /// time from the *observed* failure process.
+    write_cost_s: Vec<f64>,
+    /// Whether the policy is [`CheckpointPolicy::YoungDalyAdaptive`]
+    /// (the control plane owns the interval; static policies never move).
+    adaptive: bool,
+}
+
+/// The correlated crash-burst process (present only when the fault config
+/// sets a burst rate). Own decorrelated RNG stream — mirroring the
+/// per-entity [`FaultTimeline`] derivation with a burst-specific tag — so
+/// enabling bursts never perturbs the independent crash/repair schedules.
+#[derive(Debug)]
+struct BurstState {
+    rng: StdRng,
+    /// Mean seconds between bursts (exponential interarrival).
+    rate_s: f64,
+    /// Workers crashed per strike (capped by the site's live population).
+    size: u32,
+}
+
+/// Seed-derivation tag of the burst process (the per-entity tags use
+/// `0x1…`/`0x2…` for workers/servers).
+const BURST_STREAM_TAG: u64 = 0x3_0000_0000;
+
+impl BurstState {
+    fn new(master_seed: u64, rate_s: f64, size: u32) -> Self {
+        let base = derive_seed(master_seed, Stream::Faults);
+        let seed = derive_seed(base ^ BURST_STREAM_TAG, Stream::Faults);
+        BurstState {
+            rng: StdRng::seed_from_u64(seed),
+            rate_s,
+            size,
+        }
+    }
+
+    /// Time from now until the next burst (inverse-CDF exponential, one
+    /// uniform per draw like [`FaultTimeline`]).
+    fn next_gap(&mut self) -> SimDuration {
+        let u: f64 = self.rng.gen();
+        SimDuration::from_secs(-self.rate_s * (1.0 - u).ln())
+    }
+
+    /// The site this strike hits, uniform over the grid.
+    fn pick_site(&mut self, sites: usize) -> usize {
+        self.rng.gen_range(0..sites)
+    }
 }
 
 /// One deterministic simulation run. See the [crate docs](crate) for an
@@ -318,6 +370,20 @@ pub struct GridSim {
     /// path dormant so the run matches the checkpoint-free engine
     /// exactly).
     checkpointing: Option<CkptState>,
+    /// Closed-loop controllers (`None` keeps every control code path
+    /// dormant so the run matches the open-loop engine exactly).
+    control: Option<ControlPlane>,
+    /// Correlated crash-burst process (`None` = independent crashes only).
+    burst: Option<BurstState>,
+    /// Cached controller instruments (same rationale as the wake-path
+    /// handles: the registry lookup is too slow for per-event hot paths).
+    control_ticks: Counter,
+    control_estimates: Counter,
+    control_cap_raises: Counter,
+    control_cap_lowers: Counter,
+    control_breaker_opens: Counter,
+    control_breaker_half_opens: Counter,
+    control_breaker_closes: Counter,
     /// Tasks that were fault-orphaned at least once (re-execution
     /// accounting).
     lost_ever: Vec<bool>,
@@ -372,6 +438,39 @@ impl GridSim {
                 && config.replica_throttle.site_budget != Some(0),
             "replica cap and site replica budget must be >= 1"
         );
+        assert!(
+            !config.control.adaptive_throttle || config.strategy == StrategyKind::StorageAffinity,
+            "the adaptive replica throttle only applies to storage-affinity \
+             (configured strategy: {})",
+            config.strategy
+        );
+        assert!(
+            config
+                .faults
+                .as_ref()
+                .is_none_or(|f| f.burst_rate_s.is_none() || f.worker_mtbf_s.is_some()),
+            "correlated crash bursts need worker faults (burst victims repair \
+             through the worker MTTR process)"
+        );
+        assert!(
+            config
+                .checkpointing
+                .as_ref()
+                .is_none_or(|c| c.policy != CheckpointPolicy::YoungDalyAdaptive)
+                || config.control.adaptive_checkpoint,
+            "young-daly-adaptive checkpointing needs the adaptive-checkpoint \
+             control loop"
+        );
+        // An adaptive throttle with no user-configured throttle starts
+        // from the controller's default cap; the user's own bounds win
+        // when present. The *configured* throttle stays in the summary —
+        // the controller's moving cap is runtime state, not config.
+        let effective_throttle =
+            if config.control.adaptive_throttle && !config.replica_throttle.is_active() {
+                ReplicaThrottle::none().with_replica_cap(CapController::DEFAULT_START_CAP)
+            } else {
+                config.replica_throttle
+            };
         let telemetry = if config.telemetry_requested() {
             Telemetry::enabled()
         } else {
@@ -398,7 +497,7 @@ impl GridSim {
             }
         }
         let servers = (0..config.sites).map(|_| DataServer::default()).collect();
-        let mut scheduler = build_scheduler(&config);
+        let mut scheduler = build_scheduler(&config, effective_throttle);
         scheduler.attach_telemetry(&telemetry);
         let faults_active = config.faults.as_ref().is_some_and(|f| !f.is_inert());
         if let Some(trace) = config.faults.as_ref().and_then(|f| f.trace.as_ref()) {
@@ -441,7 +540,26 @@ impl GridSim {
         let site_routes: Vec<Arc<Route>> = (0..config.sites)
             .map(|s| Arc::new(topology.routes.site_to_file_server(s).clone()))
             .collect();
-        let throttled = config.replica_throttle.is_active();
+        let throttled = effective_throttle.is_active();
+        let control = (!config.control.is_inert()).then(|| {
+            let start_cap = effective_throttle
+                .replica_cap
+                .unwrap_or(CapController::DEFAULT_START_CAP);
+            ControlPlane::new(
+                config.control,
+                config.sites,
+                u32::try_from(config.workers_per_site).expect("workers_per_site fits u32"),
+                start_cap,
+            )
+        });
+        let burst = if faults_active {
+            config.faults.as_ref().and_then(|f| {
+                f.burst_rate_s
+                    .map(|rate| BurstState::new(config.seed, rate, f.burst_size))
+            })
+        } else {
+            None
+        };
         let parked = vec![BTreeSet::new(); config.sites];
         GridSim {
             replication_rng: rng_for(config.seed, Stream::Replication),
@@ -460,6 +578,13 @@ impl GridSim {
             wake_calls: telemetry.counter("engine.wake.calls"),
             wake_fanout: telemetry.histogram("engine.wake.fanout"),
             wake_targeted: telemetry.counter("engine.wake.targeted"),
+            control_ticks: telemetry.counter("control.ticks"),
+            control_estimates: telemetry.counter("control.estimator.updates"),
+            control_cap_raises: telemetry.counter("control.cap.raises"),
+            control_cap_lowers: telemetry.counter("control.cap.lowers"),
+            control_breaker_opens: telemetry.counter("control.breaker.opens"),
+            control_breaker_half_opens: telemetry.counter("control.breaker.half_opens"),
+            control_breaker_closes: telemetry.counter("control.breaker.closes"),
             telemetry,
             flow_purpose: HashMap::new(),
             replication,
@@ -467,6 +592,8 @@ impl GridSim {
             worker_timelines,
             server_timelines,
             checkpointing,
+            control,
+            burst,
             lost_ever,
             per_site,
             tasks_completed: 0,
@@ -499,6 +626,13 @@ impl GridSim {
         self.wake_calls = telemetry.counter("engine.wake.calls");
         self.wake_fanout = telemetry.histogram("engine.wake.fanout");
         self.wake_targeted = telemetry.counter("engine.wake.targeted");
+        self.control_ticks = telemetry.counter("control.ticks");
+        self.control_estimates = telemetry.counter("control.estimator.updates");
+        self.control_cap_raises = telemetry.counter("control.cap.raises");
+        self.control_cap_lowers = telemetry.counter("control.cap.lowers");
+        self.control_breaker_opens = telemetry.counter("control.breaker.opens");
+        self.control_breaker_half_opens = telemetry.counter("control.breaker.half_opens");
+        self.control_breaker_closes = telemetry.counter("control.breaker.closes");
         self.telemetry = telemetry;
         self
     }
@@ -549,6 +683,14 @@ impl GridSim {
             MetricsServer::start(addr)
                 .unwrap_or_else(|e| panic!("cannot serve metrics at {addr}: {e}"))
         });
+        // Controller ticks follow the probe sampler's not-an-event
+        // discipline: boundaries are computed as k·dt between dispatches,
+        // the event queue never sees them, and with every loop disabled
+        // (`control: None`) the block is dead code — the open-loop engine
+        // byte for byte. Actuation a tick performs (cap moves, wake-ups)
+        // lands at the *current* event's time, like any handler's.
+        let tick_dt = self.control.as_ref().map(|c| c.config().tick_s);
+        let mut ticks_emitted: u64 = 0;
         let mut dispatched: u64 = 0;
         while let Some((now, event)) = self.schedule.next() {
             if let Some(dt) = probe_dt {
@@ -559,6 +701,16 @@ impl GridSim {
                     }
                     self.record_probe(at);
                     probes_emitted += 1;
+                }
+            }
+            if let Some(dt) = tick_dt {
+                loop {
+                    let at = SimTime::from_secs(dt * (ticks_emitted + 1) as f64);
+                    if at > now {
+                        break;
+                    }
+                    self.control_tick(at);
+                    ticks_emitted += 1;
                 }
             }
             if let Some(d) = digest.as_mut() {
@@ -587,6 +739,7 @@ impl GridSim {
                 Event::CheckpointDue { worker, generation } => {
                     self.handle_checkpoint_due(worker, generation);
                 }
+                Event::BurstStrike => self.handle_burst_strike(),
             }
         }
         assert_eq!(
@@ -638,6 +791,9 @@ impl GridSim {
             Event::CheckpointDue { worker, generation } => {
                 digest.record(t, &[7, worker as u64, generation]);
             }
+            // Tag 8 only ever appears when bursts are configured, so the
+            // disabled digest chain stays byte-identical.
+            Event::BurstStrike => digest.record(t, &[8]),
         }
     }
 
@@ -693,6 +849,16 @@ impl GridSim {
             sites[s].queue_depth = server.queue.len() as u64;
             sites[s].server_down = server.down;
             sites[s].server_files = self.stores[s].len() as u64;
+            sites[s].control_score_milli = match self.control.as_ref() {
+                Some(plane) if plane.placement_enabled() => {
+                    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                    {
+                        (plane.site_scores()[s].clamp(0.0, 1.0) * 1000.0).round() as u64
+                    }
+                }
+                // No placement loop: the neutral multiplier.
+                _ => 1000,
+            };
         }
         for w in &self.workers {
             let site = &mut sites[w.id.site.index()];
@@ -712,6 +878,64 @@ impl GridSim {
             links_busy: self.net.busy_links() as u64,
             links_total: self.net.link_count() as u64,
         });
+    }
+
+    /// One controller tick at boundary `at`: feeds the cumulative replica
+    /// counters to the plane, then actuates whatever it decided — a cap
+    /// move goes to the scheduler (waking parked capacity on raises), a
+    /// breaker half-open wakes one probe worker at the site, fresh
+    /// placement scores go to the scheduler *and* steer the engine's own
+    /// replication push targeting, and the adaptive Young/Daly loop
+    /// re-derives each site's checkpoint interval from the observed
+    /// failure interarrival process (taking effect at the next segment
+    /// boundary — in-flight segments are never rescheduled).
+    fn control_tick(&mut self, at: SimTime) {
+        let mut plane = self.control.take().expect("tick implies a control plane");
+        self.control_ticks.incr();
+        // Cancelled *or* fault-lost replicas both count as speculative
+        // waste the throttle should react to.
+        let outcome = plane.tick(
+            at.as_secs(),
+            self.replicas_cancelled + self.replicas_lost,
+            self.replicas_completed,
+        );
+        if let Some(cap) = outcome.new_cap {
+            self.scheduler
+                .on_control(&ControlDirective::SetReplicaCap(cap));
+            if outcome.cap_raised {
+                self.control_cap_raises.incr();
+                // The raise re-admits parked replica candidates.
+                self.wake_parked();
+            } else {
+                self.control_cap_lowers.incr();
+            }
+        }
+        for &site in &outcome.half_opened {
+            self.control_breaker_half_opens.incr();
+            // Half-open re-admits the site's traffic (the dispatch gate
+            // only blocks while fully open): wake every parked worker.
+            // The first crash re-trips the breaker for a fresh cooldown;
+            // parking the whole site until a completion closed it would
+            // idle repaired workers for hours on compute-heavy tasks.
+            self.wake_site_parked(site);
+        }
+        if let Some(scores) = outcome.scores {
+            self.scheduler
+                .on_control(&ControlDirective::SiteScores(scores));
+        }
+        if plane.checkpoint_enabled() {
+            if let Some(ckpt) = self.checkpointing.as_mut() {
+                if ckpt.adaptive {
+                    for site in 0..self.config.sites {
+                        if let Some(mtbf) = plane.site_worker_mtbf_s(site) {
+                            ckpt.interval_s[site] =
+                                young_daly_interval(mtbf, ckpt.write_cost_s[site]);
+                        }
+                    }
+                }
+            }
+        }
+        self.control = Some(plane);
     }
 
     /// Closes the fault spans still open when the event queue drains
@@ -762,6 +986,19 @@ impl GridSim {
         }
         let worker_id = self.workers[w].id;
         let site = worker_id.site.index();
+        // An open breaker gates dispatch for *every* strategy at the
+        // engine, before the scheduler is even consulted — no scheduler
+        // state is perturbed, so closing the breaker restores the exact
+        // open-loop decision sequence for the parked workers. Half-open
+        // probes and closes wake the site's parked population again.
+        if self
+            .control
+            .as_ref()
+            .is_some_and(|p| p.dispatch_blocked(site))
+        {
+            self.park(w);
+            return;
+        }
         let assignment = self.scheduler.on_worker_idle(worker_id, &self.stores[site]);
         match assignment {
             Assignment::Run(task) | Assignment::Replicate(task) => {
@@ -858,6 +1095,19 @@ impl GridSim {
                 self.workers[w].state = WorkerState::Idle;
                 self.schedule.schedule_now(Event::WorkerIdle(w));
                 return;
+            }
+        }
+    }
+
+    /// Wakes every parked worker of `site`, in ascending index order — a
+    /// closing circuit breaker re-opens the whole site at once.
+    fn wake_site_parked(&mut self, site: usize) {
+        let list = std::mem::take(&mut self.parked[site]);
+        self.parked_count -= list.len();
+        for w in list {
+            if self.workers[w].state == WorkerState::Parked {
+                self.workers[w].state = WorkerState::Idle;
+                self.schedule.schedule_now(Event::WorkerIdle(w));
             }
         }
     }
@@ -1376,7 +1626,7 @@ impl GridSim {
                     candidates.push(s);
                 }
             }
-            let Some(target) = pick_push_target(&mut self.replication_rng, &candidates) else {
+            let Some(target) = self.pick_scored_push_target(&candidates) else {
                 // Nothing can receive the file right now. If no server is
                 // down, every possible target already holds the file —
                 // coverage is complete, so stop re-scanning (and
@@ -1410,6 +1660,32 @@ impl GridSim {
             );
             self.resync_net();
         }
+    }
+
+    /// Chooses a replication push target among `candidates`. Open-loop
+    /// runs keep the legacy uniform draw byte for byte; with the
+    /// churn-placement loop on, the draw is restricted to the
+    /// highest-scoring candidates (availability × breaker factor) — the
+    /// same *number* of RNG draws as the uniform pick (one iff the slate
+    /// is non-empty), so enabling the loop never desynchronises the
+    /// replication stream's draw count.
+    fn pick_scored_push_target(&mut self, candidates: &[usize]) -> Option<usize> {
+        let tied: Vec<usize> = match self.control.as_ref().filter(|p| p.placement_enabled()) {
+            Some(plane) => {
+                let scores = plane.site_scores();
+                let best = candidates
+                    .iter()
+                    .map(|&s| scores[s])
+                    .fold(f64::NEG_INFINITY, f64::max);
+                candidates
+                    .iter()
+                    .copied()
+                    .filter(|&s| scores[s] >= best - 1e-9)
+                    .collect()
+            }
+            None => return pick_push_target(&mut self.replication_rng, candidates),
+        };
+        pick_push_target(&mut self.replication_rng, &tied)
     }
 
     // ----- completion & replica cancellation -----------------------------
@@ -1447,6 +1723,16 @@ impl GridSim {
             self.replicas_completed += 1;
         }
         self.last_completion = self.now();
+        // A completion is the success signal a half-open breaker waits
+        // for; closing it re-opens the site to dispatch.
+        let breaker_closed = self
+            .control
+            .as_mut()
+            .is_some_and(|plane| plane.on_site_success(site, t));
+        if breaker_closed {
+            self.control_breaker_closes.incr();
+            self.wake_site_parked(site);
+        }
 
         // A finished task's image is dead weight; drop it (not a loss).
         if let Some(ckpt) = self.checkpointing.as_mut() {
@@ -1646,6 +1932,10 @@ impl GridSim {
                 self.schedule.schedule_in(d, Event::ServerFail(s));
             }
         }
+        if let Some(b) = self.burst.as_mut() {
+            let gap = b.next_gap();
+            self.schedule.schedule_in(gap, Event::BurstStrike);
+        }
         let trace = self.config.faults.as_ref().and_then(|f| f.trace.clone());
         if let Some(trace) = trace {
             let wps = self.config.workers_per_site;
@@ -1663,6 +1953,36 @@ impl GridSim {
                 };
                 self.schedule.schedule_at(at, event);
             }
+        }
+    }
+
+    /// A correlated burst strikes: one uniformly-drawn site loses up to
+    /// `burst_size` live workers at once (lowest worker index first —
+    /// deterministic, and the draws happen in a fixed order so the burst
+    /// stream never depends on grid state). Victims repair through their
+    /// own MTTR timelines like any independent crash.
+    fn handle_burst_strike(&mut self) {
+        // Post-completion the process stops re-arming, draining like the
+        // per-entity churn processes.
+        if self.scheduler.unfinished() == 0 {
+            return;
+        }
+        let b = self.burst.as_mut().expect("burst event implies the state");
+        let site = b.pick_site(self.config.sites);
+        let gap = b.next_gap();
+        let size = b.size as usize;
+        self.schedule.schedule_in(gap, Event::BurstStrike);
+        let base = site * self.config.workers_per_site;
+        let mut struck = 0usize;
+        for w in base..base + self.config.workers_per_site {
+            if struck >= size {
+                break;
+            }
+            if matches!(self.workers[w].state, WorkerState::Down | WorkerState::Done) {
+                continue;
+            }
+            self.handle_worker_crash(w);
+            struck += 1;
         }
     }
 
@@ -1689,6 +2009,21 @@ impl GridSim {
         self.worker_crashes += 1;
         self.telemetry
             .span_begin(Track::worker(w), "down", self.now().as_secs());
+        // Feed the estimators: availability integral, failure
+        // interarrival (the self-tuning Young/Daly's input) and the
+        // site's circuit breaker.
+        let site = worker_id.site.index();
+        let t_s = self.now().as_secs();
+        let tripped = self
+            .control
+            .as_mut()
+            .is_some_and(|plane| plane.on_worker_crash(site, t_s));
+        if self.control.is_some() {
+            self.control_estimates.incr();
+        }
+        if tripped {
+            self.control_breaker_opens.incr();
+        }
         let orphaned = self.scheduler.on_worker_lost(worker_id, lost);
         if orphaned {
             let task = lost.expect("orphaned implies an in-flight task");
@@ -1720,6 +2055,11 @@ impl GridSim {
         self.telemetry
             .span_end(Track::worker(w), "down", self.now().as_secs());
         self.workers[w].state = WorkerState::Idle;
+        let t_s = self.now().as_secs();
+        if let Some(plane) = self.control.as_mut() {
+            plane.on_worker_recover(site, t_s);
+            self.control_estimates.incr();
+        }
         self.scheduler.on_worker_recovered(self.workers[w].id);
         if self.scheduler.unfinished() == 0 {
             return;
@@ -2035,6 +2375,7 @@ fn build_ckpt_state(c: &CheckpointConfig, config: &SimConfig, topology: &Topolog
     let mtbf = config.faults.as_ref().and_then(|f| f.worker_mtbf_s);
     let mut interval_s = Vec::with_capacity(config.sites);
     let mut access_link = Vec::with_capacity(config.sites);
+    let mut write_costs = Vec::with_capacity(config.sites);
     for site in 0..config.sites {
         let route = topology.routes.site_to_file_server(site);
         let link = *route
@@ -2048,6 +2389,7 @@ fn build_ckpt_state(c: &CheckpointConfig, config: &SimConfig, topology: &Topolog
                 .expect("non-inert checkpoint config has an interval"),
         );
         access_link.push(link);
+        write_costs.push(write_cost_s);
     }
     CkptState {
         size_bytes: c.size_bytes,
@@ -2058,17 +2400,21 @@ fn build_ckpt_state(c: &CheckpointConfig, config: &SimConfig, topology: &Topolog
         restores: 0,
         overhead_s: 0.0,
         work_saved_s: 0.0,
+        write_cost_s: write_costs,
+        adaptive: c.policy == CheckpointPolicy::YoungDalyAdaptive,
     }
 }
 
-/// Builds the scheduler for a strategy kind.
-fn build_scheduler(config: &SimConfig) -> Box<dyn Scheduler> {
+/// Builds the scheduler for a strategy kind. `throttle` is the *effective*
+/// replica throttle — the configured one, or the adaptive controller's
+/// starting cap when the throttle loop runs with no configured bounds.
+fn build_scheduler(config: &SimConfig, throttle: ReplicaThrottle) -> Box<dyn Scheduler> {
     let wl = config.workload.clone();
     match config.strategy {
         StrategyKind::StorageAffinity => Box::new(
             StorageAffinity::new(wl)
                 .with_eval_mode(config.eval_mode)
-                .with_throttle(config.replica_throttle),
+                .with_throttle(throttle),
         ),
         StrategyKind::Workqueue => Box::new(Workqueue::new(wl)),
         StrategyKind::Sufferage => Box::new(Sufferage::new(wl).with_eval_mode(config.eval_mode)),
@@ -2557,6 +2903,126 @@ mod tests {
         let a = GridSim::new(config()).run();
         let b = GridSim::new(config()).run();
         assert_eq!(a, b, "fault injection broke determinism");
+    }
+
+    #[test]
+    fn burst_churn_completes_and_is_deterministic() {
+        let config = || {
+            small_config(StrategyKind::Rest2).with_faults(
+                gridsched_faults::FaultConfig::none()
+                    .with_worker_faults(3_000.0, 400.0)
+                    .with_worker_bursts(4_000.0, 2),
+            )
+        };
+        let a = GridSim::new(config()).run();
+        let b = GridSim::new(config()).run();
+        assert_eq!(a, b, "bursts broke determinism");
+        assert_eq!(a.tasks_completed, 200);
+        assert!(a.worker_crashes > 0);
+        assert!(a.config.faults.contains("bursts rate=4000s size=2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "correlated crash bursts need worker faults")]
+    fn bursts_without_worker_faults_panic() {
+        let config = small_config(StrategyKind::Rest).with_faults(
+            gridsched_faults::FaultConfig::none()
+                .with_server_faults(20_000.0, 900.0)
+                .with_worker_bursts(3_000.0, 2),
+        );
+        let _ = GridSim::new(config);
+    }
+
+    #[test]
+    fn adaptive_throttle_completes_and_is_deterministic() {
+        use gridsched_core::ControlConfig;
+        let config = || {
+            small_config(StrategyKind::StorageAffinity).with_control(
+                ControlConfig::none()
+                    .with_adaptive_throttle()
+                    .with_tick_s(120.0),
+            )
+        };
+        let a = GridSim::new(config()).run();
+        let b = GridSim::new(config()).run();
+        assert_eq!(a, b, "the throttle controller broke determinism");
+        assert_eq!(a.tasks_completed, 200);
+        // The summary reports the *configured* throttle (none — the
+        // controller's starting cap is runtime state) plus the loop.
+        assert_eq!(a.config.replica_throttle, "none");
+        assert_eq!(a.config.control, "throttle tick=120s");
+        // The adaptive run is throttled from the start, so speculation
+        // stays at or below the uncapped baseline.
+        let uncapped = GridSim::new(small_config(StrategyKind::StorageAffinity)).run();
+        assert!(
+            a.replicas_launched <= uncapped.replicas_launched,
+            "adaptive throttle must not inflate replicas: {} vs {}",
+            a.replicas_launched,
+            uncapped.replicas_launched
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "adaptive replica throttle only applies to storage-affinity")]
+    fn adaptive_throttle_with_worker_centric_strategy_panics() {
+        use gridsched_core::ControlConfig;
+        let config = small_config(StrategyKind::Rest)
+            .with_control(ControlConfig::none().with_adaptive_throttle());
+        let _ = GridSim::new(config);
+    }
+
+    #[test]
+    fn churn_placement_under_bursts_completes_and_is_deterministic() {
+        use gridsched_core::ControlConfig;
+        let config = || {
+            small_config(StrategyKind::Rest2)
+                .with_faults(
+                    gridsched_faults::FaultConfig::none()
+                        .with_worker_faults(2_500.0, 600.0)
+                        .with_worker_bursts(3_000.0, 1),
+                )
+                .with_control(
+                    ControlConfig::none()
+                        .with_churn_placement()
+                        .with_tick_s(120.0),
+                )
+        };
+        let a = GridSim::new(config()).run();
+        assert_eq!(a.tasks_completed, 200);
+        let b = GridSim::new(config()).run();
+        assert_eq!(a, b, "breaker gating broke determinism");
+    }
+
+    #[test]
+    fn adaptive_young_daly_checkpoints_without_declared_mtbf() {
+        use gridsched_core::ControlConfig;
+        let config = small_config(StrategyKind::Workqueue)
+            .with_faults(gridsched_faults::FaultConfig::none().with_worker_faults(2_500.0, 300.0))
+            .with_checkpointing(gridsched_checkpoint::CheckpointConfig::young_daly_adaptive())
+            .with_control(
+                ControlConfig::none()
+                    .with_adaptive_checkpoint()
+                    .with_tick_s(300.0),
+            );
+        let report = GridSim::new(config).run();
+        assert_eq!(report.tasks_completed, 200);
+        assert!(
+            report.checkpoints_written > 0,
+            "the loop must switch checkpointing on once failures are observed"
+        );
+        assert_eq!(
+            report.config.checkpointing,
+            "young-daly-adaptive image=25MB"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "young-daly-adaptive checkpointing needs the adaptive-checkpoint")]
+    fn adaptive_young_daly_without_the_loop_panics() {
+        let config = small_config(StrategyKind::Workqueue)
+            .with_faults(gridsched_faults::FaultConfig::none().with_worker_faults(2_500.0, 300.0))
+            .with_checkpointing(gridsched_checkpoint::CheckpointConfig::young_daly_adaptive());
+        let _ = GridSim::new(config);
     }
 
     #[test]

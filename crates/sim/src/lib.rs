@@ -67,4 +67,5 @@ pub use gridsched_telemetry::{self as telemetry, Telemetry};
 // The fault and checkpoint models live in their own crates; re-export the
 // configuration surface so simulator users need only `gridsched_sim`.
 pub use gridsched_checkpoint::{CheckpointConfig, CheckpointPolicy};
+pub use gridsched_core::{BreakerState, ControlConfig};
 pub use gridsched_faults::{FaultConfig, FaultEvent, FaultKind, FaultTrace};

@@ -24,6 +24,11 @@ pub struct SiteProbe {
     pub server_files: u64,
     /// Whether the data server is down.
     pub server_down: bool,
+    /// The control plane's placement score for the site, in milli-units
+    /// (`1000` = fully available, `0` = breaker open / crash storm).
+    /// Stays `1000` when the churn-placement loop is off — the neutral
+    /// multiplier. Fixed-point keeps the probe `Eq`.
+    pub control_score_milli: u64,
 }
 
 /// One sample of the whole grid's state at a probe boundary.
@@ -57,13 +62,14 @@ impl ProbeSample {
             let _ = write!(
                 out,
                 "{{\"site\":{i},\"queue\":{},\"busy\":{},\"parked\":{},\"dead\":{},\
-                 \"files\":{},\"down\":{}}}",
+                 \"files\":{},\"down\":{},\"score_milli\":{}}}",
                 s.queue_depth,
                 s.busy_workers,
                 s.parked_workers,
                 s.dead_workers,
                 s.server_files,
                 s.server_down,
+                s.control_score_milli,
             );
         }
         out.push_str("]}\n");

@@ -9,8 +9,11 @@
 //!                    [--mtbf SECS] [--mttr SECS] [--mttr-shape K]
 //!                    [--server-mtbf SECS] [--server-mttr SECS] [--server-mttr-shape K]
 //!                    [--fault-trace FILE]
-//!                    [--checkpoint-policy none|fixed|young-daly]
+//!                    [--fault-burst-rate SECS] [--fault-burst-size N]
+//!                    [--checkpoint-policy none|fixed|young-daly|young-daly-adaptive]
 //!                    [--checkpoint-interval SECS] [--checkpoint-size MB]
+//!                    [--adaptive throttle,placement,checkpoint|all]
+//!                    [--control-tick SECS]
 //!                    [--trace FILE] [--csv]
 //!                    [--trace-out FILE] [--metrics-out FILE]
 //!                    [--probe-interval SECS]
@@ -116,9 +119,16 @@ usage:
                      [--server-mtbf SECS] [--server-mttr SECS] (default MTTR 900)
                      [--server-mttr-shape K] (Weibull repair shape; 1 = exponential)
                      [--fault-trace FILE] (scripted faults; see gridsched-faults)
-                     [--checkpoint-policy none|fixed|young-daly]
+                     [--fault-burst-rate SECS] (correlated site-scoped crash
+                       bursts every Exp(SECS); requires --mtbf)
+                     [--fault-burst-size N] (workers lost per burst, default 4)
+                     [--checkpoint-policy none|fixed|young-daly|young-daly-adaptive]
                      [--checkpoint-interval SECS] (fixed policy's interval)
                      [--checkpoint-size MB] (image size, default 25)
+                     [--adaptive throttle,placement,checkpoint|all] (closed-loop
+                       controllers tuned from the observed failure process;
+                       young-daly-adaptive enables the checkpoint loop itself)
+                     [--control-tick SECS] (controller tick period, default 60)
                      [--trace-out FILE] (Chrome Trace Event JSON of task
                        lifecycle spans; open in Perfetto / chrome://tracing)
                      [--metrics-out FILE] (JSONL instrument + probe stream)
@@ -240,6 +250,8 @@ fn build_fault_config(opts: &Opts) -> Result<FaultConfig, String> {
         ("mttr-shape", "mtbf"),
         ("server-mttr", "server-mtbf"),
         ("server-mttr-shape", "server-mtbf"),
+        ("fault-burst-rate", "mtbf"),
+        ("fault-burst-size", "fault-burst-rate"),
     ] {
         if opts.values.contains_key(dependent) && !opts.values.contains_key(required) {
             return Err(format!("--{dependent} requires --{required}"));
@@ -257,6 +269,16 @@ fn build_fault_config(opts: &Opts) -> Result<FaultConfig, String> {
                 return Err("--mttr-shape must be a positive Weibull shape".into());
             }
             faults = faults.with_worker_repair_shape(shape);
+        }
+        if let Some(rate) = opts.get_opt::<f64>("fault-burst-rate")? {
+            if rate <= 0.0 || !rate.is_finite() {
+                return Err("--fault-burst-rate must be positive seconds".into());
+            }
+            let size: u32 = opts.get("fault-burst-size", 4u32)?;
+            if size == 0 {
+                return Err("--fault-burst-size must be >= 1".into());
+            }
+            faults = faults.with_worker_bursts(rate, size);
         }
     }
     if let Some(mtbf) = opts.get_opt::<f64>("server-mtbf")? {
@@ -314,9 +336,17 @@ fn build_checkpoint_config(opts: &Opts, faults: &FaultConfig) -> Result<Checkpoi
             }
             CheckpointConfig::young_daly()
         }
+        "young-daly-adaptive" | "yda" => {
+            if opts.values.contains_key("checkpoint-interval") {
+                return Err(
+                    "--checkpoint-interval only applies to --checkpoint-policy fixed".into(),
+                );
+            }
+            CheckpointConfig::young_daly_adaptive()
+        }
         other => {
             return Err(format!(
-                "unknown checkpoint policy `{other}` (none|fixed|young-daly)"
+                "unknown checkpoint policy `{other}` (none|fixed|young-daly|young-daly-adaptive)"
             ))
         }
     };
@@ -327,6 +357,67 @@ fn build_checkpoint_config(opts: &Opts, faults: &FaultConfig) -> Result<Checkpoi
         ckpt = ckpt.with_size_bytes(mb * 1e6);
     }
     Ok(ckpt)
+}
+
+/// `--adaptive` / `--control-tick`: the closed-loop controller surface.
+///
+/// `--checkpoint-policy young-daly-adaptive` enables the checkpoint loop
+/// on its own (the policy *is* the loop's actuator), so `--adaptive
+/// checkpoint` is only needed when combining it with other loops
+/// explicitly.
+fn build_control_config(
+    opts: &Opts,
+    strategy: StrategyKind,
+    adaptive_ckpt_policy: bool,
+) -> Result<ControlConfig, String> {
+    let mut control = ControlConfig::none();
+    if let Some(raw) = opts.values.get("adaptive") {
+        for name in raw.split(',').map(str::trim) {
+            control = match name {
+                "throttle" => control.with_adaptive_throttle(),
+                "placement" => control.with_churn_placement(),
+                "checkpoint" => control.with_adaptive_checkpoint(),
+                "all" => control
+                    .with_adaptive_throttle()
+                    .with_churn_placement()
+                    .with_adaptive_checkpoint(),
+                other => {
+                    return Err(format!(
+                        "unknown control loop `{other}` (throttle|placement|checkpoint|all)"
+                    ))
+                }
+            };
+        }
+    }
+    if adaptive_ckpt_policy {
+        control = control.with_adaptive_checkpoint();
+    }
+    if control.adaptive_throttle && strategy != StrategyKind::StorageAffinity {
+        return Err(format!(
+            "--adaptive throttle only applies to --strategy storage-affinity (got `{strategy}`)"
+        ));
+    }
+    if control.adaptive_checkpoint && !adaptive_ckpt_policy {
+        return Err(
+            "--adaptive checkpoint needs --checkpoint-policy young-daly-adaptive \
+             (the loop re-derives that policy's interval)"
+                .into(),
+        );
+    }
+    if let Some(tick) = opts.get_opt::<f64>("control-tick")? {
+        if control.is_inert() {
+            return Err(
+                "--control-tick requires --adaptive (or --checkpoint-policy \
+                 young-daly-adaptive)"
+                    .into(),
+            );
+        }
+        if tick <= 0.0 || !tick.is_finite() {
+            return Err("--control-tick must be positive sim seconds".into());
+        }
+        control = control.with_tick_s(tick);
+    }
+    Ok(control)
 }
 
 fn cmd_simulate(opts: &Opts) -> Result<(), String> {
@@ -414,6 +505,14 @@ fn cmd_simulate(opts: &Opts) -> Result<(), String> {
     }
     let faults = build_fault_config(opts)?;
     let checkpointing = build_checkpoint_config(opts, &faults)?;
+    let control = build_control_config(
+        opts,
+        strategy,
+        checkpointing.policy == CheckpointPolicy::YoungDalyAdaptive,
+    )?;
+    if !control.is_inert() {
+        config = config.with_control(control);
+    }
     if !faults.is_inert() {
         if let Some(trace) = &faults.trace {
             trace.validate(config.sites, config.workers_per_site)?;
@@ -505,6 +604,9 @@ fn cmd_simulate(opts: &Opts) -> Result<(), String> {
         );
         if report.config.replica_throttle != "none" {
             println!("replica throttle  : {}", report.config.replica_throttle);
+        }
+        if report.config.control != "none" {
+            println!("adaptive control  : {}", report.config.control);
         }
         if report.replicas_launched > 0 {
             println!(

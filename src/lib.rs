@@ -59,8 +59,9 @@ pub mod sim {
 pub mod prelude {
     pub use gridsched_checkpoint::{CheckpointConfig, CheckpointPolicy};
     pub use gridsched_core::{
-        Assignment, ChooseTask, EvalMode, ReplicaThrottle, Scheduler, SiteId, StorageAffinity,
-        StrategyKind, Sufferage, WeightMetric, WorkerCentric, WorkerId, Workqueue,
+        Assignment, BreakerState, ChooseTask, ControlConfig, ControlDirective, EvalMode,
+        ReplicaThrottle, Scheduler, SiteId, StorageAffinity, StrategyKind, Sufferage, WeightMetric,
+        WorkerCentric, WorkerId, Workqueue,
     };
     pub use gridsched_faults::{FaultConfig, FaultEvent, FaultKind, FaultTrace};
     pub use gridsched_sim::{

@@ -185,6 +185,43 @@ proptest! {
         let on = run_traced(&config, EvalMode::Incremental);
         prop_assert_eq!(&off, &on, "telemetry perturbed the run ({})", strategy);
     }
+
+    /// The control-plane inertness contract over random shapes: an
+    /// explicit `ControlConfig::none()` (every loop off) is byte-identical
+    /// to a config that never mentions the control plane, across
+    /// strategies, eval modes, grid shapes and churn + checkpointing.
+    #[test]
+    fn controllers_disabled_are_byte_inert(
+        strategy in arb_strategy(),
+        sites in 2usize..5,
+        workers in 1usize..4,
+        seed in 0u64..3,
+        mode in prop_oneof![
+            Just(EvalMode::Incremental),
+            Just(EvalMode::Indexed),
+            Just(EvalMode::Naive),
+        ],
+    ) {
+        let mut cfg = CoaddConfig::small(seed);
+        cfg.tasks = 80;
+        let workload = Arc::new(cfg.generate());
+        let config = SimConfig::paper(workload, strategy)
+            .with_sites(sites)
+            .with_workers_per_site(workers)
+            .with_capacity(400)
+            .with_seed(seed)
+            .with_faults(
+                FaultConfig::none()
+                    .with_worker_faults(3_000.0, 400.0)
+                    .with_server_faults(25_000.0, 700.0),
+            )
+            .with_checkpointing(CheckpointConfig::fixed(300.0));
+        let plain = run_with(&config, mode);
+        let explicit =
+            GridSim::new(config.with_eval_mode(mode).with_control(ControlConfig::none())).run();
+        prop_assert_eq!(&plain, &explicit, "controllers-off perturbed {} {:?}", strategy, mode);
+        prop_assert_eq!(plain.config.control.as_str(), "none");
+    }
 }
 
 /// The acceptance matrix pinned deterministically: telemetry on vs off is
@@ -310,6 +347,152 @@ fn throttle_default_off_is_inert() {
     let explicit = GridSim::new(base.with_replica_throttle(ReplicaThrottle::none())).run();
     assert_eq!(plain, explicit);
     assert_eq!(plain.config.replica_throttle, "none");
+}
+
+/// The control plane's default-off path: a config that never mentions the
+/// controllers and one that passes `ControlConfig::none()` explicitly
+/// (what the CLI builds when `--adaptive` is absent) produce
+/// byte-identical reports with the control summarised as "none".
+#[test]
+fn controls_default_off_is_inert() {
+    let mut cfg = CoaddConfig::small(0);
+    cfg.tasks = 120;
+    let workload = Arc::new(cfg.generate());
+    let base = SimConfig::paper(workload, StrategyKind::StorageAffinity)
+        .with_sites(3)
+        .with_capacity(500)
+        .with_seed(1)
+        .with_faults(FaultConfig::none().with_worker_faults(3_000.0, 400.0));
+    let plain = GridSim::new(base.clone()).run();
+    let explicit = GridSim::new(base.with_control(ControlConfig::none())).run();
+    assert_eq!(plain, explicit);
+    assert_eq!(plain.config.control, "none");
+}
+
+/// The controllers-disabled byte-identity matrix: with every loop off, all
+/// 8 strategies × all 3 eval modes under churn + checkpointing (plus the
+/// replica throttle on storage affinity) produce byte-identical
+/// `MetricsReport`s AND byte-identical determinism-digest streams whether
+/// the config spells out `ControlConfig::none()` or never mentions the
+/// control plane at all — the tick scaffolding, breaker gating hooks and
+/// scored push targeting must all be dead code when no loop is enabled.
+#[test]
+fn controllers_disabled_byte_identity_full_matrix() {
+    let mut cfg = CoaddConfig::small(3);
+    cfg.tasks = 80;
+    let workload = Arc::new(cfg.generate());
+    let tmp = std::env::temp_dir();
+    let digest_a = tmp.join(format!("gridsched-ctrl-off-a-{}.jsonl", std::process::id()));
+    let digest_b = tmp.join(format!("gridsched-ctrl-off-b-{}.jsonl", std::process::id()));
+    let (digest_a, digest_b) = (
+        digest_a.to_str().expect("utf-8 temp path").to_string(),
+        digest_b.to_str().expect("utf-8 temp path").to_string(),
+    );
+    let strategies = [
+        StrategyKind::StorageAffinity,
+        StrategyKind::Overlap,
+        StrategyKind::Rest,
+        StrategyKind::Combined,
+        StrategyKind::Rest2,
+        StrategyKind::Combined2,
+        StrategyKind::Workqueue,
+        StrategyKind::Sufferage,
+    ];
+    for strategy in strategies {
+        let mut base = SimConfig::paper(Arc::clone(&workload), strategy)
+            .with_sites(3)
+            .with_capacity(400)
+            .with_seed(2)
+            .with_faults(
+                FaultConfig::none()
+                    .with_worker_faults(3_000.0, 400.0)
+                    .with_server_faults(25_000.0, 700.0),
+            )
+            .with_checkpointing(CheckpointConfig::fixed(300.0));
+        if strategy == StrategyKind::StorageAffinity {
+            base = base.with_replica_throttle(
+                ReplicaThrottle::none()
+                    .with_replica_cap(1)
+                    .with_site_budget(2),
+            );
+        }
+        for mode in [EvalMode::Incremental, EvalMode::Indexed, EvalMode::Naive] {
+            let plain =
+                GridSim::new(base.clone().with_eval_mode(mode).with_digest_out(&digest_a)).run();
+            let explicit = GridSim::new(
+                base.clone()
+                    .with_eval_mode(mode)
+                    .with_control(ControlConfig::none())
+                    .with_digest_out(&digest_b),
+            )
+            .run();
+            assert_eq!(
+                plain, explicit,
+                "ControlConfig::none() perturbed {strategy} in {mode:?}"
+            );
+            assert_eq!(plain.config.control, "none");
+            let bytes_a = std::fs::read(&digest_a).expect("digest a written");
+            let bytes_b = std::fs::read(&digest_b).expect("digest b written");
+            assert_eq!(
+                bytes_a, bytes_b,
+                "digest streams diverged for {strategy} in {mode:?}"
+            );
+        }
+    }
+    let _ = std::fs::remove_file(&digest_a);
+    let _ = std::fs::remove_file(&digest_b);
+}
+
+/// Controllers **enabled** must still be deterministic: two identical runs
+/// with every loop live — adaptive throttle, churn-aware placement with
+/// breakers, self-tuning Young–Daly — under correlated crash bursts
+/// produce byte-identical reports and byte-identical digest streams.
+#[test]
+fn controllers_enabled_runs_are_repeatable() {
+    let mut cfg = CoaddConfig::small(4);
+    cfg.tasks = 80;
+    let workload = Arc::new(cfg.generate());
+    let tmp = std::env::temp_dir();
+    let digest_a = tmp.join(format!("gridsched-ctrl-on-a-{}.jsonl", std::process::id()));
+    let digest_b = tmp.join(format!("gridsched-ctrl-on-b-{}.jsonl", std::process::id()));
+    let (digest_a, digest_b) = (
+        digest_a.to_str().expect("utf-8 temp path").to_string(),
+        digest_b.to_str().expect("utf-8 temp path").to_string(),
+    );
+    let base = SimConfig::paper(workload, StrategyKind::StorageAffinity)
+        .with_sites(3)
+        .with_workers_per_site(2)
+        .with_capacity(400)
+        .with_seed(2)
+        .with_faults(
+            FaultConfig::none()
+                .with_worker_faults(2_500.0, 400.0)
+                .with_worker_bursts(3_000.0, 2),
+        )
+        .with_checkpointing(CheckpointConfig::young_daly_adaptive())
+        .with_control(
+            ControlConfig::none()
+                .with_adaptive_throttle()
+                .with_churn_placement()
+                .with_adaptive_checkpoint()
+                .with_tick_s(120.0),
+        );
+    let a = GridSim::new(base.clone().with_digest_out(&digest_a)).run();
+    let b = GridSim::new(base.clone().with_digest_out(&digest_b)).run();
+    assert_eq!(a, b, "controllers-enabled repeat runs diverged");
+    assert_eq!(a.tasks_completed, 80);
+    assert_eq!(a.config.control, "throttle+placement+checkpoint tick=120s");
+    let bytes_a = std::fs::read(&digest_a).expect("digest a written");
+    let bytes_b = std::fs::read(&digest_b).expect("digest b written");
+    assert_eq!(
+        bytes_a, bytes_b,
+        "controllers-enabled digest streams diverged"
+    );
+    let stream = DigestStream::parse_jsonl(&String::from_utf8(bytes_a).expect("digest is utf-8"))
+        .expect("digest parses");
+    assert_eq!(stream.events, a.events_dispatched);
+    let _ = std::fs::remove_file(&digest_a);
+    let _ = std::fs::remove_file(&digest_b);
 }
 
 /// The sparse-propagation path at the site counts where it actually

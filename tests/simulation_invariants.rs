@@ -242,6 +242,69 @@ proptest! {
         }
     }
 
+    /// Availability-accounting audit: under heavy churn — Weibull repair
+    /// tails, server outages, correlated crash bursts — per-site downtime
+    /// tiles into the makespan horizon (overlapping outage sources are
+    /// never double-counted) and every availability figure stays in
+    /// `[0, 1]`.
+    #[test]
+    fn availability_accounting_audits(
+        strategy in arb_strategy(),
+        sites in 1usize..4,
+        workers in 1usize..4,
+        shape_idx in 0usize..3,
+        burst in 0u8..2,
+        seed in 0u64..3,
+    ) {
+        let shape = [0.7f64, 1.0, 2.0][shape_idx];
+        let mut cfg = CoaddConfig::small(seed);
+        cfg.tasks = 80;
+        let workload = Arc::new(cfg.generate());
+        let mut faults = FaultConfig::none()
+            .with_worker_faults(2_500.0, 500.0)
+            .with_worker_repair_shape(shape)
+            .with_server_faults(20_000.0, 900.0)
+            .with_server_repair_shape(shape);
+        if burst == 1 {
+            faults = faults.with_worker_bursts(4_000.0, 2);
+        }
+        let config = SimConfig::paper(workload, strategy)
+            .with_sites(sites)
+            .with_workers_per_site(workers)
+            .with_capacity(500)
+            .with_seed(seed)
+            .with_faults(faults)
+            .with_checkpointing(CheckpointConfig::fixed(400.0));
+        let report = GridSim::new(config).run();
+        prop_assert_eq!(report.tasks_completed, 80);
+        let horizon = report.makespan_minutes * 60.0;
+        prop_assert!(horizon > 0.0 && horizon.is_finite());
+        let eps = 1e-6 * horizon;
+        for (s, m) in report.per_site.iter().enumerate() {
+            prop_assert!(m.worker_downtime_s >= 0.0);
+            prop_assert!(m.server_downtime_s >= 0.0);
+            // Downtime tiling: a worker's outage intervals never overlap
+            // (a crash landing on an already-down worker is absorbed, and
+            // burst victims repair through the same MTTR process), so a
+            // site's worker downtime fits inside horizon x workers even
+            // when independent crashes and correlated bursts coincide.
+            prop_assert!(
+                m.worker_downtime_s <= horizon * workers as f64 + eps,
+                "site {}: worker downtime {} > horizon {} x {} workers",
+                s, m.worker_downtime_s, horizon, workers
+            );
+            prop_assert!(
+                m.server_downtime_s <= horizon + eps,
+                "site {}: server downtime {} > horizon {}",
+                s, m.server_downtime_s, horizon
+            );
+            let avail = report.site_availability(s);
+            prop_assert!((0.0..=1.0).contains(&avail));
+        }
+        prop_assert!((0.0..=1.0).contains(&report.mean_worker_availability()));
+        prop_assert!((0.0..=1.0).contains(&report.mean_server_availability()));
+    }
+
     #[test]
     fn determinism_under_any_config(
         strategy in arb_strategy(),
