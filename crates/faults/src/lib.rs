@@ -69,6 +69,15 @@ pub struct FaultConfig {
     pub server_mttr_s: f64,
     /// Weibull shape of the server repair distribution (1.0 = exponential).
     pub server_mttr_shape: f64,
+    /// Mean time between faults of each network link, seconds (`None` =
+    /// links never fault stochastically).
+    pub link_mtbf_s: Option<f64>,
+    /// Mean duration of a link fault window, seconds.
+    pub link_mttr_s: f64,
+    /// What a link fault *is*: `None` ⇒ a hard outage (the link goes down
+    /// and crossing flows stall); `Some(f)` with `f ∈ (0, 1)` ⇒ a
+    /// degraded-bandwidth window (the link stays up at `capacity × f`).
+    pub link_degrade_factor: Option<f64>,
     /// Scripted fault events, applied in addition to the stochastic
     /// processes.
     pub trace: Option<FaultTrace>,
@@ -95,6 +104,9 @@ impl FaultConfig {
             server_mtbf_s: None,
             server_mttr_s: 0.0,
             server_mttr_shape: 1.0,
+            link_mtbf_s: None,
+            link_mttr_s: 0.0,
+            link_degrade_factor: None,
             trace: None,
             burst_rate_s: None,
             burst_size: 0,
@@ -176,6 +188,48 @@ impl FaultConfig {
         self
     }
 
+    /// Enables network-link churn: each link faults every `Exp(mtbf_s)`
+    /// for an `Exp(mttr_s)` window. By default a fault is a hard outage
+    /// (crossing flows stall at rate zero); see
+    /// [`FaultConfig::with_link_degrade_factor`] for degraded-bandwidth
+    /// windows instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either mean is not strictly positive and finite.
+    #[must_use]
+    pub fn with_link_faults(mut self, mtbf_s: f64, mttr_s: f64) -> Self {
+        assert!(
+            mtbf_s > 0.0 && mtbf_s.is_finite(),
+            "link MTBF must be positive"
+        );
+        assert!(
+            mttr_s > 0.0 && mttr_s.is_finite(),
+            "link MTTR must be positive"
+        );
+        self.link_mtbf_s = Some(mtbf_s);
+        self.link_mttr_s = mttr_s;
+        self
+    }
+
+    /// Makes link fault windows *degraded-bandwidth* windows (the link
+    /// stays up at `capacity × factor`) instead of hard outages.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is strictly inside `(0, 1)` — `1` would be
+    /// a no-op and `0` is an outage, spelled `--link-mtbf` without a
+    /// degrade factor.
+    #[must_use]
+    pub fn with_link_degrade_factor(mut self, factor: f64) -> Self {
+        assert!(
+            factor > 0.0 && factor < 1.0 && factor.is_finite(),
+            "link degrade factor must be in (0, 1)"
+        );
+        self.link_degrade_factor = Some(factor);
+        self
+    }
+
     /// Attaches a scripted fault trace (replayed alongside any stochastic
     /// processes).
     #[must_use]
@@ -213,6 +267,7 @@ impl FaultConfig {
     pub fn is_inert(&self) -> bool {
         self.worker_mtbf_s.is_none()
             && self.server_mtbf_s.is_none()
+            && self.link_mtbf_s.is_none()
             && self.trace.as_ref().is_none_or(|t| t.events.is_empty())
     }
 
@@ -242,6 +297,16 @@ impl FaultConfig {
                 "server mtbf={mtbf:.0}s mttr={:.0}s{}",
                 self.server_mttr_s,
                 shape(self.server_mttr_shape)
+            ));
+        }
+        if let Some(mtbf) = self.link_mtbf_s {
+            let mode = match self.link_degrade_factor {
+                Some(f) => format!(" degrade={f:.2}"),
+                None => String::new(),
+            };
+            parts.push(format!(
+                "link mtbf={mtbf:.0}s mttr={:.0}s{mode}",
+                self.link_mttr_s
             ));
         }
         if let Some(rate) = self.burst_rate_s {
@@ -330,6 +395,38 @@ mod tests {
         // No bursts: no burst summary part, and none() stays inert.
         let plain = FaultConfig::none().with_worker_faults(3600.0, 600.0);
         assert!(!plain.summary().contains("bursts"));
+    }
+
+    #[test]
+    fn link_faults_surface_in_summary() {
+        let hard = FaultConfig::none().with_link_faults(7200.0, 300.0);
+        assert!(!hard.is_inert());
+        assert!(
+            hard.summary().contains("link mtbf=7200s mttr=300s"),
+            "{}",
+            hard.summary()
+        );
+        assert!(!hard.summary().contains("degrade"));
+        let soft = FaultConfig::none()
+            .with_link_faults(7200.0, 300.0)
+            .with_link_degrade_factor(0.25);
+        assert!(
+            soft.summary().contains("degrade=0.25"),
+            "{}",
+            soft.summary()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "link MTBF must be positive")]
+    fn zero_link_mtbf_rejected() {
+        let _ = FaultConfig::none().with_link_faults(0.0, 300.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "degrade factor must be in (0, 1)")]
+    fn degrade_factor_one_rejected() {
+        let _ = FaultConfig::none().with_link_degrade_factor(1.0);
     }
 
     #[test]

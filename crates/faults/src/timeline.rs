@@ -20,6 +20,9 @@ pub enum Entity {
     Worker(usize),
     /// A site's data server, by site index.
     Server(usize),
+    /// A network link, by edge index (`EdgeId::index` in
+    /// `gridsched-topology`).
+    Link(usize),
 }
 
 impl Entity {
@@ -28,6 +31,7 @@ impl Entity {
         match self {
             Entity::Worker(i) => 0x1_0000_0000 | i as u64,
             Entity::Server(s) => 0x2_0000_0000 | s as u64,
+            Entity::Link(l) => 0x4_0000_0000 | l as u64,
         }
     }
 }

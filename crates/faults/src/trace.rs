@@ -11,6 +11,12 @@
 //! 3600       worker-recover  0     1
 //! 10800      server-fail     2
 //! 14400      server-recover  2
+//! # network events: link-down/link-up take an edge index, partition /
+//! # partition-heal take a site index (the site's access link).
+//! 7200       link-down       5
+//! 9000       link-up         5
+//! 10800      partition       2
+//! 12600      partition-heal  2
 //! ```
 //!
 //! Blank lines and `#` comments are ignored; events are sorted by time on
@@ -44,6 +50,29 @@ pub enum FaultKind {
     /// A failed data server comes back (with an empty cache, minus whatever
     /// stayed pinned by still-running computations).
     ServerRecover {
+        /// Site index.
+        site: usize,
+    },
+    /// A network link goes down: flows crossing it stall at rate zero
+    /// until recovery, cancellation, or a transfer-guard timeout.
+    LinkDown {
+        /// Edge index of the link (`EdgeId::index`).
+        link: usize,
+    },
+    /// A downed network link comes back up; stalled flows resume from
+    /// their surviving byte counts.
+    LinkUp {
+        /// Edge index of the link.
+        link: usize,
+    },
+    /// A site is partitioned from the rest of the grid: its access link
+    /// goes down, stalling every transfer in or out of the site.
+    Partition {
+        /// Site index.
+        site: usize,
+    },
+    /// A partitioned site rejoins the grid (its access link comes back).
+    PartitionHeal {
         /// Site index.
         site: usize,
     },
@@ -113,6 +142,11 @@ impl FaultTrace {
                 },
                 "server-fail" => FaultKind::ServerFail { site },
                 "server-recover" => FaultKind::ServerRecover { site },
+                // Link events reuse the third field as the edge index.
+                "link-down" => FaultKind::LinkDown { link: site },
+                "link-up" => FaultKind::LinkUp { link: site },
+                "partition" => FaultKind::Partition { site },
+                "partition-heal" => FaultKind::PartitionHeal { site },
                 other => return Err(err(&format!("unknown event kind `{other}`"))),
             };
             events.push(FaultEvent { at_s, kind });
@@ -136,6 +170,12 @@ impl FaultTrace {
                 FaultKind::ServerRecover { site } => {
                     format!("{} server-recover {site}\n", e.at_s)
                 }
+                FaultKind::LinkDown { link } => format!("{} link-down {link}\n", e.at_s),
+                FaultKind::LinkUp { link } => format!("{} link-up {link}\n", e.at_s),
+                FaultKind::Partition { site } => format!("{} partition {site}\n", e.at_s),
+                FaultKind::PartitionHeal { site } => {
+                    format!("{} partition-heal {site}\n", e.at_s)
+                }
             };
             out.push_str(&line);
         }
@@ -153,7 +193,14 @@ impl FaultTrace {
             let (site, worker) = match e.kind {
                 FaultKind::WorkerCrash { site, worker }
                 | FaultKind::WorkerRecover { site, worker } => (site, Some(worker)),
-                FaultKind::ServerFail { site } | FaultKind::ServerRecover { site } => (site, None),
+                FaultKind::ServerFail { site }
+                | FaultKind::ServerRecover { site }
+                | FaultKind::Partition { site }
+                | FaultKind::PartitionHeal { site } => (site, None),
+                // Link indices are topology-scoped, not grid-shaped; the
+                // engine checks them against the link count at arm time
+                // (see `FaultTrace::max_link`).
+                FaultKind::LinkDown { .. } | FaultKind::LinkUp { .. } => continue,
             };
             if site >= sites {
                 return Err(format!(
@@ -177,11 +224,27 @@ impl FaultTrace {
     pub fn max_site(&self) -> Option<usize> {
         self.events
             .iter()
-            .map(|e| match e.kind {
+            .filter_map(|e| match e.kind {
                 FaultKind::WorkerCrash { site, .. }
                 | FaultKind::WorkerRecover { site, .. }
                 | FaultKind::ServerFail { site }
-                | FaultKind::ServerRecover { site } => site,
+                | FaultKind::ServerRecover { site }
+                | FaultKind::Partition { site }
+                | FaultKind::PartitionHeal { site } => Some(site),
+                FaultKind::LinkDown { .. } | FaultKind::LinkUp { .. } => None,
+            })
+            .max()
+    }
+
+    /// The largest link index any link event references, if one exists
+    /// (checked against the topology's link count at arm time).
+    #[must_use]
+    pub fn max_link(&self) -> Option<usize> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::LinkDown { link } | FaultKind::LinkUp { link } => Some(link),
+                _ => None,
             })
             .max()
     }
@@ -237,6 +300,27 @@ mod tests {
             "unknown kind"
         );
         assert!(FaultTrace::parse("NaN server-fail 0").is_err(), "NaN time");
+    }
+
+    #[test]
+    fn parses_network_events() {
+        let t = FaultTrace::parse(
+            "7200 link-down 5\n9000 link-up 5\n10800 partition 2\n12600 partition-heal 2\n",
+        )
+        .expect("valid trace");
+        assert_eq!(t.events[0].kind, FaultKind::LinkDown { link: 5 });
+        assert_eq!(t.events[1].kind, FaultKind::LinkUp { link: 5 });
+        assert_eq!(t.events[2].kind, FaultKind::Partition { site: 2 });
+        assert_eq!(t.events[3].kind, FaultKind::PartitionHeal { site: 2 });
+        // Link indices are not site indices: max_site only sees the
+        // partition events, max_link only the link events.
+        assert_eq!(t.max_site(), Some(2));
+        assert_eq!(t.max_link(), Some(5));
+        // Partitions validate against the grid shape; link events do not.
+        assert!(t.validate(3, 1).is_ok());
+        assert!(t.validate(2, 1).is_err(), "partition site out of range");
+        // Round-trips through the text format.
+        assert_eq!(FaultTrace::parse(&t.render()).expect("round trip"), t);
     }
 
     #[test]

@@ -143,6 +143,88 @@ impl NetSim {
         self.solver.link_count()
     }
 
+    /// Marks `link` down at `now`: every flow crossing it stalls at rate
+    /// `0.0` (its ETA becomes unreachable — it never surfaces from
+    /// [`NetSim::next_completion`]) and stops consuming capacity on the
+    /// rest of its route. Fluid state is drained up to `now` first, so
+    /// bytes moved before the outage stay moved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` is before the engine clock, the link is unknown, or
+    /// the link is already down.
+    pub fn set_link_down(&mut self, now: SimTime, link: EdgeId) {
+        self.advance_to(now);
+        self.solver.set_link_down(link.index());
+        self.mark_dirty();
+    }
+
+    /// Brings `link` back up at `now`; flows stalled solely by it resume
+    /// draining from their surviving byte counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` is before the engine clock, the link is unknown, or
+    /// the link is not down.
+    pub fn set_link_up(&mut self, now: SimTime, link: EdgeId) {
+        self.advance_to(now);
+        self.solver.set_link_up(link.index());
+        self.mark_dirty();
+    }
+
+    /// Sets `link`'s effective capacity to `base × factor` at `now` (a
+    /// degraded-bandwidth window; `1.0` restores the configured capacity
+    /// exactly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` is before the engine clock, the link is unknown, or
+    /// `factor` is outside `(0, 1]`.
+    pub fn set_link_capacity_factor(&mut self, now: SimTime, link: EdgeId, factor: f64) {
+        self.advance_to(now);
+        self.solver.set_link_capacity_factor(link.index(), factor);
+        self.mark_dirty();
+    }
+
+    /// Number of links currently down.
+    #[must_use]
+    pub fn links_down(&self) -> usize {
+        self.solver.links_down()
+    }
+
+    /// Whether `link` is currently down.
+    #[must_use]
+    pub fn is_link_down(&self, link: EdgeId) -> bool {
+        self.solver.is_link_down(link.index())
+    }
+
+    /// Whether every link on `route` is up — the reachability test the
+    /// transfer-resilience layer uses when picking a failover source.
+    #[must_use]
+    pub fn route_up(&self, route: &[EdgeId]) -> bool {
+        route.iter().all(|e| !self.solver.is_link_down(e.index()))
+    }
+
+    /// Whether an active flow is stalled by a down link on its route.
+    /// `None` if the flow is unknown/already done.
+    #[must_use]
+    pub fn flow_stalled(&self, id: FlowId) -> Option<bool> {
+        self.flows
+            .get(&id.0)
+            .map(|f| self.solver.flow_stalled(f.slot))
+    }
+
+    /// An optimistic fair-share rate estimate over `route` — the minimum
+    /// over its links of `capacity / non-stalled crossing flows`. A lower
+    /// bound on the max–min rate any flow on that route receives, so
+    /// `bytes / estimate` upper-bounds its transfer time: the basis the
+    /// transfer guard uses to size timeouts. `+∞` for an empty route.
+    #[must_use]
+    pub fn fair_share_estimate(&self, route: &[EdgeId]) -> f64 {
+        let links: Vec<usize> = route.iter().map(|e| e.index()).collect();
+        self.solver.fair_share_estimate(&links)
+    }
+
     /// Starts a flow of `bytes` bytes across `route` with propagation
     /// latency `latency_s`, at time `now`. Returns its id.
     ///
@@ -251,6 +333,10 @@ impl NetSim {
         self.flows
             .iter()
             .map(|(&id, f)| (f.eta(self.last_update), FlowId(id)))
+            // Stalled flows (down link on the route) have no reachable
+            // completion — they wait for recovery, cancellation, or a
+            // transfer-guard timeout, never for a completion event.
+            .filter(|&(eta, _)| eta < SimTime::FAR_FUTURE)
             // Deterministic tie-break on flow id.
             .min_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)))
     }
@@ -341,7 +427,10 @@ impl NetSim {
         for (&id, state) in self.flows.iter_mut() {
             state.rate_bps = self.solver.rate(state.slot);
             let eta = state.eta(now);
-            if next.is_none_or(|(t, fid)| (eta, FlowId(id)) < (t, fid)) {
+            // Stalled flows never surface as a completion (see
+            // `scan_next_completion`).
+            if eta < SimTime::FAR_FUTURE && next.is_none_or(|(t, fid)| (eta, FlowId(id)) < (t, fid))
+            {
                 next = Some((eta, FlowId(id)));
             }
         }
@@ -494,6 +583,79 @@ mod tests {
         let _b = net.start_flow(SimTime::ZERO, &[e(0)], 50.0, 0.0);
         let (_, id) = net.next_completion().unwrap();
         assert_eq!(id, a, "lowest flow id wins ties");
+    }
+
+    #[test]
+    fn outage_stalls_flow_and_preserves_partial_bytes() {
+        let mut net = NetSim::new(vec![10.0]);
+        let f = net.start_flow(SimTime::ZERO, &[e(0)], 100.0, 0.0);
+        // 40 bytes delivered by t=4, then the link fails.
+        net.set_link_down(t(4.0), e(0));
+        assert_eq!(net.links_down(), 1);
+        assert!(net.is_link_down(e(0)));
+        assert!(!net.route_up(&[e(0)]));
+        assert_eq!(net.flow_stalled(f), Some(true));
+        // A stalled flow has no reachable completion.
+        assert_eq!(net.next_completion(), None);
+        assert_eq!(net.rate_of(f), Some(0.0));
+        // Recovery at t=30: 60 bytes left at 10 B/s → eta t=36.
+        net.set_link_up(t(30.0), e(0));
+        assert_eq!(net.flow_stalled(f), Some(false));
+        let (eta, id) = net.next_completion().unwrap();
+        assert_eq!(id, f);
+        assert!((eta.as_secs() - 36.0).abs() < 1e-9, "eta={eta}");
+        net.finish_flow(eta, f);
+        assert!((net.bytes_delivered() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cancel_during_outage_returns_undelivered_bytes() {
+        // The resume primitive: cancel a stalled flow and restart only the
+        // remaining bytes on another route.
+        let mut net = NetSim::new(vec![10.0, 10.0]);
+        let f = net.start_flow(SimTime::ZERO, &[e(0)], 100.0, 0.0);
+        net.set_link_down(t(4.0), e(0));
+        let left = net.cancel_flow(t(9.0), f).unwrap();
+        assert!((left - 60.0).abs() < 1e-9, "left={left}");
+        // Resume on the other link at the remaining size.
+        assert!(net.route_up(&[e(1)]));
+        let r = net.start_flow(t(9.0), &[e(1)], left, 0.0);
+        let (eta, id) = net.next_completion().unwrap();
+        assert_eq!(id, r);
+        assert!((eta.as_secs() - 15.0).abs() < 1e-9, "eta={eta}");
+        net.finish_flow(eta, r);
+        assert!((net.bytes_delivered() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degraded_window_slows_then_restores() {
+        let mut net = NetSim::new(vec![10.0]);
+        let f = net.start_flow(SimTime::ZERO, &[e(0)], 100.0, 0.0);
+        // Half capacity from t=2: 20 bytes done, 80 left at 5 B/s.
+        net.set_link_capacity_factor(t(2.0), e(0), 0.5);
+        let (eta, _) = net.next_completion().unwrap();
+        assert!((eta.as_secs() - 18.0).abs() < 1e-9, "eta={eta}");
+        // Restore at t=10: 40 more drained (5 B/s × 8 s), 40 left at 10.
+        net.set_link_capacity_factor(t(10.0), e(0), 1.0);
+        let (eta, _) = net.next_completion().unwrap();
+        assert!((eta.as_secs() - 14.0).abs() < 1e-9, "eta={eta}");
+        net.finish_flow(eta, f);
+        assert!((net.bytes_delivered() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unaffected_flows_complete_during_outage() {
+        let mut net = NetSim::new(vec![10.0, 10.0]);
+        let stalled = net.start_flow(SimTime::ZERO, &[e(0)], 100.0, 0.0);
+        let healthy = net.start_flow(SimTime::ZERO, &[e(1)], 100.0, 0.0);
+        net.set_link_down(SimTime::ZERO, e(0));
+        let (eta, id) = net.next_completion().unwrap();
+        assert_eq!(id, healthy);
+        assert!((eta.as_secs() - 10.0).abs() < 1e-9);
+        net.finish_flow(eta, healthy);
+        assert_eq!(net.next_completion(), None);
+        let left = net.cancel_flow(eta, stalled).unwrap();
+        assert!((left - 100.0).abs() < 1e-9, "no bytes moved on a down link");
     }
 }
 

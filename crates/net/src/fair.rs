@@ -141,18 +141,39 @@ pub fn max_min_rates(capacities: &[f64], flow_routes: &[Vec<usize>]) -> Vec<f64>
 ///   lowest-link-id tie-break when rounding merges adjacent values. Only
 ///   genuinely shared links (the backbone, a handful per topology) are
 ///   scanned per round.
+///
+/// Links can be marked **down** or **degraded** ([`MaxMinSolver::set_link_down`],
+/// [`MaxMinSolver::set_link_capacity_factor`]): a down link stalls every
+/// crossing flow at rate `0.0` and withdraws those flows from the fill
+/// entirely (they consume nothing on their other links), while a degraded
+/// link re-enters the fill at `base_capacity × factor`. Both states keep
+/// the solver bit-identical to a fresh [`max_min_rates`] call over the
+/// effective capacities and the non-stalled flows (property-tested).
 #[derive(Debug)]
 pub struct MaxMinSolver {
     capacities: Vec<f64>,
-    /// Link ids sorted by `(capacity, id)` — static.
+    /// Configured capacities; `capacities` is `base × degrade factor`.
+    base_capacities: Vec<f64>,
+    /// Per link: whether the link is currently down (faulted).
+    down: Vec<bool>,
+    /// Count of down links (cheap probe-column readback).
+    down_count: usize,
+    /// Link ids sorted by `(capacity, id)` — re-sorted only when a degrade
+    /// factor changes a capacity.
     caps_order: Vec<u32>,
     /// Per link: registered flows crossing it.
     crossing: Vec<u32>,
+    /// Per link: registered *non-stalled* flows crossing it — the crossing
+    /// count of the reduced system the fill actually solves.
+    crossing_up: Vec<u32>,
     /// Per link: the slots of its crossing flows (unordered — the freeze
     /// step's effects commute bitwise).
     link_flows: Vec<Vec<u32>>,
     /// Per slot: the links the flow crosses (with multiplicity).
     routes: Vec<Vec<u32>>,
+    /// Per slot: how many down links the flow's route crosses (with
+    /// multiplicity). Non-zero ⇒ the flow is stalled at rate `0.0`.
+    stalled_by: Vec<u32>,
     free_slots: Vec<u32>,
     live_slots: Vec<u32>,
     live_pos: Vec<u32>,
@@ -209,11 +230,16 @@ impl MaxMinSolver {
                 .then(a.cmp(&b))
         });
         MaxMinSolver {
+            base_capacities: capacities.clone(),
             capacities,
+            down: vec![false; n],
+            down_count: 0,
             caps_order,
             crossing: vec![0; n],
+            crossing_up: vec![0; n],
             link_flows: vec![Vec::new(); n],
             routes: Vec::new(),
+            stalled_by: Vec::new(),
             free_slots: Vec::new(),
             live_slots: Vec::new(),
             live_pos: Vec::new(),
@@ -238,6 +264,7 @@ impl MaxMinSolver {
         let slot = self.free_slots.pop().unwrap_or_else(|| {
             let s = self.routes.len() as u32;
             self.routes.push(Vec::new());
+            self.stalled_by.push(0);
             self.saturated.push(false);
             self.rates.push(0.0);
             self.live_pos.push(0);
@@ -245,11 +272,18 @@ impl MaxMinSolver {
         });
         let s = slot as usize;
         self.routes[s].clear();
+        let mut stalls = 0u32;
         for &l in route {
             assert!(
                 l < self.capacities.len(),
                 "route references unknown link {l}"
             );
+            if self.down[l] {
+                stalls += 1;
+            }
+        }
+        self.stalled_by[s] = stalls;
+        for &l in route {
             self.routes[s].push(l as u32);
             if self.crossing[l] == 0 {
                 let pos = self
@@ -259,6 +293,9 @@ impl MaxMinSolver {
                 self.touched.insert(pos, l as u32);
             }
             self.crossing[l] += 1;
+            if stalls == 0 {
+                self.crossing_up[l] += 1;
+            }
             self.link_flows[l].push(slot);
         }
         self.live_pos[s] = self.live_slots.len() as u32;
@@ -273,9 +310,13 @@ impl MaxMinSolver {
     /// Panics if `slot` is not a registered flow.
     pub fn remove_flow(&mut self, slot: u32) {
         let s = slot as usize;
+        let was_up = self.stalled_by[s] == 0;
         for j in 0..self.routes[s].len() {
             let l = self.routes[s][j] as usize;
             self.crossing[l] -= 1;
+            if was_up {
+                self.crossing_up[l] -= 1;
+            }
             let lf = &mut self.link_flows[l];
             let pos = lf.iter().position(|&x| x == slot).expect("flow registered");
             lf.swap_remove(pos);
@@ -294,6 +335,99 @@ impl MaxMinSolver {
             self.live_pos[last as usize] = pos as u32;
         }
         self.free_slots.push(slot);
+    }
+
+    /// Marks link `l` down: every crossing flow stalls at rate `0.0` on
+    /// the next [`MaxMinSolver::solve`] and stops consuming capacity on
+    /// the rest of its route.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is unknown or already down (the owner drives each
+    /// link through strict down/up alternation, like worker churn).
+    pub fn set_link_down(&mut self, l: usize) {
+        assert!(l < self.down.len(), "unknown link {l}");
+        assert!(!self.down[l], "link {l} already down");
+        self.down[l] = true;
+        self.down_count += 1;
+        for i in 0..self.link_flows[l].len() {
+            let s = self.link_flows[l][i] as usize;
+            if self.stalled_by[s] == 0 {
+                // The flow just stalled: withdraw it from every link it
+                // crosses (including this one).
+                for j in 0..self.routes[s].len() {
+                    self.crossing_up[self.routes[s][j] as usize] -= 1;
+                }
+            }
+            self.stalled_by[s] += 1;
+        }
+    }
+
+    /// Brings link `l` back up; flows stalled solely by it resume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is unknown or not down.
+    pub fn set_link_up(&mut self, l: usize) {
+        assert!(l < self.down.len(), "unknown link {l}");
+        assert!(self.down[l], "link {l} is not down");
+        self.down[l] = false;
+        self.down_count -= 1;
+        for i in 0..self.link_flows[l].len() {
+            let s = self.link_flows[l][i] as usize;
+            self.stalled_by[s] -= 1;
+            if self.stalled_by[s] == 0 {
+                for j in 0..self.routes[s].len() {
+                    self.crossing_up[self.routes[s][j] as usize] += 1;
+                }
+            }
+        }
+    }
+
+    /// Sets link `l`'s effective capacity to `base × factor` (a degraded-
+    /// bandwidth window; `1.0` restores the configured capacity exactly).
+    /// The capacity-sorted candidate order is re-sorted — an `O(L log L)`
+    /// cost paid only on fault transitions, never per solve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is unknown or `factor` is not in `(0, 1]`.
+    pub fn set_link_capacity_factor(&mut self, l: usize, factor: f64) {
+        assert!(l < self.capacities.len(), "unknown link {l}");
+        assert!(
+            factor > 0.0 && factor <= 1.0 && factor.is_finite(),
+            "degrade factor must be in (0, 1]: {factor}"
+        );
+        self.capacities[l] = if factor == 1.0 {
+            self.base_capacities[l]
+        } else {
+            self.base_capacities[l] * factor
+        };
+        let caps = &self.capacities;
+        self.caps_order.sort_unstable_by(|&a, &b| {
+            caps[a as usize]
+                .partial_cmp(&caps[b as usize])
+                .expect("finite capacities")
+                .then(a.cmp(&b))
+        });
+    }
+
+    /// Whether link `l` is currently down.
+    #[must_use]
+    pub fn is_link_down(&self, l: usize) -> bool {
+        self.down[l]
+    }
+
+    /// Number of links currently down.
+    #[must_use]
+    pub fn links_down(&self) -> usize {
+        self.down_count
+    }
+
+    /// Whether the registered flow in `slot` is stalled by a down link.
+    #[must_use]
+    pub fn flow_stalled(&self, slot: u32) -> bool {
+        self.stalled_by[slot as usize] > 0
     }
 
     /// Number of registered flows.
@@ -321,12 +455,34 @@ impl MaxMinSolver {
         self.rates[slot as usize]
     }
 
+    /// An optimistic fair-share rate estimate for a flow over `route`: the
+    /// minimum over its links of `capacity / non-stalled crossing flows`
+    /// (at least one, so a freshly registered flow counts itself). The true
+    /// max–min rate can only exceed this bound — crossing flows that are
+    /// bottlenecked elsewhere release bandwidth the estimate does not
+    /// claim — which makes it a sound basis for transfer timeouts: a flow
+    /// progressing at its fair share never times out. An empty route (no
+    /// links crossed) estimates `+∞`.
+    #[must_use]
+    pub fn fair_share_estimate(&self, route: &[usize]) -> f64 {
+        route
+            .iter()
+            .map(|&l| self.capacities[l] / f64::from(self.crossing_up[l].max(1)))
+            .fold(f64::INFINITY, f64::min)
+    }
+
     /// Computes max–min fair rates for the registered flows (read back
     /// with [`MaxMinSolver::rate`]).
     pub fn solve(&mut self) {
         for i in 0..self.live_slots.len() {
             let s = self.live_slots[i] as usize;
-            if self.routes[s].is_empty() {
+            if self.stalled_by[s] > 0 {
+                // Stalled by a down link: pre-saturated at zero, invisible
+                // to the fill (its `crossing_up` contributions are already
+                // withdrawn).
+                self.saturated[s] = true;
+                self.rates[s] = 0.0;
+            } else if self.routes[s].is_empty() {
                 self.saturated[s] = true;
                 self.rates[s] = f64::INFINITY;
             } else {
@@ -338,11 +494,11 @@ impl MaxMinSolver {
         self.shares.clear();
         for i in 0..self.touched.len() {
             let l = self.touched[i] as usize;
-            self.active[l] = self.crossing[l];
+            self.active[l] = self.crossing_up[l];
             self.remaining[l] = self.capacities[l];
-            if self.crossing[l] == 1 {
+            if self.crossing_up[l] == 1 {
                 self.applied[l] = 0;
-            } else {
+            } else if self.crossing_up[l] >= 2 {
                 self.multi.push(l as u32);
             }
         }
@@ -357,7 +513,7 @@ impl MaxMinSolver {
             // lowest link id, so walk the equal-value run.
             while cursor < self.caps_order.len() {
                 let l = self.caps_order[cursor] as usize;
-                if self.crossing[l] == 1 && self.active[l] == 1 {
+                if self.crossing_up[l] == 1 && self.active[l] == 1 {
                     break;
                 }
                 cursor += 1;
@@ -371,7 +527,7 @@ impl MaxMinSolver {
                 while j < self.caps_order.len() {
                     let l = self.caps_order[j] as usize;
                     j += 1;
-                    if self.crossing[l] != 1 || self.active[l] != 1 {
+                    if self.crossing_up[l] != 1 || self.active[l] != 1 {
                         continue;
                     }
                     materialize(&mut self.remaining, &mut self.applied, &self.shares, l);
@@ -515,6 +671,34 @@ mod tests {
     }
 
     #[test]
+    fn fair_share_estimate_lower_bounds_solved_rate() {
+        // Link 0 (cap 12) carries three flows; link 1 (cap 2) carries one
+        // of them. The estimate for the two-link flow is min(12/3, 2/1) = 2,
+        // matching its solved rate; the single-link flows solve to 5 each,
+        // above their estimate of 4.
+        let mut s = MaxMinSolver::new(vec![12.0, 2.0]);
+        let a = s.add_flow(&[0, 1]);
+        let b = s.add_flow(&[0]);
+        let c = s.add_flow(&[0]);
+        assert!((s.fair_share_estimate(&[0, 1]) - 2.0).abs() < EPS);
+        assert!((s.fair_share_estimate(&[0]) - 4.0).abs() < EPS);
+        s.solve();
+        for slot in [a, b, c] {
+            let route = if slot == a { vec![0, 1] } else { vec![0] };
+            assert!(
+                s.rate(slot) >= s.fair_share_estimate(&route) - EPS,
+                "estimate must never exceed the solved rate"
+            );
+        }
+        // Empty route: no links crossed, unbounded estimate.
+        assert!(s.fair_share_estimate(&[]).is_infinite());
+        // Stalled flows are invisible: downing link 1 withdraws flow `a`
+        // from link 0's reduced crossing count.
+        s.set_link_down(1);
+        assert!((s.fair_share_estimate(&[0]) - 6.0).abs() < EPS);
+    }
+
+    #[test]
     fn unused_links_ignored() {
         let r = max_min_rates(&[1.0, 100.0], &[vec![0]]);
         assert!((r[0] - 1.0).abs() < EPS);
@@ -588,6 +772,107 @@ mod tests {
                 rates[f]
             );
         }
+    }
+
+    #[test]
+    fn down_link_stalls_crossing_flows_and_frees_capacity() {
+        // f0 crosses both links, f1 only link 1. Baseline: f0=5, f1=5.
+        let mut s = MaxMinSolver::new(vec![10.0, 10.0]);
+        let f0 = s.add_flow(&[0, 1]);
+        let f1 = s.add_flow(&[1]);
+        s.solve();
+        assert!((s.rate(f0) - 5.0).abs() < EPS);
+        assert!((s.rate(f1) - 5.0).abs() < EPS);
+        // Link 0 down: f0 stalls at exactly 0.0 and stops consuming link 1,
+        // so f1 gets the whole link.
+        s.set_link_down(0);
+        assert!(s.is_link_down(0));
+        assert_eq!(s.links_down(), 1);
+        assert!(s.flow_stalled(f0));
+        assert!(!s.flow_stalled(f1));
+        s.solve();
+        assert_eq!(s.rate(f0).to_bits(), 0.0f64.to_bits());
+        assert!((s.rate(f1) - 10.0).abs() < EPS);
+        // Recovery restores the baseline allocation bit-for-bit.
+        s.set_link_up(0);
+        assert_eq!(s.links_down(), 0);
+        assert!(!s.flow_stalled(f0));
+        s.solve();
+        let spec = max_min_rates(&[10.0, 10.0], &[vec![0, 1], vec![1]]);
+        assert_eq!(s.rate(f0).to_bits(), spec[0].to_bits());
+        assert_eq!(s.rate(f1).to_bits(), spec[1].to_bits());
+    }
+
+    #[test]
+    fn flow_added_on_down_link_starts_stalled() {
+        let mut s = MaxMinSolver::new(vec![10.0, 10.0]);
+        s.set_link_down(0);
+        let f0 = s.add_flow(&[0, 1]);
+        let f1 = s.add_flow(&[1]);
+        assert!(s.flow_stalled(f0));
+        s.solve();
+        assert_eq!(s.rate(f0).to_bits(), 0.0f64.to_bits());
+        assert!((s.rate(f1) - 10.0).abs() < EPS);
+        s.set_link_up(0);
+        s.solve();
+        assert!((s.rate(f0) - 5.0).abs() < EPS);
+        assert!((s.rate(f1) - 5.0).abs() < EPS);
+    }
+
+    #[test]
+    fn overlapping_outages_stall_until_last_recovery() {
+        let mut s = MaxMinSolver::new(vec![10.0, 10.0, 10.0]);
+        let f = s.add_flow(&[0, 1, 2]);
+        s.set_link_down(0);
+        s.set_link_down(2);
+        assert!(s.flow_stalled(f));
+        s.set_link_up(0);
+        assert!(s.flow_stalled(f), "still stalled by link 2");
+        s.set_link_up(2);
+        assert!(!s.flow_stalled(f));
+        s.solve();
+        assert!((s.rate(f) - 10.0).abs() < EPS);
+    }
+
+    #[test]
+    fn degraded_link_matches_fresh_solve_at_scaled_capacity() {
+        let mut s = MaxMinSolver::new(vec![8.0, 32.0]);
+        let f0 = s.add_flow(&[0, 1]);
+        let f1 = s.add_flow(&[1]);
+        // Degrade link 1 to a quarter: it becomes the bottleneck.
+        s.set_link_capacity_factor(1, 0.25);
+        s.solve();
+        let spec = max_min_rates(&[8.0, 8.0], &[vec![0, 1], vec![1]]);
+        assert_eq!(s.rate(f0).to_bits(), spec[0].to_bits());
+        assert_eq!(s.rate(f1).to_bits(), spec[1].to_bits());
+        // Factor 1.0 restores the configured capacity exactly.
+        s.set_link_capacity_factor(1, 1.0);
+        s.solve();
+        let spec = max_min_rates(&[8.0, 32.0], &[vec![0, 1], vec![1]]);
+        assert_eq!(s.rate(f0).to_bits(), spec[0].to_bits());
+        assert_eq!(s.rate(f1).to_bits(), spec[1].to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "already down")]
+    fn double_down_panics() {
+        let mut s = MaxMinSolver::new(vec![1.0]);
+        s.set_link_down(0);
+        s.set_link_down(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not down")]
+    fn up_without_down_panics() {
+        let mut s = MaxMinSolver::new(vec![1.0]);
+        s.set_link_up(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "degrade factor")]
+    fn bad_degrade_factor_panics() {
+        let mut s = MaxMinSolver::new(vec![1.0]);
+        s.set_link_capacity_factor(0, 0.0);
     }
 
     #[test]
@@ -695,6 +980,96 @@ mod proptests {
             while let Some((slot, _)) = live.pop() {
                 solver.remove_flow(slot);
                 check(&mut solver, &live);
+            }
+        }
+
+        /// Under link down/up and degrade churn, the solver stays
+        /// bit-identical to a fresh specification solve over the
+        /// *effective* capacities and the *non-stalled* flows, and every
+        /// stalled flow reads exactly `0.0`.
+        #[test]
+        fn solver_matches_spec_under_link_faults(
+            (caps, routes) in (2usize..8).prop_flat_map(|n_links| {
+                let caps = proptest::collection::vec(0.5f64..100.0, n_links);
+                let route = proptest::collection::btree_set(0..n_links, 1..=n_links)
+                    .prop_map(|s| s.into_iter().collect::<Vec<_>>());
+                let flows = proptest::collection::vec(route, 1..16);
+                (caps, flows)
+            }),
+            // Per step: (target link selector, op): 0 = toggle down/up,
+            // 1 = degrade to 0.25, 2 = restore factor 1.0.
+            ops in proptest::collection::vec((0usize..8, 0u8..3), 1..24),
+        ) {
+            let n_links = caps.len();
+            let mut solver = MaxMinSolver::new(caps.clone());
+            let mut live: Vec<(u32, Vec<usize>)> = Vec::new();
+            let mut down = vec![false; n_links];
+            let mut eff = caps.clone();
+            let check = |solver: &mut MaxMinSolver,
+                         live: &[(u32, Vec<usize>)],
+                         down: &[bool],
+                         eff: &[f64]| {
+                let stalled =
+                    |r: &[usize]| r.iter().any(|&l| down[l]);
+                let spec_routes: Vec<Vec<usize>> = live
+                    .iter()
+                    .filter(|(_, r)| !stalled(r))
+                    .map(|(_, r)| r.clone())
+                    .collect();
+                let spec = max_min_rates(eff, &spec_routes);
+                solver.solve();
+                let mut k = 0;
+                for (slot, route) in live {
+                    let got = solver.rate(*slot);
+                    if stalled(route) {
+                        assert!(solver.flow_stalled(*slot));
+                        assert_eq!(got.to_bits(), 0.0f64.to_bits());
+                    } else {
+                        assert!(!solver.flow_stalled(*slot));
+                        assert_eq!(
+                            spec[k].to_bits(),
+                            got.to_bits(),
+                            "slot {slot} differs: {} vs {got}",
+                            spec[k]
+                        );
+                        k += 1;
+                    }
+                }
+            };
+            // Interleave flow registration with link-state churn.
+            let mut ri = 0;
+            for &(sel, op) in &ops {
+                if ri < routes.len() {
+                    let slot = solver.add_flow(&routes[ri]);
+                    live.push((slot, routes[ri].clone()));
+                    ri += 1;
+                }
+                let l = sel % n_links;
+                match op {
+                    0 => {
+                        if down[l] {
+                            solver.set_link_up(l);
+                            down[l] = false;
+                        } else {
+                            solver.set_link_down(l);
+                            down[l] = true;
+                        }
+                    }
+                    1 => {
+                        solver.set_link_capacity_factor(l, 0.25);
+                        eff[l] = caps[l] * 0.25;
+                    }
+                    _ => {
+                        solver.set_link_capacity_factor(l, 1.0);
+                        eff[l] = caps[l];
+                    }
+                }
+                check(&mut solver, &live, &down, &eff);
+            }
+            // Drain everything with some links still faulted.
+            while let Some((slot, _)) = live.pop() {
+                solver.remove_flow(slot);
+                check(&mut solver, &live, &down, &eff);
             }
         }
     }

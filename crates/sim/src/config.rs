@@ -67,6 +67,28 @@ pub struct SimConfig {
     /// disables every loop and reproduces the open-loop engine byte for
     /// byte (property-tested in `tests/scheduler_equivalence.rs`).
     pub control: ControlConfig,
+    /// Transfer guard: arms a timeout on every batch input fetch, sized as
+    /// this multiple of the transfer's expected fair-share duration
+    /// (`latency + bytes / fair-share rate` at flow start). `None` — the
+    /// default — disables the guard entirely and reproduces the unguarded
+    /// engine byte for byte.
+    pub transfer_timeout_mult: Option<f64>,
+    /// Transfer guard: retry attempts per fetch before the task is
+    /// requeued (only read when [`SimConfig::transfer_timeout_mult`] is
+    /// set). Attempt k + 1 starts after an exponentially backed-off,
+    /// jittered delay and — unless [`SimConfig::transfer_naive_retry`] —
+    /// may fail over to another replica of the file and resumes from the
+    /// bytes already delivered.
+    pub transfer_retries: u32,
+    /// Transfer guard: base of the exponential retry backoff, seconds
+    /// (attempt k waits `backoff × 2^(k-1) × jitter`, jitter uniform in
+    /// `[0.5, 1.5)`).
+    pub retry_backoff_s: f64,
+    /// Transfer guard ablation: naive restart-from-zero retries — no
+    /// failover (always re-fetch from the origin server) and no resume
+    /// (delivered bytes are discarded and re-sent). The baseline the
+    /// `ablation_netfaults` bench beats.
+    pub transfer_naive_retry: bool,
     /// How schedulers evaluate their per-decision scans. All modes yield
     /// byte-identical simulations (property-tested); they differ only in
     /// wall-clock cost. Defaults to [`EvalMode::Incremental`]; an
@@ -136,6 +158,15 @@ pub struct ConfigSummary {
     pub replica_throttle: String,
     /// Enabled control loops (`"none"` when every controller is off).
     pub control: String,
+    /// Transfer guard (`"none"` when no timeout is armed). Defaults to
+    /// `"none"` when absent so reports written before the guard existed
+    /// still deserialize.
+    #[serde(default = "default_transfer_guard")]
+    pub transfer_guard: String,
+}
+
+fn default_transfer_guard() -> String {
+    "none".to_string()
 }
 
 impl SimConfig {
@@ -159,6 +190,10 @@ impl SimConfig {
             checkpointing: None,
             replica_throttle: ReplicaThrottle::none(),
             control: ControlConfig::none(),
+            transfer_timeout_mult: None,
+            transfer_retries: 0,
+            retry_backoff_s: 60.0,
+            transfer_naive_retry: false,
             eval_mode: EvalMode::default(),
             trace_out: None,
             metrics_out: None,
@@ -315,6 +350,54 @@ impl SimConfig {
         self
     }
 
+    /// Arms the transfer guard: every batch fetch times out after `mult ×`
+    /// its expected fair-share duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mult` is not strictly greater than 1 and finite (a
+    /// multiple at or below the expected duration would time out healthy
+    /// transfers).
+    #[must_use]
+    pub fn with_transfer_timeout(mut self, mult: f64) -> Self {
+        assert!(
+            mult > 1.0 && mult.is_finite(),
+            "transfer timeout multiple must be > 1"
+        );
+        self.transfer_timeout_mult = Some(mult);
+        self
+    }
+
+    /// Sets the retry budget per fetch before the task is requeued.
+    #[must_use]
+    pub fn with_transfer_retries(mut self, retries: u32) -> Self {
+        self.transfer_retries = retries;
+        self
+    }
+
+    /// Sets the exponential retry backoff base, seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backoff_s` is not positive and finite.
+    #[must_use]
+    pub fn with_retry_backoff(mut self, backoff_s: f64) -> Self {
+        assert!(
+            backoff_s > 0.0 && backoff_s.is_finite(),
+            "retry backoff must be positive"
+        );
+        self.retry_backoff_s = backoff_s;
+        self
+    }
+
+    /// Selects naive restart-from-zero retries (ablation baseline: no
+    /// failover, no resume).
+    #[must_use]
+    pub fn with_naive_retry(mut self) -> Self {
+        self.transfer_naive_retry = true;
+        self
+    }
+
     /// Selects the scheduler evaluation path (validation/benchmarking; the
     /// simulation output is identical across modes).
     #[must_use]
@@ -450,6 +533,25 @@ impl SimConfig {
                 .map_or_else(|| "none".to_string(), CheckpointConfig::summary),
             replica_throttle: self.replica_throttle.summary(),
             control: self.control.summary(),
+            transfer_guard: self.transfer_guard_summary(),
+        }
+    }
+
+    /// Human-readable transfer-guard line (`"none"` when no timeout set).
+    #[must_use]
+    pub fn transfer_guard_summary(&self) -> String {
+        match self.transfer_timeout_mult {
+            None => default_transfer_guard(),
+            Some(mult) => {
+                let mut s = format!(
+                    "timeout={mult:.1}x retries={} backoff={:.0}s",
+                    self.transfer_retries, self.retry_backoff_s
+                );
+                if self.transfer_naive_retry {
+                    s.push_str(" naive");
+                }
+                s
+            }
         }
     }
 }
@@ -519,6 +621,41 @@ mod tests {
         assert_eq!(explicit.summary(), c.summary());
         let c = c.with_control(ControlConfig::none().with_adaptive_throttle());
         assert_eq!(c.summary().control, "throttle tick=60s");
+    }
+
+    #[test]
+    fn transfer_guard_builders_and_summary() {
+        let c = SimConfig::paper(wl(), StrategyKind::Rest);
+        assert!(c.transfer_timeout_mult.is_none());
+        // The serde fallback for pre-guard reports matches the inactive
+        // summary exactly.
+        assert_eq!(c.summary().transfer_guard, default_transfer_guard());
+        assert_eq!(c.summary().transfer_guard, "none");
+        let c = c
+            .with_transfer_timeout(4.0)
+            .with_transfer_retries(3)
+            .with_retry_backoff(30.0);
+        assert_eq!(
+            c.summary().transfer_guard,
+            "timeout=4.0x retries=3 backoff=30s"
+        );
+        let naive = c.clone().with_naive_retry();
+        assert_eq!(
+            naive.summary().transfer_guard,
+            "timeout=4.0x retries=3 backoff=30s naive"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "transfer timeout multiple must be > 1")]
+    fn timeout_mult_at_one_panics() {
+        let _ = SimConfig::paper(wl(), StrategyKind::Rest).with_transfer_timeout(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "retry backoff must be positive")]
+    fn zero_retry_backoff_panics() {
+        let _ = SimConfig::paper(wl(), StrategyKind::Rest).with_retry_backoff(0.0);
     }
 
     #[test]

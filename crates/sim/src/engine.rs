@@ -65,8 +65,9 @@ use rand::{Rng, SeedableRng};
 use gridsched_checkpoint::{young_daly_interval, CheckpointConfig, CheckpointPolicy, ImageTracker};
 use gridsched_core::GridEnv;
 use gridsched_core::{
-    Assignment, CapController, ControlDirective, ControlPlane, ReplicaThrottle, Scheduler, SiteId,
-    StorageAffinity, StrategyKind, Sufferage, WorkerCentric, WorkerId, Workqueue,
+    Assignment, CapController, CircuitBreaker, ControlDirective, ControlPlane, ReplicaThrottle,
+    Scheduler, SiteId, StorageAffinity, StrategyKind, Sufferage, WorkerCentric, WorkerId,
+    Workqueue,
 };
 use gridsched_des::rng::{derive_seed, rng_for, Stream};
 use gridsched_des::{EventHandle, Schedule, SimDuration, SimTime};
@@ -109,6 +110,17 @@ enum Event {
     /// Fault injection: a correlated crash burst strikes one site (drawn
     /// at dispatch time from the burst process's own RNG stream).
     BurstStrike,
+    /// Fault injection: a backbone link fails — hard (flows stall) or
+    /// degraded (capacity × the configured factor).
+    LinkFail { link: usize, hard: bool },
+    /// Fault injection: the link's repair completes.
+    LinkRecover { link: usize },
+    /// Transfer guard: `site`'s in-flight batch fetch blew its deadline.
+    /// `epoch` stamps the guard-slot arming that scheduled this event;
+    /// a mismatch at dispatch identifies it as stale.
+    TransferTimeout { site: usize, epoch: u64 },
+    /// Transfer guard: `site`'s backoff elapsed — re-issue the fetch.
+    TransferRetry { site: usize, epoch: u64 },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -310,6 +322,77 @@ impl BurstState {
     }
 }
 
+/// How a faulted link is currently impaired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LinkFaultMode {
+    /// Hard outage: flows crossing the link stall at rate zero.
+    Hard,
+    /// Degraded-bandwidth window: capacity × the configured factor.
+    Degraded,
+}
+
+/// Per-site transfer-guard bookkeeping for the site's active batch fetch.
+#[derive(Debug, Default)]
+struct GuardSlot {
+    /// Monotonic stamp distinguishing live timeout/retry events from
+    /// stale ones (bumped on every arm/disarm, like worker generations).
+    epoch: u64,
+    /// Timed-out attempts of the current file so far.
+    attempts: u32,
+    /// Bytes the current attempt still has to deliver. Resume keeps this
+    /// shrinking across retries; naive mode resets it to the full file
+    /// size — it is also the byte base for splitting a cancelled attempt
+    /// into delivered vs wasted.
+    remaining: f64,
+    /// The armed deadline of the in-flight attempt.
+    timeout: Option<EventHandle>,
+    /// The armed backoff-delayed retry (no flow in flight meanwhile).
+    retry: Option<EventHandle>,
+    /// The file awaiting retry while no flow is in flight.
+    pending_file: Option<FileId>,
+    /// Failover source site of the in-flight attempt (`None` = the
+    /// origin file server).
+    source: Option<usize>,
+}
+
+/// The transfer-resilience layer (present only when
+/// [`SimConfig::transfer_timeout_mult`] is set): per-site guard slots,
+/// per-site route circuit breakers, and the backoff jitter's own
+/// decorrelated RNG stream (same derivation pattern as [`BurstState`]).
+struct XferGuard {
+    rng: StdRng,
+    timeout_mult: f64,
+    max_retries: u32,
+    backoff_s: f64,
+    /// Restart-from-zero mode (the ablation baseline): no resume, no
+    /// failover — every retry re-fetches the whole file from the origin.
+    naive: bool,
+    /// Per-site breakers over the site ↔ file-server route, multiplied
+    /// into placement scores and failover-source choice.
+    breakers: Vec<CircuitBreaker>,
+    slots: Vec<GuardSlot>,
+}
+
+/// Seed-derivation tag of the transfer guard's jitter stream (workers,
+/// servers, bursts and links use `0x1…`–`0x4…`).
+const XFER_STREAM_TAG: u64 = 0x5_0000_0000;
+
+impl XferGuard {
+    fn new(config: &SimConfig, timeout_mult: f64) -> Self {
+        let base = derive_seed(config.seed, Stream::Faults);
+        let seed = derive_seed(base ^ XFER_STREAM_TAG, Stream::Faults);
+        XferGuard {
+            rng: StdRng::seed_from_u64(seed),
+            timeout_mult,
+            max_retries: config.transfer_retries,
+            backoff_s: config.retry_backoff_s,
+            naive: config.transfer_naive_retry,
+            breakers: (0..config.sites).map(|_| CircuitBreaker::new()).collect(),
+            slots: (0..config.sites).map(|_| GuardSlot::default()).collect(),
+        }
+    }
+}
+
 /// One deterministic simulation run. See the [crate docs](crate) for an
 /// example.
 pub struct GridSim {
@@ -375,6 +458,15 @@ pub struct GridSim {
     control: Option<ControlPlane>,
     /// Correlated crash-burst process (`None` = independent crashes only).
     burst: Option<BurstState>,
+    /// Per-link stochastic outage processes (empty when link faults are
+    /// off; `None` entries when only scripted link events drive churn).
+    link_timelines: Vec<Option<FaultTimeline>>,
+    /// Per-link open fault window: impairment mode + when it opened
+    /// (empty when faults are inactive).
+    link_window: Vec<Option<(LinkFaultMode, SimTime)>>,
+    /// Transfer-resilience layer (`None` keeps every guard code path
+    /// dormant so the run matches the unguarded engine exactly).
+    xfer: Option<XferGuard>,
     /// Cached controller instruments (same rationale as the wake-path
     /// handles: the registry lookup is too slow for per-event hot paths).
     control_ticks: Counter,
@@ -404,6 +496,28 @@ pub struct GridSim {
     worker_crashes: u64,
     server_outages: u64,
     wasted_compute_s: f64,
+    // --- network faults & transfer resilience ---
+    link_outages: u64,
+    link_downtime_s: f64,
+    xfer_timeouts: u64,
+    xfer_retries: u64,
+    xfer_failovers: u64,
+    xfer_bytes_resumed: f64,
+    xfer_bytes_retransmitted: f64,
+    /// Flow-conservation ledger: every started flow ends in exactly one
+    /// of completed/aborted/retrying/requeued (asserted in `report`).
+    flows_started: u64,
+    flows_completed: u64,
+    flows_aborted: u64,
+    flows_retrying: u64,
+    flows_requeued: u64,
+    /// Cached network-fault instruments (same rationale as the wake-path
+    /// handles).
+    link_outage_count: Counter,
+    xfer_timeout_count: Counter,
+    xfer_retry_count: Counter,
+    xfer_failover_count: Counter,
+    xfer_resumed_bytes: Histogram,
 }
 
 impl GridSim {
@@ -504,6 +618,13 @@ impl GridSim {
             if let Err(e) = trace.validate(config.sites, config.workers_per_site) {
                 panic!("{e}");
             }
+            if let Some(ml) = trace.max_link() {
+                assert!(
+                    ml < net.link_count(),
+                    "fault trace references link {ml} but the topology has {} links",
+                    net.link_count()
+                );
+            }
         }
         let (worker_timelines, server_timelines) = if faults_active {
             let fc = config.faults.as_ref().expect("active faults have a config");
@@ -560,6 +681,26 @@ impl GridSim {
         } else {
             None
         };
+        let link_timelines: Vec<Option<FaultTimeline>> = if faults_active {
+            let fc = config.faults.as_ref().expect("active faults have a config");
+            (0..net.link_count())
+                .map(|l| {
+                    fc.link_mtbf_s.map(|mtbf| {
+                        FaultTimeline::new(config.seed, Entity::Link(l), mtbf, fc.link_mttr_s)
+                    })
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let link_window = if faults_active {
+            vec![None; net.link_count()]
+        } else {
+            Vec::new()
+        };
+        let xfer = config
+            .transfer_timeout_mult
+            .map(|mult| XferGuard::new(&config, mult));
         let parked = vec![BTreeSet::new(); config.sites];
         GridSim {
             replication_rng: rng_for(config.seed, Stream::Replication),
@@ -585,6 +726,11 @@ impl GridSim {
             control_breaker_opens: telemetry.counter("control.breaker.opens"),
             control_breaker_half_opens: telemetry.counter("control.breaker.half_opens"),
             control_breaker_closes: telemetry.counter("control.breaker.closes"),
+            link_outage_count: telemetry.counter("net.link.outages"),
+            xfer_timeout_count: telemetry.counter("xfer.timeouts"),
+            xfer_retry_count: telemetry.counter("xfer.retries"),
+            xfer_failover_count: telemetry.counter("xfer.failovers"),
+            xfer_resumed_bytes: telemetry.histogram("xfer.bytes_resumed"),
             telemetry,
             flow_purpose: HashMap::new(),
             replication,
@@ -594,6 +740,9 @@ impl GridSim {
             checkpointing,
             control,
             burst,
+            link_timelines,
+            link_window,
+            xfer,
             lost_ever,
             per_site,
             tasks_completed: 0,
@@ -611,6 +760,18 @@ impl GridSim {
             worker_crashes: 0,
             server_outages: 0,
             wasted_compute_s: 0.0,
+            link_outages: 0,
+            link_downtime_s: 0.0,
+            xfer_timeouts: 0,
+            xfer_retries: 0,
+            xfer_failovers: 0,
+            xfer_bytes_resumed: 0.0,
+            xfer_bytes_retransmitted: 0.0,
+            flows_started: 0,
+            flows_completed: 0,
+            flows_aborted: 0,
+            flows_retrying: 0,
+            flows_requeued: 0,
         }
     }
 
@@ -633,6 +794,11 @@ impl GridSim {
         self.control_breaker_opens = telemetry.counter("control.breaker.opens");
         self.control_breaker_half_opens = telemetry.counter("control.breaker.half_opens");
         self.control_breaker_closes = telemetry.counter("control.breaker.closes");
+        self.link_outage_count = telemetry.counter("net.link.outages");
+        self.xfer_timeout_count = telemetry.counter("xfer.timeouts");
+        self.xfer_retry_count = telemetry.counter("xfer.retries");
+        self.xfer_failover_count = telemetry.counter("xfer.failovers");
+        self.xfer_resumed_bytes = telemetry.histogram("xfer.bytes_resumed");
         self.telemetry = telemetry;
         self
     }
@@ -740,6 +906,12 @@ impl GridSim {
                     self.handle_checkpoint_due(worker, generation);
                 }
                 Event::BurstStrike => self.handle_burst_strike(),
+                Event::LinkFail { link, hard } => self.handle_link_fail(link, hard),
+                Event::LinkRecover { link } => self.handle_link_recover(link),
+                Event::TransferTimeout { site, epoch } => {
+                    self.handle_transfer_timeout(site, epoch);
+                }
+                Event::TransferRetry { site, epoch } => self.handle_transfer_retry(site, epoch),
             }
         }
         assert_eq!(
@@ -794,6 +966,18 @@ impl GridSim {
             // Tag 8 only ever appears when bursts are configured, so the
             // disabled digest chain stays byte-identical.
             Event::BurstStrike => digest.record(t, &[8]),
+            // Tags 9–12 likewise only appear when link faults / the
+            // transfer guard are configured.
+            Event::LinkFail { link, hard } => {
+                digest.record(t, &[9, link as u64, u64::from(hard)]);
+            }
+            Event::LinkRecover { link } => digest.record(t, &[10, link as u64]),
+            Event::TransferTimeout { site, epoch } => {
+                digest.record(t, &[11, site as u64, epoch]);
+            }
+            Event::TransferRetry { site, epoch } => {
+                digest.record(t, &[12, site as u64, epoch]);
+            }
         }
     }
 
@@ -877,6 +1061,7 @@ impl GridSim {
             in_flight_flows: self.net.active_flows() as u64,
             links_busy: self.net.busy_links() as u64,
             links_total: self.net.link_count() as u64,
+            links_down: self.net.links_down() as u64,
         });
     }
 
@@ -919,7 +1104,16 @@ impl GridSim {
             // idle repaired workers for hours on compute-heavy tasks.
             self.wake_site_parked(site);
         }
-        if let Some(scores) = outcome.scores {
+        if let Some(mut scores) = outcome.scores {
+            // Route breakers multiply into placement: a site whose
+            // transfers keep timing out scores toward zero even when its
+            // workers are perfectly healthy.
+            if let Some(guard) = self.xfer.as_mut() {
+                for (s, score) in scores.iter_mut().enumerate() {
+                    let _ = guard.breakers[s].tick(at.as_secs());
+                    *score *= guard.breakers[s].score_factor();
+                }
+            }
             self.scheduler
                 .on_control(&ControlDirective::SiteScores(scores));
         }
@@ -1194,12 +1388,11 @@ impl GridSim {
                 continue;
             }
             let route = Arc::clone(&self.site_routes[site]);
-            let fid = self.net.start_flow(
-                self.now(),
-                &route.links,
-                self.config.workload.file_size_bytes,
-                route.latency_s,
-            );
+            let bytes = self.config.workload.file_size_bytes;
+            let fid = self
+                .net
+                .start_flow(self.now(), &route.links, bytes, route.latency_s);
+            self.flows_started += 1;
             self.flow_purpose.insert(fid, FlowPurpose::Batch { site });
             self.servers[site]
                 .active
@@ -1207,6 +1400,18 @@ impl GridSim {
                 .expect("still active")
                 .current = Some((file, fid));
             self.resync_net();
+            if self.xfer.is_some() {
+                // Fresh file, fresh attempt budget. The deadline is armed
+                // *after* the flow starts so the fair-share estimate sees
+                // the flow's own claim on its route.
+                {
+                    let slot = &mut self.xfer.as_mut().expect("checked").slots[site];
+                    slot.attempts = 0;
+                    slot.source = None;
+                    slot.pending_file = None;
+                }
+                self.arm_transfer_timeout(site, bytes, &route.links, route.latency_s);
+            }
             return;
         }
     }
@@ -1294,6 +1499,7 @@ impl GridSim {
         let fid = self
             .net
             .start_flow(self.now(), &links, size, src.latency_s + dst.latency_s);
+        self.flows_started += 1;
         self.flow_purpose.insert(
             fid,
             FlowPurpose::Restore {
@@ -1398,6 +1604,7 @@ impl GridSim {
         let link = ckpt.access_link[site];
         let size = ckpt.size_bytes;
         let fid = self.net.start_flow(now, &[link], size, 0.0);
+        self.flows_started += 1;
         self.flow_purpose
             .insert(fid, FlowPurpose::Checkpoint { worker: w });
         let current = self.workers[w].current.as_mut().expect("computing");
@@ -1426,6 +1633,7 @@ impl GridSim {
     fn handle_flow_done(&mut self, fid: FlowId) {
         self.net.finish_flow(self.now(), fid);
         self.net_handle = None;
+        self.flows_completed += 1;
         let purpose = self
             .flow_purpose
             .remove(&fid)
@@ -1440,9 +1648,26 @@ impl GridSim {
                     .take()
                     .expect("batch has an in-flight file");
                 debug_assert_eq!(flow, fid);
-                let bytes = self.config.workload.file_size_bytes;
+                // Under the guard a resumed re-fetch is smaller than the
+                // file — the slot tracks what this attempt carried.
+                let bytes = self
+                    .xfer
+                    .as_ref()
+                    .map_or(self.config.workload.file_size_bytes, |g| {
+                        g.slots[site].remaining
+                    });
                 self.per_site[site].file_transfers += 1;
                 self.per_site[site].bytes_transferred += bytes;
+                if self.xfer.is_some() {
+                    let t_s = self.now().as_secs();
+                    let src = self.xfer.as_ref().expect("checked").slots[site].source;
+                    self.disarm_transfer_guard(site);
+                    let guard = self.xfer.as_mut().expect("checked");
+                    let _ = guard.breakers[site].on_success(t_s);
+                    if let Some(s) = src {
+                        let _ = guard.breakers[s].on_success(t_s);
+                    }
+                }
                 if self.stores[site].contains(file) {
                     // A replication push landed this very file while the
                     // batch fetch was in flight: the fetch still consumed
@@ -1651,6 +1876,7 @@ impl GridSim {
                 self.config.workload.file_size_bytes,
                 route.latency_s,
             );
+            self.flows_started += 1;
             self.flow_purpose.insert(
                 fid,
                 FlowPurpose::Replication {
@@ -1820,13 +2046,26 @@ impl GridSim {
                         .expect("checked active above");
                     if let Some((_file, fid)) = batch.current {
                         self.flow_purpose.remove(&fid);
+                        // Guard-aware byte base: a resumed re-fetch
+                        // carries fewer bytes than the full file.
+                        let attempt_size = self
+                            .xfer
+                            .as_ref()
+                            .map_or(self.config.workload.file_size_bytes, |g| {
+                                g.slots[site].remaining
+                            });
                         if let Some(left) = self.net.cancel_flow(self.now(), fid) {
+                            self.flows_aborted += 1;
                             self.cancelled_bytes += left;
-                            let delivered = self.config.workload.file_size_bytes - left;
+                            let delivered = attempt_size - left;
                             self.per_site[site].bytes_transferred += delivered.max(0.0);
                         }
                         self.resync_net();
                     }
+                    // Batches awaiting a retry have no flow in flight but
+                    // still hold an armed backoff — stand the guard down
+                    // either way.
+                    self.disarm_transfer_guard(site);
                     // Account the aborted service as transfer time spent.
                     self.per_site[site].transfer_time_s +=
                         (self.now() - batch.service_start).as_secs();
@@ -1840,6 +2079,7 @@ impl GridSim {
                 if let Some(fid) = current.ckpt_flow {
                     self.flow_purpose.remove(&fid);
                     if let Some(left) = self.net.cancel_flow(self.now(), fid) {
+                        self.flows_aborted += 1;
                         self.cancelled_bytes += left;
                     }
                     self.resync_net();
@@ -1855,6 +2095,7 @@ impl GridSim {
                 if let Some(fid) = current.ckpt_flow {
                     self.flow_purpose.remove(&fid);
                     if let Some(left) = self.net.cancel_flow(self.now(), fid) {
+                        self.flows_aborted += 1;
                         self.cancelled_bytes += left;
                     }
                     self.resync_net();
@@ -1936,6 +2177,26 @@ impl GridSim {
             let gap = b.next_gap();
             self.schedule.schedule_in(gap, Event::BurstStrike);
         }
+        // A degrade factor turns the stochastic link process soft; hard
+        // outages otherwise. Scripted link/partition events are always
+        // hard — a partitioned site is unreachable, not slow.
+        let soft = self
+            .config
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.link_degrade_factor.is_some());
+        for l in 0..self.link_timelines.len() {
+            if let Some(tl) = self.link_timelines[l].as_mut() {
+                let d = tl.time_to_failure();
+                self.schedule.schedule_in(
+                    d,
+                    Event::LinkFail {
+                        link: l,
+                        hard: !soft,
+                    },
+                );
+            }
+        }
         let trace = self.config.faults.as_ref().and_then(|f| f.trace.clone());
         if let Some(trace) = trace {
             let wps = self.config.workers_per_site;
@@ -1950,10 +2211,380 @@ impl GridSim {
                     }
                     FaultKind::ServerFail { site } => Event::ServerFail(site),
                     FaultKind::ServerRecover { site } => Event::ServerRecover(site),
+                    FaultKind::LinkDown { link } => Event::LinkFail { link, hard: true },
+                    FaultKind::LinkUp { link } => Event::LinkRecover { link },
+                    // A site partition severs the site's access link — the
+                    // one hop every route into the site crosses.
+                    FaultKind::Partition { site } => Event::LinkFail {
+                        link: self.access_link_of(site),
+                        hard: true,
+                    },
+                    FaultKind::PartitionHeal { site } => Event::LinkRecover {
+                        link: self.access_link_of(site),
+                    },
                 };
                 self.schedule.schedule_at(at, event);
             }
         }
+    }
+
+    /// The site's access link: the last hop of its route to the file
+    /// server, crossed by every flow into or out of the site.
+    fn access_link_of(&self, site: usize) -> usize {
+        self.site_routes[site]
+            .links
+            .last()
+            .expect("site routes cross at least one link")
+            .index()
+    }
+
+    /// A link fails (hard outage or degraded-bandwidth window). Flows
+    /// crossing a hard-down link stall at rate zero — the transfer guard,
+    /// when armed, is what turns the stall into a retry.
+    fn handle_link_fail(&mut self, link: usize, hard: bool) {
+        if self.scheduler.unfinished() == 0 {
+            return;
+        }
+        // Already impaired (scripted + stochastic overlap): ignore; the
+        // stochastic process re-arms from the recovery, like worker
+        // crashes.
+        if self.link_window[link].is_some() {
+            return;
+        }
+        let now = self.now();
+        let mode = if hard {
+            self.net.set_link_down(now, EdgeId(link as u32));
+            LinkFaultMode::Hard
+        } else {
+            let factor = self
+                .config
+                .faults
+                .as_ref()
+                .and_then(|f| f.link_degrade_factor)
+                .expect("soft link fault implies a degrade factor");
+            self.net
+                .set_link_capacity_factor(now, EdgeId(link as u32), factor);
+            LinkFaultMode::Degraded
+        };
+        self.link_window[link] = Some((mode, now));
+        self.link_outages += 1;
+        self.link_outage_count.incr();
+        self.resync_net();
+        if let Some(tl) = self.link_timelines.get_mut(link).and_then(Option::as_mut) {
+            let d = tl.time_to_repair();
+            self.schedule.schedule_in(d, Event::LinkRecover { link });
+        }
+    }
+
+    /// The link's repair completes: restore its capacity and account the
+    /// outage window (clipped to the makespan like worker downtime).
+    fn handle_link_recover(&mut self, link: usize) {
+        let Some((mode, since)) = self.link_window.get_mut(link).and_then(Option::take) else {
+            return;
+        };
+        let now = self.now();
+        match mode {
+            LinkFaultMode::Hard => self.net.set_link_up(now, EdgeId(link as u32)),
+            LinkFaultMode::Degraded => {
+                self.net
+                    .set_link_capacity_factor(now, EdgeId(link as u32), 1.0);
+            }
+        }
+        let end = self.downtime_end().max(since);
+        self.link_downtime_s += (end - since).as_secs();
+        self.resync_net();
+        if self.scheduler.unfinished() == 0 {
+            return;
+        }
+        if let Some(tl) = self.link_timelines.get_mut(link).and_then(Option::as_mut) {
+            let d = tl.time_to_failure();
+            let hard = self
+                .config
+                .faults
+                .as_ref()
+                .is_none_or(|f| f.link_degrade_factor.is_none());
+            self.schedule.schedule_in(d, Event::LinkFail { link, hard });
+        }
+    }
+
+    // ----- transfer guard -------------------------------------------------
+
+    /// The replica-to-replica transfer route: source site → backbone →
+    /// destination site (shared links crossed once), plus summed latency —
+    /// the same union the checkpoint restore path builds.
+    fn union_route(&self, from: usize, to: usize) -> (Vec<EdgeId>, f64) {
+        let src = &self.site_routes[from];
+        let dst = &self.site_routes[to];
+        let mut links = Vec::with_capacity(src.links.len() + dst.links.len());
+        links.extend_from_slice(&src.links);
+        for &l in &dst.links {
+            if !links.contains(&l) {
+                links.push(l);
+            }
+        }
+        (links, src.latency_s + dst.latency_s)
+    }
+
+    /// Arms the deadline for `site`'s just-started batch fetch: the
+    /// timeout multiple × the transfer's expected duration at the current
+    /// fair share. The estimate lower-bounds the true max–min rate, so
+    /// `remaining / estimate` *upper*-bounds the healthy transfer time —
+    /// a flow progressing at its fair share never times out.
+    fn arm_transfer_timeout(
+        &mut self,
+        site: usize,
+        remaining: f64,
+        links: &[EdgeId],
+        latency_s: f64,
+    ) {
+        let est = self.net.fair_share_estimate(links);
+        let Some(guard) = self.xfer.as_mut() else {
+            return;
+        };
+        let expected_s = latency_s
+            + if est.is_finite() {
+                remaining / est
+            } else {
+                0.0
+            };
+        let timeout_s = guard.timeout_mult * expected_s;
+        let slot = &mut guard.slots[site];
+        slot.epoch += 1;
+        slot.remaining = remaining;
+        let epoch = slot.epoch;
+        let handle = self.schedule.schedule_in(
+            SimDuration::from_secs(timeout_s),
+            Event::TransferTimeout { site, epoch },
+        );
+        slot.timeout = Some(handle);
+    }
+
+    /// Stands down `site`'s guard slot: bumps the epoch (invalidating any
+    /// in-flight timeout/retry event) and cancels the armed handles. Runs
+    /// whenever the guarded fetch ends for another reason — completion,
+    /// batch dissolution, execution teardown.
+    fn disarm_transfer_guard(&mut self, site: usize) {
+        let Some(guard) = self.xfer.as_mut() else {
+            return;
+        };
+        let slot = &mut guard.slots[site];
+        slot.epoch += 1;
+        slot.pending_file = None;
+        slot.source = None;
+        let timeout = slot.timeout.take();
+        let retry = slot.retry.take();
+        if let Some(h) = timeout {
+            self.schedule.cancel(h);
+        }
+        if let Some(h) = retry {
+            self.schedule.cancel(h);
+        }
+    }
+
+    /// `site`'s in-flight batch fetch blew its deadline: cancel the flow,
+    /// feed the route breakers, and either schedule a backoff-delayed
+    /// retry or — once the attempt budget is spent — requeue the task.
+    fn handle_transfer_timeout(&mut self, site: usize, epoch: u64) {
+        if self
+            .xfer
+            .as_ref()
+            .is_none_or(|g| g.slots[site].epoch != epoch)
+        {
+            // Stale event from a disarmed guard; the handle should have
+            // been cancelled, but be tolerant.
+            return;
+        }
+        let Some(batch) = self.servers[site].active.as_mut() else {
+            return;
+        };
+        let w = batch.worker;
+        let Some((file, fid)) = batch.current.take() else {
+            return;
+        };
+        let now = self.now();
+        self.flow_purpose.remove(&fid);
+        let attempt_size = self.xfer.as_ref().expect("guarded").slots[site].remaining;
+        let left = self
+            .net
+            .cancel_flow(now, fid)
+            .expect("guarded fetch is an active flow");
+        // What did move stays on the books; whether it is kept (resume)
+        // or re-sent (naive restart) is decided below.
+        let delivered = (attempt_size - left).max(0.0);
+        self.per_site[site].bytes_transferred += delivered;
+        self.resync_net();
+        self.xfer_timeouts += 1;
+        self.xfer_timeout_count.incr();
+        let t_s = now.as_secs();
+        let full_size = self.config.workload.file_size_bytes;
+        let guard = self.xfer.as_mut().expect("guarded");
+        let src = guard.slots[site].source.take();
+        // The destination's route breaker always hears the failure; the
+        // failover source's too when one was in play.
+        let _ = guard.breakers[site].on_failure(t_s);
+        if let Some(s) = src {
+            let _ = guard.breakers[s].on_failure(t_s);
+        }
+        let slot = &mut guard.slots[site];
+        slot.epoch += 1;
+        slot.timeout = None;
+        slot.attempts += 1;
+        if slot.attempts > guard.max_retries {
+            self.flows_requeued += 1;
+            self.requeue_after_exhausted_retries(site, w);
+            return;
+        }
+        self.flows_retrying += 1;
+        if guard.naive {
+            self.xfer_bytes_retransmitted += delivered;
+            slot.remaining = full_size;
+        } else {
+            self.xfer_bytes_resumed += delivered;
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            self.xfer_resumed_bytes.record(delivered as u64);
+            slot.remaining = left;
+        }
+        slot.pending_file = Some(file);
+        // Seeded exponential backoff with jitter in [0.5, 1.5) of the
+        // nominal delay — retries across sites decorrelate instead of
+        // thundering back in lockstep.
+        let nominal = guard.backoff_s * 2f64.powi(i32::try_from(slot.attempts - 1).unwrap_or(30));
+        let backoff = nominal * (0.5 + guard.rng.gen::<f64>());
+        let retry_epoch = slot.epoch;
+        let handle = self.schedule.schedule_in(
+            SimDuration::from_secs(backoff),
+            Event::TransferRetry {
+                site,
+                epoch: retry_epoch,
+            },
+        );
+        slot.retry = Some(handle);
+    }
+
+    /// The retry budget for `site`'s fetch is spent: dissolve the batch
+    /// and hand the task back to the scheduler — it may land anywhere,
+    /// including a site whose route still works. The worker itself is
+    /// healthy (the network path failed, not the machine), so it goes
+    /// straight back to the idle pool.
+    fn requeue_after_exhausted_retries(&mut self, site: usize, w: usize) {
+        let batch = self.servers[site]
+            .active
+            .take()
+            .expect("exhausted retries imply an active batch");
+        debug_assert_eq!(batch.worker, w);
+        self.per_site[site].transfer_time_s += (self.now() - batch.service_start).as_secs();
+        let current = self.workers[w]
+            .current
+            .take()
+            .expect("active batch worker is running");
+        let task = current.task;
+        let was_replica = current.is_replica;
+        let t = self.now().as_secs();
+        self.telemetry.span_end(Track::worker(w), "staging", t);
+        self.telemetry
+            .instant_for_task(Track::worker(w), "requeued", t, task.index() as u64);
+        for f in current.pinned {
+            self.stores[site].unpin(f);
+        }
+        if was_replica {
+            self.replicas_lost += 1;
+        }
+        let worker_id = self.workers[w].id;
+        self.workers[w].generation += 1;
+        self.workers[w].state = WorkerState::Idle;
+        // Lost-then-recovered in one instant: the scheduler orphans the
+        // task (requeueing it unless another replica still runs) and
+        // immediately gets the worker back.
+        let orphaned = self.scheduler.on_worker_lost(worker_id, Some(task));
+        self.scheduler.on_worker_recovered(worker_id);
+        if orphaned {
+            self.tasks_lost += 1;
+            self.lost_ever[task.index()] = true;
+            self.wake_parked();
+        } else if self.throttled && was_replica {
+            self.wake_parked();
+        }
+        self.schedule.schedule_now(Event::WorkerIdle(w));
+        self.maybe_start_service(site);
+    }
+
+    /// The backoff elapsed: re-issue `site`'s pending fetch — from the
+    /// best-scored replica holder when failover finds one, else from the
+    /// origin file server (even through a still-down route: the flow
+    /// stalls and the next timeout fires, burning another attempt).
+    fn handle_transfer_retry(&mut self, site: usize, epoch: u64) {
+        if self
+            .xfer
+            .as_ref()
+            .is_none_or(|g| g.slots[site].epoch != epoch)
+        {
+            return;
+        }
+        let Some(batch) = self.servers[site].active.as_ref() else {
+            return;
+        };
+        debug_assert!(batch.current.is_none(), "retry implies no flow in flight");
+        let now = self.now();
+        let t_s = now.as_secs();
+        let (file, remaining, naive) = {
+            let guard = self.xfer.as_mut().expect("checked");
+            // Open breakers may have cooled into half-open by now.
+            for b in &mut guard.breakers {
+                let _ = b.tick(t_s);
+            }
+            let slot = &mut guard.slots[site];
+            slot.retry = None;
+            let Some(file) = slot.pending_file.take() else {
+                return;
+            };
+            (file, slot.remaining, guard.naive)
+        };
+        // Failover: the highest-scored other site that holds the file,
+        // is up, and has a working route (ties → lowest index; no RNG —
+        // the choice must not perturb any other random stream).
+        let mut source: Option<usize> = None;
+        if !naive {
+            let guard = self.xfer.as_ref().expect("checked");
+            let mut best = 0.0_f64;
+            for s in 0..self.config.sites {
+                if s == site || self.servers[s].down || !self.stores[s].contains(file) {
+                    continue;
+                }
+                let (links, _) = self.union_route(s, site);
+                if !self.net.route_up(&links) {
+                    continue;
+                }
+                let score = guard.breakers[s].score_factor();
+                if score > best {
+                    best = score;
+                    source = Some(s);
+                }
+            }
+        }
+        let (links, latency_s) = match source {
+            Some(src) => {
+                self.xfer_failovers += 1;
+                self.xfer_failover_count.incr();
+                self.union_route(src, site)
+            }
+            None => {
+                let route = &self.site_routes[site];
+                (route.links.clone(), route.latency_s)
+            }
+        };
+        let fid = self.net.start_flow(now, &links, remaining, latency_s);
+        self.flows_started += 1;
+        self.flow_purpose.insert(fid, FlowPurpose::Batch { site });
+        self.servers[site]
+            .active
+            .as_mut()
+            .expect("still active")
+            .current = Some((file, fid));
+        self.xfer.as_mut().expect("checked").slots[site].source = source;
+        self.xfer_retries += 1;
+        self.xfer_retry_count.incr();
+        self.resync_net();
+        self.arm_transfer_timeout(site, remaining, &links, latency_s);
     }
 
     /// A correlated burst strikes: one uniformly-drawn site loses up to
@@ -2091,13 +2722,21 @@ impl GridSim {
             let w = batch.worker;
             if let Some((_file, fid)) = batch.current {
                 self.flow_purpose.remove(&fid);
+                let attempt_size = self
+                    .xfer
+                    .as_ref()
+                    .map_or(self.config.workload.file_size_bytes, |g| {
+                        g.slots[site].remaining
+                    });
                 if let Some(left) = self.net.cancel_flow(self.now(), fid) {
+                    self.flows_aborted += 1;
                     self.cancelled_bytes += left;
-                    let delivered = self.config.workload.file_size_bytes - left;
+                    let delivered = attempt_size - left;
                     self.per_site[site].bytes_transferred += delivered.max(0.0);
                 }
                 self.resync_net();
             }
+            self.disarm_transfer_guard(site);
             self.per_site[site].transfer_time_s += (self.now() - batch.service_start).as_secs();
             let current = self.workers[w]
                 .current
@@ -2136,6 +2775,7 @@ impl GridSim {
         for fid in inbound {
             self.flow_purpose.remove(&fid);
             if let Some(left) = self.net.cancel_flow(self.now(), fid) {
+                self.flows_aborted += 1;
                 self.cancelled_bytes += left;
             }
         }
@@ -2203,6 +2843,7 @@ impl GridSim {
         for &(fid, w) in writes.iter().chain(&restores) {
             self.flow_purpose.remove(&fid);
             if let Some(left) = self.net.cancel_flow(self.now(), fid) {
+                self.flows_aborted += 1;
                 self.cancelled_bytes += left;
             }
             let current = self.workers[w].current.as_mut().expect("flow owner runs");
@@ -2303,6 +2944,26 @@ impl GridSim {
                     c.work_saved_s,
                 )
             });
+        // Links still impaired at the end (scripted outage with no
+        // scripted recovery) never saw a recover event either.
+        let mut link_downtime_s = self.link_downtime_s;
+        for (_, since) in self.link_window.iter().flatten() {
+            let end = self.last_completion.max(*since);
+            link_downtime_s += (end - *since).as_secs();
+        }
+        // Flow conservation: every flow ever started either completed,
+        // was aborted by a teardown, was cancelled into a retry/requeue
+        // by the transfer guard, or is still stalled in the drained net
+        // (a severed route with nothing left to wake it).
+        debug_assert_eq!(
+            self.flows_started,
+            self.flows_completed
+                + self.flows_aborted
+                + self.flows_retrying
+                + self.flows_requeued
+                + self.net.active_flows() as u64,
+            "flow conservation out of balance"
+        );
         MetricsReport {
             config: self.config.summary(),
             makespan_minutes: self.last_completion.as_minutes(),
@@ -2332,6 +2993,18 @@ impl GridSim {
             checkpoint_restores: restores,
             checkpoint_overhead_s: overhead_s,
             work_saved_s: saved_s,
+            link_outages: self.link_outages,
+            link_downtime_s,
+            xfer_timeouts: self.xfer_timeouts,
+            xfer_retries: self.xfer_retries,
+            xfer_failovers: self.xfer_failovers,
+            xfer_bytes_resumed: self.xfer_bytes_resumed,
+            xfer_bytes_retransmitted: self.xfer_bytes_retransmitted,
+            flows_started: self.flows_started,
+            flows_completed: self.flows_completed,
+            flows_aborted: self.flows_aborted,
+            flows_retrying: self.flows_retrying,
+            flows_requeued: self.flows_requeued,
         }
     }
 }
@@ -3032,5 +3705,159 @@ mod tests {
         fn takes(_: &Workload) {}
         let wl = CoaddConfig::small(0).generate();
         takes(&wl);
+    }
+
+    // ----- network faults & transfer resilience ---------------------------
+
+    #[test]
+    fn stochastic_link_faults_with_guard_complete_and_are_deterministic() {
+        let config = || {
+            small_config(StrategyKind::Rest)
+                .with_faults(gridsched_faults::FaultConfig::none().with_link_faults(4_000.0, 600.0))
+                .with_transfer_timeout(3.0)
+                .with_transfer_retries(4)
+                .with_retry_backoff(30.0)
+        };
+        let a = GridSim::new(config()).run();
+        assert_eq!(a.tasks_completed, 200);
+        assert!(a.link_outages > 0, "the MTBF must bite within the run");
+        assert!(a.link_downtime_s > 0.0);
+        // Flow conservation (also debug-asserted in report()).
+        assert_eq!(
+            a.flows_started,
+            a.flows_completed + a.flows_aborted + a.flows_retrying + a.flows_requeued
+        );
+        let b = GridSim::new(config()).run();
+        assert_eq!(a, b, "link faults + guard broke determinism");
+    }
+
+    #[test]
+    fn degraded_link_windows_complete_without_a_guard() {
+        // Degraded windows slow flows down but never stall them, so no
+        // transfer guard is needed for liveness.
+        let report = GridSim::new(
+            small_config(StrategyKind::Rest2).with_faults(
+                gridsched_faults::FaultConfig::none()
+                    .with_link_faults(3_000.0, 900.0)
+                    .with_link_degrade_factor(0.25),
+            ),
+        )
+        .run();
+        assert_eq!(report.tasks_completed, 200);
+        assert!(report.link_outages > 0);
+        assert_eq!(report.xfer_timeouts, 0, "no guard configured");
+    }
+
+    #[test]
+    fn scripted_link_outage_accounts_downtime_and_heals() {
+        let trace =
+            gridsched_faults::FaultTrace::parse("600 link-down 0\n2400 link-up 0").expect("parses");
+        let report = GridSim::new(
+            small_config(StrategyKind::Workqueue)
+                .with_faults(gridsched_faults::FaultConfig::none().with_trace(trace)),
+        )
+        .run();
+        assert_eq!(report.tasks_completed, 200);
+        assert_eq!(report.link_outages, 1);
+        assert!(
+            report.link_downtime_s > 0.0,
+            "the outage window must accrue downtime"
+        );
+    }
+
+    #[test]
+    fn scripted_partition_with_guard_times_out_and_completes() {
+        // Site 0 is cut off for its first busy stretch; the guard turns
+        // the stalled fetches into retries (and, budget spent, requeues)
+        // instead of waiting out the whole partition.
+        let trace = gridsched_faults::FaultTrace::parse("60 partition 0\n6000 partition-heal 0")
+            .expect("parses");
+        let config = || {
+            small_config(StrategyKind::Rest)
+                .with_faults(gridsched_faults::FaultConfig::none().with_trace(trace.clone()))
+                .with_transfer_timeout(2.0)
+                .with_transfer_retries(2)
+                .with_retry_backoff(60.0)
+        };
+        let a = GridSim::new(config()).run();
+        assert_eq!(a.tasks_completed, 200);
+        assert!(
+            a.xfer_timeouts > 0,
+            "stalled fetches behind the partition must hit the deadline"
+        );
+        assert!(a.xfer_retries > 0 || a.flows_requeued > 0);
+        assert_eq!(
+            a.flows_started,
+            a.flows_completed + a.flows_aborted + a.flows_retrying + a.flows_requeued
+        );
+        let b = GridSim::new(config()).run();
+        assert_eq!(a, b, "partition + guard broke determinism");
+    }
+
+    #[test]
+    fn guard_on_a_healthy_run_never_fires() {
+        // The deadline is timeout_mult × an upper bound on the transfer
+        // time (the fair-share estimate lower-bounds the max–min rate),
+        // so on a fault-free run no timeout can ever dispatch — the
+        // guarded run's behaviour matches the unguarded run exactly.
+        let base = GridSim::new(small_config(StrategyKind::StorageAffinity)).run();
+        let guarded = GridSim::new(
+            small_config(StrategyKind::StorageAffinity)
+                .with_transfer_timeout(1.5)
+                .with_transfer_retries(3)
+                .with_retry_backoff(30.0),
+        )
+        .run();
+        assert_eq!(guarded.xfer_timeouts, 0);
+        assert_eq!(guarded.flows_retrying, 0);
+        assert_eq!(guarded.flows_requeued, 0);
+        assert_eq!(guarded.makespan_minutes, base.makespan_minutes);
+        assert_eq!(guarded.file_transfers, base.file_transfers);
+        assert_eq!(guarded.events_dispatched, base.events_dispatched);
+        assert_eq!(guarded.per_site, base.per_site);
+    }
+
+    #[test]
+    fn naive_retry_retransmits_what_resume_keeps() {
+        // Under the same flap storm, restart-from-zero re-sends delivered
+        // bytes that partial-transfer resume keeps.
+        let trace = gridsched_faults::FaultTrace::parse(
+            "300 link-down 0\n1500 link-up 0\n2400 link-down 0\n3600 link-up 0",
+        )
+        .expect("parses");
+        let config = |naive: bool| {
+            let c = small_config(StrategyKind::Rest)
+                .with_faults(gridsched_faults::FaultConfig::none().with_trace(trace.clone()))
+                .with_transfer_timeout(2.0)
+                .with_transfer_retries(5)
+                .with_retry_backoff(30.0);
+            if naive {
+                c.with_naive_retry()
+            } else {
+                c
+            }
+        };
+        let resume = GridSim::new(config(false)).run();
+        let naive = GridSim::new(config(true)).run();
+        assert_eq!(resume.tasks_completed, 200);
+        assert_eq!(naive.tasks_completed, 200);
+        assert!(resume.xfer_timeouts > 0, "the flap storm must bite");
+        assert!(naive.xfer_timeouts > 0, "the flap storm must bite");
+        assert_eq!(resume.xfer_bytes_retransmitted, 0.0);
+        assert_eq!(naive.xfer_bytes_resumed, 0.0);
+        // Byte math stays sound either way: both runs moved at least one
+        // full file per transfer they completed.
+        assert!(resume.bytes_transferred > 0.0);
+        assert!(naive.bytes_transferred >= resume.bytes_transferred - 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "references link")]
+    fn trace_with_out_of_range_link_panics() {
+        let trace = gridsched_faults::FaultTrace::parse("600 link-down 9999").expect("parses");
+        let _ = GridSim::new(
+            small_config(StrategyKind::Rest)
+                .with_faults(gridsched_faults::FaultConfig::none().with_trace(trace)),
+        );
     }
 }

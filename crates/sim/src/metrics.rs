@@ -131,6 +131,51 @@ pub struct MetricsReport {
     /// Compute-seconds restores rescued from re-execution (the progress a
     /// resumed execution did *not* have to redo).
     pub work_saved_s: f64,
+    // --- network faults & transfer resilience: all zero when link faults
+    // and the transfer guard are off. `#[serde(default)]` keeps reports
+    // written before this accounting existed deserializable ---
+    /// Link outage/degradation windows opened (stochastic + scripted).
+    #[serde(default)]
+    pub link_outages: u64,
+    /// Σ seconds links spent down or degraded (summed over links, clipped
+    /// to the horizon like worker/server downtime).
+    #[serde(default)]
+    pub link_downtime_s: f64,
+    /// Batch fetches cancelled by the transfer guard's timeout.
+    #[serde(default)]
+    pub xfer_timeouts: u64,
+    /// Retry attempts actually dispatched after a timeout.
+    #[serde(default)]
+    pub xfer_retries: u64,
+    /// Retries that re-sourced the file from an alternate replica site.
+    #[serde(default)]
+    pub xfer_failovers: u64,
+    /// Bytes already delivered that a resuming retry did *not* re-send.
+    #[serde(default)]
+    pub xfer_bytes_resumed: f64,
+    /// Bytes a naive restart-from-zero retry threw away and re-sent.
+    #[serde(default)]
+    pub xfer_bytes_retransmitted: f64,
+    // --- flow conservation ledger: every network flow the run ever
+    // started ends in exactly one of the four sinks below or is still
+    // active at report time (asserted in `GridSim::report`) ---
+    /// Network flows started (batch fetches, checkpoint writes/restores,
+    /// proactive replication pushes, retry re-fetches).
+    #[serde(default)]
+    pub flows_started: u64,
+    /// Flows that delivered all their bytes.
+    #[serde(default)]
+    pub flows_completed: u64,
+    /// Flows cancelled by replica abort, worker crash, or server failure.
+    #[serde(default)]
+    pub flows_aborted: u64,
+    /// Flows cancelled by a transfer timeout with retry budget remaining.
+    #[serde(default)]
+    pub flows_retrying: u64,
+    /// Flows cancelled by a transfer timeout with the budget exhausted —
+    /// each one requeued its task.
+    #[serde(default)]
+    pub flows_requeued: u64,
 }
 
 impl MetricsReport {

@@ -198,6 +198,18 @@ pub fn average_reports(reports: &[MetricsReport]) -> MetricsReport {
         checkpoint_restores: avg_u64(reports.iter().map(|r| r.checkpoint_restores), n),
         checkpoint_overhead_s: avg_f64(reports.iter().map(|r| r.checkpoint_overhead_s), n),
         work_saved_s: avg_f64(reports.iter().map(|r| r.work_saved_s), n),
+        link_outages: avg_u64(reports.iter().map(|r| r.link_outages), n),
+        link_downtime_s: avg_f64(reports.iter().map(|r| r.link_downtime_s), n),
+        xfer_timeouts: avg_u64(reports.iter().map(|r| r.xfer_timeouts), n),
+        xfer_retries: avg_u64(reports.iter().map(|r| r.xfer_retries), n),
+        xfer_failovers: avg_u64(reports.iter().map(|r| r.xfer_failovers), n),
+        xfer_bytes_resumed: avg_f64(reports.iter().map(|r| r.xfer_bytes_resumed), n),
+        xfer_bytes_retransmitted: avg_f64(reports.iter().map(|r| r.xfer_bytes_retransmitted), n),
+        flows_started: avg_u64(reports.iter().map(|r| r.flows_started), n),
+        flows_completed: avg_u64(reports.iter().map(|r| r.flows_completed), n),
+        flows_aborted: avg_u64(reports.iter().map(|r| r.flows_aborted), n),
+        flows_retrying: avg_u64(reports.iter().map(|r| r.flows_retrying), n),
+        flows_requeued: avg_u64(reports.iter().map(|r| r.flows_requeued), n),
     }
 }
 

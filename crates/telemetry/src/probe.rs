@@ -44,6 +44,8 @@ pub struct ProbeSample {
     pub links_busy: u64,
     /// Total links in the topology (for utilisation ratios).
     pub links_total: u64,
+    /// Links currently down or degraded by a fault window.
+    pub links_down: u64,
 }
 
 impl ProbeSample {
@@ -52,8 +54,8 @@ impl ProbeSample {
         let _ = write!(
             out,
             "{{\"type\":\"probe\",\"t_s\":{:.3},\"flows\":{},\"links_busy\":{},\
-             \"links_total\":{},\"sites\":[",
-            self.t_s, self.in_flight_flows, self.links_busy, self.links_total
+             \"links_total\":{},\"links_down\":{},\"sites\":[",
+            self.t_s, self.in_flight_flows, self.links_busy, self.links_total, self.links_down
         );
         for (i, s) in self.sites.iter().enumerate() {
             if i > 0 {
@@ -95,11 +97,13 @@ mod tests {
             in_flight_flows: 3,
             links_busy: 4,
             links_total: 10,
+            links_down: 1,
         };
         let mut s = String::new();
         p.write_jsonl_line(&mut s);
         let line = s.trim_end();
         assert!(line.starts_with("{\"type\":\"probe\",\"t_s\":300.000"));
+        assert!(line.contains("\"links_down\":1"));
         assert!(line.contains("\"sites\":[{\"site\":0,\"queue\":2,\"busy\":1"));
         assert!(line.contains("\"down\":false"));
         assert!(line.ends_with("]}"));

@@ -10,6 +10,10 @@
 //!                    [--server-mtbf SECS] [--server-mttr SECS] [--server-mttr-shape K]
 //!                    [--fault-trace FILE]
 //!                    [--fault-burst-rate SECS] [--fault-burst-size N]
+//!                    [--link-mtbf SECS] [--link-mttr SECS]
+//!                    [--link-degrade-factor F]
+//!                    [--transfer-timeout MULT] [--transfer-retries N]
+//!                    [--retry-backoff SECS]
 //!                    [--checkpoint-policy none|fixed|young-daly|young-daly-adaptive]
 //!                    [--checkpoint-interval SECS] [--checkpoint-size MB]
 //!                    [--adaptive throttle,placement,checkpoint|all]
@@ -122,6 +126,16 @@ usage:
                      [--fault-burst-rate SECS] (correlated site-scoped crash
                        bursts every Exp(SECS); requires --mtbf)
                      [--fault-burst-size N] (workers lost per burst, default 4)
+                     [--link-mtbf SECS] [--link-mttr SECS] (per-link outage
+                       process, default MTTR 900)
+                     [--link-degrade-factor F] (fault windows degrade link
+                       bandwidth to F in (0,1) instead of cutting the link)
+                     [--transfer-timeout MULT] (transfer guard: time out a
+                       batch fetch at MULT x its fair-share estimate, MULT > 1)
+                     [--transfer-retries N] (retry budget per fetch before the
+                       task is requeued, default 3)
+                     [--retry-backoff SECS] (exponential backoff base,
+                       default 30)
                      [--checkpoint-policy none|fixed|young-daly|young-daly-adaptive]
                      [--checkpoint-interval SECS] (fixed policy's interval)
                      [--checkpoint-size MB] (image size, default 25)
@@ -252,6 +266,8 @@ fn build_fault_config(opts: &Opts) -> Result<FaultConfig, String> {
         ("server-mttr-shape", "server-mtbf"),
         ("fault-burst-rate", "mtbf"),
         ("fault-burst-size", "fault-burst-rate"),
+        ("link-mttr", "link-mtbf"),
+        ("link-degrade-factor", "link-mtbf"),
     ] {
         if opts.values.contains_key(dependent) && !opts.values.contains_key(required) {
             return Err(format!("--{dependent} requires --{required}"));
@@ -292,6 +308,19 @@ fn build_fault_config(opts: &Opts) -> Result<FaultConfig, String> {
                 return Err("--server-mttr-shape must be a positive Weibull shape".into());
             }
             faults = faults.with_server_repair_shape(shape);
+        }
+    }
+    if let Some(mtbf) = opts.get_opt::<f64>("link-mtbf")? {
+        let mttr: f64 = opts.get("link-mttr", 900.0)?;
+        if mtbf <= 0.0 || mttr <= 0.0 {
+            return Err("--link-mtbf/--link-mttr must be positive seconds".into());
+        }
+        faults = faults.with_link_faults(mtbf, mttr);
+        if let Some(factor) = opts.get_opt::<f64>("link-degrade-factor")? {
+            if factor <= 0.0 || factor >= 1.0 || !factor.is_finite() {
+                return Err("--link-degrade-factor must be in (0, 1)".into());
+            }
+            faults = faults.with_link_degrade_factor(factor);
         }
     }
     if let Some(path) = opts.values.get("fault-trace") {
@@ -460,6 +489,29 @@ fn cmd_simulate(opts: &Opts) -> Result<(), String> {
         }
         config = config.with_site_replica_budget(budget);
     }
+    for (dependent, required) in [
+        ("transfer-retries", "transfer-timeout"),
+        ("retry-backoff", "transfer-timeout"),
+    ] {
+        if opts.values.contains_key(dependent) && !opts.values.contains_key(required) {
+            return Err(format!("--{dependent} requires --{required}"));
+        }
+    }
+    if let Some(mult) = opts.get_opt::<f64>("transfer-timeout")? {
+        if mult <= 1.0 || !mult.is_finite() {
+            return Err("--transfer-timeout must be a multiple > 1".into());
+        }
+        config = config.with_transfer_timeout(mult);
+        if let Some(retries) = opts.get_opt::<u32>("transfer-retries")? {
+            config = config.with_transfer_retries(retries);
+        }
+        if let Some(backoff) = opts.get_opt::<f64>("retry-backoff")? {
+            if backoff <= 0.0 || !backoff.is_finite() {
+                return Err("--retry-backoff must be positive seconds".into());
+            }
+            config = config.with_retry_backoff(backoff);
+        }
+    }
     if let Some(interval) = opts.get_opt::<f64>("probe-interval")? {
         if interval <= 0.0 || !interval.is_finite() {
             return Err("--probe-interval must be positive seconds".into());
@@ -533,6 +585,25 @@ fn cmd_simulate(opts: &Opts) -> Result<(), String> {
              would contend for the port); pass one --topology-seeds entry"
                 .into(),
         );
+    }
+    // Link indices are topology-scoped, so the grid-shape validation
+    // above cannot see them; check against every replicate's generated
+    // topology here rather than letting the engine assert mid-run.
+    if let Some(trace) = config.faults.as_ref().and_then(|f| f.trace.as_ref()) {
+        if let Some(ml) = trace.max_link() {
+            for &ts in &seeds {
+                let links = generate_topology(&config.clone().with_topology_seed(ts).topology)
+                    .graph
+                    .bandwidths()
+                    .len();
+                if ml >= links {
+                    return Err(format!(
+                        "fault trace references link {ml} but topology seed {ts} has only \
+                         {links} links"
+                    ));
+                }
+            }
+        }
     }
     let telemetry_requested = config.telemetry_requested();
     let (report, spread) = run_averaged_with_spread(&config, &seeds);
@@ -640,6 +711,28 @@ fn cmd_simulate(opts: &Opts) -> Result<(), String> {
                 "availability      : workers {:.2}%, data servers {:.2}%",
                 report.mean_worker_availability() * 100.0,
                 report.mean_server_availability() * 100.0
+            );
+        }
+        if report.link_outages > 0 {
+            println!(
+                "link faults       : {} outage windows, {:.1} h link downtime",
+                report.link_outages,
+                report.link_downtime_s / 3600.0
+            );
+        }
+        if report.config.transfer_guard != "none" {
+            println!("transfer guard    : {}", report.config.transfer_guard);
+            println!(
+                "transfer recovery : {} timeouts, {} retries, {} failovers, {} requeues",
+                report.xfer_timeouts,
+                report.xfer_retries,
+                report.xfer_failovers,
+                report.flows_requeued
+            );
+            println!(
+                "resume savings    : {:.2} GB resumed, {:.2} GB retransmitted",
+                report.xfer_bytes_resumed / 1e9,
+                report.xfer_bytes_retransmitted / 1e9
             );
         }
         if report.config.checkpointing != "none" {

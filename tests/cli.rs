@@ -706,6 +706,193 @@ fn simulate_reports_spread_across_replicates() {
 }
 
 #[test]
+fn simulate_with_link_faults_and_transfer_guard() {
+    let dir = TestDir::new("netfaults");
+    let trace = dir.path("wl.trace");
+    let trace_str = trace.to_str().expect("utf8 path");
+    let out = gridsched(&["workload", "--tasks", "120", "--out", trace_str]);
+    assert!(out.status.success());
+
+    let args = [
+        "simulate",
+        "--trace",
+        trace_str,
+        "--sites",
+        "2",
+        "--topology-seeds",
+        "0",
+        "--strategy",
+        "rest.2",
+        "--link-mtbf",
+        "4000",
+        "--link-mttr",
+        "600",
+        "--transfer-timeout",
+        "3",
+        "--transfer-retries",
+        "4",
+        "--retry-backoff",
+        "30",
+    ];
+    let out = gridsched(&args);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout.clone()).expect("utf8");
+    assert!(
+        stdout.contains("faults            : link mtbf=4000s mttr=600s"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("link faults       :"), "{stdout}");
+    assert!(
+        stdout.contains("transfer guard    : timeout=3.0x retries=4 backoff=30s"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("transfer recovery :"), "{stdout}");
+
+    // Same invocation again: byte-identical output (determinism).
+    let again = gridsched(&args);
+    assert_eq!(
+        out.stdout, again.stdout,
+        "link-fault runs must be deterministic"
+    );
+}
+
+#[test]
+fn simulate_with_scripted_partition_heals_and_completes() {
+    let dir = TestDir::new("partition");
+    let fault_trace = dir.path("partition.trace");
+    std::fs::write(&fault_trace, "600 partition 0\n4200 partition-heal 0\n")
+        .expect("write fault trace");
+    let out = gridsched(&[
+        "simulate",
+        "--tasks",
+        "120",
+        "--sites",
+        "2",
+        "--topology-seeds",
+        "0",
+        "--fault-trace",
+        fault_trace.to_str().expect("utf8 path"),
+        "--transfer-timeout",
+        "2",
+        "--transfer-retries",
+        "6",
+        "--retry-backoff",
+        "60",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("makespan"), "{stdout}");
+    assert!(
+        stdout.contains("link faults       : 1 outage windows"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn simulate_rejects_bad_network_flags() {
+    // Dependent flags without the flag that gives them meaning.
+    let out = gridsched(&["simulate", "--link-mttr", "600"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(
+        stderr.contains("--link-mttr requires --link-mtbf"),
+        "stderr: {stderr}"
+    );
+
+    let out = gridsched(&["simulate", "--link-degrade-factor", "0.5"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(
+        stderr.contains("--link-degrade-factor requires --link-mtbf"),
+        "stderr: {stderr}"
+    );
+
+    let out = gridsched(&["simulate", "--transfer-retries", "3"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(
+        stderr.contains("--transfer-retries requires --transfer-timeout"),
+        "stderr: {stderr}"
+    );
+
+    let out = gridsched(&["simulate", "--retry-backoff", "30"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(
+        stderr.contains("--retry-backoff requires --transfer-timeout"),
+        "stderr: {stderr}"
+    );
+
+    // Value validation.
+    let out = gridsched(&["simulate", "--link-mtbf", "-5"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("must be positive"), "stderr: {stderr}");
+
+    let out = gridsched(&[
+        "simulate",
+        "--link-mtbf",
+        "4000",
+        "--link-degrade-factor",
+        "1.5",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("must be in (0, 1)"), "stderr: {stderr}");
+
+    let out = gridsched(&["simulate", "--transfer-timeout", "1"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(
+        stderr.contains("must be a multiple > 1"),
+        "stderr: {stderr}"
+    );
+
+    let out = gridsched(&[
+        "simulate",
+        "--transfer-timeout",
+        "3",
+        "--retry-backoff",
+        "0",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("must be positive"), "stderr: {stderr}");
+
+    // A scripted link event whose index no replicate's topology has is
+    // a clean CLI error, not a mid-run engine assert.
+    let dir = TestDir::new("bad-link-index");
+    let fault_trace = dir.path("bad-link.trace");
+    std::fs::write(&fault_trace, "100 link-down 999999\n").expect("write fault trace");
+    let out = gridsched(&[
+        "simulate",
+        "--tasks",
+        "120",
+        "--sites",
+        "2",
+        "--topology-seeds",
+        "0",
+        "--fault-trace",
+        fault_trace.to_str().expect("utf8 path"),
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(
+        stderr.contains("fault trace references link 999999"),
+        "stderr: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+}
+
+#[test]
 fn simulate_rejects_bad_strategy() {
     let out = gridsched(&["simulate", "--strategy", "magic"]);
     assert!(!out.status.success());

@@ -495,6 +495,87 @@ fn controllers_enabled_runs_are_repeatable() {
     let _ = std::fs::remove_file(&digest_b);
 }
 
+/// The transfer guard's zero-link-fault contract: with no link faults
+/// configured, the guard's armed-but-always-cancelled deadlines must leave
+/// the run byte-identical to today's — for **all 8 strategies × all 3 eval
+/// modes** under worker/server churn + checkpointing. Cancelled guard
+/// events never dispatch, so the determinism-digest streams compare equal
+/// byte-for-byte, and the reports agree on everything except the config
+/// summary line that names the guard.
+#[test]
+fn transfer_guard_without_link_faults_is_byte_inert() {
+    let mut cfg = CoaddConfig::small(3);
+    cfg.tasks = 80;
+    let workload = Arc::new(cfg.generate());
+    let tmp = std::env::temp_dir();
+    let digest_a = tmp.join(format!("gridsched-guard-off-{}.jsonl", std::process::id()));
+    let digest_b = tmp.join(format!("gridsched-guard-on-{}.jsonl", std::process::id()));
+    let (digest_a, digest_b) = (
+        digest_a.to_str().expect("utf-8 temp path").to_string(),
+        digest_b.to_str().expect("utf-8 temp path").to_string(),
+    );
+    let strategies = [
+        StrategyKind::StorageAffinity,
+        StrategyKind::Overlap,
+        StrategyKind::Rest,
+        StrategyKind::Combined,
+        StrategyKind::Rest2,
+        StrategyKind::Combined2,
+        StrategyKind::Workqueue,
+        StrategyKind::Sufferage,
+    ];
+    for strategy in strategies {
+        let base = SimConfig::paper(Arc::clone(&workload), strategy)
+            .with_sites(3)
+            .with_capacity(400)
+            .with_seed(2)
+            .with_faults(
+                FaultConfig::none()
+                    .with_worker_faults(3_000.0, 400.0)
+                    .with_server_faults(25_000.0, 700.0),
+            )
+            .with_checkpointing(CheckpointConfig::fixed(300.0));
+        let guarded = base
+            .clone()
+            .with_transfer_timeout(4.0)
+            .with_transfer_retries(3)
+            .with_retry_backoff(30.0);
+        for mode in [EvalMode::Incremental, EvalMode::Indexed, EvalMode::Naive] {
+            let plain =
+                GridSim::new(base.clone().with_eval_mode(mode).with_digest_out(&digest_a)).run();
+            let on = GridSim::new(
+                guarded
+                    .clone()
+                    .with_eval_mode(mode)
+                    .with_digest_out(&digest_b),
+            )
+            .run();
+            assert_eq!(
+                on.xfer_timeouts, 0,
+                "{strategy} {mode:?}: guard fired with no faults"
+            );
+            assert_eq!(on.flows_retrying, 0, "{strategy} {mode:?}");
+            assert_eq!(on.flows_requeued, 0, "{strategy} {mode:?}");
+            // Whole-report equality modulo the config summary naming the
+            // guard.
+            let mut normalized = on.clone();
+            normalized.config.transfer_guard = plain.config.transfer_guard.clone();
+            assert_eq!(
+                plain, normalized,
+                "transfer guard perturbed {strategy} in {mode:?}"
+            );
+            let bytes_a = std::fs::read(&digest_a).expect("digest a written");
+            let bytes_b = std::fs::read(&digest_b).expect("digest b written");
+            assert_eq!(
+                bytes_a, bytes_b,
+                "digest streams diverged for {strategy} in {mode:?}"
+            );
+        }
+    }
+    let _ = std::fs::remove_file(&digest_a);
+    let _ = std::fs::remove_file(&digest_b);
+}
+
 /// The sparse-propagation path at the site counts where it actually
 /// matters: with S ≥ 32 every pool insert/remove used to broadcast into
 /// 32+ rank indexes, and sufferage's best-two refresh rescanned 32+ sites

@@ -305,6 +305,88 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&report.mean_server_availability()));
     }
 
+    /// Network-fault invariants: under stochastic link outages (hard cuts
+    /// or degraded-bandwidth windows), with and without the transfer
+    /// guard, every task still completes, the flow-conservation ledger
+    /// balances, and per-link downtime tiles into the horizon × link-count
+    /// envelope (windows on one link never overlap — a stochastic failure
+    /// landing inside an open window is absorbed).
+    #[test]
+    fn link_faults_conserve_flows_and_tile_downtime(
+        strategy in arb_strategy(),
+        sites in 2usize..5,
+        seed in 0u64..3,
+        link_mtbf in 2_500.0f64..6_000.0,
+        degraded in 0u8..2,
+        guarded in 0u8..2,
+    ) {
+        let mut cfg = CoaddConfig::small(seed);
+        cfg.tasks = 80;
+        let workload = Arc::new(cfg.generate());
+        let mut faults = FaultConfig::none().with_link_faults(link_mtbf, 500.0);
+        if degraded == 1 {
+            faults = faults.with_link_degrade_factor(0.25);
+        }
+        let mut config = SimConfig::paper(workload, strategy)
+            .with_sites(sites)
+            .with_capacity(400)
+            .with_seed(seed)
+            .with_probe_interval(600.0)
+            .with_faults(faults);
+        if guarded == 1 {
+            config = config
+                .with_transfer_timeout(3.0)
+                .with_transfer_retries(4)
+                .with_retry_backoff(30.0);
+        }
+        let telemetry = Telemetry::enabled();
+        let report = GridSim::new(config)
+            .with_telemetry(telemetry.clone())
+            .run();
+        prop_assert_eq!(report.tasks_completed, 80);
+        prop_assert!(report.link_outages > 0, "MTBF this short must fault");
+
+        // Flow conservation: every flow the run ever started ended in
+        // exactly one sink. (The engine additionally debug-asserts the
+        // exact balance including still-active flows at report time.)
+        let sinks = report.flows_completed
+            + report.flows_aborted
+            + report.flows_retrying
+            + report.flows_requeued;
+        prop_assert!(report.flows_started > 0);
+        prop_assert!(
+            sinks <= report.flows_started,
+            "sinks {} > started {}", sinks, report.flows_started
+        );
+        if guarded == 0 {
+            // No guard, no guard-driven sinks.
+            prop_assert_eq!(report.xfer_timeouts, 0);
+            prop_assert_eq!(report.xfer_retries, 0);
+            prop_assert_eq!(report.flows_retrying, 0);
+            prop_assert_eq!(report.flows_requeued, 0);
+        } else {
+            // Every dispatched retry came from a timeout, and failovers
+            // are a subset of retries.
+            prop_assert!(report.xfer_retries <= report.xfer_timeouts);
+            prop_assert!(report.xfer_failovers <= report.xfer_retries);
+            prop_assert_eq!(report.flows_retrying, report.xfer_retries);
+        }
+
+        // Downtime tiling into the horizon × link-count envelope.
+        let horizon = report.makespan_minutes * 60.0;
+        prop_assert!(horizon > 0.0 && horizon.is_finite());
+        let probes = telemetry.probes();
+        prop_assert!(!probes.is_empty(), "probe sampler produced no samples");
+        let links_total = probes[0].links_total as f64;
+        prop_assert!(links_total > 0.0);
+        prop_assert!(report.link_downtime_s >= 0.0);
+        prop_assert!(
+            report.link_downtime_s <= horizon * links_total + 1e-6 * horizon * links_total,
+            "link downtime {} > horizon {} x {} links",
+            report.link_downtime_s, horizon, links_total
+        );
+    }
+
     #[test]
     fn determinism_under_any_config(
         strategy in arb_strategy(),
